@@ -1,0 +1,26 @@
+//! # asdb — AS metadata substrate
+//!
+//! The Cell Spotting pipeline needs two kinds of per-AS knowledge:
+//!
+//! 1. A **CAIDA-style AS classification** (`Transit/Access`, `Content`,
+//!    `Enterprise`) — the paper's third AS-filtering heuristic excludes
+//!    non-access networks using exactly this dataset. In the original study
+//!    this is the CAIDA AS Classification dataset (2015-08-01 snapshot);
+//!    here the records are produced by the synthetic world generator but
+//!    carry the same schema and are consumed identically.
+//! 2. **Carrier ground truth** for validation: labeled prefix lists from
+//!    operators who told the authors which CIDRs are cellular and which are
+//!    fixed-line (the paper's Carriers A, B, C in Table 3 / Figure 3).
+//!
+//! The crate deliberately separates what an analysis is *allowed to see*
+//! (`AsClass`, name, country — public metadata) from the generator's hidden
+//! ground truth (`AsKind`): the classifier in `cellspot` consumes only the
+//! former, while validation and the test-suite oracles consume the latter.
+
+mod carrier;
+mod database;
+mod record;
+
+pub use carrier::{CarrierGroundTruth, GroundTruthEntry};
+pub use database::AsDatabase;
+pub use record::{AccessType, AsClass, AsKind, AsRecord};

@@ -1,0 +1,47 @@
+//! Classification-core benchmarks: the BEACON ⨝ DEMAND join, threshold
+//! classification, and the Fig. 2 ratio distributions, on a demo-scale
+//! world (~170k blocks).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use cdnsim::generate_datasets;
+use cellspot::{BlockIndex, Classification, RatioDistributions};
+use worldgen::{World, WorldConfig};
+
+fn bench_classify(c: &mut Criterion) {
+    let world = World::generate(WorldConfig::demo());
+    let (beacons, demand) = generate_datasets(&world);
+    let index = BlockIndex::build(&beacons, &demand);
+    let blocks = index.len() as u64;
+
+    let mut g = c.benchmark_group("classify");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(blocks));
+
+    g.bench_function("join_beacon_demand", |b| {
+        b.iter(|| black_box(BlockIndex::build(&beacons, &demand)))
+    });
+    g.bench_function("threshold_classification", |b| {
+        b.iter(|| black_box(Classification::new(&index, 0.5)))
+    });
+    g.bench_function("ratio_distributions_fig2", |b| {
+        b.iter(|| black_box(RatioDistributions::build(&index)))
+    });
+
+    let class = Classification::new(&index, 0.5);
+    g.bench_function("membership_lookups", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for o in index.iter() {
+                if class.is_cellular(o.block) {
+                    n += 1;
+                }
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_classify);
+criterion_main!(benches);

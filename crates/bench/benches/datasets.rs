@@ -1,0 +1,45 @@
+//! Substrate benchmarks: world generation and dataset sampling at mini
+//! and demo scales.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cdnsim::{generate_beacons, generate_demand, CdnConfig};
+use worldgen::{World, WorldConfig};
+
+fn bench_datasets(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datasets");
+    g.sample_size(10);
+
+    g.bench_function("worldgen_mini", |b| {
+        b.iter(|| black_box(World::generate(WorldConfig::mini())))
+    });
+    g.bench_function("worldgen_demo", |b| {
+        b.iter(|| black_box(World::generate(WorldConfig::demo())))
+    });
+
+    let world = World::generate(WorldConfig::demo());
+    let cfg = CdnConfig::default();
+    g.bench_function("beacon_sampling_demo", |b| {
+        b.iter(|| black_box(generate_beacons(&world, &cfg)))
+    });
+    g.bench_function("demand_sampling_demo", |b| {
+        b.iter(|| black_box(generate_demand(&world, &cfg)))
+    });
+
+    let mini = World::generate(WorldConfig::mini());
+    g.bench_function("event_simulation_mini", |b| {
+        let ecfg = cdnsim::EventSimConfig {
+            page_loads: 50_000,
+            ..Default::default()
+        };
+        b.iter(|| black_box(cdnsim::simulate_events(&mini, &ecfg)))
+    });
+
+    g.bench_function("dns_generation_mini", |b| {
+        b.iter(|| black_box(dnssim::generate_dns(&mini)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_datasets);
+criterion_main!(benches);

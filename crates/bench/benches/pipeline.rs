@@ -1,0 +1,67 @@
+//! End-to-end pipeline benchmarks: the full §4–§7 study over generated
+//! datasets, plus the heavier individual stages.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cdnsim::generate_datasets;
+use cellspot::{
+    aggregate_by_as, identify_cellular_ases, run_study, threshold_sweep, BlockIndex,
+    Classification, FilterConfig, StudyConfig, WorldView,
+};
+use worldgen::{World, WorldConfig};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let wcfg = WorldConfig::mini();
+    let min_hits = wcfg.scaled_min_beacon_hits();
+    let world = World::generate(wcfg);
+    let (beacons, demand) = generate_datasets(&world);
+    let dns = dnssim::generate_dns(&world);
+    let index = BlockIndex::build(&beacons, &demand);
+    let class = Classification::new(&index, 0.5);
+
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+
+    g.bench_function("full_study_mini", |b| {
+        b.iter(|| {
+            black_box(run_study(
+                &beacons,
+                &demand,
+                &world.as_db,
+                &world.carriers,
+                Some(&dns),
+                StudyConfig::default().with_min_hits(min_hits),
+            ))
+        })
+    });
+
+    g.bench_function("as_aggregation", |b| {
+        b.iter(|| black_box(aggregate_by_as(&index, &class)))
+    });
+
+    let aggs = aggregate_by_as(&index, &class);
+    g.bench_function("as_filter_rules", |b| {
+        b.iter(|| {
+            black_box(identify_cellular_ases(
+                &aggs,
+                &world.as_db,
+                &FilterConfig {
+                    min_cell_du: 0.1,
+                    min_netinfo_hits: min_hits,
+                },
+            ))
+        })
+    });
+
+    g.bench_function("threshold_sweep_carrier_a", |b| {
+        b.iter(|| black_box(threshold_sweep(&world.carriers[0], &index, 50)))
+    });
+
+    g.bench_function("world_view_rollup", |b| {
+        b.iter(|| black_box(WorldView::build(&index, &class, &world.as_db)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Prefix-trie microbenchmarks: insertion and longest-prefix match, the
+//! primitive behind carrier ground-truth joins.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use netaddr::{Ipv4Net, PrefixTrie};
+use rand::{Rng, SeedableRng};
+
+fn build_trie(n: usize) -> PrefixTrie<u32> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut trie = PrefixTrie::new();
+    for i in 0..n {
+        let addr: u32 = rng.gen();
+        let len = rng.gen_range(8..=24);
+        let net = Ipv4Net::new(addr, len).expect("len ≤ 32");
+        trie.insert(net, i as u32);
+    }
+    trie
+}
+
+fn bench_trie(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trie");
+    g.sample_size(20);
+
+    g.bench_function("insert_100k_prefixes", |b| {
+        b.iter(|| black_box(build_trie(100_000)))
+    });
+
+    let trie = build_trie(100_000);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let keys: Vec<u32> = (0..10_000).map(|_| rng.gen()).collect();
+    g.throughput(Throughput::Elements(keys.len() as u64));
+    g.bench_function("lpm_10k_lookups", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for k in &keys {
+                if trie.lookup_v4(*k).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_trie);
+criterion_main!(benches);

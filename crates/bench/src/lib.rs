@@ -1,0 +1,94 @@
+//! Shared setup for the `repro` harness and the Criterion benches: build
+//! a world, sample its datasets, and run the full study in one call.
+
+use cdnsim::{generate_datasets, BeaconDataset, DemandDataset};
+use cellspot::{run_study, Study, StudyConfig};
+use dnssim::DnsSim;
+use worldgen::{World, WorldConfig};
+
+/// Everything a harness needs, bundled.
+pub struct Bundle {
+    /// The generated ground-truth world.
+    pub world: World,
+    /// Sampled BEACON dataset.
+    pub beacons: BeaconDataset,
+    /// Sampled DEMAND dataset.
+    pub demand: DemandDataset,
+    /// Generated DNS substrate.
+    pub dns: DnsSim,
+    /// The full study output.
+    pub study: Study,
+}
+
+/// Generate world + datasets + DNS and run the full study.
+pub fn build_bundle(config: WorldConfig) -> Bundle {
+    let min_hits = config.scaled_min_beacon_hits();
+    let world = World::generate(config);
+    let (beacons, demand) = generate_datasets(&world);
+    let dns = dnssim::generate_dns(&world);
+    let study = run_study(
+        &beacons,
+        &demand,
+        &world.as_db,
+        &world.carriers,
+        Some(&dns),
+        StudyConfig::default().with_min_hits(min_hits),
+    );
+    Bundle {
+        world,
+        beacons,
+        demand,
+        dns,
+        study,
+    }
+}
+
+/// Resolve a scale argument (`mini`, `demo`, `paper`, or a float block
+/// scale) into a world config.
+pub fn config_for_scale(scale: &str) -> Result<WorldConfig, String> {
+    match scale {
+        "mini" => Ok(WorldConfig::mini()),
+        "demo" => Ok(WorldConfig::demo()),
+        "paper" => Ok(WorldConfig::paper()),
+        other => {
+            let s: f64 = other
+                .parse()
+                .map_err(|_| format!("unknown scale {other:?} (use mini|demo|paper|<float>)"))?;
+            if !(s > 0.0 && s <= 4.0) {
+                return Err(format!("scale {s} out of (0, 4]"));
+            }
+            let mut cfg = WorldConfig::paper();
+            cfg.block_scale = s;
+            cfg.filler_as_scale = s.min(1.0);
+            cfg.netinfo_hits_total = 300.0e6 * s;
+            cfg.demand_only_blocks24 = (2_000_000.0 * s) as u64;
+            Ok(cfg)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert!(config_for_scale("mini").is_ok());
+        assert!(config_for_scale("demo").is_ok());
+        assert!(config_for_scale("paper").is_ok());
+        let c = config_for_scale("0.1").unwrap();
+        assert!((c.block_scale - 0.1).abs() < 1e-12);
+        assert!((c.netinfo_hits_total - 30.0e6).abs() < 1.0);
+        assert!(config_for_scale("nope").is_err());
+        assert!(config_for_scale("9.5").is_err());
+        assert!(config_for_scale("-1").is_err());
+    }
+
+    #[test]
+    fn bundle_builds_at_mini_scale() {
+        let b = build_bundle(WorldConfig::mini());
+        assert!(b.study.classification.len() > 100);
+        assert!(!b.beacons.is_empty());
+        assert!(!b.demand.is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! # cdnsim — the CDN measurement platform
+//!
+//! The study's observational substrate: this crate samples the two
+//! datasets of the paper's Table 2 from a [`worldgen::World`]'s latent
+//! ground truth.
+//!
+//! * **BEACON** — one month of Real-User-Monitoring beacon hits, per /24
+//!   and /48 block, with Network Information API labels. Availability
+//!   follows the Fig. 1 adoption curve (13.2% of hits in December 2016,
+//!   dominated by Google browsers); labels carry the tethering and
+//!   interface-switch noise of §3.1.
+//! * **DEMAND** — one smoothed week of platform-wide request demand,
+//!   normalized to 100,000 unit-less Demand Units (1,000 DU = 1%).
+//!
+//! Two generation modes exist and are tested to converge: aggregate mode
+//! ([`generate_beacons`]/[`generate_demand`]) draws per-block sufficient
+//! statistics in closed form for paper-scale worlds; event mode
+//! ([`simulate_events`]) walks the full causal chain — client device,
+//! browser, tether state, page load, beacon — one event at a time.
+
+mod aggregate;
+mod connection;
+mod datasets;
+mod events;
+mod netinfo;
+pub(crate) mod stream;
+
+pub use aggregate::{generate_beacons, generate_datasets, generate_demand, CdnConfig};
+pub use connection::{Browser, ConnectionType, BROWSERS};
+pub use datasets::{BeaconDataset, BeaconRecord, DemandDataset, DemandRecord, TOTAL_DU};
+pub use events::{aggregate_events, simulate_events, BeaconEvent, EventSimConfig};
+pub use netinfo::{browser_mix, netinfo_share, netinfo_timeline, MonthShare, DEC_2016, JUN_2017};

@@ -1,0 +1,36 @@
+//! Per-block RNG stream keys.
+
+use netaddr::BlockId;
+
+/// A stable 64-bit stream id for a block: IPv4 /24 indices occupy the low
+/// 24 bits; IPv6 /48 indices (48 bits) are tagged into a disjoint range.
+/// Sampling keyed by this value depends only on *which* block is drawn,
+/// never on where it sits in a record vector.
+pub(crate) fn block_stream(block: BlockId) -> u64 {
+    match block {
+        BlockId::V4(b) => b.index() as u64,
+        BlockId::V6(b) => (1u64 << 56) | b.index(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netaddr::{Block24, Block48};
+
+    #[test]
+    fn families_never_collide() {
+        let v4 = block_stream(BlockId::V4(Block24::from_index(0x00FF_FFFF)));
+        let v6 = block_stream(BlockId::V6(Block48::from_index(0x00FF_FFFF)));
+        assert_ne!(v4, v6);
+        // Distinct blocks → distinct streams within each family.
+        assert_ne!(
+            block_stream(BlockId::V4(Block24::from_index(1))),
+            block_stream(BlockId::V4(Block24::from_index(2)))
+        );
+        assert_ne!(
+            block_stream(BlockId::V6(Block48::from_index(1))),
+            block_stream(BlockId::V6(Block48::from_index(2)))
+        );
+    }
+}

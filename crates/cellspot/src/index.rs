@@ -1,0 +1,220 @@
+//! The joined per-block view: BEACON hit counts merged with DEMAND units.
+//!
+//! Every analysis in the paper operates on this join — ratios come from
+//! beacons, weights come from demand, and blocks may appear in either
+//! dataset alone (Table 2's BEACON ⊂ DEMAND asymmetry for IPv4, and the
+//! reverse for ephemeral IPv6 space).
+
+use netaddr::{Asn, BlockId};
+use serde::{Deserialize, Serialize};
+
+use cdnsim::{BeaconDataset, DemandDataset};
+
+/// One block's joined observation.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BlockObs {
+    /// The block.
+    pub block: BlockId,
+    /// Origin AS.
+    pub asn: Asn,
+    /// NetInfo-enabled beacon hits (0 when the block never beaconed or no
+    /// hit carried NetInfo data).
+    pub netinfo_hits: u64,
+    /// NetInfo hits labeled `cellular`.
+    pub cellular_hits: u64,
+    /// All beacon hits.
+    pub beacon_hits: u64,
+    /// Normalized Demand Units (0 when absent from DEMAND).
+    pub du: f64,
+}
+
+impl BlockObs {
+    /// Cellular ratio, `None` when no NetInfo hits exist (§4.1).
+    pub fn cellular_ratio(&self) -> Option<f64> {
+        if self.netinfo_hits == 0 {
+            None
+        } else {
+            Some(self.cellular_hits as f64 / self.netinfo_hits as f64)
+        }
+    }
+}
+
+/// The joined dataset, sorted by block id.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct BlockIndex {
+    blocks: Vec<BlockObs>,
+}
+
+impl BlockIndex {
+    /// Join BEACON and DEMAND on block id (full outer join).
+    pub fn build(beacons: &BeaconDataset, demand: &DemandDataset) -> Self {
+        let mut blocks = Vec::with_capacity(beacons.len().max(demand.len()));
+        let mut b_iter = beacons.iter().peekable();
+        let mut d_iter = demand.iter().peekable();
+        loop {
+            match (b_iter.peek(), d_iter.peek()) {
+                (Some(b), Some(d)) => {
+                    if b.block < d.block {
+                        let b = b_iter.next().expect("peeked");
+                        blocks.push(BlockObs {
+                            block: b.block,
+                            asn: b.asn,
+                            netinfo_hits: b.netinfo_hits,
+                            cellular_hits: b.cellular_hits,
+                            beacon_hits: b.hits_total,
+                            du: 0.0,
+                        });
+                    } else if d.block < b.block {
+                        let d = d_iter.next().expect("peeked");
+                        blocks.push(BlockObs {
+                            block: d.block,
+                            asn: d.asn,
+                            netinfo_hits: 0,
+                            cellular_hits: 0,
+                            beacon_hits: 0,
+                            du: d.du,
+                        });
+                    } else {
+                        let b = b_iter.next().expect("peeked");
+                        let d = d_iter.next().expect("peeked");
+                        blocks.push(BlockObs {
+                            block: b.block,
+                            asn: b.asn,
+                            netinfo_hits: b.netinfo_hits,
+                            cellular_hits: b.cellular_hits,
+                            beacon_hits: b.hits_total,
+                            du: d.du,
+                        });
+                    }
+                }
+                (Some(_), None) => {
+                    let b = b_iter.next().expect("peeked");
+                    blocks.push(BlockObs {
+                        block: b.block,
+                        asn: b.asn,
+                        netinfo_hits: b.netinfo_hits,
+                        cellular_hits: b.cellular_hits,
+                        beacon_hits: b.hits_total,
+                        du: 0.0,
+                    });
+                }
+                (None, Some(_)) => {
+                    let d = d_iter.next().expect("peeked");
+                    blocks.push(BlockObs {
+                        block: d.block,
+                        asn: d.asn,
+                        netinfo_hits: 0,
+                        cellular_hits: 0,
+                        beacon_hits: 0,
+                        du: d.du,
+                    });
+                }
+                (None, None) => break,
+            }
+        }
+        BlockIndex { blocks }
+    }
+
+    /// Number of joined blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when the join is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// All observations, ordered by block id.
+    pub fn iter(&self) -> impl Iterator<Item = &BlockObs> {
+        self.blocks.iter()
+    }
+
+    /// Binary-search lookup.
+    pub fn get(&self, block: BlockId) -> Option<&BlockObs> {
+        self.blocks
+            .binary_search_by_key(&block, |b| b.block)
+            .ok()
+            .map(|i| &self.blocks[i])
+    }
+
+    /// (IPv4, IPv6) block counts in the join.
+    pub fn block_counts(&self) -> (usize, usize) {
+        let v4 = self.blocks.iter().filter(|b| b.block.is_v4()).count();
+        (v4, self.blocks.len() - v4)
+    }
+
+    /// Total demand in the join (≈ 100,000 DU for a full platform join).
+    pub fn total_du(&self) -> f64 {
+        self.blocks.iter().map(|b| b.du).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdnsim::{BeaconRecord, DemandRecord};
+    use netaddr::Block24;
+
+    fn b(i: u32) -> BlockId {
+        BlockId::V4(Block24::from_index(i))
+    }
+
+    fn beacon(i: u32, netinfo: u64, cell: u64) -> BeaconRecord {
+        BeaconRecord {
+            block: b(i),
+            asn: Asn(1),
+            hits_total: netinfo * 8,
+            netinfo_hits: netinfo,
+            cellular_hits: cell,
+            wifi_hits: netinfo - cell,
+            other_hits: 0,
+        }
+    }
+
+    fn demand(i: u32, du: f64) -> DemandRecord {
+        DemandRecord {
+            block: b(i),
+            asn: Asn(1),
+            du,
+        }
+    }
+
+    #[test]
+    fn full_outer_join() {
+        let beacons =
+            BeaconDataset::from_records("t", vec![beacon(1, 10, 9), beacon(3, 4, 0)]);
+        let dem = DemandDataset::from_raw("t", vec![demand(1, 3.0), demand(2, 1.0)]);
+        let idx = BlockIndex::build(&beacons, &dem);
+        assert_eq!(idx.len(), 3);
+        // Block 1: joined.
+        let o1 = idx.get(b(1)).unwrap();
+        assert_eq!(o1.netinfo_hits, 10);
+        assert!((o1.du - 75_000.0).abs() < 1e-6);
+        assert!((o1.cellular_ratio().unwrap() - 0.9).abs() < 1e-12);
+        // Block 2: demand only.
+        let o2 = idx.get(b(2)).unwrap();
+        assert_eq!(o2.netinfo_hits, 0);
+        assert_eq!(o2.cellular_ratio(), None);
+        assert!(o2.du > 0.0);
+        // Block 3: beacon only.
+        let o3 = idx.get(b(3)).unwrap();
+        assert_eq!(o3.du, 0.0);
+        assert_eq!(o3.cellular_ratio(), Some(0.0));
+        assert!(idx.get(b(9)).is_none());
+    }
+
+    #[test]
+    fn join_is_sorted_and_counts() {
+        let beacons = BeaconDataset::from_records(
+            "t",
+            vec![beacon(5, 1, 1), beacon(1, 1, 0), beacon(3, 1, 1)],
+        );
+        let dem = DemandDataset::from_raw("t", vec![demand(2, 1.0), demand(4, 1.0)]);
+        let idx = BlockIndex::build(&beacons, &dem);
+        let ids: Vec<_> = idx.iter().map(|o| o.block).collect();
+        assert_eq!(ids, vec![b(1), b(2), b(3), b(4), b(5)]);
+        assert_eq!(idx.block_counts(), (5, 0));
+        assert!((idx.total_du() - 100_000.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,277 @@
+//! End-to-end study orchestration: the one-call entry point that runs the
+//! paper's full methodology over a pair of datasets.
+
+use asdb::{AsDatabase, CarrierGroundTruth};
+use serde::{Deserialize, Serialize};
+
+use cdnsim::{BeaconDataset, DemandDataset};
+use dnssim::DnsSim;
+
+use crate::asid::{aggregate_by_as, identify_cellular_ases, AsAggregate, AsFilterOutcome, FilterConfig};
+use crate::classify::{Classification, RatioDistributions, DEFAULT_THRESHOLD};
+use crate::demand::AsDemandRanking;
+use crate::dns::DnsAnalysis;
+use crate::index::BlockIndex;
+use crate::metrics::{validate_carrier, CarrierValidation};
+use crate::mixed::{MixedAnalysis, DEDICATED_CFD};
+use crate::sweep::{threshold_sweep, SweepCurve};
+use crate::world_view::WorldView;
+
+/// Knobs for a full study run (defaults are the paper's choices).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StudyConfig {
+    /// Cellular-ratio threshold (paper: 0.5).
+    pub threshold: f64,
+    /// AS-filter rule 1 threshold, DU (paper: 0.1).
+    pub min_cell_du: f64,
+    /// AS-filter rule 2 threshold, NetInfo beacon responses (paper: 300;
+    /// scale along with the world's hit budget for scaled worlds).
+    pub min_netinfo_hits: f64,
+    /// Dedication threshold on CFD (paper: 0.9).
+    pub dedicated_cfd: f64,
+    /// Points per threshold-sweep curve (Fig. 3).
+    pub sweep_steps: usize,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            threshold: DEFAULT_THRESHOLD,
+            min_cell_du: 0.1,
+            min_netinfo_hits: 300.0,
+            dedicated_cfd: DEDICATED_CFD,
+            sweep_steps: 50,
+        }
+    }
+}
+
+impl StudyConfig {
+    /// Paper defaults with rule 2's hit threshold rescaled for a world
+    /// generated at a reduced beacon-hit budget.
+    pub fn with_min_hits(mut self, min_netinfo_hits: f64) -> Self {
+        self.min_netinfo_hits = min_netinfo_hits;
+        self
+    }
+}
+
+/// Everything the study produces. Field by field this maps onto the
+/// paper's tables and figures; the `report` crate renders them.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Study {
+    /// Configuration used.
+    pub config: StudyConfig,
+    /// The joined BEACON ⨝ DEMAND view.
+    pub index: BlockIndex,
+    /// Subnet classification at the operating threshold (§4).
+    pub classification: Classification,
+    /// Fig. 2's ratio distributions.
+    pub ratio_distributions: RatioDistributions,
+    /// Carrier validations at the operating threshold (Table 3).
+    pub validations: Vec<CarrierValidation>,
+    /// Fig. 3's sensitivity curves.
+    pub sweeps: Vec<SweepCurve>,
+    /// Per-AS aggregates.
+    #[serde(with = "serde_asn_map")]
+    pub as_aggregates: std::collections::HashMap<netaddr::Asn, AsAggregate>,
+    /// §5's filter pipeline outcome (Table 5).
+    pub filter: AsFilterOutcome,
+    /// §6.1's mixed/dedicated analysis (Fig. 5).
+    pub mixed: MixedAnalysis,
+    /// §6.2's operator demand ranking (Fig. 7 / Table 7).
+    pub ranking: AsDemandRanking,
+    /// §6.3's DNS analysis, when resolver data was supplied.
+    pub dns: Option<DnsAnalysis>,
+    /// §7's geographic rollups (Tables 4/8, Figs. 11/12).
+    pub view: WorldView,
+}
+
+/// JSON maps require string keys, so the per-AS aggregate map serializes
+/// as a sorted vector of `(asn, aggregate)` pairs.
+mod serde_asn_map {
+    use std::collections::HashMap;
+
+    use netaddr::Asn;
+    use serde::de::Deserializer;
+    use serde::ser::Serializer;
+    use serde::{Deserialize, Serialize};
+
+    use crate::asid::AsAggregate;
+
+    pub fn serialize<S: Serializer>(
+        map: &HashMap<Asn, AsAggregate>,
+        s: S,
+    ) -> Result<S::Ok, S::Error> {
+        let mut pairs: Vec<(&Asn, &AsAggregate)> = map.iter().collect();
+        pairs.sort_by_key(|(asn, _)| **asn);
+        pairs.serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        d: D,
+    ) -> Result<HashMap<Asn, AsAggregate>, D::Error> {
+        let pairs: Vec<(Asn, AsAggregate)> = Vec::deserialize(d)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+/// Run the full pipeline.
+pub fn run_study(
+    beacons: &BeaconDataset,
+    demand: &DemandDataset,
+    as_db: &AsDatabase,
+    carriers: &[CarrierGroundTruth],
+    dns: Option<&DnsSim>,
+    config: StudyConfig,
+) -> Study {
+    let index = BlockIndex::build(beacons, demand);
+    let classification = Classification::new(&index, config.threshold);
+    let ratio_distributions = RatioDistributions::build(&index);
+
+    let validations = carriers
+        .iter()
+        .map(|gt| validate_carrier(gt, &classification, &index))
+        .collect();
+    let sweeps = carriers
+        .iter()
+        .map(|gt| threshold_sweep(gt, &index, config.sweep_steps))
+        .collect();
+
+    let as_aggregates = aggregate_by_as(&index, &classification);
+    let filter = identify_cellular_ases(
+        &as_aggregates,
+        as_db,
+        &FilterConfig {
+            min_cell_du: config.min_cell_du,
+            min_netinfo_hits: config.min_netinfo_hits,
+        },
+    );
+    let mixed = MixedAnalysis::build(&filter.cellular_ases, &as_aggregates, config.dedicated_cfd);
+    let ranking = AsDemandRanking::build(&mixed, as_db);
+    let dns_analysis = dns.map(|d| DnsAnalysis::build(d, &index, &classification));
+    let view = WorldView::build(&index, &classification, as_db);
+
+    Study {
+        config,
+        index,
+        classification,
+        ratio_distributions,
+        validations,
+        sweeps,
+        as_aggregates,
+        filter,
+        mixed,
+        ranking,
+        dns: dns_analysis,
+        view,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdnsim::generate_datasets;
+    use worldgen::{World, WorldConfig};
+
+    /// One shared mini-world study for the smoke assertions below.
+    fn mini_study() -> (World, Study) {
+        let wcfg = WorldConfig::mini();
+        let min_hits = wcfg.scaled_min_beacon_hits();
+        let world = World::generate(wcfg);
+        let (beacons, demand) = generate_datasets(&world);
+        let dns = dnssim::generate_dns(&world);
+        let study = run_study(
+            &beacons,
+            &demand,
+            &world.as_db,
+            &world.carriers,
+            Some(&dns),
+            StudyConfig::default().with_min_hits(min_hits),
+        );
+        (world, study)
+    }
+
+    #[test]
+    fn pipeline_end_to_end_smoke() {
+        let (world, study) = mini_study();
+        // Something was classified and the filter retained a cellular set
+        // close to ground truth (669 genuine cellular ASes).
+        assert!(study.classification.len() > 300);
+        let n = study.filter.cellular_ases.len();
+        assert!(
+            (560..=720).contains(&n),
+            "cellular ASes detected: {n} (ground truth 669)"
+        );
+        // Mixed majority.
+        let frac = study.mixed.mixed_fraction();
+        assert!((0.45..0.75).contains(&frac), "mixed fraction {frac}");
+        // Global cellular percent in the paper's ballpark.
+        let pct = study.view.global_cellular_pct();
+        assert!((10.0..25.0).contains(&pct), "global cellular {pct:.1}%");
+        // Validations exist for the three carriers.
+        assert_eq!(study.validations.len(), 3);
+        assert_eq!(study.sweeps.len(), 3);
+        // DNS analysis populated.
+        assert!(study.dns.is_some());
+        let _ = &world;
+    }
+
+    #[test]
+    fn filter_recovers_mostly_true_cellular_ases() {
+        let (world, study) = mini_study();
+        let truth: std::collections::HashSet<_> = world
+            .operators
+            .ops
+            .iter()
+            .filter(|o| {
+                o.role == worldgen::OperatorRole::Normal && o.kind.is_cellular_access()
+            })
+            .map(|o| o.asn)
+            .collect();
+        let detected: std::collections::HashSet<_> =
+            study.filter.cellular_ases.iter().copied().collect();
+        let tp = detected.intersection(&truth).count();
+        let precision = tp as f64 / detected.len() as f64;
+        let recall = tp as f64 / truth.len() as f64;
+        assert!(precision > 0.9, "AS-level precision {precision:.3}");
+        assert!(recall > 0.8, "AS-level recall {recall:.3}");
+    }
+
+    #[test]
+    fn carrier_validation_matches_paper_shape() {
+        let (_, study) = mini_study();
+        for v in &study.validations {
+            // Precision is always high (Table 3: ≥ 0.97 everywhere).
+            assert!(
+                v.by_cidr.precision() > 0.9,
+                "{}: CIDR precision {:.3}",
+                v.carrier,
+                v.by_cidr.precision()
+            );
+            // Demand-weighted recall beats CIDR recall (inactive space).
+            assert!(
+                v.by_demand.recall() >= v.by_cidr.recall(),
+                "{}: demand recall should dominate",
+                v.carrier
+            );
+        }
+        // Carrier A (mixed, much inactive space): low CIDR recall.
+        let a = &study.validations[0];
+        assert!(
+            a.by_cidr.recall() < 0.4,
+            "Carrier A CIDR recall {:.3} (paper: 0.10)",
+            a.by_cidr.recall()
+        );
+        assert!(
+            a.by_demand.recall() > 0.6,
+            "Carrier A demand recall {:.3} (paper: 0.82)",
+            a.by_demand.recall()
+        );
+        // Carrier B (dedicated, active): high recall on both.
+        let b = &study.validations[1];
+        assert!(
+            b.by_cidr.recall() > 0.8,
+            "Carrier B CIDR recall {:.3} (paper: 0.99)",
+            b.by_cidr.recall()
+        );
+    }
+}

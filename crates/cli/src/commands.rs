@@ -1,0 +1,214 @@
+//! Command implementations for the `cellspot` binary. Each command takes
+//! parsed inputs and returns its output as a string (plus files written
+//! by the caller), so tests can exercise them directly.
+
+use asdb::{AsDatabase, CarrierGroundTruth};
+use cdnsim::{BeaconDataset, DemandDataset};
+use cellspot::{
+    aggregate_by_as, identify_cellular_ases, threshold_sweep, validate_carrier, BlockIndex,
+    Classification, FilterConfig, MixedAnalysis, WorldView, DEDICATED_CFD, DEFAULT_THRESHOLD,
+};
+use netaddr::CONTINENTS;
+
+use crate::io::block_to_string;
+
+/// `classify`: label every block and emit a CSV of the cellular ones.
+///
+/// Output columns: `block,asn,cellular_ratio,netinfo_hits,du`.
+pub fn classify(
+    beacons: &BeaconDataset,
+    demand: &DemandDataset,
+    threshold: Option<f64>,
+) -> (String, usize) {
+    let t = threshold.unwrap_or(DEFAULT_THRESHOLD);
+    let index = BlockIndex::build(beacons, demand);
+    let class = Classification::new(&index, t);
+    let mut out = String::from("block,asn,cellular_ratio,netinfo_hits,du\n");
+    for (block, asn) in class.iter() {
+        let obs = index.get(block).expect("classified blocks are observed");
+        out.push_str(&format!(
+            "{},{},{:.4},{},{:.4}\n",
+            block_to_string(block),
+            asn.value(),
+            obs.cellular_ratio().unwrap_or(0.0),
+            obs.netinfo_hits,
+            obs.du
+        ));
+    }
+    let n = class.len();
+    (out, n)
+}
+
+/// `identify-as`: run the §5 pipeline and emit the cellular AS list plus
+/// a human-readable funnel report.
+pub fn identify_as(
+    beacons: &BeaconDataset,
+    demand: &DemandDataset,
+    as_db: &AsDatabase,
+    min_cell_du: f64,
+    min_hits: f64,
+) -> (String, String) {
+    let index = BlockIndex::build(beacons, demand);
+    let class = Classification::with_default_threshold(&index);
+    let aggs = aggregate_by_as(&index, &class);
+    let outcome = identify_cellular_ases(
+        &aggs,
+        as_db,
+        &FilterConfig {
+            min_cell_du,
+            min_netinfo_hits: min_hits,
+        },
+    );
+    let mixed = MixedAnalysis::build(&outcome.cellular_ases, &aggs, DEDICATED_CFD);
+
+    let mut csv = String::from("asn,country,cell_du,total_du,cfd,kind\n");
+    for v in &mixed.verdicts {
+        let country = as_db
+            .get(v.asn)
+            .map(|r| r.country.as_str().to_string())
+            .unwrap_or_else(|| "??".into());
+        csv.push_str(&format!(
+            "{},{},{:.4},{:.4},{:.4},{}\n",
+            v.asn.value(),
+            country,
+            v.cell_du,
+            v.cell_du / v.cfd.max(1e-12),
+            v.cfd,
+            if v.is_mixed { "mixed" } else { "dedicated" }
+        ));
+    }
+
+    let (c, r1, r2, r3) = outcome.table5_counts();
+    let (n_mixed, n_dedicated) = mixed.counts();
+    let report = format!(
+        "candidates {c} -> after demand rule {r1} -> after hits rule {r2} -> final {r3}\n\
+         mixed {n_mixed} / dedicated {n_dedicated} ({:.1}% mixed)\n",
+        100.0 * mixed.mixed_fraction()
+    );
+    (csv, report)
+}
+
+/// `validate`: score against ground truth at the default threshold and
+/// report the F1 sweep.
+pub fn validate(
+    beacons: &BeaconDataset,
+    demand: &DemandDataset,
+    gt: &CarrierGroundTruth,
+    sweep_steps: usize,
+) -> String {
+    let index = BlockIndex::build(beacons, demand);
+    let class = Classification::with_default_threshold(&index);
+    let v = validate_carrier(gt, &class, &index);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} at threshold {:.2}:\n",
+        gt.name, DEFAULT_THRESHOLD
+    ));
+    for (basis, c) in [("cidr", &v.by_cidr), ("demand", &v.by_demand)] {
+        out.push_str(&format!(
+            "  {basis:<7} tp {:.1} fp {:.1} tn {:.1} fn {:.1}  precision {:.3} recall {:.3} f1 {:.3}\n",
+            c.tp, c.fp, c.tn, c.fn_, c.precision(), c.recall(), c.f1()
+        ));
+    }
+    if sweep_steps > 0 {
+        let curve = threshold_sweep(gt, &index, sweep_steps);
+        out.push_str("threshold,f1_cidr,f1_demand\n");
+        for p in &curve.points {
+            out.push_str(&format!(
+                "{:.3},{:.4},{:.4}\n",
+                p.threshold, p.f1_cidr, p.f1_demand
+            ));
+        }
+        if let Some((lo, hi)) = curve.stable_range(0.05) {
+            out.push_str(&format!("stable range: [{lo:.2}, {hi:.2}]\n"));
+        }
+    }
+    out
+}
+
+/// `stats`: the geographic rollup (Tables 4 and 8 in one report).
+pub fn stats(
+    beacons: &BeaconDataset,
+    demand: &DemandDataset,
+    as_db: &AsDatabase,
+) -> String {
+    let index = BlockIndex::build(beacons, demand);
+    let class = Classification::with_default_threshold(&index);
+    let view = WorldView::build(&index, &class, as_db);
+    let mut out = String::new();
+    out.push_str("continent,cell24,cell48,pct_active_v4,pct_active_v6,cell_fraction_pct,global_cell_share_pct\n");
+    for c in CONTINENTS {
+        let s = &view.subnets[c.index()];
+        let d = &view.demand[c.index()];
+        out.push_str(&format!(
+            "{},{},{},{:.2},{:.2},{:.2},{:.2}\n",
+            c.code(),
+            s.cell24,
+            s.cell48,
+            s.pct_active_v4(),
+            s.pct_active_v6(),
+            d.cellular_fraction_pct(),
+            view.continent_cell_share_pct(c)
+        ));
+    }
+    out.push_str(&format!(
+        "global cellular: {:.2}% of demand\n",
+        view.global_cellular_pct()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdnsim::generate_datasets;
+    use worldgen::{World, WorldConfig};
+
+    fn setup() -> (World, BeaconDataset, DemandDataset) {
+        let world = World::generate(WorldConfig::mini());
+        let (b, d) = generate_datasets(&world);
+        (world, b, d)
+    }
+
+    #[test]
+    fn classify_emits_csv_rows() {
+        let (_, b, d) = setup();
+        let (csv, n) = classify(&b, &d, None);
+        assert!(n > 100);
+        assert_eq!(csv.lines().count(), n + 1);
+        assert!(csv.starts_with("block,asn,"));
+        // Higher threshold → fewer rows.
+        let (_, n95) = classify(&b, &d, Some(0.95));
+        assert!(n95 < n);
+    }
+
+    #[test]
+    fn identify_as_reports_funnel() {
+        let (world, b, d) = setup();
+        let min_hits = world.config.scaled_min_beacon_hits();
+        let (csv, report) = identify_as(&b, &d, &world.as_db, 0.1, min_hits);
+        assert!(csv.lines().count() > 500, "most of the 669 ASes detected");
+        assert!(report.contains("candidates"));
+        assert!(report.contains("% mixed"));
+    }
+
+    #[test]
+    fn validate_scores_carrier() {
+        let (world, b, d) = setup();
+        let out = validate(&b, &d, &world.carriers[1], 10);
+        assert!(out.contains("Carrier B"));
+        assert!(out.contains("precision"));
+        assert!(out.contains("stable range"));
+    }
+
+    #[test]
+    fn stats_rolls_up_continents() {
+        let (world, b, d) = setup();
+        let out = stats(&b, &d, &world.as_db);
+        assert!(out.contains("global cellular:"));
+        for code in ["AF", "AS", "EU", "NA", "OC", "SA"] {
+            assert!(out.contains(&format!("\n{code},")) || out.starts_with(&format!("{code},")),
+                "missing {code} row");
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! CSV dataset formats for the `cellspot` tool.
+//!
+//! Three tabular formats cover everything a network service needs to run
+//! the methodology on its own logs:
+//!
+//! * **beacons.csv** — `block,asn,hits_total,netinfo_hits,cellular_hits,
+//!   wifi_hits,other_hits`, one row per /24 or /48 block. `block` is a
+//!   CIDR (`203.0.113.0/24` or `2001:db8::/48`).
+//! * **demand.csv** — `block,asn,du`. DU values are renormalized to
+//!   100,000 on load, so any consistent demand unit works.
+//! * **groundtruth.csv** — `prefix,label` with label `cellular` or
+//!   `fixed`, arbitrary prefix lengths.
+//!
+//! Parsing is strict with precise line-numbered errors: a measurement
+//! tool that silently skips malformed rows produces silently wrong
+//! studies.
+
+use std::fmt;
+use std::str::FromStr;
+
+use asdb::{AccessType, CarrierGroundTruth, GroundTruthEntry};
+use cdnsim::{BeaconDataset, BeaconRecord, DemandDataset, DemandRecord};
+use netaddr::{Asn, Block24, Block48, BlockId, Ipv4Net, Ipv6Net};
+
+/// A parse failure with file context.
+#[derive(Debug)]
+pub struct CsvError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+fn err(line: usize, message: impl Into<String>) -> CsvError {
+    CsvError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parse a CIDR into the measurement block it denotes. /24-or-longer
+/// IPv4 prefixes map to their containing /24; IPv6 to the containing
+/// /48. *Shorter* prefixes are rejected — a row must denote one block.
+pub fn parse_block(s: &str) -> Result<BlockId, String> {
+    if s.contains(':') {
+        let net = Ipv6Net::from_str(s).map_err(|e| e.to_string())?;
+        if net.len() < 48 {
+            return Err(format!("{s}: prefixes shorter than /48 are not blocks"));
+        }
+        Ok(BlockId::V6(Block48::of_net(&net)))
+    } else {
+        let net = Ipv4Net::from_str(s).map_err(|e| e.to_string())?;
+        if net.len() < 24 {
+            return Err(format!("{s}: prefixes shorter than /24 are not blocks"));
+        }
+        Ok(BlockId::V4(Block24::of_net(&net)))
+    }
+}
+
+/// Render a block as the CIDR the CSVs use.
+pub fn block_to_string(block: BlockId) -> String {
+    match block {
+        BlockId::V4(b) => b.network().to_string(),
+        BlockId::V6(b) => b.network().to_string(),
+    }
+}
+
+/// Header expected at the top of beacons.csv.
+pub const BEACON_HEADER: &str =
+    "block,asn,hits_total,netinfo_hits,cellular_hits,wifi_hits,other_hits";
+/// Header expected at the top of demand.csv.
+pub const DEMAND_HEADER: &str = "block,asn,du";
+/// Header expected at the top of groundtruth.csv.
+pub const GROUNDTRUTH_HEADER: &str = "prefix,label";
+
+/// Parse beacons.csv content.
+pub fn parse_beacons(content: &str) -> Result<BeaconDataset, CsvError> {
+    let mut records = Vec::new();
+    for (i, line) in content.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if i == 0 && line.eq_ignore_ascii_case(BEACON_HEADER) {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != 7 {
+            return Err(err(
+                lineno,
+                format!("expected 7 fields ({BEACON_HEADER}), got {}", fields.len()),
+            ));
+        }
+        let block = parse_block(fields[0]).map_err(|e| err(lineno, e))?;
+        let asn: Asn = fields[1]
+            .parse()
+            .map_err(|_| err(lineno, format!("bad asn {:?}", fields[1])))?;
+        let nums: Vec<u64> = fields[2..7]
+            .iter()
+            .map(|f| {
+                f.parse::<u64>()
+                    .map_err(|_| err(lineno, format!("bad count {f:?}")))
+            })
+            .collect::<Result<_, _>>()?;
+        let (hits_total, netinfo, cellular, wifi, other) =
+            (nums[0], nums[1], nums[2], nums[3], nums[4]);
+        if netinfo > hits_total {
+            return Err(err(lineno, "netinfo_hits exceeds hits_total"));
+        }
+        if cellular + wifi + other != netinfo {
+            return Err(err(
+                lineno,
+                "cellular+wifi+other hits must equal netinfo_hits",
+            ));
+        }
+        records.push(BeaconRecord {
+            block,
+            asn,
+            hits_total,
+            netinfo_hits: netinfo,
+            cellular_hits: cellular,
+            wifi_hits: wifi,
+            other_hits: other,
+        });
+    }
+    Ok(BeaconDataset::from_records("csv", records))
+}
+
+/// Parse demand.csv content (renormalizes to 100,000 DU).
+pub fn parse_demand(content: &str) -> Result<DemandDataset, CsvError> {
+    let mut records = Vec::new();
+    for (i, line) in content.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if i == 0 && line.eq_ignore_ascii_case(DEMAND_HEADER) {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != 3 {
+            return Err(err(
+                lineno,
+                format!("expected 3 fields ({DEMAND_HEADER}), got {}", fields.len()),
+            ));
+        }
+        let block = parse_block(fields[0]).map_err(|e| err(lineno, e))?;
+        let asn: Asn = fields[1]
+            .parse()
+            .map_err(|_| err(lineno, format!("bad asn {:?}", fields[1])))?;
+        let du: f64 = fields[2]
+            .parse()
+            .map_err(|_| err(lineno, format!("bad du {:?}", fields[2])))?;
+        if !du.is_finite() || du < 0.0 {
+            return Err(err(lineno, format!("du must be finite and ≥ 0, got {du}")));
+        }
+        records.push(DemandRecord { block, asn, du });
+    }
+    Ok(DemandDataset::from_raw("csv", records))
+}
+
+/// Parse groundtruth.csv content into a carrier ground-truth list.
+pub fn parse_ground_truth(name: &str, content: &str) -> Result<CarrierGroundTruth, CsvError> {
+    let mut entries = Vec::new();
+    for (i, line) in content.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if i == 0 && line.eq_ignore_ascii_case(GROUNDTRUTH_HEADER) {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != 2 {
+            return Err(err(
+                lineno,
+                format!("expected 2 fields ({GROUNDTRUTH_HEADER}), got {}", fields.len()),
+            ));
+        }
+        let label = match fields[1].to_ascii_lowercase().as_str() {
+            "cellular" | "cell" => AccessType::Cellular,
+            "fixed" | "fixed-line" | "wired" => AccessType::Fixed,
+            other => return Err(err(lineno, format!("unknown label {other:?}"))),
+        };
+        if fields[0].contains(':') {
+            let net: Ipv6Net = fields[0]
+                .parse()
+                .map_err(|e: netaddr::NetAddrError| err(lineno, e.to_string()))?;
+            entries.push(GroundTruthEntry::V6(net, label));
+        } else {
+            let net: Ipv4Net = fields[0]
+                .parse()
+                .map_err(|e: netaddr::NetAddrError| err(lineno, e.to_string()))?;
+            entries.push(GroundTruthEntry::V4(net, label));
+        }
+    }
+    if entries.is_empty() {
+        return Err(err(0, "ground truth contains no entries"));
+    }
+    Ok(CarrierGroundTruth::new(name, Vec::new(), entries))
+}
+
+/// Serialize a BEACON dataset to CSV.
+pub fn beacons_to_csv(ds: &BeaconDataset) -> String {
+    let mut out = String::from(BEACON_HEADER);
+    out.push('\n');
+    for r in ds.iter() {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{}\n",
+            block_to_string(r.block),
+            r.asn.value(),
+            r.hits_total,
+            r.netinfo_hits,
+            r.cellular_hits,
+            r.wifi_hits,
+            r.other_hits
+        ));
+    }
+    out
+}
+
+/// Serialize a DEMAND dataset to CSV.
+pub fn demand_to_csv(ds: &DemandDataset) -> String {
+    let mut out = String::from(DEMAND_HEADER);
+    out.push('\n');
+    for r in ds.iter() {
+        out.push_str(&format!(
+            "{},{},{}\n",
+            block_to_string(r.block),
+            r.asn.value(),
+            r.du
+        ));
+    }
+    out
+}
+
+/// Serialize an AS database to CSV (`asn,country,continent,class,name`).
+pub fn asdb_to_csv(db: &asdb::AsDatabase) -> String {
+    let mut out = String::from("asn,country,continent,class,name\n");
+    for r in db.iter() {
+        out.push_str(&format!(
+            "{},{},{},{},{}\n",
+            r.asn.value(),
+            r.country,
+            r.continent.code(),
+            r.class,
+            r.name.replace(',', ";")
+        ));
+    }
+    out
+}
+
+/// Parse asdb.csv content.
+pub fn parse_asdb(content: &str) -> Result<asdb::AsDatabase, CsvError> {
+    use asdb::{AsClass, AsKind, AsRecord};
+    use netaddr::{Continent, CountryCode};
+    let mut records = Vec::new();
+    for (i, line) in content.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if i == 0 && line.to_ascii_lowercase().starts_with("asn,") {
+            continue;
+        }
+        let fields: Vec<&str> = line.splitn(5, ',').map(str::trim).collect();
+        if fields.len() != 5 {
+            return Err(err(lineno, "expected asn,country,continent,class,name"));
+        }
+        let asn: Asn = fields[0]
+            .parse()
+            .map_err(|_| err(lineno, format!("bad asn {:?}", fields[0])))?;
+        let country = CountryCode::new(fields[1])
+            .map_err(|e| err(lineno, e.to_string()))?;
+        let continent = match fields[2] {
+            "AF" => Continent::Africa,
+            "AS" => Continent::Asia,
+            "EU" => Continent::Europe,
+            "NA" => Continent::NorthAmerica,
+            "OC" => Continent::Oceania,
+            "SA" => Continent::SouthAmerica,
+            other => return Err(err(lineno, format!("unknown continent {other:?}"))),
+        };
+        let class = match fields[3] {
+            "Transit/Access" => AsClass::TransitAccess,
+            "Content" => AsClass::Content,
+            "Enterprise" => AsClass::Enterprise,
+            "Unknown" => AsClass::Unknown,
+            other => return Err(err(lineno, format!("unknown class {other:?}"))),
+        };
+        // CSV carries only public metadata; the hidden kind is not part
+        // of the format. Reconstruct a record with a kind consistent with
+        // the public class (TransitOnly surfaces as Transit/Access too,
+        // but the pipeline never reads the kind).
+        let kind = match class {
+            AsClass::TransitAccess => AsKind::FixedOnly,
+            AsClass::Content => AsKind::ContentCdn,
+            AsClass::Enterprise => AsKind::Enterprise,
+            AsClass::Unknown => AsKind::ContentCdn,
+        };
+        let mut rec = AsRecord::new(asn, fields[4], country, continent, kind);
+        rec.class = class;
+        records.push(rec);
+    }
+    Ok(asdb::AsDatabase::from_records(records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_block_forms() {
+        assert!(matches!(
+            parse_block("203.0.113.0/24"),
+            Ok(BlockId::V4(_))
+        ));
+        // Longer-than-/24 maps into its /24.
+        let b = parse_block("203.0.113.128/25").unwrap();
+        assert_eq!(block_to_string(b), "203.0.113.0/24");
+        assert!(matches!(parse_block("2001:db8::/48"), Ok(BlockId::V6(_))));
+        assert!(parse_block("10.0.0.0/8").is_err(), "short v4 rejected");
+        assert!(parse_block("2001:db8::/32").is_err(), "short v6 rejected");
+        assert!(parse_block("garbage").is_err());
+    }
+
+    #[test]
+    fn beacons_round_trip() {
+        let csv = format!(
+            "{BEACON_HEADER}\n203.0.113.0/24,64500,100,20,15,5,0\n2001:db8:1:0:0:0:0:0/48,64501,50,10,9,1,0\n"
+        );
+        let ds = parse_beacons(&csv).expect("valid csv");
+        assert_eq!(ds.len(), 2);
+        let back = beacons_to_csv(&ds);
+        let ds2 = parse_beacons(&back).expect("round trip parses");
+        assert_eq!(ds2.len(), 2);
+        assert_eq!(ds2.netinfo_hits_total(), 30);
+    }
+
+    #[test]
+    fn beacons_reject_inconsistent_counts() {
+        let bad1 = format!("{BEACON_HEADER}\n203.0.113.0/24,1,10,20,15,5,0\n");
+        let e = parse_beacons(&bad1).unwrap_err();
+        assert!(e.to_string().contains("exceeds hits_total"), "{e}");
+        let bad2 = format!("{BEACON_HEADER}\n203.0.113.0/24,1,100,20,15,1,0\n");
+        let e = parse_beacons(&bad2).unwrap_err();
+        assert!(e.to_string().contains("must equal netinfo_hits"), "{e}");
+        let bad3 = format!("{BEACON_HEADER}\n203.0.113.0/24,1,100\n");
+        assert!(parse_beacons(&bad3).is_err());
+        // Error carries the right line number.
+        let bad4 = format!("{BEACON_HEADER}\n203.0.113.0/24,1,10,5,5,0,0\nnot-a-block,1,1,1,1,0,0\n");
+        let e = parse_beacons(&bad4).unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn demand_parses_and_normalizes() {
+        let csv = format!("{DEMAND_HEADER}\n203.0.113.0/24,1,30\n198.51.100.0/24,2,10\n");
+        let ds = parse_demand(&csv).expect("valid");
+        assert!((ds.total_du() - 100_000.0).abs() < 1e-6);
+        assert!(parse_demand("block,asn,du\nx,y,z\n").is_err());
+        let neg = format!("{DEMAND_HEADER}\n203.0.113.0/24,1,-3\n");
+        assert!(parse_demand(&neg).is_err());
+    }
+
+    #[test]
+    fn ground_truth_parses_labels() {
+        let csv = "prefix,label\n10.0.0.0/20,cellular\n10.1.0.0/20,fixed\n";
+        let gt = parse_ground_truth("T", csv).expect("valid");
+        let (cell, fixed) = gt.count_blocks24();
+        assert_eq!((cell, fixed), (16, 16));
+        assert!(parse_ground_truth("T", "prefix,label\n10.0.0.0/20,wireless\n").is_err());
+        assert!(parse_ground_truth("T", "prefix,label\n").is_err(), "empty rejected");
+    }
+
+    #[test]
+    fn asdb_round_trip() {
+        use asdb::{AsKind, AsRecord};
+        use netaddr::{Continent, CountryCode};
+        let db = asdb::AsDatabase::from_records(vec![AsRecord::new(
+            Asn(7018),
+            "Example, Inc",
+            CountryCode::literal("US"),
+            Continent::NorthAmerica,
+            AsKind::MixedAccess,
+        )]);
+        let csv = asdb_to_csv(&db);
+        let back = parse_asdb(&csv).expect("round trip");
+        let rec = back.get(Asn(7018)).expect("present");
+        assert_eq!(rec.class, asdb::AsClass::TransitAccess);
+        assert_eq!(rec.country.as_str(), "US");
+        assert_eq!(rec.name, "Example; Inc");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let csv = format!("{DEMAND_HEADER}\n# a comment\n\n203.0.113.0/24,1,5\n");
+        assert_eq!(parse_demand(&csv).expect("valid").len(), 1);
+    }
+}

@@ -1,0 +1,19 @@
+//! # cli — the `cellspot` command-line tool
+//!
+//! Library portion of the binary: CSV dataset formats ([`io`]) and the
+//! command implementations ([`commands`]), kept out of `main.rs` so unit
+//! tests can drive everything without spawning processes.
+//!
+//! The tool exposes the paper's methodology to network services that
+//! have their own beacon/demand logs:
+//!
+//! ```text
+//! cellspot synth    --scale demo --out data/       # built-in world → CSVs
+//! cellspot classify --beacons b.csv --demand d.csv --out cellular.csv
+//! cellspot identify-as --beacons b.csv --demand d.csv --asdb a.csv
+//! cellspot validate --beacons b.csv --demand d.csv --ground-truth gt.csv
+//! cellspot stats    --beacons b.csv --demand d.csv --asdb a.csv
+//! ```
+
+pub mod commands;
+pub mod io;

@@ -1,0 +1,205 @@
+//! `cellspot` — command-line interface to the Cell Spotting methodology.
+//!
+//! Run `cellspot --help` for usage. All heavy lifting lives in the
+//! library (`cli::commands`); this file only parses arguments and does
+//! file I/O.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::exit;
+
+use cli::{commands, io};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage("missing command");
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "synth" => synth(rest),
+        "classify" => classify(rest),
+        "identify-as" => identify_as(rest),
+        "validate" => validate(rest),
+        "stats" => stats(rest),
+        "--help" | "-h" | "help" => {
+            usage("");
+        }
+        other => usage(&format!("unknown command {other:?}")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+}
+
+type CmdResult = Result<(), String>;
+
+/// Pull the value following a `--flag`, if present.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn required(args: &[String], flag: &str) -> Result<String, String> {
+    flag_value(args, flag).ok_or_else(|| format!("missing required {flag} FILE"))
+}
+
+fn read(path: &str) -> Result<String, String> {
+    fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn write(path: &PathBuf, content: &str) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
+    }
+    fs::write(path, content).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn load_datasets(
+    args: &[String],
+) -> Result<(cdnsim::BeaconDataset, cdnsim::DemandDataset), String> {
+    let beacons = io::parse_beacons(&read(&required(args, "--beacons")?)?)
+        .map_err(|e| format!("beacons: {e}"))?;
+    let demand = io::parse_demand(&read(&required(args, "--demand")?)?)
+        .map_err(|e| format!("demand: {e}"))?;
+    Ok((beacons, demand))
+}
+
+/// `synth`: generate a world and write its observable datasets as CSVs.
+fn synth(args: &[String]) -> CmdResult {
+    let scale = flag_value(args, "--scale").unwrap_or_else(|| "demo".into());
+    let out = PathBuf::from(flag_value(args, "--out").unwrap_or_else(|| "data".into()));
+    let mut config = match scale.as_str() {
+        "mini" => worldgen::WorldConfig::mini(),
+        "demo" => worldgen::WorldConfig::demo(),
+        "paper" => worldgen::WorldConfig::paper(),
+        other => return Err(format!("unknown scale {other:?} (mini|demo|paper)")),
+    };
+    if let Some(seed) = flag_value(args, "--seed") {
+        config.seed = seed.parse().map_err(|_| "bad --seed value".to_string())?;
+    }
+    let min_hits = config.scaled_min_beacon_hits();
+    eprintln!("generating {scale} world (seed {:#x}) …", config.seed);
+    let world = worldgen::World::generate(config);
+    let (beacons, demand) = cdnsim::generate_datasets(&world);
+    write(&out.join("beacons.csv"), &io::beacons_to_csv(&beacons))?;
+    write(&out.join("demand.csv"), &io::demand_to_csv(&demand))?;
+    write(&out.join("asdb.csv"), &io::asdb_to_csv(&world.as_db))?;
+    for gt in &world.carriers {
+        let mut csv = String::from(io::GROUNDTRUTH_HEADER);
+        csv.push('\n');
+        for e in &gt.entries {
+            match e {
+                asdb::GroundTruthEntry::V4(net, a) => {
+                    csv.push_str(&format!("{net},{a}\n"));
+                }
+                asdb::GroundTruthEntry::V6(net, a) => {
+                    csv.push_str(&format!("{net},{a}\n"));
+                }
+            }
+        }
+        let name = gt.name.to_lowercase().replace(' ', "_");
+        write(&out.join(format!("{name}_groundtruth.csv")), &csv)?;
+    }
+    eprintln!(
+        "wrote beacons.csv ({} blocks), demand.csv ({} blocks), asdb.csv ({} ASes), \
+         3 ground-truth files to {} (rule-2 hit threshold for this scale: {min_hits})",
+        beacons.len(),
+        demand.len(),
+        world.as_db.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+/// `classify`: beacons + demand → cellular block CSV.
+fn classify(args: &[String]) -> CmdResult {
+    let (beacons, demand) = load_datasets(args)?;
+    let threshold = match flag_value(args, "--threshold") {
+        Some(t) => Some(
+            t.parse::<f64>()
+                .ok()
+                .filter(|t| (0.0..=1.0).contains(t))
+                .ok_or("bad --threshold (expected 0..1)")?,
+        ),
+        None => None,
+    };
+    let (csv, n) = commands::classify(&beacons, &demand, threshold);
+    match flag_value(args, "--out") {
+        Some(path) => {
+            write(&PathBuf::from(&path), &csv)?;
+            eprintln!("{n} cellular blocks → {path}");
+        }
+        None => print!("{csv}"),
+    }
+    Ok(())
+}
+
+/// `identify-as`: the §5 AS pipeline.
+fn identify_as(args: &[String]) -> CmdResult {
+    let (beacons, demand) = load_datasets(args)?;
+    let as_db =
+        io::parse_asdb(&read(&required(args, "--asdb")?)?).map_err(|e| format!("asdb: {e}"))?;
+    let min_du: f64 = flag_value(args, "--min-du")
+        .map(|v| v.parse())
+        .transpose()
+        .map_err(|_| "bad --min-du")?
+        .unwrap_or(0.1);
+    let min_hits: f64 = flag_value(args, "--min-hits")
+        .map(|v| v.parse())
+        .transpose()
+        .map_err(|_| "bad --min-hits")?
+        .unwrap_or(300.0);
+    let (csv, report) = commands::identify_as(&beacons, &demand, &as_db, min_du, min_hits);
+    eprint!("{report}");
+    match flag_value(args, "--out") {
+        Some(path) => write(&PathBuf::from(path), &csv)?,
+        None => print!("{csv}"),
+    }
+    Ok(())
+}
+
+/// `validate`: score against a ground-truth CSV.
+fn validate(args: &[String]) -> CmdResult {
+    let (beacons, demand) = load_datasets(args)?;
+    let gt_path = required(args, "--ground-truth")?;
+    let gt = io::parse_ground_truth("ground truth", &read(&gt_path)?)
+        .map_err(|e| format!("ground truth: {e}"))?;
+    let sweep = if args.iter().any(|a| a == "--sweep") {
+        50
+    } else {
+        0
+    };
+    print!("{}", commands::validate(&beacons, &demand, &gt, sweep));
+    Ok(())
+}
+
+/// `stats`: the geographic rollup.
+fn stats(args: &[String]) -> CmdResult {
+    let (beacons, demand) = load_datasets(args)?;
+    let as_db =
+        io::parse_asdb(&read(&required(args, "--asdb")?)?).map_err(|e| format!("asdb: {e}"))?;
+    print!("{}", commands::stats(&beacons, &demand, &as_db));
+    Ok(())
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "cellspot — cellular subnet identification from CDN logs\n\
+         \n\
+         commands:\n\
+           synth       --scale mini|demo|paper [--seed N] [--out DIR]\n\
+           classify    --beacons F --demand F [--threshold T] [--out F]\n\
+           identify-as --beacons F --demand F --asdb F [--min-du X] [--min-hits N] [--out F]\n\
+           validate    --beacons F --demand F --ground-truth F [--sweep]\n\
+           stats       --beacons F --demand F --asdb F\n\
+         \n\
+         CSV formats: see crates/cli/src/io.rs docs."
+    );
+    exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,200 @@
+//! End-to-end tests of the `cellspot` binary: synth → classify →
+//! identify-as → validate → stats, via real process invocations, plus
+//! error-path behaviour (bad flags, malformed CSV).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_cellspot")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin())
+        .args(args)
+        .output()
+        .expect("binary spawns")
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cellspot_test_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn full_tool_workflow() {
+    let dir = tmpdir("workflow");
+    let data = dir.join("data");
+    let data_s = data.to_str().expect("utf8 path");
+
+    // synth
+    let out = run(&["synth", "--scale", "mini", "--out", data_s]);
+    assert!(out.status.success(), "synth failed: {out:?}");
+    for f in ["beacons.csv", "demand.csv", "asdb.csv", "carrier_a_groundtruth.csv"] {
+        assert!(data.join(f).exists(), "{f} missing");
+    }
+    let beacons = data.join("beacons.csv");
+    let demand = data.join("demand.csv");
+    let (b, d) = (beacons.to_str().expect("utf8"), demand.to_str().expect("utf8"));
+
+    // classify to a file
+    let cells = dir.join("cellular.csv");
+    let out = run(&[
+        "classify",
+        "--beacons",
+        b,
+        "--demand",
+        d,
+        "--out",
+        cells.to_str().expect("utf8"),
+    ]);
+    assert!(out.status.success(), "classify failed: {out:?}");
+    let content = std::fs::read_to_string(&cells).expect("output written");
+    assert!(content.starts_with("block,asn,cellular_ratio"));
+    assert!(content.lines().count() > 100);
+
+    // identify-as with the scaled hit threshold for a mini world
+    let out = run(&[
+        "identify-as",
+        "--beacons",
+        b,
+        "--demand",
+        d,
+        "--asdb",
+        data.join("asdb.csv").to_str().expect("utf8"),
+        "--min-hits",
+        "0.6",
+    ]);
+    assert!(out.status.success(), "identify-as failed: {out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("candidates"), "funnel report on stderr");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.lines().count() > 400, "AS list on stdout");
+
+    // validate against Carrier B (dedicated: near-perfect recall)
+    let out = run(&[
+        "validate",
+        "--beacons",
+        b,
+        "--demand",
+        d,
+        "--ground-truth",
+        data.join("carrier_b_groundtruth.csv").to_str().expect("utf8"),
+        "--sweep",
+    ]);
+    assert!(out.status.success(), "validate failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("precision 1.000"), "{stdout}");
+    assert!(stdout.contains("stable range"));
+
+    // stats
+    let out = run(&[
+        "stats",
+        "--beacons",
+        b,
+        "--demand",
+        d,
+        "--asdb",
+        data.join("asdb.csv").to_str().expect("utf8"),
+    ]);
+    assert!(out.status.success(), "stats failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("global cellular:"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn classification_is_deterministic_across_runs() {
+    let dir = tmpdir("determinism");
+    let data = dir.join("data");
+    let data_s = data.to_str().expect("utf8");
+    assert!(run(&["synth", "--scale", "mini", "--out", data_s]).status.success());
+    let beacons = data.join("beacons.csv");
+    let demand = data.join("demand.csv");
+    let args = [
+        "classify",
+        "--beacons",
+        beacons.to_str().expect("utf8"),
+        "--demand",
+        demand.to_str().expect("utf8"),
+    ];
+    let a = run(&args);
+    let b = run(&args);
+    assert!(a.status.success() && b.status.success());
+    assert_eq!(a.stdout, b.stdout, "same inputs, same output");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn error_paths_are_clean() {
+    // Unknown command.
+    let out = run(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // Missing required flag.
+    let out = run(&["classify", "--beacons", "/nonexistent.csv"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+
+    // Malformed CSV gets a line-numbered error, not a panic.
+    let dir = tmpdir("badcsv");
+    let bad = dir.join("bad.csv");
+    std::fs::write(&bad, "block,asn,du\nnot-a-cidr,1,5\n").expect("write");
+    let good_beacons = dir.join("beacons.csv");
+    std::fs::write(
+        &good_beacons,
+        "block,asn,hits_total,netinfo_hits,cellular_hits,wifi_hits,other_hits\n\
+         203.0.113.0/24,1,10,5,5,0,0\n",
+    )
+    .expect("write");
+    let out = run(&[
+        "classify",
+        "--beacons",
+        good_beacons.to_str().expect("utf8"),
+        "--demand",
+        bad.to_str().expect("utf8"),
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 2"), "line-numbered error: {stderr}");
+
+    // --help exits 0.
+    let out = run(&["--help"]);
+    assert!(out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn threshold_flag_is_validated() {
+    let dir = tmpdir("threshold");
+    let beacons = dir.join("b.csv");
+    let demand = dir.join("d.csv");
+    std::fs::write(
+        &beacons,
+        "block,asn,hits_total,netinfo_hits,cellular_hits,wifi_hits,other_hits\n\
+         203.0.113.0/24,1,100,50,45,5,0\n",
+    )
+    .expect("write");
+    std::fs::write(&demand, "block,asn,du\n203.0.113.0/24,1,5\n").expect("write");
+    let base = [
+        "classify",
+        "--beacons",
+        beacons.to_str().expect("utf8"),
+        "--demand",
+        demand.to_str().expect("utf8"),
+    ];
+    let mut bad = base.to_vec();
+    bad.extend(["--threshold", "1.5"]);
+    let out = run(&bad);
+    assert!(!out.status.success());
+    let mut good = base.to_vec();
+    good.extend(["--threshold", "0.8"]);
+    let out = run(&good);
+    assert!(out.status.success());
+    // Ratio 0.9 ≥ 0.8 → the single block is cellular.
+    assert!(String::from_utf8_lossy(&out.stdout).contains("203.0.113.0/24"));
+    std::fs::remove_dir_all(&dir).ok();
+}

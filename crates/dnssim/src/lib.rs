@@ -1,0 +1,22 @@
+//! # dnssim — DNS resolver substrate
+//!
+//! The paper's §6.3 analyzes which resolvers cellular clients use: how
+//! often mixed operators share resolvers between cellular and fixed-line
+//! customers (Fig. 9), how far shared resolvers sit from their cellular
+//! clients (the Brazilian example), and how much demand flows through the
+//! big public DNS services per operator (Fig. 10).
+//!
+//! The original study derives client-to-resolver affinities from the
+//! CDN's authoritative-DNS logs (the Chen et al. end-user-mapping method).
+//! We generate the equivalent association directly from ground truth: each
+//! operator runs a resolver pool — shared, cellular-only, and fixed-only —
+//! plus a per-operator share of demand that leaves for GoogleDNS, OpenDNS
+//! and Level 3. The analysis layer (`cellspot::dns`) then joins these
+//! affinities with classification results and the DEMAND dataset exactly
+//! as the paper does.
+
+mod resolver;
+
+pub use resolver::{
+    generate_dns, Affinity, DnsSim, PublicDns, Resolver, ResolverKind, PUBLIC_DNS_SERVICES,
+};

@@ -1,0 +1,33 @@
+use std::fmt;
+
+/// Errors produced while parsing or constructing addressing types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetAddrError {
+    /// The textual form could not be parsed (bad syntax, missing `/len`, …).
+    Parse(String),
+    /// The prefix length is out of range for the address family.
+    BadPrefixLen { len: u8, max: u8 },
+    /// The prefix has non-zero bits below the mask (e.g. `10.0.0.1/8`).
+    HostBitsSet(String),
+    /// A country code was not two ASCII letters.
+    BadCountryCode(String),
+}
+
+impl fmt::Display for NetAddrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetAddrError::Parse(s) => write!(f, "failed to parse network address: {s:?}"),
+            NetAddrError::BadPrefixLen { len, max } => {
+                write!(f, "prefix length {len} exceeds maximum {max}")
+            }
+            NetAddrError::HostBitsSet(s) => {
+                write!(f, "prefix {s:?} has host bits set below the mask")
+            }
+            NetAddrError::BadCountryCode(s) => {
+                write!(f, "country code {s:?} is not two ASCII letters")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetAddrError {}

@@ -1,0 +1,101 @@
+//! # netaddr — IP addressing substrate
+//!
+//! Foundation types for the Cell Spotting reproduction: IPv4/IPv6 network
+//! prefixes backed by plain integers, the fixed-size aggregation blocks the
+//! paper operates on (/24 for IPv4, /48 for IPv6), binary radix tries with
+//! longest-prefix match for joining arbitrary-length carrier CIDRs against
+//! observed addresses, autonomous-system numbers, and geographic metadata
+//! (countries, continents, ITU subscriber statistics).
+//!
+//! Everything here is deterministic, allocation-light, and independent of
+//! the operating system's socket types: addresses are `u32`/`u128` values,
+//! which keeps the measurement pipeline trivially serializable and fast to
+//! hash and sort.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use netaddr::{Ipv4Net, Block24, PrefixTrie};
+//!
+//! let net: Ipv4Net = "203.0.113.0/24".parse().unwrap();
+//! assert!(net.contains(0xCB007105)); // 203.0.113.5
+//!
+//! // The paper aggregates all measurement at /24 granularity:
+//! let block = Block24::of_addr(0xCB007105);
+//! assert_eq!(block.network(), net);
+//!
+//! // Carrier ground truth arrives as arbitrary-length CIDRs; the trie
+//! // answers "which ground-truth prefix covers this block?".
+//! let mut trie = PrefixTrie::new();
+//! trie.insert("203.0.112.0/22".parse::<Ipv4Net>().unwrap(), "carrier-a");
+//! assert_eq!(trie.lookup_v4(0xCB007105).map(|(_, v)| *v), Some("carrier-a"));
+//! ```
+
+mod asn;
+mod block;
+mod error;
+mod geo;
+mod ipv4;
+mod ipv6;
+mod prefixset;
+mod trie;
+
+pub use asn::Asn;
+pub use block::{Block24, Block48, BlockId};
+pub use error::NetAddrError;
+pub use geo::{
+    Continent, CountryCode, ituc_subscribers_millions, CONTINENTS,
+};
+pub use ipv4::Ipv4Net;
+pub use prefixset::Ipv4PrefixSet;
+pub use ipv6::Ipv6Net;
+pub use trie::{DualPrefixTrie, PrefixTrie};
+
+/// Format a raw IPv4 address (host byte order `u32`) in dotted-quad form.
+pub fn fmt_ipv4(addr: u32) -> String {
+    format!(
+        "{}.{}.{}.{}",
+        (addr >> 24) & 0xFF,
+        (addr >> 16) & 0xFF,
+        (addr >> 8) & 0xFF,
+        addr & 0xFF
+    )
+}
+
+/// Format a raw IPv6 address (`u128`) in full-length colon-hex form.
+///
+/// We deliberately emit the uncompressed form (eight 16-bit groups) —
+/// unambiguous output matters more than brevity in logs and reports.
+pub fn fmt_ipv6(addr: u128) -> String {
+    let mut groups = [0u16; 8];
+    for (i, g) in groups.iter_mut().enumerate() {
+        *g = ((addr >> (112 - 16 * i)) & 0xFFFF) as u16;
+    }
+    groups
+        .iter()
+        .map(|g| format!("{g:x}"))
+        .collect::<Vec<_>>()
+        .join(":")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ipv4_dotted_quad() {
+        assert_eq!(fmt_ipv4(0), "0.0.0.0");
+        assert_eq!(fmt_ipv4(0xFFFFFFFF), "255.255.255.255");
+        assert_eq!(fmt_ipv4(0xC0A80101), "192.168.1.1");
+    }
+
+    #[test]
+    fn fmt_ipv6_groups() {
+        assert_eq!(fmt_ipv6(0), "0:0:0:0:0:0:0:0");
+        assert_eq!(fmt_ipv6(1), "0:0:0:0:0:0:0:1");
+        assert_eq!(
+            fmt_ipv6(0x2001_0db8_0000_0000_0000_0000_0000_0001),
+            "2001:db8:0:0:0:0:0:1"
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! # report — tables, figures, and per-experiment artifacts
+//!
+//! Rendering layer for the reproduction: a plain-text [`Table`] renderer
+//! with CSV export, a [`Figure`] type with long-format CSV and an ascii
+//! plotter, and — in [`experiments`] — one builder per table and figure
+//! of the paper, each consuming a [`cellspot::Study`] and emitting an
+//! [`Artifact`] with headline notes that quote the paper's reported
+//! values next to the measured ones.
+
+mod figure;
+mod table;
+
+pub mod experiments;
+
+pub use experiments::Artifact;
+pub use figure::{Figure, Scale, Series};
+pub use table::{fmt, Align, Table};
+
+use asdb::AsDatabase;
+use cellspot::Study;
+use dnssim::DnsSim;
+
+/// Build every artifact of the paper's evaluation, in paper order.
+pub fn all_artifacts(study: &Study, as_db: &AsDatabase, dns: &DnsSim) -> Vec<Artifact> {
+    use experiments as e;
+    vec![
+        e::table1_related_work(),
+        e::table2_datasets(study),
+        e::fig1_netinfo_adoption(),
+        e::fig2_ratio_cdfs(study),
+        e::fig3_threshold_sweeps(study),
+        e::table3_validation(study),
+        e::table4_with_v6(study, as_db),
+        e::fig4_as_distributions(study),
+        e::table5_filters(study),
+        e::table6_cellular_ases(study, as_db),
+        e::fig5_mixed_cdfs(study),
+        e::fig6_showcases(study, as_db),
+        e::fig7_ranked_demand(study),
+        e::table7_top10(study),
+        e::fig8_subnet_demand(study, as_db),
+        e::fig9_resolver_sharing(study, dns),
+        e::fig10_public_dns(study, dns, as_db),
+        e::table8_continent_demand(study),
+        e::fig11_top_countries(study),
+        e::fig12_country_scatter(study),
+    ]
+}
+
+/// Build the extension artifacts: the design-choice ablations DESIGN.md
+/// calls out. (The temporal extension needs multi-month datasets, which
+/// the harness prepares; see [`experiments::ext_temporal`].)
+pub fn ablation_artifacts(study: &Study, as_db: &AsDatabase) -> Vec<Artifact> {
+    use experiments as e;
+    vec![
+        e::ext_asn_level(study),
+        e::ext_granularity(study),
+        e::ext_rule_ablation(study, as_db),
+        e::ext_confidence(study),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdnsim::generate_datasets;
+    use cellspot::{run_study, StudyConfig};
+    use worldgen::{World, WorldConfig};
+
+    #[test]
+    fn all_artifacts_render_without_panicking() {
+        let wcfg = WorldConfig::mini();
+        let min_hits = wcfg.scaled_min_beacon_hits();
+        let world = World::generate(wcfg);
+        let (beacons, demand) = generate_datasets(&world);
+        let dns = dnssim::generate_dns(&world);
+        let study = run_study(
+            &beacons,
+            &demand,
+            &world.as_db,
+            &world.carriers,
+            Some(&dns),
+            StudyConfig::default().with_min_hits(min_hits),
+        );
+        let artifacts = all_artifacts(&study, &world.as_db, &dns);
+        assert_eq!(artifacts.len(), 20, "every table and figure is covered");
+        let mut ids: Vec<&str> = artifacts.iter().map(|a| a.id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 20, "artifact ids are unique");
+        for a in &artifacts {
+            let text = a.render();
+            assert!(text.contains(a.id), "{} rendering lacks its id", a.id);
+            assert!(!text.trim().is_empty());
+            let _csv = a.to_csv();
+        }
+        // Spot-check specific content.
+        let t7 = artifacts.iter().find(|a| a.id == "table7").unwrap();
+        assert!(t7.render().contains("US"), "top-10 contains US operators");
+        let f12 = artifacts.iter().find(|a| a.id == "fig12").unwrap();
+        assert!(f12.notes.iter().any(|n| n.starts_with("GH:")));
+    }
+}

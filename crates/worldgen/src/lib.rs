@@ -1,0 +1,44 @@
+//! # worldgen — synthetic global-Internet ground truth
+//!
+//! The Cell Spotting study measured the real Internet through Akamai's
+//! platform; that vantage point is proprietary, so this crate generates a
+//! synthetic world with the same *structure*: countries calibrated to the
+//! paper's demand anchors (Fig. 11/12, Table 8), operator populations with
+//! the paper's dedicated/mixed split and AS-filter victims (§5), per-block
+//! demand with CGN concentration (§6.2), RUM visibility gaps (Table 2),
+//! and latent NetInfo label rates encoding the tethering/interface-switch
+//! noise the paper documents (§3.1).
+//!
+//! The output [`World`] is pure ground truth. The `cdnsim` crate samples
+//! the observable datasets (BEACON, DEMAND) from it; the `cellspot` crate
+//! then runs the paper's actual methodology over those observations and
+//! is scored against this ground truth.
+//!
+//! ```
+//! use worldgen::{World, WorldConfig};
+//!
+//! let world = World::generate(WorldConfig::mini().with_seed(7));
+//! let s = world.summary();
+//! assert!(s.cell_blocks24 > 0);
+//! assert_eq!(s.true_cellular_ases, 669);
+//! ```
+
+mod blocks;
+mod carriers;
+mod config;
+mod countries;
+mod evolve;
+mod operators;
+pub mod sampling;
+mod world;
+
+pub use blocks::{BlockRole, BlockSet, OpSpans, SubnetRecord};
+pub use evolve::{evolve_blocks, evolve_timeline, world_at_month, ChurnConfig, MonthSnapshot};
+pub use carriers::build_carriers;
+pub use config::WorldConfig;
+pub use countries::{
+    build_countries, continent_targets, default_public_dns, ContinentTargets, CountryAnchor,
+    CountrySpec, CONTINENT_TARGETS, NAMED_COUNTRIES,
+};
+pub use operators::{generate_operators, OperatorInfo, OperatorRole, OperatorSet};
+pub use world::{World, WorldSummary};

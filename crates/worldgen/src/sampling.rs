@@ -1,0 +1,377 @@
+//! Deterministic samplers and seed plumbing.
+//!
+//! Every random quantity in the synthetic world flows from a single `u64`
+//! master seed through [`split_seed`], so generation is reproducible and —
+//! because each AS/block derives its own stream — independent of iteration
+//! order and thread scheduling.
+
+use rand::distributions::Distribution;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The RNG used throughout generation. ChaCha8 is deterministic across
+/// platforms and fast enough that it never dominates generation time.
+pub type GenRng = ChaCha8Rng;
+
+/// Derive a child seed from `(parent, stream)` with SplitMix64 finalization.
+///
+/// The mixing constants come from the reference SplitMix64 (Vigna); the
+/// point is avalanche behaviour, so consecutive stream ids yield unrelated
+/// child seeds.
+pub fn split_seed(parent: u64, stream: u64) -> u64 {
+    let mut z = parent
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// RNG seeded from `(parent, stream)`.
+pub fn rng_for(parent: u64, stream: u64) -> GenRng {
+    GenRng::seed_from_u64(split_seed(parent, stream))
+}
+
+/// Zipf weights `i^-alpha` for ranks `1..=n`, normalized to sum to 1.
+///
+/// `alpha = 0` gives a uniform split; large `alpha` concentrates all mass
+/// in the first ranks. Returns an empty vector for `n == 0`.
+pub fn zipf_weights(n: usize, alpha: f64) -> Vec<f64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut w: Vec<f64> = (1..=n).map(|i| (i as f64).powf(-alpha)).collect();
+    let total: f64 = w.iter().sum();
+    for x in &mut w {
+        *x /= total;
+    }
+    w
+}
+
+/// Split a total into `n` shares that follow Zipf weights with mild
+/// multiplicative jitter, preserving the exact total.
+pub fn zipf_split(rng: &mut GenRng, total: f64, n: usize, alpha: f64, jitter: f64) -> Vec<f64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut shares: Vec<f64> = zipf_weights(n, alpha)
+        .into_iter()
+        .map(|w| w * lognormal_jitter(rng, jitter))
+        .collect();
+    let sum: f64 = shares.iter().sum();
+    for s in &mut shares {
+        *s = *s / sum * total;
+    }
+    shares
+}
+
+/// A multiplicative jitter factor: `exp(N(0, sigma))`. `sigma = 0` returns
+/// exactly 1.
+pub fn lognormal_jitter(rng: &mut GenRng, sigma: f64) -> f64 {
+    if sigma == 0.0 {
+        return 1.0;
+    }
+    let z: f64 = standard_normal(rng);
+    (sigma * z).exp()
+}
+
+/// Standard normal via Box–Muller (we avoid the `rand_distr` dependency —
+/// only a handful of distributions are needed and they are tiny).
+pub fn standard_normal(rng: &mut GenRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            let r = (-2.0 * u1.ln()).sqrt();
+            return r * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// Sample from a Poisson distribution.
+///
+/// Knuth's method below `lambda = 30`, normal approximation (clamped at
+/// zero) above — the large-lambda case only feeds aggregate hit counts
+/// where ±1 precision is irrelevant.
+pub fn poisson(rng: &mut GenRng, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+            // Guard against pathological f64 behaviour; lambda < 30 makes
+            // k > 400 astronomically unlikely.
+            if k > 4000 {
+                return k;
+            }
+        }
+    } else {
+        let z = standard_normal(rng);
+        let v = lambda + lambda.sqrt() * z;
+        if v < 0.0 {
+            0
+        } else {
+            v.round() as u64
+        }
+    }
+}
+
+/// Sample from Binomial(n, p).
+///
+/// Exact Bernoulli summation for small `n`, normal approximation for large
+/// `n` (the aggregate-mode beacon generator draws millions of these).
+pub fn binomial(rng: &mut GenRng, n: u64, p: f64) -> u64 {
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    let mean = n as f64 * p;
+    let var = mean * (1.0 - p);
+    if n <= 64 || var < 25.0 {
+        let mut k = 0;
+        for _ in 0..n {
+            if rng.gen::<f64>() < p {
+                k += 1;
+            }
+        }
+        k
+    } else {
+        let z = standard_normal(rng);
+        let v = (mean + var.sqrt() * z).round();
+        v.clamp(0.0, n as f64) as u64
+    }
+}
+
+/// Weighted index selection over non-negative weights; returns `None` when
+/// all weights are zero or the slice is empty.
+pub fn weighted_choice(rng: &mut GenRng, weights: &[f64]) -> Option<usize> {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut target = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        target -= w;
+        if target <= 0.0 {
+            return Some(i);
+        }
+    }
+    Some(weights.len() - 1)
+}
+
+/// A Pareto (power-law tail) sample with minimum `xmin` and shape `alpha`.
+pub fn pareto(rng: &mut GenRng, xmin: f64, alpha: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    xmin / u.powf(1.0 / alpha)
+}
+
+/// Uniform sample helper re-exported to keep call sites on one RNG type.
+pub fn uniform(rng: &mut GenRng, lo: f64, hi: f64) -> f64 {
+    if lo >= hi {
+        lo
+    } else {
+        rng.gen_range(lo..hi)
+    }
+}
+
+/// Sample an integer count proportional to `expected`, randomizing the
+/// fractional part so that expectation is preserved (used when scaling
+/// block counts by a world-scale factor: `expected = 3.4` yields 3 or 4).
+pub fn stochastic_round(rng: &mut GenRng, expected: f64) -> u64 {
+    if expected <= 0.0 {
+        return 0;
+    }
+    let base = expected.floor();
+    let frac = expected - base;
+    base as u64 + u64::from(rng.gen::<f64>() < frac)
+}
+
+/// Dirichlet-like share split: `n` positive shares summing to 1, with
+/// concentration controlled by `sigma` (log-normal weights, normalized).
+pub fn share_split(rng: &mut GenRng, n: usize, sigma: f64) -> Vec<f64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut w: Vec<f64> = (0..n).map(|_| lognormal_jitter(rng, sigma)).collect();
+    let sum: f64 = w.iter().sum();
+    for x in &mut w {
+        *x /= sum;
+    }
+    w
+}
+
+/// `Distribution`-style adapter so call sites can use `sample_iter` where
+/// convenient.
+pub struct ZipfRanks {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfRanks {
+    /// Build a sampler over ranks `0..n` with Zipf(alpha) probabilities.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        let w = zipf_weights(n, alpha);
+        let mut cumulative = Vec::with_capacity(w.len());
+        let mut acc = 0.0;
+        for x in w {
+            acc += x;
+            cumulative.push(acc);
+        }
+        ZipfRanks { cumulative }
+    }
+}
+
+impl Distribution<usize> for ZipfRanks {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cumulative weights are finite"))
+        {
+            Ok(i) | Err(i) => i.min(self.cumulative.len().saturating_sub(1)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> GenRng {
+        rng_for(42, 0)
+    }
+
+    #[test]
+    fn split_seed_avalanches() {
+        let a = split_seed(1, 0);
+        let b = split_seed(1, 1);
+        let c = split_seed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Deterministic.
+        assert_eq!(split_seed(1, 0), a);
+    }
+
+    #[test]
+    fn zipf_weights_normalized_and_decreasing() {
+        let w = zipf_weights(100, 1.2);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for pair in w.windows(2) {
+            assert!(pair[0] >= pair[1]);
+        }
+        assert!(zipf_weights(0, 1.0).is_empty());
+        // alpha = 0 is uniform.
+        let u = zipf_weights(4, 0.0);
+        for x in u {
+            assert!((x - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_split_preserves_total() {
+        let mut r = rng();
+        let shares = zipf_split(&mut r, 1000.0, 17, 1.1, 0.3);
+        assert_eq!(shares.len(), 17);
+        assert!((shares.iter().sum::<f64>() - 1000.0).abs() < 1e-6);
+        assert!(shares.iter().all(|s| *s > 0.0));
+    }
+
+    #[test]
+    fn poisson_mean_is_close() {
+        let mut r = rng();
+        for lambda in [0.5, 5.0, 80.0] {
+            let n = 4000;
+            let total: u64 = (0..n).map(|_| poisson(&mut r, lambda)).sum();
+            let mean = total as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.1,
+                "lambda={lambda}, mean={mean}"
+            );
+        }
+        assert_eq!(poisson(&mut r, 0.0), 0);
+        assert_eq!(poisson(&mut r, -3.0), 0);
+    }
+
+    #[test]
+    fn binomial_bounds_and_mean() {
+        let mut r = rng();
+        assert_eq!(binomial(&mut r, 0, 0.5), 0);
+        assert_eq!(binomial(&mut r, 10, 0.0), 0);
+        assert_eq!(binomial(&mut r, 10, 1.0), 10);
+        for (n, p) in [(40u64, 0.3), (10_000u64, 0.7)] {
+            let trials = 300;
+            let mut total = 0u64;
+            for _ in 0..trials {
+                let k = binomial(&mut r, n, p);
+                assert!(k <= n);
+                total += k;
+            }
+            let mean = total as f64 / trials as f64;
+            let expect = n as f64 * p;
+            assert!(
+                (mean - expect).abs() < expect * 0.08,
+                "n={n} p={p} mean={mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_choice_respects_zeros() {
+        let mut r = rng();
+        assert_eq!(weighted_choice(&mut r, &[]), None);
+        assert_eq!(weighted_choice(&mut r, &[0.0, 0.0]), None);
+        for _ in 0..100 {
+            assert_eq!(weighted_choice(&mut r, &[0.0, 1.0, 0.0]), Some(1));
+        }
+    }
+
+    #[test]
+    fn stochastic_round_expectation() {
+        let mut r = rng();
+        let trials = 20_000;
+        let total: u64 = (0..trials).map(|_| stochastic_round(&mut r, 2.25)).sum();
+        let mean = total as f64 / trials as f64;
+        assert!((mean - 2.25).abs() < 0.05, "mean={mean}");
+        assert_eq!(stochastic_round(&mut r, 0.0), 0);
+        assert_eq!(stochastic_round(&mut r, 5.0), 5);
+    }
+
+    #[test]
+    fn share_split_sums_to_one() {
+        let mut r = rng();
+        let s = share_split(&mut r, 12, 0.8);
+        assert_eq!(s.len(), 12);
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(s.iter().all(|x| *x > 0.0));
+    }
+
+    #[test]
+    fn determinism_across_instances() {
+        let mut a = rng_for(7, 3);
+        let mut b = rng_for(7, 3);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn zipf_ranks_prefers_low_ranks() {
+        let dist = ZipfRanks::new(50, 1.5);
+        let mut r = rng();
+        let mut counts = [0usize; 50];
+        for _ in 0..5000 {
+            counts[dist.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[49]);
+    }
+}

@@ -1,0 +1,253 @@
+//! World assembly: countries → operators → blocks → AS database → carriers.
+
+use std::collections::HashMap;
+
+use asdb::{AsClass, AsDatabase, AsRecord, CarrierGroundTruth};
+use netaddr::Asn;
+use serde::{Deserialize, Serialize};
+
+use crate::blocks::{generate_blocks, BlockSet};
+use crate::carriers::build_carriers;
+use crate::config::WorldConfig;
+use crate::countries::{build_countries, CountrySpec};
+use crate::operators::{generate_operators, OperatorInfo, OperatorRole, OperatorSet};
+use crate::sampling::rng_for;
+
+/// The fully generated synthetic world: the ground truth the measurement
+/// pipeline is evaluated against.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct World {
+    /// The configuration this world was generated from.
+    pub config: WorldConfig,
+    /// All countries (named anchors + fillers).
+    pub countries: Vec<CountrySpec>,
+    /// The operator population with showcase designations.
+    pub operators: OperatorSet,
+    /// Public AS metadata (what the pipeline is allowed to see).
+    pub as_db: AsDatabase,
+    /// All active blocks plus per-operator allocation spans.
+    pub blocks: BlockSet,
+    /// Validation carriers (ground-truth prefix lists).
+    pub carriers: Vec<CarrierGroundTruth>,
+    #[serde(skip)]
+    op_index: HashMap<Asn, usize>,
+}
+
+impl World {
+    /// Generate a world from the configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`WorldConfig::validate`] — a
+    /// nonsense config is a programming error, not a runtime condition.
+    pub fn generate(config: WorldConfig) -> World {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid WorldConfig: {e}"));
+        let countries = build_countries();
+        let operators = generate_operators(&config, &countries);
+        let blocks = generate_blocks(&config, &operators);
+        let as_db = build_as_db(&config, &operators);
+        let carriers = if config.with_carriers {
+            build_carriers(&operators, &blocks.spans)
+        } else {
+            Vec::new()
+        };
+        let op_index = operators
+            .ops
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (o.asn, i))
+            .collect();
+        World {
+            config,
+            countries,
+            operators,
+            as_db,
+            blocks,
+            carriers,
+            op_index,
+        }
+    }
+
+    /// Look up an operator by ASN in O(1).
+    pub fn operator(&self, asn: Asn) -> Option<&OperatorInfo> {
+        if self.op_index.len() != self.operators.ops.len() {
+            // Deserialized worlds lose the skip-serialized index.
+            return self.operators.ops.iter().find(|o| o.asn == asn);
+        }
+        self.op_index.get(&asn).map(|&i| &self.operators.ops[i])
+    }
+
+    /// Rebuild the operator index after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.op_index = self
+            .operators
+            .ops
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (o.asn, i))
+            .collect();
+    }
+
+    /// Total raw demand weight across all blocks (the quantity the CDN
+    /// simulator normalizes to 100,000 DU).
+    pub fn total_demand_weight(&self) -> f64 {
+        self.blocks
+            .records
+            .iter()
+            .map(|r| r.demand_weight as f64)
+            .sum()
+    }
+
+    /// Ground-truth summary counters, used by calibration tests and the
+    /// experiment harness for paper-vs-measured reporting.
+    pub fn summary(&self) -> WorldSummary {
+        let mut s = WorldSummary {
+            operators: self.operators.ops.len(),
+            ..WorldSummary::default()
+        };
+        for op in &self.operators.ops {
+            if op.role == OperatorRole::Normal && op.kind.is_cellular_access() {
+                s.true_cellular_ases += 1;
+                if op.kind == asdb::AsKind::MixedAccess {
+                    s.true_mixed_ases += 1;
+                }
+            }
+        }
+        let mut cell_demand = 0.0f64;
+        let mut total_demand = 0.0f64;
+        for r in &self.blocks.records {
+            let d = r.demand_weight as f64;
+            total_demand += d;
+            match r.block {
+                netaddr::BlockId::V4(_) => {
+                    s.blocks24 += 1;
+                    if r.beacon_weight > 0.0 {
+                        s.beacon_blocks24 += 1;
+                    }
+                    if r.access.is_cellular() {
+                        s.cell_blocks24 += 1;
+                        cell_demand += d;
+                    }
+                }
+                netaddr::BlockId::V6(_) => {
+                    s.blocks48 += 1;
+                    if r.beacon_weight > 0.0 {
+                        s.beacon_blocks48 += 1;
+                    }
+                    if r.access.is_cellular() {
+                        s.cell_blocks48 += 1;
+                        cell_demand += d;
+                    }
+                }
+            }
+        }
+        s.cell_demand_fraction = if total_demand > 0.0 {
+            cell_demand / total_demand
+        } else {
+            0.0
+        };
+        s
+    }
+}
+
+/// Ground-truth counters for a generated world.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorldSummary {
+    /// Total operators (the platform's AS census).
+    pub operators: usize,
+    /// Genuine cellular access ASes (dedicated + mixed).
+    pub true_cellular_ases: usize,
+    /// Mixed ASes among them.
+    pub true_mixed_ases: usize,
+    /// Active IPv4 /24 blocks.
+    pub blocks24: usize,
+    /// Active IPv6 /48 blocks.
+    pub blocks48: usize,
+    /// IPv4 blocks visible to RUM beacons.
+    pub beacon_blocks24: usize,
+    /// IPv6 blocks visible to RUM beacons.
+    pub beacon_blocks48: usize,
+    /// Ground-truth cellular IPv4 blocks.
+    pub cell_blocks24: usize,
+    /// Ground-truth cellular IPv6 blocks.
+    pub cell_blocks48: usize,
+    /// Ground-truth fraction of demand that is cellular.
+    pub cell_demand_fraction: f64,
+}
+
+/// The public AS database: every operator surfaces its CAIDA-style class.
+/// A fraction of proxy ASes surface as `Unknown` — absent from the
+/// classification dataset — which rule 3 filters just the same.
+fn build_as_db(cfg: &WorldConfig, ops: &OperatorSet) -> AsDatabase {
+    use rand::Rng;
+    let mut rng = rng_for(cfg.seed, 0x60_0000);
+    let mut db = AsDatabase::new();
+    for op in &ops.ops {
+        let mut rec = AsRecord::new(op.asn, op.name.clone(), op.country, op.continent, op.kind);
+        if op.role == OperatorRole::Proxy && rng.gen::<f64>() < 0.4 {
+            rec.class = AsClass::Unknown;
+        }
+        db.insert(rec);
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mini_world_generates_and_summarizes() {
+        let world = World::generate(WorldConfig::mini());
+        let s = world.summary();
+        assert_eq!(s.operators, world.operators.ops.len());
+        assert_eq!(s.true_cellular_ases, 669);
+        // Mixed majority (paper: 58.6%).
+        let frac = s.true_mixed_ases as f64 / s.true_cellular_ases as f64;
+        assert!((0.5..0.7).contains(&frac), "mixed fraction {frac}");
+        assert!(s.blocks24 > 5_000, "blocks24 = {}", s.blocks24);
+        assert!(s.cell_blocks24 > 300, "cell24 = {}", s.cell_blocks24);
+        assert!(s.blocks48 > 0 && s.cell_blocks48 > 0);
+        // Ground-truth global cellular demand fraction near the paper's
+        // 16.2% (the country table makes ~15-20% the natural landing zone).
+        assert!(
+            (0.12..0.24).contains(&s.cell_demand_fraction),
+            "cellular demand fraction {:.4}",
+            s.cell_demand_fraction
+        );
+        assert_eq!(world.carriers.len(), 3);
+    }
+
+    #[test]
+    fn operator_lookup_works() {
+        let world = World::generate(WorldConfig::mini());
+        let asn = world.operators.showcase_mixed;
+        assert_eq!(world.operator(asn).unwrap().asn, asn);
+        assert!(world.operator(Asn(4_294_000_000)).is_none());
+    }
+
+    #[test]
+    fn as_db_covers_all_operators_with_some_unknown_proxies() {
+        let world = World::generate(WorldConfig::mini());
+        assert_eq!(world.as_db.len(), world.operators.ops.len());
+        let unknown = world
+            .as_db
+            .iter()
+            .filter(|r| r.class == AsClass::Unknown)
+            .count();
+        assert!(unknown > 0, "some proxies must surface as Unknown class");
+    }
+
+    #[test]
+    fn beacon_visibility_is_partial() {
+        let world = World::generate(WorldConfig::mini());
+        let s = world.summary();
+        // Table 2: BEACON sees ~73% of DEMAND /24 blocks.
+        let frac = s.beacon_blocks24 as f64 / s.blocks24 as f64;
+        assert!(
+            (0.55..0.92).contains(&frac),
+            "beacon /24 coverage {frac:.3}"
+        );
+    }
+}

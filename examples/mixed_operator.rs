@@ -1,0 +1,74 @@
+//! Deep dive into two operators (§6.1/§6.2 of the paper): the large
+//! dedicated US network and the large mixed European network — Fig. 6's
+//! ratio breakdowns and Fig. 8's demand concentration.
+//!
+//! ```text
+//! cargo run --release --example mixed_operator
+//! ```
+
+use cellspotting::cdnsim::generate_datasets;
+use cellspotting::cellspot::{
+    run_study, AsRatioBreakdown, StudyConfig, SubnetDemandProfile,
+};
+use cellspotting::report::experiments::select_showcases;
+use cellspotting::worldgen::{World, WorldConfig};
+
+fn main() {
+    let config = WorldConfig::demo();
+    let min_hits = config.scaled_min_beacon_hits();
+    let world = World::generate(config);
+    let (beacons, demand) = generate_datasets(&world);
+    let study = run_study(
+        &beacons,
+        &demand,
+        &world.as_db,
+        &world.carriers,
+        None,
+        StudyConfig::default().with_min_hits(min_hits),
+    );
+
+    let (dedicated, mixed) = select_showcases(&study, &world.as_db);
+
+    for (label, asn) in [("dedicated US", dedicated), ("mixed EU", mixed)] {
+        let Some(asn) = asn else {
+            continue;
+        };
+        let rec = world.as_db.get(asn).expect("ranked ASes are in the db");
+        let agg = &study.as_aggregates[&asn];
+        println!("== {label}: {asn} ({}) ==", rec.name);
+        println!(
+            "blocks {:>6}, cellular blocks {:>5}, CFD {:.3}, cellular demand {:.1} DU",
+            agg.blocks,
+            agg.cell_blocks(),
+            agg.cfd(),
+            agg.cell_du
+        );
+
+        // Fig. 6: where do the subnets and the demand sit on the ratio
+        // axis?
+        let b = AsRatioBreakdown::build(asn, &study.index);
+        println!("ratio    subnets≤r  demand≤r");
+        for r in [0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 0.95, 1.0] {
+            println!(
+                "{r:>5.2}   {:>8.3}  {:>8.3}",
+                b.subnet_cdf.eval(r),
+                b.demand_cdf.eval(r)
+            );
+        }
+
+        // Fig. 8: demand concentration within each access label.
+        let p = SubnetDemandProfile::build(asn, &study.index, &study.classification);
+        println!(
+            "cellular demand concentration: top-5 {:.1}%, top-25 {:.1}%; \
+             99% of demand needs {} cellular vs {} fixed blocks",
+            100.0 * p.cellular_top_share(5),
+            100.0 * p.cellular_top_share(25),
+            p.cellular_blocks_for_share(0.99),
+            p.fixed_blocks_for_share(0.99)
+        );
+        if let (Some(c), Some(f)) = (p.cellular.first(), p.fixed.first()) {
+            println!("largest cellular /24 carries {c:.2} DU; largest fixed {f:.2} DU");
+        }
+        println!();
+    }
+}

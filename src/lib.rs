@@ -1,0 +1,24 @@
+//! # cellspotting — facade crate
+//!
+//! Umbrella crate for the Cell Spotting (IMC 2017) reproduction. It
+//! re-exports every workspace crate under one roof so examples, integration
+//! tests, and downstream users can depend on a single package:
+//!
+//! * [`netaddr`] — IP prefixes, /24 & /48 blocks, LPM tries, ASNs, geo.
+//! * [`asdb`] — AS metadata (CAIDA-style classes) and carrier ground truth.
+//! * [`worldgen`] — synthetic global-Internet ground truth generator.
+//! * [`cdnsim`] — CDN measurement platform: BEACON and DEMAND datasets.
+//! * [`dnssim`] — DNS resolver assignment and public-DNS usage substrate.
+//! * [`cellspot`] — the paper's methodology: classification and analyses.
+//! * [`report`] — tables, figure series, and rendering.
+//!
+//! See `DESIGN.md` for the full system inventory and the per-experiment
+//! index, and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use asdb;
+pub use cdnsim;
+pub use cellspot;
+pub use dnssim;
+pub use netaddr;
+pub use report;
+pub use worldgen;

@@ -1,0 +1,133 @@
+//! Integration test of the ablation extensions on a generated world,
+//! scored against ground truth where the oracle adds information.
+
+use cellspotting::cdnsim::generate_datasets;
+use cellspotting::cellspot::{
+    asn_level_ablation, granularity_sweep, rule_ablation, run_study, AsnStrategy, FilterConfig,
+    StudyConfig,
+};
+use cellspotting::worldgen::{World, WorldConfig};
+
+fn study() -> (World, cellspotting::cellspot::Study) {
+    // Demo scale: the mini preset's rule-2 hit threshold (0.6 hits) is
+    // degenerate — almost no AS fails it — so the rule ablation needs the
+    // larger world.
+    let cfg = WorldConfig::demo();
+    let min_hits = cfg.scaled_min_beacon_hits();
+    let world = World::generate(cfg);
+    let (beacons, demand) = generate_datasets(&world);
+    let s = run_study(
+        &beacons,
+        &demand,
+        &world.as_db,
+        &world.carriers,
+        None,
+        StudyConfig::default().with_min_hits(min_hits),
+    );
+    (world, s)
+}
+
+#[test]
+fn asn_level_identification_is_materially_worse() {
+    let (_, s) = study();
+    // The straw-man sweeps all demand of candidate ASes into "cellular":
+    // overcounting dominated by mixed incumbents' fixed arms.
+    let any = asn_level_ablation(
+        &s.index,
+        &s.classification,
+        &s.as_aggregates,
+        AsnStrategy::AnyCellularBlock,
+    );
+    assert!(
+        any.relative_error() > 1.0,
+        "straw-man error {:.2} should exceed 100% of cellular demand",
+        any.relative_error()
+    );
+    // Majority strategies fix the overcount but lose mixed-AS cellular
+    // demand instead — still far worse than prefix-level.
+    for strategy in [AsnStrategy::MajorityBlocks, AsnStrategy::MajorityDemand] {
+        let abl = asn_level_ablation(&s.index, &s.classification, &s.as_aggregates, strategy);
+        assert!(
+            abl.relative_error() > 0.05,
+            "{strategy:?}: error {:.3} should be visible",
+            abl.relative_error()
+        );
+        assert!(
+            abl.undercounted_du > 0.0,
+            "{strategy:?} must miss mixed-AS cellular demand"
+        );
+    }
+}
+
+#[test]
+fn coarser_grains_monotonically_relabel_more_demand() {
+    let (_, s) = study();
+    let sweep = granularity_sweep(&s.index, &s.classification);
+    assert_eq!(sweep[0].prefix_len, 24);
+    assert_eq!(sweep[0].relabeled_du, 0.0, "native grain is lossless");
+    for w in sweep.windows(2) {
+        assert!(
+            w[1].relabeled_du >= w[0].relabeled_du * 0.8,
+            "/{} relabels {:.1} DU but /{} only {:.1}",
+            w[0].prefix_len,
+            w[0].relabeled_du,
+            w[1].prefix_len,
+            w[1].relabeled_du
+        );
+        assert!(
+            w[1].cellular_aggregates <= w[0].cellular_aggregates,
+            "coarser grains have fewer aggregates"
+        );
+    }
+    let coarsest = sweep.last().expect("non-empty sweep");
+    assert!(
+        coarsest.relabeled_du > 100.0,
+        "/16 aggregation must visibly mislabel demand: {:.1} DU",
+        coarsest.relabeled_du
+    );
+}
+
+#[test]
+fn every_filter_rule_guards_against_real_false_positives() {
+    let (world, s) = study();
+    let cfg = FilterConfig {
+        min_cell_du: s.config.min_cell_du,
+        min_netinfo_hits: s.config.min_netinfo_hits,
+    };
+    let abl = rule_ablation(&s.as_aggregates, &world.as_db, &cfg);
+    let extra = abl.extra_admitted();
+    for (i, e) in extra.iter().enumerate() {
+        assert!(*e > 0, "rule {} admits nothing extra when disabled", i + 1);
+    }
+    // Score the extra admissions against ground truth: the ASes each rule
+    // guards against are overwhelmingly NOT cellular access networks.
+    let truth: std::collections::HashSet<_> = world
+        .operators
+        .ops
+        .iter()
+        .filter(|o| o.kind.is_cellular_access() && o.role == cellspotting::worldgen::OperatorRole::Normal)
+        .map(|o| o.asn)
+        .collect();
+    let baseline: std::collections::HashSet<_> =
+        abl.baseline.cellular_ases.iter().copied().collect();
+    for (name, outcome) in [
+        ("rule1", &abl.without_demand_rule),
+        ("rule2", &abl.without_hits_rule),
+        ("rule3", &abl.without_class_rule),
+    ] {
+        let extras: Vec<_> = outcome
+            .cellular_ases
+            .iter()
+            .filter(|a| !baseline.contains(a))
+            .collect();
+        if extras.is_empty() {
+            continue;
+        }
+        let false_extras = extras.iter().filter(|a| !truth.contains(**a)).count();
+        let fp_rate = false_extras as f64 / extras.len() as f64;
+        assert!(
+            fp_rate > 0.5,
+            "{name}: most extra admissions should be spurious, got {fp_rate:.2}"
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! End-to-end integration: generate a demo-scale world, run the full
+//! pipeline, and assert the *shape* of every major paper result — who
+//! wins, by roughly what factor, where the crossovers fall.
+
+use cellspotting::cdnsim::generate_datasets;
+use cellspotting::cellspot::{run_study, Study, StudyConfig};
+use cellspotting::netaddr::Continent;
+use cellspotting::worldgen::{World, WorldConfig};
+
+fn demo_study() -> (World, Study) {
+    let cfg = WorldConfig::demo();
+    let min_hits = cfg.scaled_min_beacon_hits();
+    let world = World::generate(cfg);
+    let (beacons, demand) = generate_datasets(&world);
+    let dns = cellspotting::dnssim::generate_dns(&world);
+    let study = run_study(
+        &beacons,
+        &demand,
+        &world.as_db,
+        &world.carriers,
+        Some(&dns),
+        StudyConfig::default().with_min_hits(min_hits),
+    );
+    (world, study)
+}
+
+/// §4.1 / Fig. 2: ratios are bimodal — most blocks near 0, a clear mass
+/// near 1, thin middle.
+#[test]
+fn fig2_ratio_distribution_is_bimodal() {
+    let (_, study) = demo_study();
+    let d = &study.ratio_distributions;
+    let below = d.v4_subnets.eval(0.1);
+    let above = 1.0 - d.v4_subnets.eval(0.9);
+    let middle = 1.0 - below - above;
+    assert!(below > 0.85, "paper 91.3%: got {below:.3}");
+    assert!((0.02..0.12).contains(&above), "paper 5.8%: got {above:.3}");
+    assert!(middle < 0.10, "paper 2.9%: got {middle:.3}");
+    // IPv6 space is even more skewed toward non-cellular.
+    assert!(d.v6_subnets.eval(0.1) > d.v4_subnets.eval(0.1));
+}
+
+/// §4.2 / Table 3: precision high everywhere; demand-weighted recall
+/// dominates CIDR recall; the mixed carrier with idle space (A) has far
+/// lower CIDR recall than the dedicated one (B).
+#[test]
+fn table3_validation_shape() {
+    let (_, study) = demo_study();
+    let a = &study.validations[0];
+    let b = &study.validations[1];
+    let c = &study.validations[2];
+    for v in [a, b, c] {
+        assert!(v.by_cidr.precision() > 0.95, "{}: precision", v.carrier);
+        assert!(
+            v.by_demand.recall() >= v.by_cidr.recall() - 1e-9,
+            "{}: demand recall must dominate",
+            v.carrier
+        );
+    }
+    assert!(a.by_cidr.recall() < 0.2, "Carrier A CIDR recall (paper 0.10)");
+    assert!(b.by_cidr.recall() > 0.9, "Carrier B CIDR recall (paper 0.99)");
+    assert!(
+        a.by_demand.recall() > 0.6,
+        "Carrier A demand recall (paper 0.82): {}",
+        a.by_demand.recall()
+    );
+    assert!(
+        c.by_cidr.recall() > a.by_cidr.recall(),
+        "Carrier C sits between A and B"
+    );
+    assert!(c.by_cidr.recall() < b.by_cidr.recall());
+}
+
+/// §4.2 / Fig. 3: F1 stays near its max across a wide threshold range.
+#[test]
+fn fig3_threshold_insensitivity() {
+    let (_, study) = demo_study();
+    for curve in &study.sweeps {
+        let (lo, hi) = curve
+            .stable_range(0.05)
+            .unwrap_or_else(|| panic!("{}: no plateau", curve.carrier));
+        assert!(
+            hi - lo > 0.5,
+            "{}: plateau [{lo:.2},{hi:.2}] should span most of (0,1)",
+            curve.carrier
+        );
+        assert!(lo <= 0.15, "{}: plateau starts by 0.1", curve.carrier);
+    }
+}
+
+/// §5 / Table 5: the filter funnel — rule 1 removes by far the most,
+/// rules 2 and 3 trim small counts, and the final set is close to the
+/// ground-truth 669.
+#[test]
+fn table5_filter_funnel() {
+    let (world, study) = demo_study();
+    let (c0, r1, r2, r3) = study.filter.table5_counts();
+    assert!(c0 > r1 && r1 > r2 && r2 > r3, "funnel is strictly shrinking");
+    assert!(
+        study.filter.removed_low_demand.len() > study.filter.removed_low_hits.len(),
+        "rule 1 removes the most (paper 493 vs 53)"
+    );
+    assert!(
+        study.filter.removed_low_demand.len() > study.filter.removed_class.len(),
+        "rule 1 removes more than rule 3 (paper 493 vs 49)"
+    );
+    let truth = world.summary().true_cellular_ases;
+    assert!(
+        (r3 as f64 - truth as f64).abs() / truth as f64 <= 0.05,
+        "final set {r3} within 5% of ground truth {truth}"
+    );
+    // Both famous proxies were candidates and neither survived.
+    for reserved in [15_169u32, 21_837] {
+        let asn = cellspotting::netaddr::Asn(reserved);
+        assert!(study.filter.candidates.contains(&asn), "{asn} is a candidate");
+        assert!(
+            !study.filter.cellular_ases.contains(&asn),
+            "{asn} must be filtered (paper §5)"
+        );
+    }
+}
+
+/// §6.1: mixed ASes are the majority (paper 58.6%) yet carry the
+/// minority of cellular demand (paper 32.7%).
+#[test]
+fn mixed_majority_carries_minority_of_demand() {
+    let (_, study) = demo_study();
+    let frac = study.mixed.mixed_fraction();
+    assert!((0.50..0.70).contains(&frac), "mixed fraction {frac:.3}");
+    let share = study.mixed.mixed_demand_share();
+    assert!(share < 0.5, "mixed demand share {share:.3} (paper 32.7%)");
+    assert!(share > 0.1, "mixed ASes still carry real demand");
+}
+
+/// §6.2 / Fig. 7: demand is concentrated in the top operators.
+#[test]
+fn fig7_operator_concentration() {
+    let (_, study) = demo_study();
+    let top5 = study.ranking.top_share(5);
+    let top10 = study.ranking.top_share(10);
+    assert!((0.25..0.50).contains(&top5), "paper 35.9%: got {top5:.3}");
+    assert!(top10 > top5);
+    assert!((0.30..0.55).contains(&top10), "paper 38%: got {top10:.3}");
+    // Rank-1 vs rank-10 spread (paper: 8.8x).
+    let r = study.ranking.rows[0].cell_share / study.ranking.rows[9].cell_share;
+    assert!((3.0..20.0).contains(&r), "rank1/rank10 = {r:.1}");
+}
+
+/// §7 / Table 8: global cellular fraction near 16.2% and the continental
+/// ordering of cellular reliance.
+#[test]
+fn table8_continent_ordering() {
+    let (_, study) = demo_study();
+    let pct = study.view.global_cellular_pct();
+    assert!((13.0..20.0).contains(&pct), "paper 16.2%: got {pct:.1}");
+    let f = |c: Continent| study.view.demand[c.index()].cellular_fraction_pct();
+    // Asia and Africa rely on cellular the most; Europe the least.
+    assert!(f(Continent::Asia) > f(Continent::Europe));
+    assert!(f(Continent::Africa) > f(Continent::Europe));
+    assert!(f(Continent::Africa) > f(Continent::NorthAmerica));
+    assert!(f(Continent::Oceania) > f(Continent::SouthAmerica));
+    // NA and Asia dominate the global cellular volume.
+    let share = |c: Continent| study.view.continent_cell_share_pct(c);
+    assert!(share(Continent::NorthAmerica) > 25.0);
+    assert!(share(Continent::Asia) > 25.0);
+    assert!(share(Continent::Africa) < 10.0);
+}
+
+/// §7 / Fig. 12: the country anchors — US biggest by volume but low
+/// fraction; Ghana near-total cellular reliance with little volume.
+#[test]
+fn fig12_country_anchors() {
+    let (_, study) = demo_study();
+    let scatter = study.view.country_scatter();
+    let get = |code: &str| {
+        scatter
+            .iter()
+            .find(|(c, _, _)| c.as_str() == code)
+            .unwrap_or_else(|| panic!("{code} missing"))
+    };
+    let us = get("US");
+    let gh = get("GH");
+    let fr = get("FR");
+    let id = get("ID");
+    assert!((0.10..0.25).contains(&us.1), "US cfd {:.3} (paper .166)", us.1);
+    assert!(gh.1 > 0.85, "GH cfd {:.3} (paper .959)", gh.1);
+    assert!(fr.1 < 0.20, "FR cfd {:.3} (paper .121)", fr.1);
+    assert!((0.45..0.75).contains(&id.1), "ID cfd {:.3} (paper .63)", id.1);
+    // US volume dwarfs Ghana's.
+    assert!(us.2 > gh.2 * 20.0, "US {} DU vs GH {} DU", us.2, gh.2);
+    // US holds ≈30% of global cellular demand.
+    let us_share = us.2 / study.view.global_cell_du;
+    assert!((0.2..0.4).contains(&us_share), "US share {us_share:.3}");
+}
+
+/// §6.3 / Fig. 9: most resolvers in mixed ASes serve both populations.
+#[test]
+fn fig9_resolver_sharing_shape() {
+    let (world, study) = demo_study();
+    let dns = cellspotting::dnssim::generate_dns(&world);
+    let analysis = study.dns.as_ref().expect("DNS analysis present");
+    let mixed = study.mixed.mixed_asns();
+    let shared = analysis.shared_fraction(&dns, &mixed, 0.02);
+    assert!((0.4..0.8).contains(&shared), "paper ~60%: got {shared:.2}");
+    let cdf = analysis.mixed_resolver_cdf(&dns, &mixed);
+    let median = cdf.quantile(0.5).expect("non-empty resolver CDF");
+    assert!(
+        (0.05..0.5).contains(&median),
+        "median resolver cellular fraction {median:.2} (paper ≈0.25)"
+    );
+    // The Brazilian-style distant resolvers are detectable.
+    let distant = analysis.distant_shared_resolvers(&dns, &mixed, 5.0);
+    assert!(!distant.is_empty(), "distant shared resolvers exist");
+    for id in distant {
+        let r = dns.resolver(id);
+        assert!(r.dist_cell_mi > r.dist_fixed_mi * 5.0);
+    }
+}
+
+/// Table 2's dataset asymmetries: BEACON sees fewer IPv4 blocks than
+/// DEMAND, but more IPv6 blocks (ephemeral v6 space across the month).
+#[test]
+fn table2_dataset_asymmetries() {
+    let cfg = WorldConfig::demo();
+    let world = World::generate(cfg);
+    let (beacons, demand) = generate_datasets(&world);
+    let (b4, b6) = beacons.block_counts();
+    let (d4, d6) = demand.block_counts();
+    let cover = b4 as f64 / d4 as f64;
+    assert!((0.6..0.85).contains(&cover), "paper 73%: got {cover:.2}");
+    assert!(b6 > d6, "BEACON v6 blocks exceed DEMAND v6 blocks (Table 2)");
+}

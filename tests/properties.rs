@@ -1,0 +1,195 @@
+//! Property-based tests on the core data structures and invariants,
+//! using proptest: prefix parsing/printing, trie-vs-linear-scan LPM,
+//! minimal covers, CDFs, samplers, and classification monotonicity.
+
+use proptest::prelude::*;
+
+use cellspotting::cellspot::{BlockIndex, Classification, Confusion, Ecdf};
+use cellspotting::netaddr::{Block24, Ipv4Net, Ipv6Net, PrefixTrie};
+
+proptest! {
+    /// Display → parse is the identity for IPv4 prefixes.
+    #[test]
+    fn ipv4net_display_parse_round_trip(addr: u32, len in 0u8..=32) {
+        let net = Ipv4Net::new(addr, len).expect("len in range");
+        let back: Ipv4Net = net.to_string().parse().expect("own display parses");
+        prop_assert_eq!(net, back);
+    }
+
+    /// Display → parse is the identity for IPv6 prefixes.
+    #[test]
+    fn ipv6net_display_parse_round_trip(addr: u128, len in 0u8..=128) {
+        let net = Ipv6Net::new(addr, len).expect("len in range");
+        let back: Ipv6Net = net.to_string().parse().expect("own display parses");
+        prop_assert_eq!(net, back);
+    }
+
+    /// A prefix contains exactly the addresses between first() and last().
+    #[test]
+    fn ipv4net_containment_matches_range(addr: u32, len in 1u8..=32, probe: u32) {
+        let net = Ipv4Net::new(addr, len).expect("len in range");
+        let inside = probe >= net.first() && probe <= net.last();
+        prop_assert_eq!(net.contains(probe), inside);
+    }
+
+    /// The trie's longest-prefix match agrees with a brute-force linear
+    /// scan over the same prefix set.
+    #[test]
+    fn trie_lpm_matches_linear_scan(
+        prefixes in prop::collection::vec((any::<u32>(), 1u8..=28), 1..40),
+        probes in prop::collection::vec(any::<u32>(), 1..20),
+    ) {
+        let nets: Vec<Ipv4Net> = prefixes
+            .iter()
+            .map(|(a, l)| Ipv4Net::new(*a, *l).expect("len in range"))
+            .collect();
+        let mut trie = PrefixTrie::new();
+        for (i, net) in nets.iter().enumerate() {
+            trie.insert(*net, i);
+        }
+        for probe in probes {
+            let expected = nets
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| n.contains(probe))
+                .max_by_key(|(i, n)| (n.len(), usize::MAX - i)) // longest wins; later duplicates replaced earlier ones
+                .map(|(_, n)| *n);
+            let got = trie.lookup_v4(probe).map(|(n, _)| n);
+            prop_assert_eq!(got, expected);
+        }
+    }
+
+    /// Minimal covers are exact: disjoint prefixes whose blocks are
+    /// precisely the requested run.
+    #[test]
+    fn block24_cover_is_exact(start in 0u32..0x00FF_0000, count in 0u32..2_000) {
+        let count = count.min(0x00FF_FFFF - start);
+        let cover = Block24::cover(Block24::from_index(start), count);
+        let total: u64 = cover.iter().map(|n| n.num_block24()).sum();
+        prop_assert_eq!(total, count as u64);
+        for w in cover.windows(2) {
+            prop_assert!(!w[0].overlaps(&w[1]));
+        }
+        for net in &cover {
+            let first = Block24::of_net(net).index();
+            prop_assert!(first >= start);
+            prop_assert!(first < start + count.max(1));
+        }
+    }
+
+    /// ECDFs are monotone, bounded in [0,1], and evaluate to 1 at max.
+    #[test]
+    fn ecdf_is_monotone_and_bounded(values in prop::collection::vec(0.0f64..100.0, 1..200)) {
+        let cdf = Ecdf::new(values.iter().copied());
+        let mut prev = 0.0;
+        for i in 0..=50 {
+            let x = i as f64 * 2.0;
+            let y = cdf.eval(x);
+            prop_assert!((0.0..=1.0).contains(&y));
+            prop_assert!(y >= prev - 1e-12);
+            prev = y;
+        }
+        let max = values.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!((cdf.eval(max) - 1.0).abs() < 1e-12);
+    }
+
+    /// Quantiles are inverse to evaluation: eval(quantile(q)) ≥ q.
+    #[test]
+    fn ecdf_quantile_inverts(values in prop::collection::vec(-50.0f64..50.0, 1..100), q in 0.0f64..=1.0) {
+        let cdf = Ecdf::new(values.iter().copied());
+        let v = cdf.quantile(q).expect("non-empty");
+        prop_assert!(cdf.eval(v) >= q - 1e-12);
+    }
+
+    /// Confusion metrics are always within [0,1] and never NaN.
+    #[test]
+    fn confusion_metrics_bounded(tp in 0.0f64..1e6, fp in 0.0f64..1e6, tn in 0.0f64..1e6, fn_ in 0.0f64..1e6) {
+        let c = Confusion { tp, fp, tn, fn_ };
+        for v in [c.precision(), c.recall(), c.f1(), c.accuracy()] {
+            prop_assert!(v.is_finite());
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    /// Zipf splits preserve their total and stay positive.
+    #[test]
+    fn zipf_split_preserves_total(total in 0.001f64..1e6, n in 1usize..200, alpha in 0.0f64..3.0) {
+        use cellspotting::worldgen::sampling::{rng_for, zipf_split};
+        let mut rng = rng_for(99, 0);
+        let shares = zipf_split(&mut rng, total, n, alpha, 0.3);
+        prop_assert_eq!(shares.len(), n);
+        let sum: f64 = shares.iter().sum();
+        prop_assert!((sum - total).abs() < total * 1e-9 + 1e-12);
+        prop_assert!(shares.iter().all(|s| *s > 0.0));
+    }
+}
+
+/// Classification is monotone in the threshold: raising it never adds
+/// blocks. (Plain test over a generated world: proptest over full worlds
+/// would be needlessly slow.)
+#[test]
+fn classification_monotone_in_threshold() {
+    use cellspotting::cdnsim::generate_datasets;
+    use cellspotting::worldgen::{World, WorldConfig};
+    let world = World::generate(WorldConfig::mini());
+    let (beacons, demand) = generate_datasets(&world);
+    let index = BlockIndex::build(&beacons, &demand);
+    let mut prev_len = usize::MAX;
+    for t in [0.1, 0.3, 0.5, 0.7, 0.9, 0.99] {
+        let c = Classification::new(&index, t);
+        assert!(c.len() <= prev_len, "threshold {t} grew the set");
+        prev_len = c.len();
+    }
+    // And every member at a high threshold is a member at a lower one.
+    let loose = Classification::new(&index, 0.2);
+    let strict = Classification::new(&index, 0.8);
+    for (block, _) in strict.iter() {
+        assert!(loose.is_cellular(block));
+    }
+}
+
+proptest! {
+    /// PrefixSet membership agrees with a naive any-prefix-contains check,
+    /// and canonicalization preserves the address count of the union.
+    #[test]
+    fn prefixset_matches_naive_membership(
+        prefixes in prop::collection::vec((any::<u32>(), 8u8..=28), 1..25),
+        probes in prop::collection::vec(any::<u32>(), 1..30),
+    ) {
+        use cellspotting::netaddr::Ipv4PrefixSet;
+        let nets: Vec<Ipv4Net> = prefixes
+            .iter()
+            .map(|(a, l)| Ipv4Net::new(*a, *l).expect("len in range"))
+            .collect();
+        let set = Ipv4PrefixSet::from_prefixes(nets.iter().copied());
+        for probe in probes {
+            let naive = nets.iter().any(|n| n.contains(probe));
+            prop_assert_eq!(set.contains(probe), naive, "probe {:x}", probe);
+        }
+        // Canonical prefixes are sorted and disjoint.
+        for w in set.prefixes().windows(2) {
+            prop_assert!(w[0].last() < w[1].first());
+        }
+        // Idempotence: re-canonicalizing changes nothing.
+        let again = Ipv4PrefixSet::from_prefixes(set.prefixes().iter().copied());
+        prop_assert_eq!(&again, &set);
+    }
+
+    /// Wilson intervals are well-formed: ordered, within [0,1], contain
+    /// the point estimate, and shrink as evidence grows.
+    #[test]
+    fn wilson_interval_well_formed(successes in 0u64..500, extra in 0u64..500, z in 0.0f64..4.0) {
+        use cellspotting::cellspot::wilson_interval;
+        let trials = successes + extra;
+        prop_assume!(trials > 0);
+        let (lo, hi) = wilson_interval(successes, trials, z);
+        prop_assert!((0.0..=1.0).contains(&lo));
+        prop_assert!((0.0..=1.0).contains(&hi));
+        prop_assert!(lo <= hi + 1e-12);
+        let p = successes as f64 / trials as f64;
+        prop_assert!(lo <= p + 1e-9 && p <= hi + 1e-9, "({lo}, {hi}) vs p={p}");
+        // 10x the evidence at the same rate never widens the interval.
+        let (lo10, hi10) = wilson_interval(successes * 10, trials * 10, z);
+        prop_assert!(hi10 - lo10 <= (hi - lo) + 1e-9);
+    }
+}

@@ -1,0 +1,176 @@
+//! Failure-injection and degenerate-input robustness: the pipeline must
+//! handle empty, tiny, and pathological datasets without panicking and
+//! with sensible (empty) results.
+
+use cellspotting::asdb::AsDatabase;
+use cellspotting::cdnsim::{
+    BeaconDataset, BeaconRecord, DemandDataset, DemandRecord,
+};
+use cellspotting::cellspot::{
+    run_study, v6_deployment, BlockIndex, Classification, RatioDistributions, StudyConfig,
+    WorldView,
+};
+use cellspotting::netaddr::{Asn, Block24, BlockId};
+
+#[test]
+fn empty_datasets_produce_empty_study() {
+    let beacons = BeaconDataset::from_records("t", vec![]);
+    let demand = DemandDataset::from_raw("t", vec![]);
+    let study = run_study(
+        &beacons,
+        &demand,
+        &AsDatabase::new(),
+        &[],
+        None,
+        StudyConfig::default(),
+    );
+    assert_eq!(study.index.len(), 0);
+    assert!(study.classification.is_empty());
+    assert!(study.filter.candidates.is_empty());
+    assert!(study.filter.cellular_ases.is_empty());
+    assert_eq!(study.mixed.counts(), (0, 0));
+    assert_eq!(study.ranking.rows.len(), 0);
+    assert_eq!(study.view.global_cellular_pct(), 0.0);
+    assert!(study.validations.is_empty());
+    // Rendering the artifacts over an empty study must not panic either.
+    let artifacts = cellspotting::report::all_artifacts(
+        &study,
+        &AsDatabase::new(),
+        &cellspotting::dnssim::DnsSim::default(),
+    );
+    for a in &artifacts {
+        let _ = a.render();
+        let _ = a.to_csv();
+    }
+}
+
+#[test]
+fn beacon_only_world_classifies_without_demand() {
+    // All blocks have beacons, nothing has demand: classification works,
+    // demand-weighted quantities are all zero.
+    let mk = |i: u32, cell: u64| BeaconRecord {
+        block: BlockId::V4(Block24::from_index(i)),
+        asn: Asn(1),
+        hits_total: 100,
+        netinfo_hits: 100,
+        cellular_hits: cell,
+        wifi_hits: 100 - cell,
+        other_hits: 0,
+    };
+    let beacons = BeaconDataset::from_records("t", vec![mk(1, 95), mk(2, 5)]);
+    let demand = DemandDataset::from_raw("t", vec![]);
+    let index = BlockIndex::build(&beacons, &demand);
+    let class = Classification::with_default_threshold(&index);
+    assert_eq!(class.len(), 1);
+    let dist = RatioDistributions::build(&index);
+    assert_eq!(dist.v4_subnets.len(), 2);
+    assert!(dist.v4_demand.is_empty(), "no demand → empty weighted CDF");
+}
+
+#[test]
+fn demand_only_world_detects_nothing() {
+    // Demand with zero beacon coverage: nothing is classifiable, the
+    // world view still rolls up total demand.
+    let demand = DemandDataset::from_raw(
+        "t",
+        vec![DemandRecord {
+            block: BlockId::V4(Block24::from_index(7)),
+            asn: Asn(1),
+            du: 5.0,
+        }],
+    );
+    let beacons = BeaconDataset::from_records("t", vec![]);
+    let index = BlockIndex::build(&beacons, &demand);
+    let class = Classification::with_default_threshold(&index);
+    assert!(class.is_empty());
+    let db = AsDatabase::from_records(vec![cellspotting::asdb::AsRecord::new(
+        Asn(1),
+        "op",
+        cellspotting::netaddr::CountryCode::literal("US"),
+        cellspotting::netaddr::Continent::NorthAmerica,
+        cellspotting::asdb::AsKind::FixedOnly,
+    )]);
+    let view = WorldView::build(&index, &class, &db);
+    assert_eq!(view.global_cellular_pct(), 0.0);
+    assert!((view.global_total_du - 100_000.0).abs() < 1e-6);
+}
+
+#[test]
+fn single_block_world() {
+    let beacons = BeaconDataset::from_records(
+        "t",
+        vec![BeaconRecord {
+            block: BlockId::V4(Block24::from_index(1)),
+            asn: Asn(9),
+            hits_total: 1,
+            netinfo_hits: 1,
+            cellular_hits: 1,
+            wifi_hits: 0,
+            other_hits: 0,
+        }],
+    );
+    let demand = DemandDataset::from_raw(
+        "t",
+        vec![DemandRecord {
+            block: BlockId::V4(Block24::from_index(1)),
+            asn: Asn(9),
+            du: 1.0,
+        }],
+    );
+    let study = run_study(
+        &beacons,
+        &demand,
+        &AsDatabase::new(),
+        &[],
+        None,
+        StudyConfig::default().with_min_hits(1.0),
+    );
+    // One cellular block, whole world's demand: the single AS is a
+    // candidate, passes rules 1-2, and dies at rule 3 (no known class).
+    assert_eq!(study.classification.len(), 1);
+    assert_eq!(study.filter.candidates, vec![Asn(9)]);
+    assert!(study.filter.cellular_ases.is_empty());
+    assert_eq!(study.filter.removed_class, vec![Asn(9)]);
+}
+
+#[test]
+fn v6_deployment_handles_empty_inputs() {
+    let beacons = BeaconDataset::from_records("t", vec![]);
+    let demand = DemandDataset::from_raw("t", vec![]);
+    let index = BlockIndex::build(&beacons, &demand);
+    let class = Classification::with_default_threshold(&index);
+    let v6 = v6_deployment(&[], &index, &class, &AsDatabase::new());
+    assert_eq!(v6.v6_ases, 0);
+    assert_eq!(v6.fraction(), 0.0);
+    assert!(v6.top_countries.is_empty());
+}
+
+#[test]
+fn nan_free_everywhere_on_degenerate_inputs() {
+    // One block with hits but no NetInfo data at all.
+    let beacons = BeaconDataset::from_records(
+        "t",
+        vec![BeaconRecord {
+            block: BlockId::V4(Block24::from_index(3)),
+            asn: Asn(2),
+            hits_total: 50,
+            netinfo_hits: 0,
+            cellular_hits: 0,
+            wifi_hits: 0,
+            other_hits: 0,
+        }],
+    );
+    let demand = DemandDataset::from_raw("t", vec![]);
+    let study = run_study(
+        &beacons,
+        &demand,
+        &AsDatabase::new(),
+        &[],
+        None,
+        StudyConfig::default(),
+    );
+    assert!(study.view.global_cellular_pct().is_finite());
+    assert!(study.mixed.mixed_fraction().is_finite());
+    assert!(study.ranking.top_share(10).is_finite());
+    assert!(study.classification.is_empty(), "no NetInfo → unclassifiable");
+}

@@ -1,0 +1,84 @@
+//! Serialization: datasets and study outputs must survive a JSON round
+//! trip — the formats downstream users would persist and reload.
+
+use cellspotting::cdnsim::{generate_datasets, BeaconDataset, DemandDataset};
+use cellspotting::cellspot::{run_study, BlockIndex, Classification, Study, StudyConfig};
+use cellspotting::worldgen::{World, WorldConfig};
+
+fn mini_world() -> World {
+    World::generate(WorldConfig::mini())
+}
+
+#[test]
+fn datasets_round_trip() {
+    let world = mini_world();
+    let (beacons, demand) = generate_datasets(&world);
+    let b_json = serde_json::to_string(&beacons).expect("serialize BEACON");
+    let d_json = serde_json::to_string(&demand).expect("serialize DEMAND");
+    let b2: BeaconDataset = serde_json::from_str(&b_json).expect("deserialize BEACON");
+    let d2: DemandDataset = serde_json::from_str(&d_json).expect("deserialize DEMAND");
+    assert_eq!(beacons.len(), b2.len());
+    assert_eq!(demand.len(), d2.len());
+    assert_eq!(beacons.netinfo_hits_total(), b2.netinfo_hits_total());
+    assert!((demand.total_du() - d2.total_du()).abs() < 1e-6);
+    // Lookups still work after the round trip.
+    let first = beacons.iter().next().expect("non-empty");
+    assert_eq!(b2.get(first.block), Some(first));
+}
+
+#[test]
+fn classification_round_trip_preserves_membership() {
+    let world = mini_world();
+    let (beacons, demand) = generate_datasets(&world);
+    let index = BlockIndex::build(&beacons, &demand);
+    let class = Classification::with_default_threshold(&index);
+    let json = serde_json::to_string(&class).expect("serialize");
+    let back: Classification = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(class.len(), back.len());
+    for (block, asn) in class.iter() {
+        assert!(back.is_cellular(block), "{block} ({asn}) lost in round trip");
+    }
+}
+
+#[test]
+fn full_study_round_trip() {
+    let cfg = WorldConfig::mini();
+    let min_hits = cfg.scaled_min_beacon_hits();
+    let world = World::generate(cfg);
+    let (beacons, demand) = generate_datasets(&world);
+    let study = run_study(
+        &beacons,
+        &demand,
+        &world.as_db,
+        &world.carriers,
+        None,
+        StudyConfig::default().with_min_hits(min_hits),
+    );
+    let json = serde_json::to_string(&study).expect("serialize study");
+    let back: Study = serde_json::from_str(&json).expect("deserialize study");
+    assert_eq!(study.classification.len(), back.classification.len());
+    assert_eq!(study.filter.table5_counts(), back.filter.table5_counts());
+    assert_eq!(study.validations.len(), back.validations.len());
+    assert!(
+        (study.view.global_cellular_pct() - back.view.global_cellular_pct()).abs() < 1e-9
+    );
+}
+
+#[test]
+fn world_round_trip_with_index_rebuild() {
+    let world = mini_world();
+    let json = serde_json::to_string(&world).expect("serialize world");
+    let mut back: World = serde_json::from_str(&json).expect("deserialize world");
+    // Lookups work through the linear fallback, then O(1) after rebuild.
+    let asn = world.operators.showcase_mixed;
+    assert_eq!(back.operator(asn).expect("found").asn, asn);
+    back.rebuild_index();
+    assert_eq!(back.operator(asn).expect("found").asn, asn);
+    assert_eq!(world.blocks.records.len(), back.blocks.records.len());
+    // Carrier tries need rebuilding after deserialization.
+    let mut carrier = back.carriers[0].clone();
+    carrier.build_trie();
+    let (cell, fixed) = carrier.count_blocks24();
+    let (cell0, fixed0) = world.carriers[0].count_blocks24();
+    assert_eq!((cell, fixed), (cell0, fixed0));
+}

@@ -1,0 +1,108 @@
+//! Integration test of the temporal extension: evolve a world over
+//! several months, re-measure and re-classify each month, and check the
+//! stability findings the extension reports.
+
+use cellspotting::cdnsim::generate_datasets;
+use cellspotting::cellspot::{BlockIndex, Classification, TemporalAnalysis};
+use cellspotting::worldgen::{world_at_month, ChurnConfig, World, WorldConfig};
+
+fn monthly_classifications(
+    world: &World,
+    churn: &ChurnConfig,
+    months: u32,
+) -> Vec<(Classification, BlockIndex)> {
+    (0..=months)
+        .map(|m| {
+            let w = world_at_month(world, churn, m);
+            let (beacons, demand) = generate_datasets(&w);
+            let index = BlockIndex::build(&beacons, &demand);
+            let class = Classification::with_default_threshold(&index);
+            (class, index)
+        })
+        .collect()
+}
+
+#[test]
+fn cellular_set_churns_but_demand_stays_concentrated() {
+    let world = World::generate(WorldConfig::mini());
+    let months = monthly_classifications(&world, &ChurnConfig::default(), 4);
+    let analysis = TemporalAnalysis::build(&months);
+    assert_eq!(analysis.transitions.len(), 4);
+
+    for t in &analysis.transitions {
+        // Real churn happens…
+        assert!(t.appeared > 0, "month {}: no new cellular blocks", t.month);
+        assert!(t.disappeared > 0, "month {}: no churned blocks", t.month);
+        // …but most of the set persists month over month.
+        assert!(
+            t.persistence() > 0.6,
+            "month {}: persistence {:.3}",
+            t.month,
+            t.persistence()
+        );
+        assert!(t.jaccard > 0.5, "month {}: jaccard {:.3}", t.month, t.jaccard);
+        // The extension's takeaway: demand-weighted stability exceeds
+        // block-count stability, because churn lives in the idle tail
+        // while the CGN heavy hitters persist.
+        assert!(
+            t.persisted_demand_fraction > t.persistence() - 0.1,
+            "month {}: demand persistence {:.3} vs block persistence {:.3}",
+            t.month,
+            t.persisted_demand_fraction,
+            t.persistence()
+        );
+    }
+    assert!(analysis.mean_persistence() > 0.7);
+    assert!(analysis.mean_persisted_demand() > 0.7);
+}
+
+#[test]
+fn zero_churn_is_stable_up_to_sampling_noise() {
+    let world = World::generate(WorldConfig::mini());
+    let frozen = ChurnConfig {
+        cell_block_churn: 0.0,
+        fixed_block_churn: 0.0,
+        demand_drift_sigma: 0.0,
+        cellular_growth: 1.0,
+    };
+    let months = monthly_classifications(&world, &frozen, 2);
+    let analysis = TemporalAnalysis::build(&months);
+    for t in &analysis.transitions {
+        // Identical worlds → identical datasets → identical classification
+        // (dataset sampling is keyed by the world's seed, which does not
+        // change when evolution is a no-op).
+        assert!(
+            (t.jaccard - 1.0).abs() < 1e-12,
+            "month {}: jaccard {:.4} under zero churn",
+            t.month,
+            t.jaccard
+        );
+    }
+}
+
+#[test]
+fn heavier_churn_lowers_persistence() {
+    let world = World::generate(WorldConfig::mini());
+    let light = TemporalAnalysis::build(&monthly_classifications(
+        &world,
+        &ChurnConfig {
+            cell_block_churn: 0.03,
+            ..Default::default()
+        },
+        3,
+    ));
+    let heavy = TemporalAnalysis::build(&monthly_classifications(
+        &world,
+        &ChurnConfig {
+            cell_block_churn: 0.25,
+            ..Default::default()
+        },
+        3,
+    ));
+    assert!(
+        heavy.mean_persistence() < light.mean_persistence(),
+        "heavy churn {:.3} should trail light churn {:.3}",
+        heavy.mean_persistence(),
+        light.mean_persistence()
+    );
+}
