@@ -87,7 +87,9 @@ impl AsDatabase {
 
     /// All records registered in a given continent.
     pub fn by_continent(&self, continent: Continent) -> impl Iterator<Item = &AsRecord> {
-        self.records.iter().filter(move |r| r.continent == continent)
+        self.records
+            .iter()
+            .filter(move |r| r.continent == continent)
     }
 }
 

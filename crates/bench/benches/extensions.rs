@@ -5,8 +5,8 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use bench::build_bundle;
 use cellspot::{
-    asn_level_ablation, classify_with_confidence, granularity_sweep, rule_ablation,
-    AsnStrategy, FilterConfig,
+    asn_level_ablation, classify_with_confidence, granularity_sweep, rule_ablation, AsnStrategy,
+    FilterConfig,
 };
 use worldgen::{evolve_blocks, ChurnConfig, WorldConfig};
 

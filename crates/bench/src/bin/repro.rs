@@ -1,13 +1,19 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--scale mini|demo|paper|<float>] [--seed N] [--out DIR] [ids…]
+//! repro [--scale mini|demo|paper|<float>] [--seed N] [--threads N]
+//!       [--out DIR] [ids…]
 //! ```
 //!
 //! Without ids, all 25 artifacts are produced (the paper's 20 tables and
 //! figures plus five extension experiments). Each artifact is printed
 //! and written to `DIR/<id>.txt` and `DIR/<id>.csv`; a `summary.txt`
-//! collects every headline note (measured vs. paper).
+//! collects every headline note (measured vs. paper), and
+//! `DIR/timings.json` records per-stage wall-clock and item counts.
+//!
+//! `--threads N` (or the `CELLSPOT_THREADS` environment variable) pins
+//! the rayon pool for reproducible benchmarking; every result is
+//! byte-identical regardless of the thread count.
 
 use std::fs;
 use std::path::PathBuf;
@@ -18,16 +24,27 @@ use bench::{build_bundle, config_for_scale};
 fn main() {
     let mut scale = "demo".to_string();
     let mut seed: Option<u64> = None;
+    let mut threads: Option<usize> = None;
     let mut out_dir = PathBuf::from("results");
     let mut ids: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--scale" => scale = args.next().unwrap_or_else(|| usage("missing --scale value")),
+            "--scale" => {
+                scale = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing --scale value"))
+            }
             "--seed" => {
                 let v = args.next().unwrap_or_else(|| usage("missing --seed value"));
                 seed = Some(v.parse().unwrap_or_else(|_| usage("bad --seed value")));
+            }
+            "--threads" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing --threads value"));
+                threads = Some(v.parse().unwrap_or_else(|_| usage("bad --threads value")));
             }
             "--out" => {
                 out_dir = PathBuf::from(args.next().unwrap_or_else(|| usage("missing --out value")))
@@ -35,6 +52,13 @@ fn main() {
             "--help" | "-h" => usage(""),
             id => ids.push(id.to_string()),
         }
+    }
+
+    // CLI flag wins over the CELLSPOT_THREADS environment variable.
+    if let Some(n) =
+        cellspot::configure_thread_pool_with(threads).or_else(cellspot::configure_thread_pool)
+    {
+        eprintln!("rayon pool pinned to {n} thread(s)");
     }
 
     let mut config = config_for_scale(&scale).unwrap_or_else(|e| usage(&e));
@@ -57,10 +81,26 @@ fn main() {
         t0.elapsed().as_secs_f64()
     );
 
+    let t_artifacts = Instant::now();
     let mut artifacts = report::all_artifacts(&bundle.study, &bundle.world.as_db, &bundle.dns);
-    artifacts.extend(report::ablation_artifacts(&bundle.study, &bundle.world.as_db));
+    artifacts.extend(report::ablation_artifacts(
+        &bundle.study,
+        &bundle.world.as_db,
+    ));
     artifacts.push(temporal_artifact(&bundle));
+    let artifact_millis = t_artifacts.elapsed().as_secs_f64() * 1e3;
     fs::create_dir_all(&out_dir).expect("create output directory");
+
+    // Per-stage timings: setup stages from the bundle, study stages from
+    // the pipeline, artifact rendering measured here.
+    let mut timings = bundle.timing.clone();
+    timings.extend(&bundle.study.timing);
+    timings.push("artifacts", artifact_millis, artifacts.len() as u64);
+    fs::write(
+        out_dir.join("timings.json"),
+        serde_json::to_string_pretty(&timings).expect("serialize timings"),
+    )
+    .expect("write timings.json");
 
     let mut summary = String::new();
     summary.push_str(&format!(
@@ -98,9 +138,15 @@ fn main() {
 /// re-measure and re-classify each month, and analyze the stability of
 /// the cellular set.
 fn temporal_artifact(bundle: &bench::Bundle) -> report::Artifact {
+    use rayon::prelude::*;
     let churn = worldgen::ChurnConfig::default();
-    let months: Vec<(cellspot::Classification, cellspot::BlockIndex)> = (0..=6)
-        .map(|m| {
+    // Months are independent (each derives deterministically from the
+    // base world and its month index), so they re-measure in parallel
+    // and collect in month order.
+    let month_ids: Vec<u32> = (0..=6).collect();
+    let months: Vec<(cellspot::Classification, cellspot::BlockIndex)> = month_ids
+        .par_iter()
+        .map(|&m| {
             let w = worldgen::world_at_month(&bundle.world, &churn, m);
             let (beacons, demand) = cdnsim::generate_datasets(&w);
             let index = cellspot::BlockIndex::build(&beacons, &demand);
@@ -117,7 +163,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro [--scale mini|demo|paper|<float>] [--seed N] [--out DIR] [ids…]\n\
+        "usage: repro [--scale mini|demo|paper|<float>] [--seed N] [--threads N] [--out DIR] [ids…]\n\
          ids: table1 table2 table3 table4 table5 table6 table7 table8\n\
               fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12\n\
               ext-asn-level ext-granularity ext-rules ext-confidence ext-temporal"

@@ -2,7 +2,7 @@
 //! a world, sample its datasets, and run the full study in one call.
 
 use cdnsim::{generate_datasets, BeaconDataset, DemandDataset};
-use cellspot::{run_study, Study, StudyConfig};
+use cellspot::{run_study, Study, StudyConfig, TimingReport};
 use dnssim::DnsSim;
 use worldgen::{World, WorldConfig};
 
@@ -18,14 +18,32 @@ pub struct Bundle {
     pub dns: DnsSim,
     /// The full study output.
     pub study: Study,
+    /// Wall-clock for the setup stages (world generation, dataset
+    /// sampling, DNS substrate); the study's own stage timings live in
+    /// `study.timing`.
+    pub timing: TimingReport,
 }
 
-/// Generate world + datasets + DNS and run the full study.
+/// Generate world + datasets + DNS and run the full study, timing each
+/// setup stage along the way.
 pub fn build_bundle(config: WorldConfig) -> Bundle {
+    let mut timing = TimingReport::new();
     let min_hits = config.scaled_min_beacon_hits();
-    let world = World::generate(config);
-    let (beacons, demand) = generate_datasets(&world);
-    let dns = dnssim::generate_dns(&world);
+    let world = timing.stage(
+        "worldgen",
+        |w: &World| w.blocks.records.len() as u64,
+        || World::generate(config),
+    );
+    let (beacons, demand) = timing.stage(
+        "datasets",
+        |(b, d): &(BeaconDataset, DemandDataset)| (b.len() + d.len()) as u64,
+        || generate_datasets(&world),
+    );
+    let dns = timing.stage(
+        "dns",
+        |d: &DnsSim| d.resolvers.len() as u64,
+        || dnssim::generate_dns(&world),
+    );
     let study = run_study(
         &beacons,
         &demand,
@@ -40,6 +58,7 @@ pub fn build_bundle(config: WorldConfig) -> Bundle {
         demand,
         dns,
         study,
+        timing,
     }
 }
 

@@ -9,8 +9,8 @@
 use worldgen::World;
 
 use crate::datasets::{BeaconDataset, BeaconRecord, DemandDataset, DemandRecord};
-use crate::stream::block_stream;
 use crate::netinfo::{netinfo_share, DEC_2016};
+use crate::stream::block_stream;
 use worldgen::sampling::{binomial, lognormal_jitter, poisson, rng_for};
 
 /// Knobs for dataset sampling (sensible defaults match the paper's
@@ -47,6 +47,7 @@ impl Default for CdnConfig {
 /// month's adoption share; the ConnectionType of each NetInfo hit is
 /// cellular with the block's latent rate.
 pub fn generate_beacons(world: &World, cfg: &CdnConfig) -> BeaconDataset {
+    use rayon::prelude::*;
     let share = netinfo_share(cfg.month_index).total() / 100.0;
     let weight_sum: f64 = world
         .blocks
@@ -58,35 +59,43 @@ pub fn generate_beacons(world: &World, cfg: &CdnConfig) -> BeaconDataset {
     // RUM hits so `netinfo_hits ≈ budget` in expectation.
     let hits_budget = world.config.netinfo_hits_total / share;
 
-    let mut records = Vec::with_capacity(world.blocks.records.len());
-    for b in world.blocks.records.iter() {
-        if b.beacon_weight <= 0.0 {
-            continue;
-        }
-        // Keyed by block identity, not vector position: the sampled
-        // dataset depends only on the world's contents and the seed, so
-        // reordering records (e.g. after temporal evolution) changes
-        // nothing.
-        let mut rng = rng_for(world.config.seed ^ 0xBEAC_0000_0000_0000, block_stream(b.block));
-        let mean = hits_budget * b.beacon_weight as f64 / weight_sum;
-        let hits_total = poisson(&mut rng, mean);
-        if hits_total == 0 {
-            continue;
-        }
-        let netinfo_hits = binomial(&mut rng, hits_total, share);
-        let cellular_hits = binomial(&mut rng, netinfo_hits, b.cell_rate as f64);
-        let noncell = netinfo_hits - cellular_hits;
-        let wifi_hits = binomial(&mut rng, noncell, cfg.wifi_share_noncell);
-        records.push(BeaconRecord {
-            block: b.block,
-            asn: b.asn,
-            hits_total,
-            netinfo_hits,
-            cellular_hits,
-            wifi_hits,
-            other_hits: noncell - wifi_hits,
-        });
-    }
+    // Each block draws from its own RNG stream keyed by block identity,
+    // not vector position: the sampled dataset depends only on the
+    // world's contents and the seed, so neither record reordering (e.g.
+    // after temporal evolution) nor the parallel iteration order changes
+    // anything.
+    let records: Vec<BeaconRecord> = world
+        .blocks
+        .records
+        .par_iter()
+        .filter_map(|b| {
+            if b.beacon_weight <= 0.0 {
+                return None;
+            }
+            let mut rng = rng_for(
+                world.config.seed ^ 0xBEAC_0000_0000_0000,
+                block_stream(b.block),
+            );
+            let mean = hits_budget * b.beacon_weight as f64 / weight_sum;
+            let hits_total = poisson(&mut rng, mean);
+            if hits_total == 0 {
+                return None;
+            }
+            let netinfo_hits = binomial(&mut rng, hits_total, share);
+            let cellular_hits = binomial(&mut rng, netinfo_hits, b.cell_rate as f64);
+            let noncell = netinfo_hits - cellular_hits;
+            let wifi_hits = binomial(&mut rng, noncell, cfg.wifi_share_noncell);
+            Some(BeaconRecord {
+                block: b.block,
+                asn: b.asn,
+                hits_total,
+                netinfo_hits,
+                cellular_hits,
+                wifi_hits,
+                other_hits: noncell - wifi_hits,
+            })
+        })
+        .collect();
     BeaconDataset::from_records("2016-12", records)
 }
 
@@ -95,23 +104,31 @@ pub fn generate_beacons(world: &World, cfg: &CdnConfig) -> BeaconDataset {
 /// the platform's 7-day smoothing) and the result normalized to
 /// 100,000 DU.
 pub fn generate_demand(world: &World, cfg: &CdnConfig) -> DemandDataset {
-    let mut records = Vec::with_capacity(world.blocks.records.len());
-    for b in world.blocks.records.iter() {
-        if b.demand_weight <= 0.0 {
-            continue;
-        }
-        let mut rng = rng_for(world.config.seed ^ 0xDE3A_0000_0000_0000, block_stream(b.block));
-        let mut acc = 0.0;
-        for _ in 0..cfg.smoothing_days.max(1) {
-            acc += b.demand_weight as f64 * lognormal_jitter(&mut rng, cfg.daily_jitter);
-        }
-        let du = acc / cfg.smoothing_days.max(1) as f64;
-        records.push(DemandRecord {
-            block: b.block,
-            asn: b.asn,
-            du,
-        });
-    }
+    use rayon::prelude::*;
+    let records: Vec<DemandRecord> = world
+        .blocks
+        .records
+        .par_iter()
+        .filter_map(|b| {
+            if b.demand_weight <= 0.0 {
+                return None;
+            }
+            let mut rng = rng_for(
+                world.config.seed ^ 0xDE3A_0000_0000_0000,
+                block_stream(b.block),
+            );
+            let mut acc = 0.0;
+            for _ in 0..cfg.smoothing_days.max(1) {
+                acc += b.demand_weight as f64 * lognormal_jitter(&mut rng, cfg.daily_jitter);
+            }
+            let du = acc / cfg.smoothing_days.max(1) as f64;
+            Some(DemandRecord {
+                block: b.block,
+                asn: b.asn,
+                du,
+            })
+        })
+        .collect();
     DemandDataset::from_raw("2016-12-24..2016-12-31", records)
 }
 
@@ -163,12 +180,8 @@ mod tests {
     fn cellular_blocks_show_high_ratios() {
         let world = mini_world();
         let ds = generate_beacons(&world, &CdnConfig::default());
-        let truth: std::collections::HashMap<_, _> = world
-            .blocks
-            .records
-            .iter()
-            .map(|r| (r.block, r))
-            .collect();
+        let truth: std::collections::HashMap<_, _> =
+            world.blocks.records.iter().map(|r| (r.block, r)).collect();
         let mut cell_hi = 0;
         let mut cell_n = 0;
         let mut fixed_hi = 0;
@@ -184,9 +197,7 @@ mod tests {
                     if ratio > 0.5 {
                         cell_hi += 1;
                     }
-                } else if !t.access.is_cellular()
-                    && t.role != worldgen::BlockRole::ProxyFront
-                {
+                } else if !t.access.is_cellular() && t.role != worldgen::BlockRole::ProxyFront {
                     fixed_n += 1;
                     if ratio > 0.5 {
                         fixed_hi += 1;
@@ -194,7 +205,10 @@ mod tests {
                 }
             }
         }
-        assert!(cell_n > 20 && fixed_n > 100, "need samples: {cell_n}/{fixed_n}");
+        assert!(
+            cell_n > 20 && fixed_n > 100,
+            "need samples: {cell_n}/{fixed_n}"
+        );
         assert!(
             cell_hi as f64 / cell_n as f64 > 0.95,
             "cellular blocks with ratio>0.5: {cell_hi}/{cell_n}"
@@ -277,9 +291,8 @@ mod tests {
                 ..Default::default()
             },
         );
-        let share = |ds: &crate::BeaconDataset| {
-            ds.netinfo_hits_total() as f64 / ds.hits_total() as f64
-        };
+        let share =
+            |ds: &crate::BeaconDataset| ds.netinfo_hits_total() as f64 / ds.hits_total() as f64;
         assert!(
             share(&sep) < share(&dec) * 0.5,
             "Sep 2015 share {:.3} vs Dec 2016 {:.3}",

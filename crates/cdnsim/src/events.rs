@@ -65,7 +65,13 @@ impl Default for EventSimConfig {
 }
 
 /// Simulate page loads across the world's beacon-visible blocks.
+///
+/// Blocks are simulated in parallel; every block draws from its own RNG
+/// stream keyed by block identity, and per-block event vectors are
+/// concatenated in record order, so the output is bit-identical for any
+/// thread count.
 pub fn simulate_events(world: &World, cfg: &EventSimConfig) -> Vec<BeaconEvent> {
+    use rayon::prelude::*;
     let weight_sum: f64 = world
         .blocks
         .records
@@ -75,29 +81,35 @@ pub fn simulate_events(world: &World, cfg: &EventSimConfig) -> Vec<BeaconEvent> 
     let mix = browser_mix(cfg.month_index);
     let mix_weights: Vec<f64> = mix.iter().map(|(_, p)| *p).collect();
 
-    let mut events = Vec::new();
-    for b in world.blocks.records.iter() {
-        if b.beacon_weight <= 0.0 {
-            continue;
-        }
-        let mut rng = rng_for(
-            world.config.seed ^ 0xE7E7_0000_0000_0000,
-            crate::stream::block_stream(b.block),
-        );
-        let mean = cfg.page_loads as f64 * b.beacon_weight as f64 / weight_sum;
-        let loads = poisson(&mut rng, mean);
-        if loads == 0 {
-            continue;
-        }
-        let clients = ClientPool::new(&mut rng, b, cfg.clients_per_block);
-        let client_weights = zipf_weights(clients.len(), 1.1);
-        for _ in 0..loads {
-            let c = weighted_choice(&mut rng, &client_weights)
-                .expect("client pool is never empty");
-            events.push(clients.page_load(&mut rng, c, &mix, &mix_weights, cfg));
-        }
-    }
-    events
+    let per_block: Vec<Vec<BeaconEvent>> = world
+        .blocks
+        .records
+        .par_iter()
+        .map(|b| {
+            if b.beacon_weight <= 0.0 {
+                return Vec::new();
+            }
+            let mut rng = rng_for(
+                world.config.seed ^ 0xE7E7_0000_0000_0000,
+                crate::stream::block_stream(b.block),
+            );
+            let mean = cfg.page_loads as f64 * b.beacon_weight as f64 / weight_sum;
+            let loads = poisson(&mut rng, mean);
+            if loads == 0 {
+                return Vec::new();
+            }
+            let clients = ClientPool::new(&mut rng, b, cfg.clients_per_block);
+            let client_weights = zipf_weights(clients.len(), 1.1);
+            let mut events = Vec::with_capacity(loads as usize);
+            for _ in 0..loads {
+                let c =
+                    weighted_choice(&mut rng, &client_weights).expect("client pool is never empty");
+                events.push(clients.page_load(&mut rng, c, &mix, &mix_weights, cfg));
+            }
+            events
+        })
+        .collect();
+    per_block.into_iter().flatten().collect()
 }
 
 /// Aggregate raw events into the BEACON dataset shape.
@@ -134,8 +146,6 @@ struct ClientPool {
     /// Per-client stable ConnectionType (what NetInfo reports while the
     /// client keeps its current interface).
     conns: Vec<ConnectionType>,
-    /// Ground-truth access of the block (drives the switch-noise flip).
-    cellular_path: bool,
 }
 
 impl ClientPool {
@@ -149,7 +159,6 @@ impl ClientPool {
             block: b.block,
             asn: b.asn,
             conns,
-            cellular_path: b.access == AccessType::Cellular,
         }
     }
 
@@ -196,15 +205,16 @@ impl ClientPool {
         let browser = mix[weighted_choice(rng, mix_weights).expect("mix is non-empty")].0;
         let connection = if browser.supports_netinfo() {
             let mut conn = self.conns[client];
-            // Interface switched between IP capture and the NetInfo poll.
+            // Interface switched between IP capture and the NetInfo poll —
+            // a symmetric toggle: a device that was on cellular lands on
+            // wifi, anything else lands on cellular. The noise adds *and*
+            // removes cellular labels, so event-mode ratios converge to
+            // the latent rate from both sides (§3.1).
             if rng.gen::<f64>() < cfg.interface_switch_rate {
-                conn = if self.cellular_path || conn == ConnectionType::Wifi {
-                    // A device on a fixed path that wanders off WiFi lands
-                    // on cellular; a cellular-path flip is the same event
-                    // seen from the other side.
-                    ConnectionType::Cellular
-                } else {
+                conn = if conn == ConnectionType::Cellular {
                     ConnectionType::Wifi
+                } else {
+                    ConnectionType::Cellular
                 };
             }
             Some(conn)
@@ -275,12 +285,8 @@ mod tests {
     fn event_ratios_track_latent_rates() {
         let (world, events) = small_events();
         let ds = aggregate_events("t", &events);
-        let truth: std::collections::HashMap<_, _> = world
-            .blocks
-            .records
-            .iter()
-            .map(|r| (r.block, r))
-            .collect();
+        let truth: std::collections::HashMap<_, _> =
+            world.blocks.records.iter().map(|r| (r.block, r)).collect();
         let mut checked = 0;
         let mut abs_dev = 0.0;
         for r in ds.iter() {
@@ -299,7 +305,10 @@ mod tests {
                 checked += 1;
             }
         }
-        assert!(checked >= 4, "need several well-sampled blocks, got {checked}");
+        assert!(
+            checked >= 4,
+            "need several well-sampled blocks, got {checked}"
+        );
         let mean_dev = abs_dev / checked as f64;
         assert!(mean_dev < 0.15, "mean |ratio − latent| = {mean_dev:.3}");
     }

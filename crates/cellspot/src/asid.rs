@@ -46,25 +46,56 @@ impl AsAggregate {
     }
 }
 
+/// Chunk size for the parallel per-AS fold. Fixed (never derived from the
+/// thread count) so chunk boundaries — and with them the order of the
+/// non-associative `f64` additions — depend only on the data.
+const AGG_CHUNK: usize = 4096;
+
 /// Aggregate the joined index per AS under a given classification.
+///
+/// The index is folded over fixed-size chunks in parallel; chunk partials
+/// are merged sequentially in chunk order, so every AS's demand sums
+/// accumulate in the same order for any thread count and the result is
+/// bit-deterministic.
 pub fn aggregate_by_as(
     index: &BlockIndex,
     classification: &Classification,
 ) -> HashMap<Asn, AsAggregate> {
-    let mut map: HashMap<Asn, AsAggregate> = HashMap::new();
-    for o in index.iter() {
-        let a = map.entry(o.asn).or_default();
-        a.blocks += 1;
-        a.total_du += o.du;
-        a.netinfo_hits += o.netinfo_hits;
-        a.beacon_hits += o.beacon_hits;
-        if classification.is_cellular(o.block) {
-            if o.block.is_v4() {
-                a.cell_blocks24 += 1;
-            } else {
-                a.cell_blocks48 += 1;
+    use rayon::prelude::*;
+    let partials: Vec<HashMap<Asn, AsAggregate>> = index
+        .as_slice()
+        .par_chunks(AGG_CHUNK)
+        .map(|chunk| {
+            let mut map: HashMap<Asn, AsAggregate> = HashMap::new();
+            for o in chunk {
+                let a = map.entry(o.asn).or_default();
+                a.blocks += 1;
+                a.total_du += o.du;
+                a.netinfo_hits += o.netinfo_hits;
+                a.beacon_hits += o.beacon_hits;
+                if classification.is_cellular(o.block) {
+                    if o.block.is_v4() {
+                        a.cell_blocks24 += 1;
+                    } else {
+                        a.cell_blocks48 += 1;
+                    }
+                    a.cell_du += o.du;
+                }
             }
-            a.cell_du += o.du;
+            map
+        })
+        .collect();
+    let mut map: HashMap<Asn, AsAggregate> = HashMap::new();
+    for partial in partials {
+        for (asn, p) in partial {
+            let a = map.entry(asn).or_default();
+            a.blocks += p.blocks;
+            a.cell_blocks24 += p.cell_blocks24;
+            a.cell_blocks48 += p.cell_blocks48;
+            a.total_du += p.total_du;
+            a.cell_du += p.cell_du;
+            a.netinfo_hits += p.netinfo_hits;
+            a.beacon_hits += p.beacon_hits;
         }
     }
     map

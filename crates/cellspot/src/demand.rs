@@ -38,10 +38,7 @@ pub struct AsDemandRanking {
 
 impl AsDemandRanking {
     /// Build the ranking for the identified cellular AS set.
-    pub fn build(
-        mixed: &MixedAnalysis,
-        as_db: &AsDatabase,
-    ) -> Self {
+    pub fn build(mixed: &MixedAnalysis, as_db: &AsDatabase) -> Self {
         let total: f64 = mixed.verdicts.iter().map(|v| v.cell_du).sum();
         let rows = mixed
             .verdicts

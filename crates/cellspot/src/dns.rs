@@ -74,9 +74,7 @@ impl DnsAnalysis {
         Ecdf::new(
             dns.resolvers
                 .iter()
-                .filter(|r| {
-                    !matches!(r.kind, ResolverKind::Public(_)) && mixed.contains(&r.asn)
-                })
+                .filter(|r| !matches!(r.kind, ResolverKind::Public(_)) && mixed.contains(&r.asn))
                 .map(|r| &self.per_resolver[r.id as usize])
                 .filter(|d| d.cell_du + d.fixed_du > 0.0)
                 .map(|d| d.cellular_fraction()),
@@ -87,12 +85,7 @@ impl DnsAnalysis {
     /// paper: nearly 60% of resolvers in mixed ASes are shared). A
     /// resolver counts as shared when each side carries at least
     /// `min_side_fraction` of its demand.
-    pub fn shared_fraction(
-        &self,
-        dns: &DnsSim,
-        mixed_asns: &[Asn],
-        min_side_fraction: f64,
-    ) -> f64 {
+    pub fn shared_fraction(&self, dns: &DnsSim, mixed_asns: &[Asn], min_side_fraction: f64) -> f64 {
         let mixed: HashSet<Asn> = mixed_asns.iter().copied().collect();
         let mut total = 0usize;
         let mut shared = 0usize;

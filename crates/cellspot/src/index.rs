@@ -47,7 +47,25 @@ pub struct BlockIndex {
 
 impl BlockIndex {
     /// Join BEACON and DEMAND on block id (full outer join).
+    ///
+    /// Both inputs must be sorted by block id with no duplicates — the
+    /// dataset constructors guarantee this, and the merge join silently
+    /// corrupts the output otherwise, so debug builds verify it.
     pub fn build(beacons: &BeaconDataset, demand: &DemandDataset) -> Self {
+        debug_assert!(
+            beacons
+                .iter()
+                .zip(beacons.iter().skip(1))
+                .all(|(a, b)| a.block < b.block),
+            "BEACON input to BlockIndex::build must be strictly sorted by block id"
+        );
+        debug_assert!(
+            demand
+                .iter()
+                .zip(demand.iter().skip(1))
+                .all(|(a, b)| a.block < b.block),
+            "DEMAND input to BlockIndex::build must be strictly sorted by block id"
+        );
         let mut blocks = Vec::with_capacity(beacons.len().max(demand.len()));
         let mut b_iter = beacons.iter().peekable();
         let mut d_iter = demand.iter().peekable();
@@ -130,6 +148,12 @@ impl BlockIndex {
         self.blocks.iter()
     }
 
+    /// The observations as a slice (ordered by block id) — lets callers
+    /// chunk the join for deterministic parallel aggregation.
+    pub fn as_slice(&self) -> &[BlockObs] {
+        &self.blocks
+    }
+
     /// Binary-search lookup.
     pub fn get(&self, block: BlockId) -> Option<&BlockObs> {
         self.blocks
@@ -182,8 +206,7 @@ mod tests {
 
     #[test]
     fn full_outer_join() {
-        let beacons =
-            BeaconDataset::from_records("t", vec![beacon(1, 10, 9), beacon(3, 4, 0)]);
+        let beacons = BeaconDataset::from_records("t", vec![beacon(1, 10, 9), beacon(3, 4, 0)]);
         let dem = DemandDataset::from_raw("t", vec![demand(1, 3.0), demand(2, 1.0)]);
         let idx = BlockIndex::build(&beacons, &dem);
         assert_eq!(idx.len(), 3);

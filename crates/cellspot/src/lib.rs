@@ -36,6 +36,7 @@ mod pipeline;
 mod stats;
 mod sweep;
 mod temporal;
+mod timing;
 mod world_view;
 
 pub use ablation::{
@@ -47,8 +48,7 @@ pub use asid::{
 };
 pub use classify::{Classification, RatioDistributions, DEFAULT_THRESHOLD};
 pub use confidence::{
-    classify_with_confidence, confident_label, wilson_interval, ConfidenceSummary,
-    ConfidentLabel,
+    classify_with_confidence, confident_label, wilson_interval, ConfidenceSummary, ConfidentLabel,
 };
 pub use demand::{cellular_demand_values, AsDemandRanking, RankedAs, SubnetDemandProfile};
 pub use dns::{DnsAnalysis, PublicDnsUsage, ResolverDemand};
@@ -59,7 +59,10 @@ pub use pipeline::{run_study, Study, StudyConfig};
 pub use stats::{count_for_share, gini, top_k_share, Ecdf};
 pub use sweep::{threshold_sweep, SweepCurve, SweepPoint};
 pub use temporal::{MonthTransition, TemporalAnalysis};
+pub use timing::{
+    configure_thread_pool, configure_thread_pool_with, StageTiming, TimingReport, THREADS_ENV,
+};
 pub use world_view::{
-    continent_rows, v6_deployment, ContinentDemand, ContinentSubnets, CountryDemand,
-    V6Deployment, WorldView,
+    continent_rows, v6_deployment, ContinentDemand, ContinentSubnets, CountryDemand, V6Deployment,
+    WorldView,
 };

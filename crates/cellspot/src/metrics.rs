@@ -158,10 +158,7 @@ mod tests {
                     "10.0.0.0/22".parse::<Ipv4Net>().unwrap(),
                     AccessType::Cellular,
                 ),
-                GroundTruthEntry::V4(
-                    "10.1.0.0/22".parse::<Ipv4Net>().unwrap(),
-                    AccessType::Fixed,
-                ),
+                GroundTruthEntry::V4("10.1.0.0/22".parse::<Ipv4Net>().unwrap(), AccessType::Fixed),
             ],
         );
         // Beacons: 2 cellular blocks detected, 1 fixed misdetected, 1
@@ -219,6 +216,9 @@ mod tests {
         // 100,000; ratios are preserved.
         assert!((v.by_demand.tp / v.by_demand.fn_ - 70.0 / 20.0).abs() < 1e-9);
         assert!((v.by_demand.recall() - 7.0 / 9.0).abs() < 1e-9);
-        assert!(v.by_demand.recall() > v.by_cidr.recall(), "Table 3's pattern");
+        assert!(
+            v.by_demand.recall() > v.by_cidr.recall(),
+            "Table 3's pattern"
+        );
     }
 }

@@ -7,7 +7,9 @@ use serde::{Deserialize, Serialize};
 use cdnsim::{BeaconDataset, DemandDataset};
 use dnssim::DnsSim;
 
-use crate::asid::{aggregate_by_as, identify_cellular_ases, AsAggregate, AsFilterOutcome, FilterConfig};
+use crate::asid::{
+    aggregate_by_as, identify_cellular_ases, AsAggregate, AsFilterOutcome, FilterConfig,
+};
 use crate::classify::{Classification, RatioDistributions, DEFAULT_THRESHOLD};
 use crate::demand::AsDemandRanking;
 use crate::dns::DnsAnalysis;
@@ -15,6 +17,7 @@ use crate::index::BlockIndex;
 use crate::metrics::{validate_carrier, CarrierValidation};
 use crate::mixed::{MixedAnalysis, DEDICATED_CFD};
 use crate::sweep::{threshold_sweep, SweepCurve};
+use crate::timing::TimingReport;
 use crate::world_view::WorldView;
 
 /// Knobs for a full study run (defaults are the paper's choices).
@@ -83,6 +86,11 @@ pub struct Study {
     pub dns: Option<DnsAnalysis>,
     /// §7's geographic rollups (Tables 4/8, Figs. 11/12).
     pub view: WorldView,
+    /// Per-stage wall-clock timings for this run. Excluded from
+    /// serialization: timings vary run to run, while the serialized study
+    /// must stay byte-identical across runs and thread counts.
+    #[serde(skip)]
+    pub timing: TimingReport,
 }
 
 /// JSON maps require string keys, so the per-AS aggregate map serializes
@@ -115,6 +123,11 @@ mod serde_asn_map {
 }
 
 /// Run the full pipeline.
+///
+/// Per-carrier validations and sweeps fan out across the rayon pool;
+/// results are collected in carrier order, and every parallel stage is
+/// bit-deterministic regardless of thread count (see each stage's docs).
+/// Wall-clock per stage lands in the returned study's `timing` field.
 pub fn run_study(
     beacons: &BeaconDataset,
     demand: &DemandDataset,
@@ -123,32 +136,85 @@ pub fn run_study(
     dns: Option<&DnsSim>,
     config: StudyConfig,
 ) -> Study {
-    let index = BlockIndex::build(beacons, demand);
-    let classification = Classification::new(&index, config.threshold);
-    let ratio_distributions = RatioDistributions::build(&index);
+    use rayon::prelude::*;
+    let mut timing = TimingReport::new();
 
-    let validations = carriers
-        .iter()
-        .map(|gt| validate_carrier(gt, &classification, &index))
-        .collect();
-    let sweeps = carriers
-        .iter()
-        .map(|gt| threshold_sweep(gt, &index, config.sweep_steps))
-        .collect();
+    let index = timing.stage(
+        "join",
+        |i: &BlockIndex| i.len() as u64,
+        || BlockIndex::build(beacons, demand),
+    );
+    let classification = timing.stage(
+        "classify",
+        |c: &Classification| c.len() as u64,
+        || Classification::new(&index, config.threshold),
+    );
+    let ratio_distributions = timing.stage(
+        "ratio_distributions",
+        |_: &RatioDistributions| index.len() as u64,
+        || RatioDistributions::build(&index),
+    );
 
-    let as_aggregates = aggregate_by_as(&index, &classification);
-    let filter = identify_cellular_ases(
-        &as_aggregates,
-        as_db,
-        &FilterConfig {
-            min_cell_du: config.min_cell_du,
-            min_netinfo_hits: config.min_netinfo_hits,
+    let validations = timing.stage(
+        "validate",
+        |v: &Vec<CarrierValidation>| v.len() as u64,
+        || {
+            carriers
+                .par_iter()
+                .map(|gt| validate_carrier(gt, &classification, &index))
+                .collect()
         },
     );
-    let mixed = MixedAnalysis::build(&filter.cellular_ases, &as_aggregates, config.dedicated_cfd);
-    let ranking = AsDemandRanking::build(&mixed, as_db);
-    let dns_analysis = dns.map(|d| DnsAnalysis::build(d, &index, &classification));
-    let view = WorldView::build(&index, &classification, as_db);
+    let sweeps = timing.stage(
+        "sweep",
+        |s: &Vec<SweepCurve>| s.iter().map(|c| c.points.len() as u64).sum(),
+        || {
+            carriers
+                .par_iter()
+                .map(|gt| threshold_sweep(gt, &index, config.sweep_steps))
+                .collect()
+        },
+    );
+
+    let as_aggregates = timing.stage(
+        "aggregate_by_as",
+        |m: &std::collections::HashMap<netaddr::Asn, AsAggregate>| m.len() as u64,
+        || aggregate_by_as(&index, &classification),
+    );
+    let filter = timing.stage(
+        "as_filter",
+        |f: &AsFilterOutcome| f.candidates.len() as u64,
+        || {
+            identify_cellular_ases(
+                &as_aggregates,
+                as_db,
+                &FilterConfig {
+                    min_cell_du: config.min_cell_du,
+                    min_netinfo_hits: config.min_netinfo_hits,
+                },
+            )
+        },
+    );
+    let mixed = timing.stage(
+        "mixed",
+        |m: &MixedAnalysis| m.verdicts.len() as u64,
+        || MixedAnalysis::build(&filter.cellular_ases, &as_aggregates, config.dedicated_cfd),
+    );
+    let ranking = timing.stage(
+        "ranking",
+        |r: &AsDemandRanking| r.rows.len() as u64,
+        || AsDemandRanking::build(&mixed, as_db),
+    );
+    let dns_analysis = timing.stage(
+        "dns",
+        |d: &Option<DnsAnalysis>| u64::from(d.is_some()),
+        || dns.map(|d| DnsAnalysis::build(d, &index, &classification)),
+    );
+    let view = timing.stage(
+        "world_view",
+        |_: &WorldView| index.len() as u64,
+        || WorldView::build(&index, &classification, as_db),
+    );
 
     Study {
         config,
@@ -163,6 +229,7 @@ pub fn run_study(
         ranking,
         dns: dns_analysis,
         view,
+        timing,
     }
 }
 
@@ -222,9 +289,7 @@ mod tests {
             .operators
             .ops
             .iter()
-            .filter(|o| {
-                o.role == worldgen::OperatorRole::Normal && o.kind.is_cellular_access()
-            })
+            .filter(|o| o.role == worldgen::OperatorRole::Normal && o.kind.is_cellular_access())
             .map(|o| o.asn)
             .collect();
         let detected: std::collections::HashSet<_> =

@@ -65,7 +65,8 @@ impl SweepCurve {
                 let start = run_start.expect("run_start set when a run begins");
                 let cand = (start, p.threshold);
                 if best.is_none()
-                    || cand.1 - cand.0 > best.expect("checked is_none").1 - best.expect("checked is_none").0
+                    || cand.1 - cand.0
+                        > best.expect("checked is_none").1 - best.expect("checked is_none").0
                 {
                     best = Some(cand);
                 }
@@ -81,25 +82,26 @@ impl SweepCurve {
 /// `steps` points are evaluated at `k / steps` for `k = 1..=steps`
 /// (threshold 0 is excluded: everything with any cellular hit would be
 /// labeled cellular, which the paper's range `(0,1]` likewise excludes).
-pub fn threshold_sweep(
-    gt: &CarrierGroundTruth,
-    index: &BlockIndex,
-    steps: usize,
-) -> SweepCurve {
+/// Points are independent, so they are evaluated in parallel and
+/// collected in threshold order.
+pub fn threshold_sweep(gt: &CarrierGroundTruth, index: &BlockIndex, steps: usize) -> SweepCurve {
+    use rayon::prelude::*;
     let steps = steps.max(2);
-    let mut points = Vec::with_capacity(steps);
-    for k in 1..=steps {
-        let t = k as f64 / steps as f64;
-        let c = Classification::new(index, t);
-        let v: CarrierValidation = validate_carrier(gt, &c, index);
-        points.push(SweepPoint {
-            threshold: t,
-            f1_cidr: v.by_cidr.f1(),
-            f1_demand: v.by_demand.f1(),
-            precision_cidr: v.by_cidr.precision(),
-            recall_cidr: v.by_cidr.recall(),
-        });
-    }
+    let points: Vec<SweepPoint> = (1..=steps)
+        .into_par_iter()
+        .map(|k| {
+            let t = k as f64 / steps as f64;
+            let c = Classification::new(index, t);
+            let v: CarrierValidation = validate_carrier(gt, &c, index);
+            SweepPoint {
+                threshold: t,
+                f1_cidr: v.by_cidr.f1(),
+                f1_demand: v.by_demand.f1(),
+                precision_cidr: v.by_cidr.precision(),
+                recall_cidr: v.by_cidr.recall(),
+            }
+        })
+        .collect();
     SweepCurve {
         carrier: gt.name.clone(),
         points,
@@ -124,10 +126,7 @@ mod tests {
                     "10.0.0.0/21".parse::<Ipv4Net>().unwrap(),
                     AccessType::Cellular,
                 ),
-                GroundTruthEntry::V4(
-                    "10.8.0.0/19".parse::<Ipv4Net>().unwrap(),
-                    AccessType::Fixed,
-                ),
+                GroundTruthEntry::V4("10.8.0.0/19".parse::<Ipv4Net>().unwrap(), AccessType::Fixed),
             ],
         );
         let mut beacons = Vec::new();

@@ -102,7 +102,10 @@ impl TemporalAnalysis {
         if self.transitions.is_empty() {
             return 0.0;
         }
-        self.transitions.iter().map(|t| t.persistence()).sum::<f64>()
+        self.transitions
+            .iter()
+            .map(|t| t.persistence())
+            .sum::<f64>()
             / self.transitions.len() as f64
     }
 

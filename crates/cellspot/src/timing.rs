@@ -1,0 +1,175 @@
+//! Stage-timing instrumentation for the study pipeline.
+//!
+//! Every pipeline stage records its wall-clock cost and workload size
+//! into a [`TimingReport`]. The report rides along on [`crate::Study`]
+//! but is excluded from serialization (`#[serde(skip)]`): wall-clock
+//! varies run to run, and the serialized study must stay byte-identical
+//! across runs and thread counts. Harnesses that want the numbers (the
+//! `repro` binary) serialize the report separately.
+//!
+//! The module also owns the `CELLSPOT_THREADS` knob for pinning the
+//! global rayon pool to a fixed width — reproducible benchmarking needs
+//! a known thread count even though results never depend on it.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// Environment variable naming a fixed rayon thread count. Unset or
+/// unparsable means rayon's default (one thread per logical core).
+pub const THREADS_ENV: &str = "CELLSPOT_THREADS";
+
+/// Pin the global rayon pool to `CELLSPOT_THREADS` threads, if the
+/// variable is set to a positive integer. Returns the pinned width, or
+/// `None` when the variable is absent or invalid.
+///
+/// Call this once, early — rayon's global pool can only be configured
+/// before first use; later calls are silently ignored (the pool already
+/// exists, and determinism does not depend on its width anyway).
+pub fn configure_thread_pool() -> Option<usize> {
+    configure_thread_pool_with(
+        std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok()),
+    )
+}
+
+/// Pin the global rayon pool to an explicit width (e.g. from a CLI
+/// flag). `None` or zero leaves the pool untouched and returns `None`.
+pub fn configure_thread_pool_with(threads: Option<usize>) -> Option<usize> {
+    let n = threads.filter(|&n| n > 0)?;
+    // An Err here means the global pool was already built; the requested
+    // width still describes intent, so report it either way.
+    let _ = rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build_global();
+    Some(n)
+}
+
+/// One pipeline stage's wall-clock cost and workload size.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Stage name (e.g. `join`, `classify`, `validate`).
+    pub stage: String,
+    /// Wall-clock milliseconds spent in the stage.
+    pub millis: f64,
+    /// Items the stage processed or produced (blocks, carriers, sweep
+    /// points…) — whatever unit makes the stage's throughput meaningful.
+    pub items: u64,
+}
+
+/// Ordered per-stage wall-clock timings for one pipeline run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimingReport {
+    /// Stages in execution order.
+    pub stages: Vec<StageTiming>,
+}
+
+impl TimingReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        TimingReport::default()
+    }
+
+    /// Run `f`, timing it as `stage`; `items` maps the stage's output to
+    /// its workload count.
+    pub fn stage<T>(
+        &mut self,
+        stage: &str,
+        items: impl FnOnce(&T) -> u64,
+        f: impl FnOnce() -> T,
+    ) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.stages.push(StageTiming {
+            stage: stage.to_string(),
+            millis: start.elapsed().as_secs_f64() * 1e3,
+            items: items(&out),
+        });
+        out
+    }
+
+    /// Record an externally measured stage (harness-side steps like world
+    /// generation or artifact rendering).
+    pub fn push(&mut self, stage: impl Into<String>, millis: f64, items: u64) {
+        self.stages.push(StageTiming {
+            stage: stage.into(),
+            millis,
+            items,
+        });
+    }
+
+    /// Append another report's stages after this one's.
+    pub fn extend(&mut self, other: &TimingReport) {
+        self.stages.extend(other.stages.iter().cloned());
+    }
+
+    /// Look up a stage by name (first match).
+    pub fn get(&self, stage: &str) -> Option<&StageTiming> {
+        self.stages.iter().find(|s| s.stage == stage)
+    }
+
+    /// Total wall-clock across all recorded stages, in milliseconds.
+    pub fn total_millis(&self) -> f64 {
+        self.stages.iter().map(|s| s.millis).sum()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_records_time_and_items() {
+        let mut t = TimingReport::new();
+        let out = t.stage(
+            "double",
+            |v: &Vec<u32>| v.len() as u64,
+            || (0..100u32).map(|x| x * 2).collect::<Vec<u32>>(),
+        );
+        assert_eq!(out.len(), 100);
+        assert_eq!(t.stages.len(), 1);
+        let s = t.get("double").expect("stage recorded");
+        assert_eq!(s.items, 100);
+        assert!(s.millis >= 0.0);
+        assert!(t.total_millis() >= 0.0);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn push_extend_and_lookup() {
+        let mut a = TimingReport::new();
+        a.push("worldgen", 12.5, 7_000);
+        let mut b = TimingReport::new();
+        b.push("join", 3.25, 6_500);
+        a.extend(&b);
+        assert_eq!(a.stages.len(), 2);
+        assert_eq!(a.stages[0].stage, "worldgen");
+        assert_eq!(a.stages[1].stage, "join");
+        assert!((a.total_millis() - 15.75).abs() < 1e-9);
+        assert!(a.get("missing").is_none());
+    }
+
+    #[test]
+    fn report_serializes_round_trip() {
+        let mut t = TimingReport::new();
+        t.push("classify", 1.0, 42);
+        let json = serde_json::to_string(&t).expect("serialize");
+        let back: TimingReport = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn thread_pool_knob_parses() {
+        assert_eq!(configure_thread_pool_with(Some(0)), None);
+        // Pinning is best-effort (the global pool may already exist), but
+        // the requested width is always reported back.
+        assert_eq!(configure_thread_pool_with(Some(2)), Some(2));
+        assert_eq!(configure_thread_pool_with(None), None);
+    }
+}

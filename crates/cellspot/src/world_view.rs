@@ -226,10 +226,7 @@ impl WorldView {
     }
 
     /// Cellular AS counts per continent (Table 6), given the final AS set.
-    pub fn table6(
-        cellular_ases: &[Asn],
-        as_db: &AsDatabase,
-    ) -> ([usize; 6], [f64; 6]) {
+    pub fn table6(cellular_ases: &[Asn], as_db: &AsDatabase) -> ([usize; 6], [f64; 6]) {
         let mut counts = [0usize; 6];
         let mut countries: [std::collections::HashSet<CountryCode>; 6] = Default::default();
         for asn in cellular_ases {

@@ -15,17 +15,28 @@ use crate::io::block_to_string;
 /// `classify`: label every block and emit a CSV of the cellular ones.
 ///
 /// Output columns: `block,asn,cellular_ratio,netinfo_hits,du`.
+///
+/// Errors (instead of panicking) when a classified block cannot be found
+/// in the joined index — possible only when the input CSVs violate the
+/// datasets' uniqueness invariant (duplicate block rows survive release
+/// builds), so adversarial input reaches the CLI's error path.
 pub fn classify(
     beacons: &BeaconDataset,
     demand: &DemandDataset,
     threshold: Option<f64>,
-) -> (String, usize) {
+) -> Result<(String, usize), String> {
     let t = threshold.unwrap_or(DEFAULT_THRESHOLD);
     let index = BlockIndex::build(beacons, demand);
     let class = Classification::new(&index, t);
     let mut out = String::from("block,asn,cellular_ratio,netinfo_hits,du\n");
     for (block, asn) in class.iter() {
-        let obs = index.get(block).expect("classified blocks are observed");
+        let obs = index.get(block).ok_or_else(|| {
+            format!(
+                "classified block {} is missing from the joined index; \
+                 the input datasets are inconsistent (duplicate block rows?)",
+                block_to_string(block)
+            )
+        })?;
         out.push_str(&format!(
             "{},{},{:.4},{},{:.4}\n",
             block_to_string(block),
@@ -36,7 +47,7 @@ pub fn classify(
         ));
     }
     let n = class.len();
-    (out, n)
+    Ok((out, n))
 }
 
 /// `identify-as`: run the §5 pipeline and emit the cellular AS list plus
@@ -127,11 +138,7 @@ pub fn validate(
 }
 
 /// `stats`: the geographic rollup (Tables 4 and 8 in one report).
-pub fn stats(
-    beacons: &BeaconDataset,
-    demand: &DemandDataset,
-    as_db: &AsDatabase,
-) -> String {
+pub fn stats(beacons: &BeaconDataset, demand: &DemandDataset, as_db: &AsDatabase) -> String {
     let index = BlockIndex::build(beacons, demand);
     let class = Classification::with_default_threshold(&index);
     let view = WorldView::build(&index, &class, as_db);
@@ -173,12 +180,12 @@ mod tests {
     #[test]
     fn classify_emits_csv_rows() {
         let (_, b, d) = setup();
-        let (csv, n) = classify(&b, &d, None);
+        let (csv, n) = classify(&b, &d, None).expect("consistent datasets classify");
         assert!(n > 100);
         assert_eq!(csv.lines().count(), n + 1);
         assert!(csv.starts_with("block,asn,"));
         // Higher threshold → fewer rows.
-        let (_, n95) = classify(&b, &d, Some(0.95));
+        let (_, n95) = classify(&b, &d, Some(0.95)).expect("consistent datasets classify");
         assert!(n95 < n);
     }
 
@@ -207,8 +214,10 @@ mod tests {
         let out = stats(&b, &d, &world.as_db);
         assert!(out.contains("global cellular:"));
         for code in ["AF", "AS", "EU", "NA", "OC", "SA"] {
-            assert!(out.contains(&format!("\n{code},")) || out.starts_with(&format!("{code},")),
-                "missing {code} row");
+            assert!(
+                out.contains(&format!("\n{code},")) || out.starts_with(&format!("{code},")),
+                "missing {code} row"
+            );
         }
     }
 }

@@ -185,7 +185,10 @@ pub fn parse_ground_truth(name: &str, content: &str) -> Result<CarrierGroundTrut
         if fields.len() != 2 {
             return Err(err(
                 lineno,
-                format!("expected 2 fields ({GROUNDTRUTH_HEADER}), got {}", fields.len()),
+                format!(
+                    "expected 2 fields ({GROUNDTRUTH_HEADER}), got {}",
+                    fields.len()
+                ),
             ));
         }
         let label = match fields[1].to_ascii_lowercase().as_str() {
@@ -282,8 +285,7 @@ pub fn parse_asdb(content: &str) -> Result<asdb::AsDatabase, CsvError> {
         let asn: Asn = fields[0]
             .parse()
             .map_err(|_| err(lineno, format!("bad asn {:?}", fields[0])))?;
-        let country = CountryCode::new(fields[1])
-            .map_err(|e| err(lineno, e.to_string()))?;
+        let country = CountryCode::new(fields[1]).map_err(|e| err(lineno, e.to_string()))?;
         let continent = match fields[2] {
             "AF" => Continent::Africa,
             "AS" => Continent::Asia,
@@ -323,10 +325,7 @@ mod tests {
 
     #[test]
     fn parse_block_forms() {
-        assert!(matches!(
-            parse_block("203.0.113.0/24"),
-            Ok(BlockId::V4(_))
-        ));
+        assert!(matches!(parse_block("203.0.113.0/24"), Ok(BlockId::V4(_))));
         // Longer-than-/24 maps into its /24.
         let b = parse_block("203.0.113.128/25").unwrap();
         assert_eq!(block_to_string(b), "203.0.113.0/24");
@@ -360,7 +359,8 @@ mod tests {
         let bad3 = format!("{BEACON_HEADER}\n203.0.113.0/24,1,100\n");
         assert!(parse_beacons(&bad3).is_err());
         // Error carries the right line number.
-        let bad4 = format!("{BEACON_HEADER}\n203.0.113.0/24,1,10,5,5,0,0\nnot-a-block,1,1,1,1,0,0\n");
+        let bad4 =
+            format!("{BEACON_HEADER}\n203.0.113.0/24,1,10,5,5,0,0\nnot-a-block,1,1,1,1,0,0\n");
         let e = parse_beacons(&bad4).unwrap_err();
         assert_eq!(e.line, 3);
     }
@@ -382,7 +382,10 @@ mod tests {
         let (cell, fixed) = gt.count_blocks24();
         assert_eq!((cell, fixed), (16, 16));
         assert!(parse_ground_truth("T", "prefix,label\n10.0.0.0/20,wireless\n").is_err());
-        assert!(parse_ground_truth("T", "prefix,label\n").is_err(), "empty rejected");
+        assert!(
+            parse_ground_truth("T", "prefix,label\n").is_err(),
+            "empty rejected"
+        );
     }
 
     #[test]

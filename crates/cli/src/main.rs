@@ -126,7 +126,7 @@ fn classify(args: &[String]) -> CmdResult {
         ),
         None => None,
     };
-    let (csv, n) = commands::classify(&beacons, &demand, threshold);
+    let (csv, n) = commands::classify(&beacons, &demand, threshold)?;
     match flag_value(args, "--out") {
         Some(path) => {
             write(&PathBuf::from(&path), &csv)?;

@@ -31,12 +31,20 @@ fn full_tool_workflow() {
     // synth
     let out = run(&["synth", "--scale", "mini", "--out", data_s]);
     assert!(out.status.success(), "synth failed: {out:?}");
-    for f in ["beacons.csv", "demand.csv", "asdb.csv", "carrier_a_groundtruth.csv"] {
+    for f in [
+        "beacons.csv",
+        "demand.csv",
+        "asdb.csv",
+        "carrier_a_groundtruth.csv",
+    ] {
         assert!(data.join(f).exists(), "{f} missing");
     }
     let beacons = data.join("beacons.csv");
     let demand = data.join("demand.csv");
-    let (b, d) = (beacons.to_str().expect("utf8"), demand.to_str().expect("utf8"));
+    let (b, d) = (
+        beacons.to_str().expect("utf8"),
+        demand.to_str().expect("utf8"),
+    );
 
     // classify to a file
     let cells = dir.join("cellular.csv");
@@ -80,7 +88,9 @@ fn full_tool_workflow() {
         "--demand",
         d,
         "--ground-truth",
-        data.join("carrier_b_groundtruth.csv").to_str().expect("utf8"),
+        data.join("carrier_b_groundtruth.csv")
+            .to_str()
+            .expect("utf8"),
         "--sweep",
     ]);
     assert!(out.status.success(), "validate failed: {out:?}");
@@ -110,7 +120,9 @@ fn classification_is_deterministic_across_runs() {
     let dir = tmpdir("determinism");
     let data = dir.join("data");
     let data_s = data.to_str().expect("utf8");
-    assert!(run(&["synth", "--scale", "mini", "--out", data_s]).status.success());
+    assert!(run(&["synth", "--scale", "mini", "--out", data_s])
+        .status
+        .success());
     let beacons = data.join("beacons.csv");
     let demand = data.join("demand.csv");
     let args = [

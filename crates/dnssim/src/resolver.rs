@@ -154,16 +154,15 @@ pub fn generate_dns(world: &World) -> DnsSim {
             } else {
                 ResolverKind::FixedOnly
             };
-            let (dist_cell, dist_fixed) = if op.distant_cell_resolvers
-                && kind == ResolverKind::Shared
-            {
-                (1_470.0, uniform(&mut rng, 10.0, 60.0))
-            } else {
-                (
-                    uniform(&mut rng, 20.0, 300.0),
-                    uniform(&mut rng, 10.0, 200.0),
-                )
-            };
+            let (dist_cell, dist_fixed) =
+                if op.distant_cell_resolvers && kind == ResolverKind::Shared {
+                    (1_470.0, uniform(&mut rng, 10.0, 60.0))
+                } else {
+                    (
+                        uniform(&mut rng, 20.0, 300.0),
+                        uniform(&mut rng, 10.0, 200.0),
+                    )
+                };
             sim.resolvers.push(Resolver {
                 id: first + k,
                 asn: op.asn,
@@ -180,12 +179,8 @@ pub fn generate_dns(world: &World) -> DnsSim {
         .iter()
         .map(|(asn, first, n)| (*asn, (*first, *n)))
         .collect();
-    let op_of: std::collections::HashMap<Asn, &worldgen::OperatorInfo> = world
-        .operators
-        .ops
-        .iter()
-        .map(|o| (o.asn, o))
-        .collect();
+    let op_of: std::collections::HashMap<Asn, &worldgen::OperatorInfo> =
+        world.operators.ops.iter().map(|o| (o.asn, o)).collect();
 
     for (bi, b) in world.blocks.records.iter().enumerate() {
         if b.demand_weight <= 0.0 {
@@ -323,7 +318,10 @@ mod tests {
             .iter()
             .filter(|r| mixed_asns.contains(&r.asn) && r.kind == ResolverKind::Shared)
             .count();
-        assert!(shared > 50, "mixed ASes should run shared resolvers: {shared}");
+        assert!(
+            shared > 50,
+            "mixed ASes should run shared resolvers: {shared}"
+        );
     }
 
     #[test]

@@ -82,9 +82,7 @@ impl Block24 {
             let size_log = align.min(31 - left.leading_zeros()).min(24);
             let run = 1u32 << size_log;
             let len = 24 - size_log as u8;
-            out.push(
-                Ipv4Net::new(idx << 8, len).expect("cover lengths are always within 0..=24"),
-            );
+            out.push(Ipv4Net::new(idx << 8, len).expect("cover lengths are always within 0..=24"));
             idx += run;
             left -= run;
         }

@@ -174,7 +174,10 @@ mod tests {
 
     #[test]
     fn subscriber_totals_match_paper_table8() {
-        let total: f64 = CONTINENTS.iter().map(|c| ituc_subscribers_millions(*c)).sum();
+        let total: f64 = CONTINENTS
+            .iter()
+            .map(|c| ituc_subscribers_millions(*c))
+            .sum();
         assert!((total - 5824.3).abs() < 1.0, "paper total is 5,825M (≈)");
     }
 

@@ -251,14 +251,14 @@ mod tests {
     #[test]
     fn parse_rejects_garbage() {
         for s in [
-            "10.0.0.0",      // missing length
-            "10.0.0/8",      // three octets
-            "10.0.0.0.0/8",  // five octets
-            "10.0.0.256/8",  // octet out of range
-            "10.0.0.0/33",   // length out of range
-            "10.0.0.0/x",    // non-numeric length
-            "10.0.0.+1/8",   // sign not allowed
-            "",              // empty
+            "10.0.0.0",     // missing length
+            "10.0.0/8",     // three octets
+            "10.0.0.0.0/8", // five octets
+            "10.0.0.256/8", // octet out of range
+            "10.0.0.0/33",  // length out of range
+            "10.0.0.0/x",   // non-numeric length
+            "10.0.0.+1/8",  // sign not allowed
+            "",             // empty
         ] {
             assert!(s.parse::<Ipv4Net>().is_err(), "accepted {s:?}");
         }

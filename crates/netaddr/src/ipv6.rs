@@ -256,11 +256,11 @@ mod tests {
             "",
             ":::",
             "1::2::3",
-            "1:2:3:4:5:6:7",       // seven groups, no elision
-            "1:2:3:4:5:6:7:8:9",   // nine groups
-            "12345::",             // group too wide
-            "g::1",                // non-hex
-            "1:2:3:4:5:6:7:8::",   // elision with 8 groups already
+            "1:2:3:4:5:6:7",     // seven groups, no elision
+            "1:2:3:4:5:6:7:8:9", // nine groups
+            "12345::",           // group too wide
+            "g::1",              // non-hex
+            "1:2:3:4:5:6:7:8::", // elision with 8 groups already
         ] {
             assert_eq!(parse_ipv6(s), None, "accepted {s:?}");
         }
@@ -305,7 +305,10 @@ mod tests {
     #[test]
     fn block48_span() {
         assert_eq!("2001:db8::/48".parse::<Ipv6Net>().unwrap().num_block48(), 1);
-        assert_eq!("2001:db8::/32".parse::<Ipv6Net>().unwrap().num_block48(), 1 << 16);
+        assert_eq!(
+            "2001:db8::/32".parse::<Ipv6Net>().unwrap().num_block48(),
+            1 << 16
+        );
         assert_eq!("2001:db8::/64".parse::<Ipv6Net>().unwrap().num_block48(), 1);
     }
 }

@@ -43,12 +43,10 @@ mod trie;
 pub use asn::Asn;
 pub use block::{Block24, Block48, BlockId};
 pub use error::NetAddrError;
-pub use geo::{
-    Continent, CountryCode, ituc_subscribers_millions, CONTINENTS,
-};
+pub use geo::{ituc_subscribers_millions, Continent, CountryCode, CONTINENTS};
 pub use ipv4::Ipv4Net;
-pub use prefixset::Ipv4PrefixSet;
 pub use ipv6::Ipv6Net;
+pub use prefixset::Ipv4PrefixSet;
 pub use trie::{DualPrefixTrie, PrefixTrie};
 
 /// Format a raw IPv4 address (host byte order `u32`) in dotted-quad form.

@@ -39,7 +39,8 @@ impl Ipv4PrefixSet {
             match merged.last_mut() {
                 // Extend when overlapping or exactly adjacent.
                 Some((_, last_end))
-                    if start <= last_end.saturating_add(1) && *last_end >= start.saturating_sub(1) =>
+                    if start <= last_end.saturating_add(1)
+                        && *last_end >= start.saturating_sub(1) =>
                 {
                     if end > *last_end {
                         *last_end = end;
@@ -95,9 +96,7 @@ impl Ipv4PrefixSet {
 
     /// Set union.
     pub fn union(&self, other: &Ipv4PrefixSet) -> Ipv4PrefixSet {
-        Ipv4PrefixSet::from_prefixes(
-            self.prefixes.iter().chain(other.prefixes.iter()).copied(),
-        )
+        Ipv4PrefixSet::from_prefixes(self.prefixes.iter().chain(other.prefixes.iter()).copied())
     }
 }
 
@@ -111,7 +110,11 @@ impl FromIterator<Ipv4Net> for Ipv4PrefixSet {
 fn cover_range(mut start: u32, end: u32, out: &mut Vec<Ipv4Net>) {
     loop {
         // Largest prefix aligned at `start` that does not overshoot `end`.
-        let max_align = if start == 0 { 32 } else { start.trailing_zeros() };
+        let max_align = if start == 0 {
+            32
+        } else {
+            start.trailing_zeros()
+        };
         let span = (end - start) as u64 + 1;
         let max_size = 63 - span.leading_zeros() as u64; // floor(log2(span))
         let size_log = (max_align as u64).min(max_size).min(32) as u32;

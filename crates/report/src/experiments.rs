@@ -7,9 +7,7 @@
 //! compares the notes against the paper's reported values.
 
 use asdb::AsDatabase;
-use cellspot::{
-    AsRatioBreakdown, RatioDistributions, Study, SubnetDemandProfile,
-};
+use cellspot::{AsRatioBreakdown, RatioDistributions, Study, SubnetDemandProfile};
 use dnssim::{DnsSim, PUBLIC_DNS_SERVICES};
 use netaddr::{Asn, Continent, CONTINENTS};
 
@@ -80,7 +78,10 @@ impl Artifact {
 /// Table 1: qualitative related-work comparison (static content from the
 /// paper; regenerated for completeness of the artifact set).
 pub fn table1_related_work() -> Artifact {
-    let mut a = Artifact::new("table1", "Comparison of existing analyses of cellular usage");
+    let mut a = Artifact::new(
+        "table1",
+        "Comparison of existing analyses of cellular usage",
+    );
     let mut t = Table::new(
         "Table 1: granularity / global / comparative-cellular by source",
         &["Source", "Granularity", "Global", "Comp. Cellular"],
@@ -199,10 +200,22 @@ pub fn fig2_ratio_cdfs(study: &Study) -> Artifact {
         "cellular ratio",
         "CDF",
     )
-    .with(Series::new("IPv4 Subnets", d.v4_subnets.series(0.0, 1.0, 100)))
-    .with(Series::new("IPv4 Demand", d.v4_demand.series(0.0, 1.0, 100)))
-    .with(Series::new("IPv6 Subnets", d.v6_subnets.series(0.0, 1.0, 100)))
-    .with(Series::new("IPv6 Demand", d.v6_demand.series(0.0, 1.0, 100)));
+    .with(Series::new(
+        "IPv4 Subnets",
+        d.v4_subnets.series(0.0, 1.0, 100),
+    ))
+    .with(Series::new(
+        "IPv4 Demand",
+        d.v4_demand.series(0.0, 1.0, 100),
+    ))
+    .with(Series::new(
+        "IPv6 Subnets",
+        d.v6_subnets.series(0.0, 1.0, 100),
+    ))
+    .with(Series::new(
+        "IPv6 Demand",
+        d.v6_demand.series(0.0, 1.0, 100),
+    ));
     let (b4, a4, m4) = RatioDistributions::cuts(&d.v4_subnets);
     let (b6, a6, _) = RatioDistributions::cuts(&d.v6_subnets);
     let (bd4, ad4, md4) = RatioDistributions::cuts(&d.v4_demand);
@@ -212,7 +225,8 @@ pub fn fig2_ratio_cdfs(study: &Study) -> Artifact {
     ));
     a.notes.push(format!(
         "/48 subnets: {:.1}% below 0.1 (paper 98.7%), {:.1}% above 0.9 (paper 1.2%)",
-        100.0 * b6, 100.0 * a6
+        100.0 * b6,
+        100.0 * a6
     ));
     a.notes.push(format!(
         "IPv4 demand: {:.1}% below 0.1 (paper 80%), {:.1}% above 0.9 (paper 13.1%), {:.1}% intermediate (paper 6.9%)",
@@ -252,11 +266,22 @@ pub fn fig3_threshold_sweeps(study: &Study) -> Artifact {
 
 /// Table 3: classification accuracy per carrier.
 pub fn table3_validation(study: &Study) -> Artifact {
-    let mut a = Artifact::new("table3", "Classification accuracy for three mobile operators");
+    let mut a = Artifact::new(
+        "table3",
+        "Classification accuracy for three mobile operators",
+    );
     let mut t = Table::new(
         "Table 3: confusion matrices at threshold 0.5",
         &[
-            "Carrier", "Basis", "TP", "FP", "TN", "FN", "Precision", "Recall", "F1",
+            "Carrier",
+            "Basis",
+            "TP",
+            "FP",
+            "TN",
+            "FN",
+            "Precision",
+            "Recall",
+            "F1",
         ],
     );
     for v in &study.validations {
@@ -286,7 +311,13 @@ pub fn table4_subnets(study: &Study) -> Artifact {
     let mut a = Artifact::new("table4", "Detected cellular subnets by continent");
     let mut t = Table::new(
         "Table 4: cellular /24 and /48 counts and share of active space",
-        &["Continent", "# /24", "# /48", "% Active IPv4", "% Active IPv6"],
+        &[
+            "Continent",
+            "# /24",
+            "# /48",
+            "% Active IPv4",
+            "% Active IPv6",
+        ],
     );
     let mut tot24 = 0usize;
     let mut tot48 = 0usize;
@@ -391,10 +422,7 @@ pub fn fig4_as_distributions(study: &Study) -> Artifact {
     );
     if !demand_vals.is_empty() {
         let max = demand_vals.iter().cloned().fold(f64::MIN, f64::max);
-        let below = demand_vals
-            .iter()
-            .filter(|v| **v < max / 1e6)
-            .count() as f64
+        let below = demand_vals.iter().filter(|v| **v < max / 1e6).count() as f64
             / demand_vals.len() as f64;
         a.notes.push(format!(
             "{:.0}% of candidate ASes sit ≥6 orders of magnitude below the largest (paper: 40%)",
@@ -449,7 +477,11 @@ pub fn table6_cellular_ases(study: &Study, as_db: &AsDatabase) -> Artifact {
     );
     t.row(
         std::iter::once("# ASN".to_string())
-            .chain(CONTINENTS.iter().map(|c| fmt::int(counts[c.index()] as u64)))
+            .chain(
+                CONTINENTS
+                    .iter()
+                    .map(|c| fmt::int(counts[c.index()] as u64)),
+            )
             .collect(),
     );
     t.row(
@@ -467,15 +499,24 @@ pub fn table6_cellular_ases(study: &Study, as_db: &AsDatabase) -> Artifact {
 
 /// Fig. 5: per-AS cellular demand and subnet fractions.
 pub fn fig5_mixed_cdfs(study: &Study) -> Artifact {
-    let mut a = Artifact::new("fig5", "Cellular demand and subnet fraction per cellular AS");
+    let mut a = Artifact::new(
+        "fig5",
+        "Cellular demand and subnet fraction per cellular AS",
+    );
     let (cfd_cdf, subnet_cdf) = study.mixed.fig5();
     let fig = Figure::new(
         "Figure 5: CDFs over the 668-style cellular AS set",
         "fraction",
         "CDF",
     )
-    .with(Series::new("Cell. Demand Fraction", cfd_cdf.series(0.0, 1.0, 100)))
-    .with(Series::new("Cell. Subnet Fraction", subnet_cdf.series(0.0, 1.0, 100)));
+    .with(Series::new(
+        "Cell. Demand Fraction",
+        cfd_cdf.series(0.0, 1.0, 100),
+    ))
+    .with(Series::new(
+        "Cell. Subnet Fraction",
+        subnet_cdf.series(0.0, 1.0, 100),
+    ));
     let (mixed, dedicated) = study.mixed.counts();
     a.notes.push(format!(
         "{mixed} mixed / {dedicated} dedicated = {:.1}% mixed (paper: 392/276 = 58.6%)",
@@ -545,8 +586,14 @@ pub fn fig6_showcases(study: &Study, as_db: &AsDatabase) -> Artifact {
             "cellular ratio",
             "CDF",
         )
-        .with(Series::new("Subnet Fraction", b.subnet_cdf.series(0.0, 1.0, 100)))
-        .with(Series::new("Demand Fraction", b.demand_cdf.series(0.0, 1.0, 100)));
+        .with(Series::new(
+            "Subnet Fraction",
+            b.subnet_cdf.series(0.0, 1.0, 100),
+        ))
+        .with(Series::new(
+            "Demand Fraction",
+            b.demand_cdf.series(0.0, 1.0, 100),
+        ));
         if label == "dedicated US" {
             a.notes.push(format!(
                 "dedicated: {:.0}% of /24s at ratio 0 (paper: 40%), demand concentrated at ratios 0.7-0.9",
@@ -628,7 +675,10 @@ pub fn table7_top10(study: &Study) -> Artifact {
 
 /// Fig. 8: ranked subnet demand inside the large mixed European operator.
 pub fn fig8_subnet_demand(study: &Study, as_db: &AsDatabase) -> Artifact {
-    let mut a = Artifact::new("fig8", "Subnet demand, cellular vs fixed, mixed EU operator");
+    let mut a = Artifact::new(
+        "fig8",
+        "Subnet demand, cellular vs fixed, mixed EU operator",
+    );
     let (_, mixed_eu) = select_showcases(study, as_db);
     let Some(asn) = mixed_eu else {
         a.notes.push("no mixed European operator found".into());
@@ -667,7 +717,10 @@ pub fn fig8_subnet_demand(study: &Study, as_db: &AsDatabase) -> Artifact {
 
 /// Fig. 9: resolver sharing in mixed cellular networks.
 pub fn fig9_resolver_sharing(study: &Study, dns: &DnsSim) -> Artifact {
-    let mut a = Artifact::new("fig9", "Cellular demand fraction across resolvers in mixed ASes");
+    let mut a = Artifact::new(
+        "fig9",
+        "Cellular demand fraction across resolvers in mixed ASes",
+    );
     let Some(analysis) = &study.dns else {
         a.notes.push("study ran without DNS data".into());
         return a;
@@ -679,7 +732,10 @@ pub fn fig9_resolver_sharing(study: &Study, dns: &DnsSim) -> Artifact {
         "resolver cellular fraction",
         "CDF",
     )
-    .with(Series::new("Resolver Cellular Fraction", cdf.series(0.0, 1.0, 100)));
+    .with(Series::new(
+        "Resolver Cellular Fraction",
+        cdf.series(0.0, 1.0, 100),
+    ));
     let shared = analysis.shared_fraction(dns, &mixed, 0.02);
     a.notes.push(format!(
         "{:.0}% of resolvers in mixed ASes serve both populations (paper: ~60%)",
@@ -723,7 +779,13 @@ pub fn fig10_public_dns(study: &Study, dns: &DnsSim, as_db: &AsDatabase) -> Arti
     ];
     let mut t = Table::new(
         "Figure 10 (as a table): fraction of demand via public DNS",
-        &["Operator", "GoogleDNS", "OpenDNS", "Level 3", "Total public"],
+        &[
+            "Operator",
+            "GoogleDNS",
+            "OpenDNS",
+            "Level 3",
+            "Total public",
+        ],
     );
     for (label, cc, nth) in wanted {
         let Some(row) = study
@@ -803,10 +865,7 @@ pub fn table8_continent_demand(study: &Study) -> Artifact {
         fmt::pct(study.view.global_cellular_pct()),
         "100.0%".into(),
         fmt::f(5_824.3, 1),
-        fmt::f(
-            study.view.global_cell_du / (5_824.3 * 1_000.0),
-            4,
-        ),
+        fmt::f(study.view.global_cell_du / (5_824.3 * 1_000.0), 4),
     ]);
     a.notes.push(format!(
         "global cellular fraction {:.1}% (paper: 16.2%)",
@@ -828,7 +887,10 @@ pub fn fig11_top_countries(study: &Study) -> Artifact {
             continue;
         }
         let mut t = Table::new(
-            format!("Figure 11 ({}): top countries by global cellular share", c.name()),
+            format!(
+                "Figure 11 ({}): top countries by global cellular share",
+                c.name()
+            ),
             &["Country", "Share of global cellular (%)"],
         );
         for (code, share) in &top {
@@ -848,12 +910,7 @@ pub fn fig11_top_countries(study: &Study) -> Artifact {
         ));
     }
     // Top-5 / top-20 shares across all countries.
-    let mut all: Vec<f64> = study
-        .view
-        .countries
-        .values()
-        .map(|c| c.cell_du)
-        .collect();
+    let mut all: Vec<f64> = study.view.countries.values().map(|c| c.cell_du).collect();
     all.sort_by(|a, b| b.partial_cmp(a).expect("DU finite"));
     let total: f64 = all.iter().sum();
     if total > 0.0 {
@@ -870,7 +927,10 @@ pub fn fig11_top_countries(study: &Study) -> Artifact {
 
 /// Fig. 12: country scatter of cellular fraction vs cellular demand.
 pub fn fig12_country_scatter(study: &Study) -> Artifact {
-    let mut a = Artifact::new("fig12", "Countries by cellular fraction and cellular demand");
+    let mut a = Artifact::new(
+        "fig12",
+        "Countries by cellular fraction and cellular demand",
+    );
     let rows = study.view.country_scatter();
     let fig = Figure::new(
         "Figure 12: cellular demand ratio (x) vs cellular DU (y)",
@@ -880,7 +940,9 @@ pub fn fig12_country_scatter(study: &Study) -> Artifact {
     .log_y()
     .with(Series::new(
         "Countries",
-        rows.iter().map(|(_, cfd, du)| (*cfd, *du)).collect::<Vec<_>>(),
+        rows.iter()
+            .map(|(_, cfd, du)| (*cfd, *du))
+            .collect::<Vec<_>>(),
     ));
     for code in ["US", "GH", "LA", "ID", "FR"] {
         if let Some((_, cfd, du)) = rows.iter().find(|(c, _, _)| c.as_str() == code) {
@@ -955,7 +1017,12 @@ pub fn ext_granularity(study: &Study) -> Artifact {
     );
     let mut t = Table::new(
         "Label churn when beacons are aggregated above /24",
-        &["Prefix", "Cellular aggregates", "Relabeled blocks", "Relabeled DU"],
+        &[
+            "Prefix",
+            "Cellular aggregates",
+            "Relabeled blocks",
+            "Relabeled DU",
+        ],
     );
     let sweep = granularity_sweep(&study.index, &study.classification);
     for g in &sweep {
@@ -997,7 +1064,11 @@ pub fn ext_rule_ablation(study: &Study, as_db: &AsDatabase) -> Artifact {
         "Cellular AS set size with one rule disabled",
         &["Variant", "Cellular ASes", "Extra admitted"],
     );
-    t.row(vec!["baseline (all rules)".into(), fmt::int(base as u64), "0".into()]);
+    t.row(vec![
+        "baseline (all rules)".into(),
+        fmt::int(base as u64),
+        "0".into(),
+    ]);
     for (name, e) in [
         ("without rule 1 (demand)", extra[0]),
         ("without rule 2 (hits)", extra[1]),
@@ -1079,7 +1150,12 @@ pub fn ext_confidence(study: &Study) -> Artifact {
     );
     let mut first_cell = None;
     let mut last = None;
-    for (z, label) in [(0.0, "none (paper)"), (1.96, "95%"), (2.58, "99%"), (3.29, "99.9%")] {
+    for (z, label) in [
+        (0.0, "none (paper)"),
+        (1.96, "95%"),
+        (2.58, "99%"),
+        (3.29, "99.9%"),
+    ] {
         let s = classify_with_confidence(&study.index, study.config.threshold, z);
         t.row(vec![
             fmt::f(z, 2),

@@ -162,11 +162,19 @@ impl Figure {
             self.x_label,
             x0,
             x1,
-            if self.x_scale == Scale::Log { " log10" } else { "" },
+            if self.x_scale == Scale::Log {
+                " log10"
+            } else {
+                ""
+            },
             self.y_label,
             y0,
             y1,
-            if self.y_scale == Scale::Log { " log10" } else { "" },
+            if self.y_scale == Scale::Log {
+                " log10"
+            } else {
+                ""
+            },
         ));
         for (si, s) in self.series.iter().enumerate() {
             out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], s.name));
@@ -192,8 +200,10 @@ mod tests {
 
     #[test]
     fn ascii_plot_contains_glyphs_and_legend() {
-        let fig = Figure::new("demo", "rank", "share")
-            .with(Series::new("cell", vec![(1.0, 10.0), (2.0, 5.0), (3.0, 1.0)]));
+        let fig = Figure::new("demo", "rank", "share").with(Series::new(
+            "cell",
+            vec![(1.0, 10.0), (2.0, 5.0), (3.0, 1.0)],
+        ));
         let s = fig.render_ascii(40, 10);
         assert!(s.contains('*'));
         assert!(s.contains("cell"));

@@ -17,6 +17,7 @@
 
 use asdb::{AccessType, AsKind};
 use netaddr::{Asn, Block24, Block48, BlockId};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::config::WorldConfig;
@@ -137,8 +138,7 @@ pub fn generate_blocks(cfg: &WorldConfig, ops: &OperatorSet) -> BlockSet {
             0
         };
         let demand_only = if fixed_demand_total > 0.0 {
-            (cfg.demand_only_blocks24 as f64 * op.fixed_demand / fixed_demand_total).round()
-                as u64
+            (cfg.demand_only_blocks24 as f64 * op.fixed_demand / fixed_demand_total).round() as u64
         } else {
             0
         };
@@ -195,37 +195,51 @@ pub fn generate_blocks(cfg: &WorldConfig, ops: &OperatorSet) -> BlockSet {
     // 500× reduction.
     let total_weight: f64 = ops.ops.iter().map(|o| o.total_demand()).sum::<f64>() * 1.08;
     let per_block_floor = 3.0 * total_weight / cfg.netinfo_hits_total;
-    let mut records = Vec::new();
-    for (i, op) in ops.ops.iter().enumerate() {
-        let mut rng = rng_for(cfg.seed, 0x50_0000 + i as u64);
-        // Some CGN gateways front app-only (JS-free) traffic and never
-        // beacon; their demand is real but invisible to classification —
-        // the source of the paper's demand-weighted false negatives
-        // (Carrier A's demand recall is 0.82, not 1.0). The showcase
-        // mixed operator carries a paper-calibrated share of such space.
-        // Elsewhere the rate is zero: a dark rank-1 gateway would siphon
-        // 15-20% of an operator's cellular demand and silently flip
-        // dedicated operators below the 0.9 CFD threshold.
-        let dark_cgn_rate = if op.asn == ops.showcase_mixed {
-            0.12
-        } else {
-            0.0
-        };
-        // Fig. 6a: large dedicated operators' demand concentrates at
-        // ratios 0.7-0.9 — their gateway blocks are hotspot-heavy.
-        let cgn_hotspot_prob = if op.asn == ops.showcase_dedicated
-            || (op.kind == AsKind::DedicatedCellular && op.cell_demand > 3.0)
-        {
-            0.85
-        } else {
-            0.25
-        };
-        let tuning = OpTuning {
-            floor_weight: per_block_floor,
-            dark_cgn_rate,
-            cgn_hotspot_prob,
-        };
-        generate_op_blocks(cfg, op, &spans[i], &layouts[i], &tuning, &mut rng, &mut records);
+    // Operators are independent — each has its own RNG stream keyed by
+    // its position — so phase 2 fans out across threads; per-operator
+    // record vectors are concatenated in operator order, making the
+    // output bit-identical to a sequential pass for any thread count.
+    let per_op: Vec<Vec<SubnetRecord>> = ops
+        .ops
+        .par_iter()
+        .enumerate()
+        .map(|(i, op)| {
+            let mut rng = rng_for(cfg.seed, 0x50_0000 + i as u64);
+            // Some CGN gateways front app-only (JS-free) traffic and never
+            // beacon; their demand is real but invisible to classification —
+            // the source of the paper's demand-weighted false negatives
+            // (Carrier A's demand recall is 0.82, not 1.0). The showcase
+            // mixed operator carries a paper-calibrated share of such space.
+            // Elsewhere the rate is zero: a dark rank-1 gateway would siphon
+            // 15-20% of an operator's cellular demand and silently flip
+            // dedicated operators below the 0.9 CFD threshold.
+            let dark_cgn_rate = if op.asn == ops.showcase_mixed {
+                0.12
+            } else {
+                0.0
+            };
+            // Fig. 6a: large dedicated operators' demand concentrates at
+            // ratios 0.7-0.9 — their gateway blocks are hotspot-heavy.
+            let cgn_hotspot_prob = if op.asn == ops.showcase_dedicated
+                || (op.kind == AsKind::DedicatedCellular && op.cell_demand > 3.0)
+            {
+                0.85
+            } else {
+                0.25
+            };
+            let tuning = OpTuning {
+                floor_weight: per_block_floor,
+                dark_cgn_rate,
+                cgn_hotspot_prob,
+            };
+            let mut out = Vec::new();
+            generate_op_blocks(cfg, op, &spans[i], &layouts[i], &tuning, &mut rng, &mut out);
+            out
+        })
+        .collect();
+    let mut records = Vec::with_capacity(per_op.iter().map(Vec::len).sum());
+    for v in per_op {
+        records.extend(v);
     }
 
     BlockSet { records, spans }
@@ -320,8 +334,8 @@ fn generate_op_blocks(
         // Deterministic count of dark gateways, taken from the ranks just
         // below the top so the largest gateway always stays RUM-visible
         // and the dark share of demand is roughly scale-independent.
-        let n_dark = ((tuning.dark_cgn_rate * n_cgn as f64).round() as usize)
-            .min(n_cgn.saturating_sub(1));
+        let n_dark =
+            ((tuning.dark_cgn_rate * n_cgn as f64).round() as usize).min(n_cgn.saturating_sub(1));
 
         for (j, &d) in cgn_shares.iter().chain(tail_shares.iter()).enumerate() {
             let is_cgn = j < n_cgn;
@@ -480,14 +494,15 @@ fn generate_op_blocks(
     let n_cell48 = op.cell_blocks48 as usize;
     if n_cell48 > 0 {
         let v6_demand = op.cell_demand * op.v6_demand_frac;
-        let n_cgn = ((n_cell48 as f64).sqrt().round() as usize).clamp(1, 12).min(n_cell48);
+        let n_cgn = ((n_cell48 as f64).sqrt().round() as usize)
+            .clamp(1, 12)
+            .min(n_cell48);
         let cgn = v6_demand * 0.97;
         let mut shares = zipf_split(rng, cgn, n_cgn, 0.8, 0.3);
         shares.extend(zipf_split(rng, v6_demand - cgn, n_cell48 - n_cgn, 1.4, 0.5));
         for (j, &d) in shares.iter().enumerate() {
             let in_demand = uniform(rng, 0.0, 1.0) < cfg.v6_demand_coverage || d > v6_demand * 0.01;
-            let cell_rate =
-                (1.0 - op.tether_rate * uniform(rng, 0.6, 1.4)).clamp(0.35, 1.0);
+            let cell_rate = (1.0 - op.tether_rate * uniform(rng, 0.6, 1.4)).clamp(0.35, 1.0);
             out.push(SubnetRecord {
                 block: BlockId::V6(Block48::from_index(span.cell48_start + j as u64)),
                 asn: op.asn,
@@ -551,16 +566,13 @@ mod tests {
             );
         }
         // Every v4 record lands inside its operator's span.
-        let by_asn: std::collections::HashMap<_, _> =
-            bs.spans.iter().map(|s| (s.asn, s)).collect();
+        let by_asn: std::collections::HashMap<_, _> = bs.spans.iter().map(|s| (s.asn, s)).collect();
         for r in &bs.records {
             if let BlockId::V4(b) = r.block {
                 let s = by_asn[&r.asn];
                 let idx = b.index();
-                let in_cell =
-                    idx >= s.cell24_start && idx < s.cell24_start + s.cell24_active;
-                let in_fixed =
-                    idx >= s.fixed24_start && idx < s.fixed24_start + s.fixed24_active;
+                let in_cell = idx >= s.cell24_start && idx < s.cell24_start + s.cell24_active;
+                let in_fixed = idx >= s.fixed24_start && idx < s.fixed24_start + s.fixed24_active;
                 assert!(in_cell || in_fixed, "record {r:?} outside spans {s:?}");
             }
         }
@@ -648,9 +660,7 @@ mod tests {
             .records
             .iter()
             .filter(|r| {
-                r.asn == ops.showcase_mixed
-                    && r.access == AccessType::Cellular
-                    && r.block.is_v4()
+                r.asn == ops.showcase_mixed && r.access == AccessType::Cellular && r.block.is_v4()
             })
             .map(|r| r.demand_weight as f64)
             .collect();

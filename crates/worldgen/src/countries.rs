@@ -272,8 +272,7 @@ pub fn build_countries() -> Vec<CountrySpec> {
         })
         .collect();
 
-    let named: std::collections::HashSet<&str> =
-        NAMED_COUNTRIES.iter().map(|a| a.code).collect();
+    let named: std::collections::HashSet<&str> = NAMED_COUNTRIES.iter().map(|a| a.code).collect();
     let mut synth = synthetic_codes(named);
 
     for (ci, targets) in CONTINENT_TARGETS.iter().enumerate() {
@@ -440,7 +439,9 @@ mod tests {
             let (cell, total): (f64, f64) = NAMED_COUNTRIES
                 .iter()
                 .filter(|a| a.continent == *cont)
-                .fold((0.0, 0.0), |(c, t), a| (c + a.cell_share, t + a.cell_share / a.cfd));
+                .fold((0.0, 0.0), |(c, t), a| {
+                    (c + a.cell_share, t + a.cell_share / a.cfd)
+                });
             frac[ci] = cell / total;
         }
         let af = frac[0];

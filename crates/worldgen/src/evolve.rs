@@ -77,12 +77,8 @@ pub fn evolve_blocks(world: &World, cfg: &ChurnConfig, month: u32) -> BlockSet {
     let growth = cfg.cellular_growth.powi(month as i32);
 
     // Span lookup for renumbering targets.
-    let span_of: std::collections::HashMap<netaddr::Asn, &crate::blocks::OpSpans> = world
-        .blocks
-        .spans
-        .iter()
-        .map(|s| (s.asn, s))
-        .collect();
+    let span_of: std::collections::HashMap<netaddr::Asn, &crate::blocks::OpSpans> =
+        world.blocks.spans.iter().map(|s| (s.asn, s)).collect();
 
     for (i, r) in out.records.iter_mut().enumerate() {
         let factor = op_factor.get(&r.asn).copied().unwrap_or(1.0);
@@ -106,15 +102,9 @@ pub fn evolve_blocks(world: &World, cfg: &ChurnConfig, month: u32) -> BlockSet {
         if uniform(&mut rng, 0.0, 1.0) >= survive {
             if let (BlockId::V4(_), Some(span)) = (r.block, span_of.get(&r.asn)) {
                 let (start, len) = if r.access.is_cellular() {
-                    (
-                        span.cell24_start,
-                        span.cell24_active + span.cell24_extra,
-                    )
+                    (span.cell24_start, span.cell24_active + span.cell24_extra)
                 } else {
-                    (
-                        span.fixed24_start,
-                        span.fixed24_active + span.fixed24_extra,
-                    )
+                    (span.fixed24_start, span.fixed24_active + span.fixed24_extra)
                 };
                 if len > 0 {
                     let offset = (uniform(&mut rng, 0.0, 1.0) * len as f64) as u32 % len;
@@ -126,12 +116,13 @@ pub fn evolve_blocks(world: &World, cfg: &ChurnConfig, month: u32) -> BlockSet {
 
     // Renumbering can land two records on the same index; keep the
     // higher-demand one per block (the CGN pool that actually uses it).
-    out.records
-        .sort_by(|a, b| a.block.cmp(&b.block).then(
+    out.records.sort_by(|a, b| {
+        a.block.cmp(&b.block).then(
             b.demand_weight
                 .partial_cmp(&a.demand_weight)
                 .expect("weights are finite"),
-        ));
+        )
+    });
     out.records.dedup_by_key(|r| r.block);
     out
 }
@@ -251,8 +242,14 @@ mod tests {
         let fixed_growth = sum(&evolved, false) / sum(&world.blocks, false);
         // 1.04^12 ≈ 1.60 for cellular; fixed only loses a little demand
         // to renumbering dedup.
-        assert!((1.3..1.9).contains(&cell_growth), "cellular {cell_growth:.3}");
-        assert!((0.9..1.1).contains(&fixed_growth), "fixed {fixed_growth:.3}");
+        assert!(
+            (1.3..1.9).contains(&cell_growth),
+            "cellular {cell_growth:.3}"
+        );
+        assert!(
+            (0.9..1.1).contains(&fixed_growth),
+            "fixed {fixed_growth:.3}"
+        );
     }
 
     #[test]

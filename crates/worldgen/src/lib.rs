@@ -33,12 +33,12 @@ pub mod sampling;
 mod world;
 
 pub use blocks::{BlockRole, BlockSet, OpSpans, SubnetRecord};
-pub use evolve::{evolve_blocks, evolve_timeline, world_at_month, ChurnConfig, MonthSnapshot};
 pub use carriers::build_carriers;
 pub use config::WorldConfig;
 pub use countries::{
     build_countries, continent_targets, default_public_dns, ContinentTargets, CountryAnchor,
     CountrySpec, CONTINENT_TARGETS, NAMED_COUNTRIES,
 };
+pub use evolve::{evolve_blocks, evolve_timeline, world_at_month, ChurnConfig, MonthSnapshot};
 pub use operators::{generate_operators, OperatorInfo, OperatorRole, OperatorSet};
 pub use world::{World, WorldSummary};

@@ -19,9 +19,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::WorldConfig;
 use crate::countries::{continent_targets, CountrySpec};
-use crate::sampling::{
-    rng_for, stochastic_round, uniform, weighted_choice, zipf_split, GenRng,
-};
+use crate::sampling::{rng_for, stochastic_round, uniform, weighted_choice, zipf_split, GenRng};
 
 /// Why an operator exists in the generated population; drives both block
 /// generation and the expectations of the AS-filter experiments.
@@ -234,8 +232,7 @@ pub fn generate_operators(cfg: &WorldConfig, countries: &[CountrySpec]) -> Opera
 
         // Decide mixing for unplanned operators so the continental mixed
         // fraction lands on target.
-        let mixed_target =
-            stochastic_round(&mut rng, n_cell as f64 * tgt.mixed_fraction) as usize;
+        let mixed_target = stochastic_round(&mut rng, n_cell as f64 * tgt.mixed_fraction) as usize;
         let planned_mixed = plan
             .iter()
             .filter(|(_, k)| *k == AsKind::MixedAccess)
@@ -244,9 +241,9 @@ pub fn generate_operators(cfg: &WorldConfig, countries: &[CountrySpec]) -> Opera
 
         // Country block budgets.
         let cont_i = country.continent.index();
-        let cell24_budget =
-            tgt.cell24 as f64 * (country.cell_share / continent_cell_share[cont_i])
-                * cfg.block_scale;
+        let cell24_budget = tgt.cell24 as f64
+            * (country.cell_share / continent_cell_share[cont_i])
+            * cfg.block_scale;
         let country_total = country.cell_share / country.cfd;
         let fixed24_budget = (tgt.active24 - tgt.cell24) as f64
             * (country_total / continent_total_share[cont_i])
@@ -480,7 +477,9 @@ pub fn generate_operators(cfg: &WorldConfig, countries: &[CountrySpec]) -> Opera
             ops[i].cell_blocks24 = ((2_972.0 * cfg.block_scale).round() as u64).max(30);
             // Fig. 6a: ~40% of its /24s are ratio-0 infrastructure.
             ops[i].cell_alloc_extra24 = 0;
-            ops[i].cgn_blocks = ((ops[i].cell_blocks24 as f64) * 0.02).round().clamp(3.0, 40.0) as u64;
+            ops[i].cgn_blocks = ((ops[i].cell_blocks24 as f64) * 0.02)
+                .round()
+                .clamp(3.0, 40.0) as u64;
             ops[i].cgn_share = 0.97;
             // Fig. 6a: its gateway ratios sit in the 0.7-0.9 band — a
             // hotspot-heavy population with a moderate tether rate keeps
@@ -894,10 +893,7 @@ mod tests {
         let countries = build_countries();
         let set = demo_ops();
         for code in ["US", "GB", "GH", "JP"] {
-            let anchor = countries
-                .iter()
-                .find(|c| c.code.as_str() == code)
-                .unwrap();
+            let anchor = countries.iter().find(|c| c.code.as_str() == code).unwrap();
             let cell: f64 = set
                 .ops
                 .iter()
@@ -926,10 +922,17 @@ mod tests {
             .collect();
         us.sort_by(|a, b| b.cell_demand.partial_cmp(&a.cell_demand).unwrap());
         // Table 7: 9.4, 9.2, 5.7, 3.8 — allow the renormalization wiggle.
-        assert!((us[0].cell_demand - 9.4).abs() < 0.5, "{}", us[0].cell_demand);
+        assert!(
+            (us[0].cell_demand - 9.4).abs() < 0.5,
+            "{}",
+            us[0].cell_demand
+        );
         assert!((us[1].cell_demand - 9.2).abs() < 0.5);
         assert!((us[2].cell_demand - 5.7).abs() < 0.4);
-        assert!(us.iter().take(4).all(|o| o.kind == AsKind::DedicatedCellular));
+        assert!(us
+            .iter()
+            .take(4)
+            .all(|o| o.kind == AsKind::DedicatedCellular));
     }
 
     #[test]

@@ -91,17 +91,25 @@ impl World {
 
     /// Total raw demand weight across all blocks (the quantity the CDN
     /// simulator normalizes to 100,000 DU).
+    ///
+    /// Summed over fixed-size chunks whose partials are merged in chunk
+    /// order, so the (non-associative) float total is identical for any
+    /// thread count.
     pub fn total_demand_weight(&self) -> f64 {
+        use rayon::prelude::*;
         self.blocks
             .records
+            .par_chunks(SUM_CHUNK)
+            .map(|chunk| chunk.iter().map(|r| r.demand_weight as f64).sum::<f64>())
+            .collect::<Vec<f64>>()
             .iter()
-            .map(|r| r.demand_weight as f64)
             .sum()
     }
 
     /// Ground-truth summary counters, used by calibration tests and the
     /// experiment harness for paper-vs-measured reporting.
     pub fn summary(&self) -> WorldSummary {
+        use rayon::prelude::*;
         let mut s = WorldSummary {
             operators: self.operators.ops.len(),
             ..WorldSummary::default()
@@ -114,33 +122,55 @@ impl World {
                 }
             }
         }
+        // Per-chunk partials accumulated sequentially inside each
+        // fixed-size chunk, merged in chunk order: deterministic float
+        // sums regardless of thread count.
+        let partials: Vec<SummaryPartial> = self
+            .blocks
+            .records
+            .par_chunks(SUM_CHUNK)
+            .map(|chunk| {
+                let mut p = SummaryPartial::default();
+                for r in chunk {
+                    let d = r.demand_weight as f64;
+                    p.total_demand += d;
+                    match r.block {
+                        netaddr::BlockId::V4(_) => {
+                            p.blocks24 += 1;
+                            if r.beacon_weight > 0.0 {
+                                p.beacon_blocks24 += 1;
+                            }
+                            if r.access.is_cellular() {
+                                p.cell_blocks24 += 1;
+                                p.cell_demand += d;
+                            }
+                        }
+                        netaddr::BlockId::V6(_) => {
+                            p.blocks48 += 1;
+                            if r.beacon_weight > 0.0 {
+                                p.beacon_blocks48 += 1;
+                            }
+                            if r.access.is_cellular() {
+                                p.cell_blocks48 += 1;
+                                p.cell_demand += d;
+                            }
+                        }
+                    }
+                }
+                p
+            })
+            .collect();
         let mut cell_demand = 0.0f64;
         let mut total_demand = 0.0f64;
-        for r in &self.blocks.records {
-            let d = r.demand_weight as f64;
-            total_demand += d;
-            match r.block {
-                netaddr::BlockId::V4(_) => {
-                    s.blocks24 += 1;
-                    if r.beacon_weight > 0.0 {
-                        s.beacon_blocks24 += 1;
-                    }
-                    if r.access.is_cellular() {
-                        s.cell_blocks24 += 1;
-                        cell_demand += d;
-                    }
-                }
-                netaddr::BlockId::V6(_) => {
-                    s.blocks48 += 1;
-                    if r.beacon_weight > 0.0 {
-                        s.beacon_blocks48 += 1;
-                    }
-                    if r.access.is_cellular() {
-                        s.cell_blocks48 += 1;
-                        cell_demand += d;
-                    }
-                }
-            }
+        for p in &partials {
+            s.blocks24 += p.blocks24;
+            s.blocks48 += p.blocks48;
+            s.beacon_blocks24 += p.beacon_blocks24;
+            s.beacon_blocks48 += p.beacon_blocks48;
+            s.cell_blocks24 += p.cell_blocks24;
+            s.cell_blocks48 += p.cell_blocks48;
+            cell_demand += p.cell_demand;
+            total_demand += p.total_demand;
         }
         s.cell_demand_fraction = if total_demand > 0.0 {
             cell_demand / total_demand
@@ -149,6 +179,24 @@ impl World {
         };
         s
     }
+}
+
+/// Chunk size for parallel summary/demand sums. Fixed (never derived from
+/// the thread count) so chunk boundaries — and therefore float-summation
+/// order — depend only on the data.
+const SUM_CHUNK: usize = 8192;
+
+/// Per-chunk accumulator for [`World::summary`].
+#[derive(Clone, Copy, Debug, Default)]
+struct SummaryPartial {
+    blocks24: usize,
+    blocks48: usize,
+    beacon_blocks24: usize,
+    beacon_blocks48: usize,
+    cell_blocks24: usize,
+    cell_blocks48: usize,
+    cell_demand: f64,
+    total_demand: f64,
 }
 
 /// Ground-truth counters for a generated world.

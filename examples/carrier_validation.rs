@@ -7,9 +7,7 @@
 //! ```
 
 use cellspotting::cdnsim::generate_datasets;
-use cellspotting::cellspot::{
-    threshold_sweep, validate_carrier, BlockIndex, Classification,
-};
+use cellspotting::cellspot::{threshold_sweep, validate_carrier, BlockIndex, Classification};
 use cellspotting::worldgen::{World, WorldConfig};
 
 fn main() {

@@ -34,7 +34,10 @@ fn main() {
     );
 
     println!("{}", exp::fig9_resolver_sharing(&study, &dns).render());
-    println!("{}", exp::fig10_public_dns(&study, &dns, &world.as_db).render());
+    println!(
+        "{}",
+        exp::fig10_public_dns(&study, &dns, &world.as_db).render()
+    );
 
     // The paper's Brazilian example: shared resolvers whose cellular
     // clients are 1,470 miles away while fixed clients sit nearby.

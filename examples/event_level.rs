@@ -8,8 +8,7 @@
 //! ```
 
 use cellspotting::cdnsim::{
-    aggregate_events, generate_beacons, simulate_events, CdnConfig, ConnectionType,
-    EventSimConfig,
+    aggregate_events, generate_beacons, simulate_events, CdnConfig, ConnectionType, EventSimConfig,
 };
 use cellspotting::worldgen::{World, WorldConfig};
 
@@ -51,7 +50,10 @@ fn main() {
     let mut rows: Vec<_> = conn.into_iter().collect();
     rows.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
     for (c, n) in rows {
-        println!("  {c:<10} {:>6.2}%", 100.0 * n as f64 / netinfo_total as f64);
+        println!(
+            "  {c:<10} {:>6.2}%",
+            100.0 * n as f64 / netinfo_total as f64
+        );
     }
     let cellular = events
         .iter()

@@ -7,9 +7,7 @@
 //! ```
 
 use cellspotting::cdnsim::generate_datasets;
-use cellspotting::cellspot::{
-    run_study, AsRatioBreakdown, StudyConfig, SubnetDemandProfile,
-};
+use cellspotting::cellspot::{run_study, AsRatioBreakdown, StudyConfig, SubnetDemandProfile};
 use cellspotting::report::experiments::select_showcases;
 use cellspotting::worldgen::{World, WorldConfig};
 

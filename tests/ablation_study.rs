@@ -105,7 +105,9 @@ fn every_filter_rule_guards_against_real_false_positives() {
         .operators
         .ops
         .iter()
-        .filter(|o| o.kind.is_cellular_access() && o.role == cellspotting::worldgen::OperatorRole::Normal)
+        .filter(|o| {
+            o.kind.is_cellular_access() && o.role == cellspotting::worldgen::OperatorRole::Normal
+        })
         .map(|o| o.asn)
         .collect();
     let baseline: std::collections::HashSet<_> =

@@ -57,8 +57,14 @@ fn table3_validation_shape() {
             v.carrier
         );
     }
-    assert!(a.by_cidr.recall() < 0.2, "Carrier A CIDR recall (paper 0.10)");
-    assert!(b.by_cidr.recall() > 0.9, "Carrier B CIDR recall (paper 0.99)");
+    assert!(
+        a.by_cidr.recall() < 0.2,
+        "Carrier A CIDR recall (paper 0.10)"
+    );
+    assert!(
+        b.by_cidr.recall() > 0.9,
+        "Carrier B CIDR recall (paper 0.99)"
+    );
     assert!(
         a.by_demand.recall() > 0.6,
         "Carrier A demand recall (paper 0.82): {}",
@@ -95,7 +101,10 @@ fn fig3_threshold_insensitivity() {
 fn table5_filter_funnel() {
     let (world, study) = demo_study();
     let (c0, r1, r2, r3) = study.filter.table5_counts();
-    assert!(c0 > r1 && r1 > r2 && r2 > r3, "funnel is strictly shrinking");
+    assert!(
+        c0 > r1 && r1 > r2 && r2 > r3,
+        "funnel is strictly shrinking"
+    );
     assert!(
         study.filter.removed_low_demand.len() > study.filter.removed_low_hits.len(),
         "rule 1 removes the most (paper 493 vs 53)"
@@ -112,7 +121,10 @@ fn table5_filter_funnel() {
     // Both famous proxies were candidates and neither survived.
     for reserved in [15_169u32, 21_837] {
         let asn = cellspotting::netaddr::Asn(reserved);
-        assert!(study.filter.candidates.contains(&asn), "{asn} is a candidate");
+        assert!(
+            study.filter.candidates.contains(&asn),
+            "{asn} is a candidate"
+        );
         assert!(
             !study.filter.cellular_ases.contains(&asn),
             "{asn} must be filtered (paper §5)"
@@ -182,10 +194,18 @@ fn fig12_country_anchors() {
     let gh = get("GH");
     let fr = get("FR");
     let id = get("ID");
-    assert!((0.10..0.25).contains(&us.1), "US cfd {:.3} (paper .166)", us.1);
+    assert!(
+        (0.10..0.25).contains(&us.1),
+        "US cfd {:.3} (paper .166)",
+        us.1
+    );
     assert!(gh.1 > 0.85, "GH cfd {:.3} (paper .959)", gh.1);
     assert!(fr.1 < 0.20, "FR cfd {:.3} (paper .121)", fr.1);
-    assert!((0.45..0.75).contains(&id.1), "ID cfd {:.3} (paper .63)", id.1);
+    assert!(
+        (0.45..0.75).contains(&id.1),
+        "ID cfd {:.3} (paper .63)",
+        id.1
+    );
     // US volume dwarfs Ghana's.
     assert!(us.2 > gh.2 * 20.0, "US {} DU vs GH {} DU", us.2, gh.2);
     // US holds ≈30% of global cellular demand.
@@ -228,5 +248,8 @@ fn table2_dataset_asymmetries() {
     let (d4, d6) = demand.block_counts();
     let cover = b4 as f64 / d4 as f64;
     assert!((0.6..0.85).contains(&cover), "paper 73%: got {cover:.2}");
-    assert!(b6 > d6, "BEACON v6 blocks exceed DEMAND v6 blocks (Table 2)");
+    assert!(
+        b6 > d6,
+        "BEACON v6 blocks exceed DEMAND v6 blocks (Table 2)"
+    );
 }

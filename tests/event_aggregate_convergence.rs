@@ -41,7 +41,10 @@ fn ratios_converge_between_modes() {
         total_dev += (a - b).abs();
         compared += 1;
     }
-    assert!(compared >= 4, "need well-sampled blocks in both modes: {compared}");
+    assert!(
+        compared >= 4,
+        "need well-sampled blocks in both modes: {compared}"
+    );
     let mean_dev = total_dev / compared as f64;
     assert!(
         mean_dev < 0.15,

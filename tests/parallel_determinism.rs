@@ -1,0 +1,155 @@
+//! The parallel pipeline's two contracts:
+//!
+//! 1. **Thread-count invariance** — every parallel stage (world
+//!    generation, dataset sampling, event simulation, the full study) is
+//!    keyed by per-block/per-operator RNG streams and merged in a fixed
+//!    order, so its output is *byte-identical* no matter how many rayon
+//!    threads run it.
+//! 2. **Switch-noise symmetry** — §3.1's interface-switch noise is a true
+//!    toggle (cellular→wifi, anything-else→cellular), so event-mode
+//!    cellular ratios converge to the latent `cell_rate` from above *and*
+//!    below instead of being systematically inflated.
+
+use std::collections::HashMap;
+
+use cellspotting::cdnsim::{aggregate_events, generate_datasets, simulate_events, EventSimConfig};
+use cellspotting::cellspot::{run_study, StudyConfig};
+use cellspotting::worldgen::{World, WorldConfig};
+
+/// Generate a mini world and run the full study, returning the study's
+/// canonical JSON serialization (the timing field is serde-skipped, so
+/// wall-clock noise never leaks into the bytes).
+fn study_json() -> String {
+    let cfg = WorldConfig::mini().with_seed(0xD15EA5E);
+    let min_hits = cfg.scaled_min_beacon_hits();
+    let world = World::generate(cfg);
+    let (beacons, demand) = generate_datasets(&world);
+    let dns = cellspotting::dnssim::generate_dns(&world);
+    let study = run_study(
+        &beacons,
+        &demand,
+        &world.as_db,
+        &world.carriers,
+        Some(&dns),
+        StudyConfig::default().with_min_hits(min_hits),
+    );
+    serde_json::to_string(&study).expect("study serializes")
+}
+
+#[test]
+fn single_and_multi_thread_studies_are_byte_identical() {
+    let run_with = |threads: usize| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("local rayon pool")
+            .install(study_json)
+    };
+    let one = run_with(1);
+    let many = run_with(4);
+    assert_eq!(
+        one, many,
+        "serialized Study must not depend on the rayon thread count"
+    );
+}
+
+#[test]
+fn event_simulation_is_thread_count_invariant() {
+    let run_with = |threads: usize| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("local rayon pool")
+            .install(|| {
+                let world = World::generate(WorldConfig::mini());
+                simulate_events(&world, &EventSimConfig::default())
+            })
+    };
+    let one = run_with(1);
+    let many = run_with(3);
+    assert_eq!(one.len(), many.len());
+    for (a, b) in one.iter().zip(&many) {
+        assert_eq!(a, b, "event streams must match event-for-event");
+    }
+}
+
+/// With the switch rate cranked up, a cellular block whose latent rate is
+/// `r` sees an expected event-mode ratio of `r(1−s) + (1−r)s`: the noise
+/// *removes* cellular labels from high-rate blocks (convergence from
+/// below) and *adds* them to low-rate blocks (convergence from above).
+/// The pre-fix one-sided flip could only ever add cellular labels, making
+/// every deviation non-negative.
+#[test]
+fn switch_noise_is_a_symmetric_toggle() {
+    let s = 0.3;
+    let world = World::generate(WorldConfig::mini());
+    // Enough loads that the near-zero-rate pool (infra blocks, which only
+    // attract the per-block beacon floor) accumulates a usable NetInfo
+    // sample: each floor block sees ~3 hits per 600k-hit budget, and event
+    // mode generates page_loads × ~0.132 NetInfo hits against that budget.
+    let cfg = EventSimConfig {
+        page_loads: 1_500_000,
+        clients_per_block: 40,
+        interface_switch_rate: s,
+        ..Default::default()
+    };
+    let events = simulate_events(&world, &cfg);
+    let ds = aggregate_events("t", &events);
+    let truth: HashMap<_, _> = world.blocks.records.iter().map(|r| (r.block, r)).collect();
+
+    // Convergence from below: well-sampled cellular blocks with high
+    // latent rates must land *under* the latent rate on average, near the
+    // symmetric-toggle expectation.
+    let mut dev_latent = Vec::new();
+    let mut dev_model = Vec::new();
+    // Convergence from above: pooled ratio over near-zero-rate cellular
+    // space (infrastructure) must land near `s`, strictly above latent.
+    let mut low_cell = 0u64;
+    let mut low_netinfo = 0u64;
+    for r in ds.iter() {
+        let t = truth[&r.block];
+        if !t.access.is_cellular() {
+            continue;
+        }
+        let latent = t.cell_rate as f64;
+        if latent <= 0.2 {
+            low_cell += r.cellular_hits;
+            low_netinfo += r.netinfo_hits;
+        }
+        if r.netinfo_hits >= 150 && latent >= 0.55 {
+            let ratio = r.cellular_ratio().expect("netinfo hits present");
+            dev_latent.push(ratio - latent);
+            dev_model.push(ratio - (latent * (1.0 - s) + (1.0 - latent) * s));
+        }
+    }
+
+    assert!(
+        dev_latent.len() >= 4,
+        "need several well-sampled high-rate cellular blocks, got {}",
+        dev_latent.len()
+    );
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let mean_latent_dev = mean(&dev_latent);
+    assert!(
+        mean_latent_dev < -0.02,
+        "high-rate blocks must converge from below (toggle removes \
+         cellular labels); mean deviation {mean_latent_dev:.4}"
+    );
+    let mean_model_dev = mean(&dev_model);
+    assert!(
+        mean_model_dev.abs() < 0.1,
+        "deviations must match the symmetric-toggle expectation; \
+         mean residual {mean_model_dev:.4}"
+    );
+
+    assert!(
+        low_netinfo >= 60,
+        "need pooled low-rate samples, got {low_netinfo}"
+    );
+    let pooled = low_cell as f64 / low_netinfo as f64;
+    assert!(
+        (s - 0.15..=s + 0.15).contains(&pooled),
+        "near-zero-rate cellular space must converge from above, toward \
+         the switch rate {s}; pooled ratio {pooled:.4}"
+    );
+}

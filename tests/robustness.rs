@@ -3,9 +3,7 @@
 //! with sensible (empty) results.
 
 use cellspotting::asdb::AsDatabase;
-use cellspotting::cdnsim::{
-    BeaconDataset, BeaconRecord, DemandDataset, DemandRecord,
-};
+use cellspotting::cdnsim::{BeaconDataset, BeaconRecord, DemandDataset, DemandRecord};
 use cellspotting::cellspot::{
     run_study, v6_deployment, BlockIndex, Classification, RatioDistributions, StudyConfig,
     WorldView,
@@ -172,5 +170,8 @@ fn nan_free_everywhere_on_degenerate_inputs() {
     assert!(study.view.global_cellular_pct().is_finite());
     assert!(study.mixed.mixed_fraction().is_finite());
     assert!(study.ranking.top_share(10).is_finite());
-    assert!(study.classification.is_empty(), "no NetInfo → unclassifiable");
+    assert!(
+        study.classification.is_empty(),
+        "no NetInfo → unclassifiable"
+    );
 }

@@ -36,7 +36,10 @@ fn classification_round_trip_preserves_membership() {
     let back: Classification = serde_json::from_str(&json).expect("deserialize");
     assert_eq!(class.len(), back.len());
     for (block, asn) in class.iter() {
-        assert!(back.is_cellular(block), "{block} ({asn}) lost in round trip");
+        assert!(
+            back.is_cellular(block),
+            "{block} ({asn}) lost in round trip"
+        );
     }
 }
 
@@ -59,9 +62,7 @@ fn full_study_round_trip() {
     assert_eq!(study.classification.len(), back.classification.len());
     assert_eq!(study.filter.table5_counts(), back.filter.table5_counts());
     assert_eq!(study.validations.len(), back.validations.len());
-    assert!(
-        (study.view.global_cellular_pct() - back.view.global_cellular_pct()).abs() < 1e-9
-    );
+    assert!((study.view.global_cellular_pct() - back.view.global_cellular_pct()).abs() < 1e-9);
 }
 
 #[test]

@@ -40,7 +40,12 @@ fn cellular_set_churns_but_demand_stays_concentrated() {
             t.month,
             t.persistence()
         );
-        assert!(t.jaccard > 0.5, "month {}: jaccard {:.3}", t.month, t.jaccard);
+        assert!(
+            t.jaccard > 0.5,
+            "month {}: jaccard {:.3}",
+            t.month,
+            t.jaccard
+        );
         // The extension's takeaway: demand-weighted stability exceeds
         // block-count stability, because churn lives in the idle tail
         // while the CGN heavy hitters persist.
