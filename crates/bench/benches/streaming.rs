@@ -1,0 +1,74 @@
+//! Streaming-vs-batch ingest: wall-clock of folding the epoch-sliced
+//! event stream against one-shot batch generation, plus the engine's
+//! peak live-state footprint (printed once per run — the point of the
+//! streaming path is bounded memory, not raw speed, so both numbers
+//! matter).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cdnsim::{generate_datasets, CdnConfig, EventSource};
+use cellstream::{IngestEngine, ResolverMap, StreamConfig};
+use worldgen::{World, WorldConfig};
+
+fn stream_world(world: &World, shards: u32, epochs: u32) -> (usize, u64) {
+    let source = EventSource::new(world, CdnConfig::default(), epochs);
+    let mut engine = IngestEngine::for_source(
+        StreamConfig {
+            shards,
+            ..Default::default()
+        },
+        &source,
+        ResolverMap::empty(),
+    );
+    let mut peak = 0usize;
+    while !engine.finished() {
+        engine.ingest_epoch(&source);
+        peak = peak.max(engine.state_bytes());
+    }
+    let events = engine.events_seen();
+    black_box(engine.finalize());
+    (peak, events)
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let mut g = c.benchmark_group("streaming");
+    g.sample_size(10);
+
+    let mini = World::generate(WorldConfig::mini());
+    let demo = World::generate(WorldConfig::demo());
+
+    // The batch baseline the stream is tested equivalent to.
+    g.bench_function("batch_mini", |b| {
+        b.iter(|| black_box(generate_datasets(&mini)))
+    });
+    g.bench_function("batch_demo", |b| {
+        b.iter(|| black_box(generate_datasets(&demo)))
+    });
+
+    for (label, shards, epochs) in [
+        ("stream_mini_1shard_4epochs", 1u32, 4u32),
+        ("stream_mini_8shards_4epochs", 8, 4),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(stream_world(&mini, shards, epochs)))
+        });
+    }
+    g.bench_function("stream_demo_8shards_8epochs", |b| {
+        b.iter(|| black_box(stream_world(&demo, 8, 8)))
+    });
+
+    // One-off state report: peak live bytes vs the materialized batch.
+    let (peak, events) = stream_world(&demo, 8, 8);
+    let (beacons, demand) = generate_datasets(&demo);
+    eprintln!(
+        "streaming demo (8 shards, 8 epochs): {events} events, peak state {} KiB; \
+         batch materializes {} beacon + {} demand records",
+        peak / 1024,
+        beacons.len(),
+        demand.len()
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

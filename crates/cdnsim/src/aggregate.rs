@@ -10,8 +10,14 @@ use worldgen::World;
 
 use crate::datasets::{BeaconDataset, BeaconRecord, DemandDataset, DemandRecord};
 use crate::netinfo::{netinfo_share, DEC_2016};
-use crate::stream::block_stream;
+use crate::stream::{block_stream, BEACON_SEED_TAG, DEMAND_SEED_TAG};
 use worldgen::sampling::{binomial, lognormal_jitter, poisson, rng_for};
+
+/// Collection-period label of the BEACON dataset (the paper's month).
+pub const BEACON_PERIOD: &str = "2016-12";
+
+/// Collection-period label of the DEMAND dataset (the smoothed week).
+pub const DEMAND_PERIOD: &str = "2016-12-24..2016-12-31";
 
 /// Knobs for dataset sampling (sensible defaults match the paper's
 /// collection setup).
@@ -72,10 +78,7 @@ pub fn generate_beacons(world: &World, cfg: &CdnConfig) -> BeaconDataset {
             if b.beacon_weight <= 0.0 {
                 return None;
             }
-            let mut rng = rng_for(
-                world.config.seed ^ 0xBEAC_0000_0000_0000,
-                block_stream(b.block),
-            );
+            let mut rng = rng_for(world.config.seed ^ BEACON_SEED_TAG, block_stream(b.block));
             let mean = hits_budget * b.beacon_weight as f64 / weight_sum;
             let hits_total = poisson(&mut rng, mean);
             if hits_total == 0 {
@@ -96,7 +99,7 @@ pub fn generate_beacons(world: &World, cfg: &CdnConfig) -> BeaconDataset {
             })
         })
         .collect();
-    BeaconDataset::from_records("2016-12", records)
+    BeaconDataset::from_records(BEACON_PERIOD, records)
 }
 
 /// Sample the DEMAND dataset for a world: per block, `smoothing_days`
@@ -113,10 +116,7 @@ pub fn generate_demand(world: &World, cfg: &CdnConfig) -> DemandDataset {
             if b.demand_weight <= 0.0 {
                 return None;
             }
-            let mut rng = rng_for(
-                world.config.seed ^ 0xDE3A_0000_0000_0000,
-                block_stream(b.block),
-            );
+            let mut rng = rng_for(world.config.seed ^ DEMAND_SEED_TAG, block_stream(b.block));
             let mut acc = 0.0;
             for _ in 0..cfg.smoothing_days.max(1) {
                 acc += b.demand_weight as f64 * lognormal_jitter(&mut rng, cfg.daily_jitter);
@@ -129,7 +129,7 @@ pub fn generate_demand(world: &World, cfg: &CdnConfig) -> DemandDataset {
             })
         })
         .collect();
-    DemandDataset::from_raw("2016-12-24..2016-12-31", records)
+    DemandDataset::from_raw(DEMAND_PERIOD, records)
 }
 
 /// Convenience: both datasets with default CDN knobs.

@@ -45,13 +45,26 @@ pub struct BeaconDataset {
 }
 
 impl BeaconDataset {
-    /// Build from unsorted records (sorts and asserts uniqueness in debug).
+    /// Build from unsorted records: sorts by block and merges duplicate
+    /// blocks by summing their hit counters (first record's AS wins).
+    ///
+    /// The generators never emit duplicates, but CSV inputs reaching the
+    /// CLI can — silently keeping both rows would corrupt the merge join
+    /// in `BlockIndex::build`, so duplicates are folded into one record
+    /// here, in release builds too.
     pub fn from_records(period: impl Into<String>, mut records: Vec<BeaconRecord>) -> Self {
         records.sort_by_key(|r| r.block);
-        debug_assert!(
-            records.windows(2).all(|w| w[0].block != w[1].block),
-            "duplicate block in BEACON dataset"
-        );
+        records.dedup_by(|dup, keep| {
+            if dup.block != keep.block {
+                return false;
+            }
+            keep.hits_total += dup.hits_total;
+            keep.netinfo_hits += dup.netinfo_hits;
+            keep.cellular_hits += dup.cellular_hits;
+            keep.wifi_hits += dup.wifi_hits;
+            keep.other_hits += dup.other_hits;
+            true
+        });
         BeaconDataset {
             period: period.into(),
             records,
@@ -123,10 +136,25 @@ pub struct DemandDataset {
 pub const TOTAL_DU: f64 = 100_000.0;
 
 impl DemandDataset {
-    /// Build from unsorted, unnormalized records: sorts by block and
-    /// rescales so the dataset sums to [`TOTAL_DU`].
+    /// Build from unsorted, unnormalized records: sorts by block, merges
+    /// duplicate blocks by summing their demand (first record's AS wins),
+    /// and rescales so the dataset sums to [`TOTAL_DU`].
+    ///
+    /// Sorting happens *before* the normalization sum so the float total —
+    /// and therefore every normalized DU value — depends only on the
+    /// multiset of records, never on input order. The streaming ingest
+    /// engine (`cellstream`) relies on this to reproduce batch output
+    /// bit-for-bit from shard-merged records.
     pub fn from_raw(period: impl Into<String>, mut records: Vec<DemandRecord>) -> Self {
         records.retain(|r| r.du > 0.0);
+        records.sort_by_key(|r| r.block);
+        records.dedup_by(|dup, keep| {
+            if dup.block != keep.block {
+                return false;
+            }
+            keep.du += dup.du;
+            true
+        });
         let total: f64 = records.iter().map(|r| r.du).sum();
         if total > 0.0 {
             let scale = TOTAL_DU / total;
@@ -134,11 +162,6 @@ impl DemandDataset {
                 r.du *= scale;
             }
         }
-        records.sort_by_key(|r| r.block);
-        debug_assert!(
-            records.windows(2).all(|w| w[0].block != w[1].block),
-            "duplicate block in DEMAND dataset"
-        );
         DemandDataset {
             period: period.into(),
             records,
@@ -264,6 +287,68 @@ mod tests {
         assert!((ds.du(b4(1)) - 75_000.0).abs() < 1e-6);
         assert_eq!(ds.du(b4(9)), 0.0);
         assert_eq!(ds.block_counts(), (1, 1));
+    }
+
+    #[test]
+    fn duplicate_beacon_blocks_are_merged() {
+        let mk = |asn: u32, hits: u64, cell: u64| BeaconRecord {
+            block: b4(7),
+            asn: Asn(asn),
+            hits_total: hits,
+            netinfo_hits: hits,
+            cellular_hits: cell,
+            wifi_hits: hits - cell,
+            other_hits: 0,
+        };
+        let ds = BeaconDataset::from_records("t", vec![mk(1, 10, 4), mk(2, 30, 6)]);
+        assert_eq!(ds.len(), 1);
+        let r = ds.get(b4(7)).unwrap();
+        assert_eq!(r.asn, Asn(1), "first record's AS wins");
+        assert_eq!(r.hits_total, 40);
+        assert_eq!(r.netinfo_hits, 40);
+        assert_eq!(r.cellular_hits, 10);
+        assert_eq!(r.wifi_hits, 30);
+        assert_eq!(
+            r.cellular_hits + r.wifi_hits + r.other_hits,
+            r.netinfo_hits,
+            "merged labels still partition netinfo hits"
+        );
+    }
+
+    #[test]
+    fn duplicate_demand_blocks_are_merged_before_normalization() {
+        let mk = |i: u32, du: f64| DemandRecord {
+            block: b4(i),
+            asn: Asn(1),
+            du,
+        };
+        let ds = DemandDataset::from_raw("t", vec![mk(1, 2.0), mk(2, 1.0), mk(1, 1.0)]);
+        assert_eq!(ds.len(), 2);
+        // Merged block 1 carries 3/4 of the raw demand.
+        assert!((ds.du(b4(1)) - 75_000.0).abs() < 1e-6);
+        assert!((ds.total_du() - TOTAL_DU).abs() < 1e-6);
+    }
+
+    #[test]
+    fn demand_normalization_is_input_order_independent() {
+        let mk = |i: u32, du: f64| DemandRecord {
+            block: b4(i),
+            asn: Asn(1),
+            du,
+        };
+        let rows = vec![mk(3, 0.1234), mk(1, 9.77), mk(2, 0.001), mk(5, 3.3)];
+        let mut rev = rows.clone();
+        rev.reverse();
+        let a = DemandDataset::from_raw("t", rows);
+        let b = DemandDataset::from_raw("t", rev);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.block, y.block);
+            assert_eq!(
+                x.du.to_bits(),
+                y.du.to_bits(),
+                "bit-identical normalization"
+            );
+        }
     }
 
     #[test]

@@ -17,16 +17,25 @@
 //! statistics in closed form for paper-scale worlds; event mode
 //! ([`simulate_events`]) walks the full causal chain — client device,
 //! browser, tether state, page load, beacon — one event at a time.
+//!
+//! A third view, [`EventSource`], re-exposes aggregate mode as a lazy,
+//! epoch-sliced event stream for the streaming ingest subsystem
+//! (`cellstream`): folding the full stream reproduces the batch datasets
+//! bit for bit, at any downstream shard count.
 
 mod aggregate;
 mod connection;
 mod datasets;
 mod events;
 mod netinfo;
-pub(crate) mod stream;
+mod source;
+pub mod stream;
 
-pub use aggregate::{generate_beacons, generate_datasets, generate_demand, CdnConfig};
+pub use aggregate::{
+    generate_beacons, generate_datasets, generate_demand, CdnConfig, BEACON_PERIOD, DEMAND_PERIOD,
+};
 pub use connection::{Browser, ConnectionType, BROWSERS};
 pub use datasets::{BeaconDataset, BeaconRecord, DemandDataset, DemandRecord, TOTAL_DU};
 pub use events::{aggregate_events, simulate_events, BeaconEvent, EventSimConfig};
 pub use netinfo::{browser_mix, netinfo_share, netinfo_timeline, MonthShare, DEC_2016, JUN_2017};
+pub use source::{BeaconDelta, DemandDay, EventSource, StreamEvent};

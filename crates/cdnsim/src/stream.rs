@@ -1,12 +1,23 @@
 //! Per-block RNG stream keys.
+//!
+//! Public because the streaming ingest subsystem (`cellstream`) keys its
+//! shard routing and sketch hashing off the same stable per-block ids the
+//! dataset samplers use — one identity, everywhere.
 
 use netaddr::BlockId;
+
+/// Seed tag of the BEACON sampling stream: XORed into the world seed so
+/// beacon draws never collide with other samplers on the same block.
+pub(crate) const BEACON_SEED_TAG: u64 = 0xBEAC_0000_0000_0000;
+
+/// Seed tag of the DEMAND sampling stream.
+pub(crate) const DEMAND_SEED_TAG: u64 = 0xDE3A_0000_0000_0000;
 
 /// A stable 64-bit stream id for a block: IPv4 /24 indices occupy the low
 /// 24 bits; IPv6 /48 indices (48 bits) are tagged into a disjoint range.
 /// Sampling keyed by this value depends only on *which* block is drawn,
 /// never on where it sits in a record vector.
-pub(crate) fn block_stream(block: BlockId) -> u64 {
+pub fn block_stream(block: BlockId) -> u64 {
     match block {
         BlockId::V4(b) => b.index() as u64,
         BlockId::V6(b) => (1u64 << 56) | b.index(),

@@ -46,7 +46,7 @@ pub use ablation::{
 pub use asid::{
     aggregate_by_as, identify_cellular_ases, AsAggregate, AsFilterOutcome, FilterConfig,
 };
-pub use classify::{Classification, RatioDistributions, DEFAULT_THRESHOLD};
+pub use classify::{classify_datasets, Classification, RatioDistributions, DEFAULT_THRESHOLD};
 pub use confidence::{
     classify_with_confidence, confident_label, wilson_interval, ConfidenceSummary, ConfidentLabel,
 };

@@ -1,0 +1,345 @@
+//! The sharded ingest engine: epoch-driven folding, snapshots, finalize.
+//!
+//! Lifecycle: build an engine sized for an [`EventSource`], call
+//! [`IngestEngine::ingest_epoch`] once per epoch (or
+//! [`IngestEngine::run_to_end`]), [`IngestEngine::snapshot`] at any epoch
+//! boundary, and [`IngestEngine::finalize`] to materialize the datasets
+//! and sketch report. [`IngestEngine::restore`] resumes from a snapshot:
+//! restore-and-continue is indistinguishable — snapshot-for-snapshot,
+//! byte for byte — from a run that was never interrupted.
+
+use netaddr::BlockId;
+use serde::{Deserialize, Serialize};
+
+use cdnsim::{
+    BeaconDataset, BeaconRecord, DemandDataset, DemandRecord, EventSource, BEACON_PERIOD,
+    DEMAND_PERIOD,
+};
+use dnssim::DnsSim;
+
+use crate::hll::HyperLogLog;
+use crate::shard::{ShardRouter, ShardState};
+use crate::snapshot::Snapshot;
+use crate::spacesaving::{HeavyHitter, SpaceSaving};
+
+/// Ingest knobs. Serialized into every snapshot so a restore can verify
+/// it resumes with the state layout it was checkpointed under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Number of shards the stream is partitioned over.
+    pub shards: u32,
+    /// HyperLogLog precision for per-resolver distinct-client sketches
+    /// (standard error `1.04 / 2^(p/2)`).
+    pub hll_precision: u8,
+    /// Counter budget of each shard's demand heavy-hitter sketch.
+    pub heavy_capacity: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            shards: 4,
+            hll_precision: 12,
+            heavy_capacity: 64,
+        }
+    }
+}
+
+/// Block → resolver assignment used to attribute demand to resolvers.
+///
+/// The paper's platform sees which resolver asked for the DNS name that
+/// routed a client; here each block is attributed to its strongest
+/// affinity (deterministic: highest weight, lowest resolver id on ties).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ResolverMap {
+    /// Sorted by block for binary-search lookup.
+    map: Vec<(BlockId, u32)>,
+}
+
+impl ResolverMap {
+    /// A map that attributes nothing (resolver sketches stay empty).
+    pub fn empty() -> Self {
+        ResolverMap::default()
+    }
+
+    /// Build from DNS affinities: each block keeps its strongest resolver.
+    pub fn from_dns(dns: &DnsSim) -> Self {
+        let mut best: std::collections::BTreeMap<BlockId, (f32, u32)> =
+            std::collections::BTreeMap::new();
+        for a in &dns.affinities {
+            match best.get(&a.block) {
+                Some(&(w, r)) if w > a.weight || (w == a.weight && r <= a.resolver) => {}
+                _ => {
+                    best.insert(a.block, (a.weight, a.resolver));
+                }
+            }
+        }
+        ResolverMap {
+            map: best.into_iter().map(|(b, (_, r))| (b, r)).collect(),
+        }
+    }
+
+    /// The resolver serving a block, when one is assigned.
+    pub fn resolver_of(&self, block: BlockId) -> Option<u32> {
+        self.map
+            .binary_search_by_key(&block, |&(b, _)| b)
+            .ok()
+            .map(|i| self.map[i].1)
+    }
+
+    /// Number of blocks with an assignment.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no block is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Distinct-client estimate for one resolver.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResolverClients {
+    /// Resolver id.
+    pub resolver: u32,
+    /// Estimated distinct client blocks seen in demand events.
+    pub estimated_clients: f64,
+    /// Standard error of the estimate (relative).
+    pub std_error: f64,
+}
+
+/// Sketch-derived outputs of a finished (or partial) stream.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SketchReport {
+    /// Per-resolver distinct-client estimates, sorted by resolver id.
+    pub resolver_clients: Vec<ResolverClients>,
+    /// Demand heavy hitters, heaviest first.
+    pub heavy_hitters: Vec<HeavyHitter>,
+    /// Worst-case over-count of any heavy-hitter estimate.
+    pub heavy_error_bound: f64,
+    /// Exact total demand weight offered to the heavy-hitter sketch.
+    pub total_demand_weight: f64,
+}
+
+/// Everything a finished stream folds down to.
+#[derive(Clone, Debug)]
+pub struct StreamOutputs {
+    /// The BEACON dataset (exact: equals batch generation bit for bit
+    /// once every epoch was ingested).
+    pub beacons: BeaconDataset,
+    /// The DEMAND dataset (exact, same caveat).
+    pub demand: DemandDataset,
+    /// Sketch estimates with their error bounds.
+    pub sketches: SketchReport,
+}
+
+/// The sharded streaming ingest engine.
+pub struct IngestEngine {
+    cfg: StreamConfig,
+    router: ShardRouter,
+    resolver_map: ResolverMap,
+    shards: Vec<ShardState>,
+    epochs_total: u32,
+    epochs_done: u32,
+    smoothing_days: u32,
+}
+
+impl IngestEngine {
+    /// An empty engine sized for `source`'s epoch layout.
+    pub fn for_source(cfg: StreamConfig, source: &EventSource<'_>, resolvers: ResolverMap) -> Self {
+        Self::with_layout(cfg, source.epochs(), source.smoothing_days(), resolvers)
+    }
+
+    /// An empty engine with an explicit epoch layout.
+    pub fn with_layout(
+        cfg: StreamConfig,
+        epochs_total: u32,
+        smoothing_days: u32,
+        resolvers: ResolverMap,
+    ) -> Self {
+        let router = ShardRouter::new(cfg.shards);
+        let shards = (0..cfg.shards)
+            .map(|_| ShardState::new(cfg.hll_precision, cfg.heavy_capacity))
+            .collect();
+        IngestEngine {
+            cfg,
+            router,
+            resolver_map: resolvers,
+            shards,
+            epochs_total,
+            epochs_done: 0,
+            smoothing_days,
+        }
+    }
+
+    /// Resume from a snapshot. The resolver map is not part of the
+    /// snapshot (it is derived state, rebuilt deterministically from the
+    /// world); everything else — counters, sketches, progress — is.
+    pub fn restore(snapshot: &Snapshot, resolvers: ResolverMap) -> Self {
+        IngestEngine {
+            cfg: snapshot.config,
+            router: ShardRouter::new(snapshot.config.shards),
+            resolver_map: resolvers,
+            shards: snapshot.shard_states(),
+            epochs_total: snapshot.epochs_total,
+            epochs_done: snapshot.epochs_done,
+            smoothing_days: snapshot.smoothing_days,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+
+    /// Epochs ingested so far.
+    pub fn epochs_done(&self) -> u32 {
+        self.epochs_done
+    }
+
+    /// Total epochs in the stream's layout.
+    pub fn epochs_total(&self) -> u32 {
+        self.epochs_total
+    }
+
+    /// True once every epoch was ingested.
+    pub fn finished(&self) -> bool {
+        self.epochs_done >= self.epochs_total
+    }
+
+    /// Total events folded across all shards.
+    pub fn events_seen(&self) -> u64 {
+        self.shards.iter().map(|s| s.events_seen()).sum()
+    }
+
+    /// Approximate bytes of live ingest state across all shards.
+    pub fn state_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.state_bytes()).sum()
+    }
+
+    /// Ingest the next epoch from `source`. Returns the epoch index just
+    /// folded.
+    ///
+    /// # Panics
+    /// Panics when the stream is already finished or `source`'s layout
+    /// does not match the engine's.
+    pub fn ingest_epoch(&mut self, source: &EventSource<'_>) -> u32 {
+        assert!(
+            !self.finished(),
+            "all {} epochs already ingested",
+            self.epochs_total
+        );
+        assert_eq!(
+            source.epochs(),
+            self.epochs_total,
+            "source epoch layout changed mid-stream"
+        );
+        assert_eq!(
+            source.smoothing_days(),
+            self.smoothing_days,
+            "source smoothing window changed mid-stream"
+        );
+        let epoch = self.epochs_done;
+        for ev in source.epoch(epoch) {
+            let resolver = self.resolver_map.resolver_of(ev.block());
+            let shard = self.router.shard_of(ev.block()) as usize;
+            self.shards[shard].apply(&ev, resolver);
+        }
+        self.epochs_done += 1;
+        epoch
+    }
+
+    /// Ingest every remaining epoch.
+    pub fn run_to_end(&mut self, source: &EventSource<'_>) {
+        while !self.finished() {
+            self.ingest_epoch(source);
+        }
+    }
+
+    /// Checkpoint the engine's complete state at the current epoch
+    /// boundary. Serialization is canonical: the same engine state always
+    /// produces byte-identical JSON.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::capture(
+            self.cfg,
+            self.epochs_total,
+            self.epochs_done,
+            self.smoothing_days,
+            &self.shards,
+        )
+    }
+
+    /// Merge all shards down to the datasets and sketch report.
+    ///
+    /// Counter outputs are exact: after the final epoch they equal
+    /// [`cdnsim::generate_beacons`]/[`cdnsim::generate_demand`] bit for
+    /// bit, at any shard count. Sketch outputs carry their documented
+    /// error bounds instead.
+    pub fn finalize(&self) -> StreamOutputs {
+        // Blocks are partitioned across shards, so concatenation has no
+        // duplicate blocks; the dataset constructors sort.
+        let beacon_records: Vec<BeaconRecord> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.beacons.iter().map(|(&block, a)| BeaconRecord {
+                    block,
+                    asn: a.asn,
+                    hits_total: a.hits_total,
+                    netinfo_hits: a.netinfo_hits,
+                    cellular_hits: a.cellular_hits,
+                    wifi_hits: a.wifi_hits,
+                    other_hits: a.other_hits,
+                })
+            })
+            .collect();
+        let days = self.smoothing_days.max(1) as f64;
+        let demand_records: Vec<DemandRecord> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.demand.iter().map(move |(&block, a)| DemandRecord {
+                    block,
+                    asn: a.asn,
+                    du: a.acc / days,
+                })
+            })
+            .collect();
+
+        // Register-max merging makes the per-resolver sketches identical
+        // to a single-shard run's.
+        let mut resolvers: std::collections::BTreeMap<u32, HyperLogLog> =
+            std::collections::BTreeMap::new();
+        let mut heavy = SpaceSaving::new(self.cfg.heavy_capacity);
+        for shard in &self.shards {
+            for (&id, hll) in &shard.resolvers {
+                resolvers
+                    .entry(id)
+                    .and_modify(|m| m.merge(hll))
+                    .or_insert_with(|| hll.clone());
+            }
+            heavy.merge(&shard.heavy);
+        }
+        let resolver_clients = resolvers
+            .iter()
+            .map(|(&resolver, hll)| ResolverClients {
+                resolver,
+                estimated_clients: hll.estimate(),
+                std_error: hll.relative_error(),
+            })
+            .collect();
+        let sketches = SketchReport {
+            resolver_clients,
+            heavy_error_bound: heavy.error_bound(),
+            total_demand_weight: heavy.total_weight(),
+            heavy_hitters: heavy.top(self.cfg.heavy_capacity),
+        };
+
+        StreamOutputs {
+            beacons: BeaconDataset::from_records(BEACON_PERIOD, beacon_records),
+            demand: DemandDataset::from_raw(DEMAND_PERIOD, demand_records),
+            sketches,
+        }
+    }
+}

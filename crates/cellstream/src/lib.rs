@@ -1,0 +1,53 @@
+//! # cellstream — streaming ingest engine
+//!
+//! The measurement platform of the paper never sees its datasets as
+//! files: RUM beacons and demand snapshots arrive as an unbounded event
+//! stream and an ingest tier folds them into per-block state. This crate
+//! is that tier for the synthetic platform — it consumes the lazy,
+//! epoch-sliced stream of [`cdnsim::EventSource`] and maintains:
+//!
+//! * **Sharded accumulators** — events are routed by block hash to one of
+//!   `N` shards ([`ShardRouter`]); each shard folds its blocks' beacon
+//!   counters and demand sums incrementally ([`ShardState`]).
+//!   Memory is bounded by distinct active blocks plus fixed sketch
+//!   budgets, not by stream length.
+//! * **Mergeable sketches** — a [`HyperLogLog`] per resolver estimates
+//!   distinct client blocks (standard error `1.04/sqrt(2^p)`, under 1.7%
+//!   at the default precision 12; register-max merging is *exact*, so
+//!   estimates are identical at any shard count), and a weighted
+//!   [`SpaceSaving`] tracker surfaces the blocks concentrating demand
+//!   (per-key bound `estimate − error ≤ true ≤ estimate`, worst-case
+//!   over-count `total/capacity`).
+//! * **Checkpoint/restore** — at any epoch boundary the engine serializes
+//!   to a canonical JSON [`Snapshot`]; [`IngestEngine::restore`] resumes
+//!   it, and a resumed run is byte-identical to an uninterrupted one.
+//!
+//! ## Determinism contract
+//!
+//! Folding the *complete* stream reproduces the batch datasets of
+//! [`cdnsim::generate_beacons`]/[`cdnsim::generate_demand`] **bit for
+//! bit** — integer counters because addition commutes across epoch
+//! slices that sum exactly, demand floats because each block's days are
+//! folded by a single shard in day order, replaying the batch
+//! accumulation sequence. The equivalence holds for every shard count;
+//! `tests/streaming_equivalence.rs` at the workspace root pins it down,
+//! including classification parity of the downstream `cellspot` study.
+
+mod engine;
+mod hll;
+mod shard;
+mod snapshot;
+mod spacesaving;
+
+pub use engine::{
+    IngestEngine, ResolverClients, ResolverMap, SketchReport, StreamConfig, StreamOutputs,
+};
+pub use hll::{HyperLogLog, MAX_PRECISION, MIN_PRECISION};
+pub use shard::{BeaconAccum, DemandAccum, ShardRouter, ShardState};
+pub use snapshot::{BeaconRow, DemandRow, ResolverRow, ShardSnapshot, Snapshot, SNAPSHOT_VERSION};
+pub use spacesaving::{HeavyHitter, SpaceSaving};
+
+pub mod prelude {
+    //! One-line import for consumers of the streaming subsystem.
+    pub use crate::{IngestEngine, ResolverMap, Snapshot, StreamConfig, StreamOutputs};
+}

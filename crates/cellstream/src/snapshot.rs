@@ -1,0 +1,233 @@
+//! Epoch-boundary checkpoints: serialize the engine, restore it later.
+//!
+//! The snapshot is a plain-data mirror of the engine's state with two
+//! properties the checkpoint tests pin down:
+//!
+//! * **Canonical bytes** — maps are flattened to vectors in key order and
+//!   sketch counters keep their internal order, so the same engine state
+//!   always serializes to byte-identical JSON (no HashMap iteration
+//!   nondeterminism, no non-string JSON map keys).
+//! * **Lossless restore** — floats round-trip exactly through
+//!   `serde_json`'s shortest-representation encoding, so an engine
+//!   restored from disk continues producing bit-identical results.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use netaddr::{Asn, BlockId};
+use serde::{Deserialize, Serialize};
+
+use crate::engine::StreamConfig;
+use crate::hll::HyperLogLog;
+use crate::shard::{BeaconAccum, DemandAccum, ShardState};
+use crate::spacesaving::SpaceSaving;
+
+/// Snapshot schema version, bumped on layout changes.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// One block's beacon counters, flattened for serialization.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BeaconRow {
+    /// The block.
+    pub block: BlockId,
+    /// Origin AS.
+    pub asn: Asn,
+    /// RUM hits folded so far.
+    pub hits_total: u64,
+    /// NetInfo-enabled hits.
+    pub netinfo_hits: u64,
+    /// Hits labeled cellular.
+    pub cellular_hits: u64,
+    /// Hits labeled wifi.
+    pub wifi_hits: u64,
+    /// Hits with any other label.
+    pub other_hits: u64,
+}
+
+/// One block's demand accumulator, flattened for serialization.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DemandRow {
+    /// The block.
+    pub block: BlockId,
+    /// Origin AS.
+    pub asn: Asn,
+    /// Sum of daily values folded so far.
+    pub acc: f64,
+    /// Days folded so far.
+    pub days_seen: u32,
+}
+
+/// One resolver's distinct-client sketch.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResolverRow {
+    /// Resolver id.
+    pub resolver: u32,
+    /// The sketch.
+    pub sketch: HyperLogLog,
+}
+
+/// One shard's serialized state.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ShardSnapshot {
+    /// Events folded into this shard.
+    pub events_seen: u64,
+    /// Beacon accumulators, sorted by block.
+    pub beacons: Vec<BeaconRow>,
+    /// Demand accumulators, sorted by block.
+    pub demand: Vec<DemandRow>,
+    /// Resolver sketches, sorted by resolver id.
+    pub resolvers: Vec<ResolverRow>,
+    /// Heavy-hitter sketch, counters in internal order so a restored
+    /// sketch evicts exactly as the original would have.
+    pub heavy: SpaceSaving,
+}
+
+/// A complete engine checkpoint at an epoch boundary.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Schema version ([`SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// The engine configuration the state was built under.
+    pub config: StreamConfig,
+    /// Total epochs in the stream layout.
+    pub epochs_total: u32,
+    /// Epochs ingested before this checkpoint.
+    pub epochs_done: u32,
+    /// Demand smoothing window (days).
+    pub smoothing_days: u32,
+    /// Per-shard state, indexed by shard id.
+    pub shards: Vec<ShardSnapshot>,
+}
+
+impl Snapshot {
+    /// Capture an engine's state (called by
+    /// [`crate::IngestEngine::snapshot`]).
+    pub(crate) fn capture(
+        config: StreamConfig,
+        epochs_total: u32,
+        epochs_done: u32,
+        smoothing_days: u32,
+        shards: &[ShardState],
+    ) -> Self {
+        let shards = shards
+            .iter()
+            .map(|s| ShardSnapshot {
+                events_seen: s.events_seen(),
+                beacons: s
+                    .beacons
+                    .iter()
+                    .map(|(&block, a)| BeaconRow {
+                        block,
+                        asn: a.asn,
+                        hits_total: a.hits_total,
+                        netinfo_hits: a.netinfo_hits,
+                        cellular_hits: a.cellular_hits,
+                        wifi_hits: a.wifi_hits,
+                        other_hits: a.other_hits,
+                    })
+                    .collect(),
+                demand: s
+                    .demand
+                    .iter()
+                    .map(|(&block, a)| DemandRow {
+                        block,
+                        asn: a.asn,
+                        acc: a.acc,
+                        days_seen: a.days_seen,
+                    })
+                    .collect(),
+                resolvers: s
+                    .resolvers
+                    .iter()
+                    .map(|(&resolver, sketch)| ResolverRow {
+                        resolver,
+                        sketch: sketch.clone(),
+                    })
+                    .collect(),
+                heavy: s.heavy.clone(),
+            })
+            .collect();
+        Snapshot {
+            version: SNAPSHOT_VERSION,
+            config,
+            epochs_total,
+            epochs_done,
+            smoothing_days,
+            shards,
+        }
+    }
+
+    /// Rebuild the engine's in-memory shard states.
+    pub(crate) fn shard_states(&self) -> Vec<ShardState> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let mut state =
+                    ShardState::new(self.config.hll_precision, self.config.heavy_capacity);
+                for r in &s.beacons {
+                    state.beacons.insert(
+                        r.block,
+                        BeaconAccum {
+                            asn: r.asn,
+                            hits_total: r.hits_total,
+                            netinfo_hits: r.netinfo_hits,
+                            cellular_hits: r.cellular_hits,
+                            wifi_hits: r.wifi_hits,
+                            other_hits: r.other_hits,
+                        },
+                    );
+                }
+                for r in &s.demand {
+                    state.demand.insert(
+                        r.block,
+                        DemandAccum {
+                            asn: r.asn,
+                            acc: r.acc,
+                            days_seen: r.days_seen,
+                        },
+                    );
+                }
+                for r in &s.resolvers {
+                    state.resolvers.insert(r.resolver, r.sketch.clone());
+                }
+                state.heavy = s.heavy.clone();
+                state.events_seen = s.events_seen;
+                state
+            })
+            .collect()
+    }
+
+    /// Canonical JSON encoding: byte-identical for identical state.
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("snapshot serialization is total");
+        s.push('\n');
+        s
+    }
+
+    /// Parse a snapshot, rejecting unknown schema versions.
+    pub fn from_json(json: &str) -> io::Result<Self> {
+        let snap: Snapshot = serde_json::from_str(json)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        if snap.version != SNAPSHOT_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "snapshot version {} unsupported (expected {SNAPSHOT_VERSION})",
+                    snap.version
+                ),
+            ));
+        }
+        Ok(snap)
+    }
+
+    /// Write the canonical encoding to a file.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        fs::write(path, self.to_json())
+    }
+
+    /// Load a snapshot from a file written by [`write_to`](Self::write_to).
+    pub fn read_from(path: &Path) -> io::Result<Self> {
+        Self::from_json(&fs::read_to_string(path)?)
+    }
+}

@@ -1,0 +1,261 @@
+//! Space-Saving weighted heavy-hitter sketch.
+//!
+//! Metwally et al.'s algorithm over weighted updates, used to track which
+//! blocks concentrate demand (the paper's §5.3 observation that a handful
+//! of carrier-grade-NAT front blocks carry outsized demand). State is
+//! bounded by `capacity` counters. Guarantees, with `W` the total weight
+//! offered:
+//!
+//! * every tracked key's estimate **over**-counts: `true ≤ estimate`;
+//! * the slack is bounded per key: `estimate − error ≤ true`, where
+//!   `error` is the counter inherited at eviction time;
+//! * any key whose true weight exceeds `W / capacity` is tracked.
+//!
+//! Sketches merge by replaying one sketch's counters into the other with
+//! their errors carried along, so the per-key bounds survive shard
+//! merging (the estimates themselves may differ slightly between shard
+//! counts — unlike HyperLogLog, Space-Saving merging is not exact — which
+//! is why the equivalence test checks bounds, not bit-equality, here).
+
+use netaddr::BlockId;
+use serde::{Deserialize, Serialize};
+
+/// One tracked counter.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HeavyHitter {
+    /// The tracked block.
+    pub block: BlockId,
+    /// Estimated total weight (never below the true weight).
+    pub weight: f64,
+    /// Maximum over-count: `weight − error ≤ true weight ≤ weight`.
+    pub error: f64,
+}
+
+/// Bounded-size weighted heavy-hitter tracker.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpaceSaving {
+    capacity: usize,
+    /// Counters in insertion order — kept stable so serialized snapshots
+    /// restore to a sketch with identical future eviction behavior.
+    entries: Vec<HeavyHitter>,
+    total_weight: f64,
+}
+
+impl SpaceSaving {
+    /// An empty sketch tracking at most `capacity` keys.
+    ///
+    /// # Panics
+    /// Panics when `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "space-saving needs at least one counter");
+        SpaceSaving {
+            capacity,
+            entries: Vec::new(),
+            total_weight: 0.0,
+        }
+    }
+
+    /// Counter budget.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total weight offered so far (exact, not estimated).
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Number of live counters.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was offered yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Worst-case over-count of any reported estimate: the smallest live
+    /// counter (≤ `total_weight / capacity` once the sketch is full).
+    pub fn error_bound(&self) -> f64 {
+        if self.entries.len() < self.capacity {
+            0.0
+        } else {
+            self.entries
+                .iter()
+                .map(|e| e.weight)
+                .fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Offer `weight` for `block`.
+    pub fn offer(&mut self, block: BlockId, weight: f64) {
+        self.offer_with_error(block, weight, 0.0);
+    }
+
+    /// Offer a pre-aggregated counter (used by [`merge`](Self::merge)):
+    /// `weight` with an existing over-count of `error`.
+    fn offer_with_error(&mut self, block: BlockId, weight: f64, error: f64) {
+        self.total_weight += weight;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.block == block) {
+            e.weight += weight;
+            e.error += error;
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push(HeavyHitter {
+                block,
+                weight,
+                error,
+            });
+            return;
+        }
+        // Evict the smallest counter (first among ties, so eviction is
+        // deterministic) and inherit its estimate as the new key's error.
+        let victim = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.weight.total_cmp(&b.weight))
+            .map(|(i, _)| i)
+            .expect("capacity > 0");
+        let inherited = self.entries[victim].weight;
+        self.entries[victim] = HeavyHitter {
+            block,
+            weight: inherited + weight,
+            error: inherited + error,
+        };
+    }
+
+    /// Fold another sketch into this one. Per-key bounds
+    /// (`estimate − error ≤ true ≤ estimate`) and the
+    /// `W / capacity` tracking guarantee hold on the result for the
+    /// combined stream.
+    pub fn merge(&mut self, other: &SpaceSaving) {
+        for e in &other.entries {
+            self.offer_with_error(e.block, e.weight, e.error);
+        }
+    }
+
+    /// The `n` heaviest counters, sorted by estimate descending (block id
+    /// breaks ties deterministically).
+    pub fn top(&self, n: usize) -> Vec<HeavyHitter> {
+        let mut out = self.entries.clone();
+        out.sort_by(|a, b| b.weight.total_cmp(&a.weight).then(a.block.cmp(&b.block)));
+        out.truncate(n);
+        out
+    }
+
+    /// All live counters in internal order (for snapshots).
+    pub fn entries(&self) -> &[HeavyHitter] {
+        &self.entries
+    }
+
+    /// Approximate bytes of counter state.
+    pub fn state_bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<HeavyHitter>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netaddr::Block24;
+
+    fn b(i: u32) -> BlockId {
+        BlockId::V4(Block24::from_index(i))
+    }
+
+    #[test]
+    fn exact_below_capacity() {
+        let mut s = SpaceSaving::new(8);
+        for i in 0..5u32 {
+            s.offer(b(i), (i + 1) as f64);
+            s.offer(b(i), (i + 1) as f64);
+        }
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.error_bound(), 0.0);
+        let top = s.top(5);
+        assert_eq!(top[0].block, b(4));
+        assert_eq!(top[0].weight, 10.0);
+        assert_eq!(top[0].error, 0.0);
+    }
+
+    #[test]
+    fn heavy_keys_survive_and_bounds_hold() {
+        // 4 heavy keys + 100 light ones through a 10-counter sketch.
+        let mut s = SpaceSaving::new(10);
+        let mut truth = std::collections::HashMap::new();
+        for round in 0..50u32 {
+            for i in 0..4u32 {
+                let w = 100.0;
+                s.offer(b(i), w);
+                *truth.entry(b(i)).or_insert(0.0) += w;
+            }
+            for i in 0..100u32 {
+                let w = 1.0;
+                s.offer(b(1000 + (round * 100 + i) % 100), w);
+                *truth
+                    .entry(b(1000 + (round * 100 + i) % 100))
+                    .or_insert(0.0) += w;
+            }
+        }
+        let total: f64 = truth.values().sum();
+        assert!((s.total_weight() - total).abs() < 1e-6);
+        let top = s.top(4);
+        let heavy: Vec<BlockId> = top.iter().map(|h| h.block).collect();
+        for i in 0..4u32 {
+            assert!(heavy.contains(&b(i)), "heavy key {i} lost");
+        }
+        for h in s.entries() {
+            let t = truth.get(&h.block).copied().unwrap_or(0.0);
+            assert!(h.weight + 1e-9 >= t, "estimate under-counts {:?}", h.block);
+            assert!(
+                h.weight - h.error <= t + 1e-9,
+                "error bound violated for {:?}: est {} err {} true {}",
+                h.block,
+                h.weight,
+                h.error,
+                t
+            );
+        }
+        assert!(s.error_bound() <= s.total_weight() / 10.0 + 1e-9);
+    }
+
+    #[test]
+    fn merge_preserves_bounds() {
+        let mut a = SpaceSaving::new(6);
+        let mut c = SpaceSaving::new(6);
+        let mut truth = std::collections::HashMap::new();
+        for i in 0..30u32 {
+            let w = ((i % 7) + 1) as f64;
+            if i % 2 == 0 {
+                a.offer(b(i % 9), w);
+            } else {
+                c.offer(b(i % 9), w);
+            }
+            *truth.entry(b(i % 9)).or_insert(0.0) += w;
+        }
+        let total_a = a.total_weight();
+        a.merge(&c);
+        assert!((a.total_weight() - (total_a + c.total_weight())).abs() < 1e-9);
+        for h in a.entries() {
+            let t = truth.get(&h.block).copied().unwrap_or(0.0);
+            assert!(h.weight + 1e-9 >= t);
+            assert!(h.weight - h.error <= t + 1e-9);
+        }
+    }
+
+    #[test]
+    fn top_is_deterministic_under_ties() {
+        let mut s = SpaceSaving::new(4);
+        s.offer(b(3), 5.0);
+        s.offer(b(1), 5.0);
+        s.offer(b(2), 5.0);
+        let top = s.top(3);
+        assert_eq!(
+            top.iter().map(|h| h.block).collect::<Vec<_>>(),
+            vec![b(1), b(2), b(3)]
+        );
+    }
+}

@@ -99,6 +99,53 @@ pub fn identify_as(
     (csv, report)
 }
 
+/// `stream`: summarize a finalized streaming ingest run — dataset sizes,
+/// classification counts over the streamed snapshot, and the sketch
+/// estimates with their error bounds.
+pub fn stream_summary(outputs: &cellstream::StreamOutputs, threshold: Option<f64>) -> String {
+    let t = threshold.unwrap_or(DEFAULT_THRESHOLD);
+    let (_, class) = cellspot::classify_datasets(&outputs.beacons, &outputs.demand, t);
+    let (v4, v6) = class.block_counts();
+    let s = &outputs.sketches;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "beacons: {} blocks / {} hits; demand: {} blocks / {:.0} du\n",
+        outputs.beacons.len(),
+        outputs.beacons.hits_total(),
+        outputs.demand.len(),
+        outputs.demand.total_du()
+    ));
+    out.push_str(&format!(
+        "cellular blocks at threshold {t:.2}: {} ({v4} /24, {v6} /48)\n",
+        class.len()
+    ));
+    if let Some(busiest) = s
+        .resolver_clients
+        .iter()
+        .max_by(|a, b| a.estimated_clients.total_cmp(&b.estimated_clients))
+    {
+        out.push_str(&format!(
+            "resolvers sketched: {} (busiest ~{:.0} distinct client blocks, std error {:.1}%)\n",
+            s.resolver_clients.len(),
+            busiest.estimated_clients,
+            100.0 * busiest.std_error,
+        ));
+    }
+    out.push_str(&format!(
+        "top demand blocks (over-count <= {:.3} of {:.1} raw demand):\n",
+        s.heavy_error_bound, s.total_demand_weight
+    ));
+    for h in s.heavy_hitters.iter().take(5) {
+        out.push_str(&format!(
+            "  {} est {:.3} (err <= {:.3})\n",
+            block_to_string(h.block),
+            h.weight,
+            h.error
+        ));
+    }
+    out
+}
+
 /// `validate`: score against ground truth at the default threshold and
 /// report the F1 sweep.
 pub fn validate(
@@ -197,6 +244,31 @@ mod tests {
         assert!(csv.lines().count() > 500, "most of the 669 ASes detected");
         assert!(report.contains("candidates"));
         assert!(report.contains("% mixed"));
+    }
+
+    #[test]
+    fn stream_summary_reports_counts_and_sketches() {
+        let (world, b, d) = setup();
+        let dns = dnssim::generate_dns(&world);
+        let source = cdnsim::EventSource::new(&world, cdnsim::CdnConfig::default(), 3);
+        let mut engine = cellstream::IngestEngine::for_source(
+            cellstream::StreamConfig::default(),
+            &source,
+            cellstream::ResolverMap::from_dns(&dns),
+        );
+        engine.run_to_end(&source);
+        let outputs = engine.finalize();
+        // The streamed datasets equal the batch ones, so the summary's
+        // classification count matches a direct batch classification.
+        let (_, batch_class) = cellspot::classify_datasets(&b, &d, DEFAULT_THRESHOLD);
+        let out = stream_summary(&outputs, None);
+        assert!(out.contains("beacons:"));
+        assert!(out.contains(&format!(
+            "cellular blocks at threshold 0.50: {}",
+            batch_class.len()
+        )));
+        assert!(out.contains("resolvers sketched:"));
+        assert!(out.contains("top demand blocks"));
     }
 
     #[test]

@@ -18,6 +18,7 @@ fn main() {
     let rest = &args[1..];
     let result = match cmd.as_str() {
         "synth" => synth(rest),
+        "stream" => stream(rest),
         "classify" => classify(rest),
         "identify-as" => identify_as(rest),
         "validate" => validate(rest),
@@ -114,6 +115,127 @@ fn synth(args: &[String]) -> CmdResult {
     Ok(())
 }
 
+/// `stream`: run the streaming ingest engine over the built-in world's
+/// event stream, with optional per-epoch checkpointing and resume.
+fn stream(args: &[String]) -> CmdResult {
+    let scale = flag_value(args, "--scale").unwrap_or_else(|| "demo".into());
+    let mut config = match scale.as_str() {
+        "mini" => worldgen::WorldConfig::mini(),
+        "demo" => worldgen::WorldConfig::demo(),
+        "paper" => worldgen::WorldConfig::paper(),
+        other => return Err(format!("unknown scale {other:?} (mini|demo|paper)")),
+    };
+    if let Some(seed) = flag_value(args, "--seed") {
+        config.seed = seed.parse().map_err(|_| "bad --seed value".to_string())?;
+    }
+    let epochs: u32 = flag_value(args, "--epochs")
+        .map(|v| v.parse())
+        .transpose()
+        .map_err(|_| "bad --epochs")?
+        .unwrap_or(8);
+    let shards: u32 = flag_value(args, "--shards")
+        .map(|v| v.parse())
+        .transpose()
+        .map_err(|_| "bad --shards")?
+        .unwrap_or(4);
+    if epochs == 0 || shards == 0 {
+        return Err("--epochs and --shards must be at least 1".into());
+    }
+    let stop_after: Option<u32> = flag_value(args, "--stop-after-epoch")
+        .map(|v| v.parse())
+        .transpose()
+        .map_err(|_| "bad --stop-after-epoch")?;
+    let threshold = match flag_value(args, "--threshold") {
+        Some(t) => Some(
+            t.parse::<f64>()
+                .ok()
+                .filter(|t| (0.0..=1.0).contains(t))
+                .ok_or("bad --threshold (expected 0..1)")?,
+        ),
+        None => None,
+    };
+    let ckpt_file =
+        flag_value(args, "--checkpoint").map(|d| PathBuf::from(d).join("checkpoint.json"));
+    let resume = args.iter().any(|a| a == "--resume");
+    let out_dir = flag_value(args, "--out").map(PathBuf::from);
+
+    eprintln!("generating {scale} world (seed {:#x}) …", config.seed);
+    let world = worldgen::World::generate(config);
+    let dns = dnssim::generate_dns(&world);
+    let source = cdnsim::EventSource::new(&world, cdnsim::CdnConfig::default(), epochs);
+    let resolvers = cellstream::ResolverMap::from_dns(&dns);
+
+    let mut engine = if resume {
+        let path = ckpt_file
+            .as_ref()
+            .ok_or("--resume needs --checkpoint DIR")?;
+        let snap = cellstream::Snapshot::read_from(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        if snap.epochs_total != epochs || snap.config.shards != shards {
+            return Err(format!(
+                "checkpoint layout mismatch: {} epochs / {} shards on disk vs \
+                 {epochs} / {shards} requested",
+                snap.epochs_total, snap.config.shards
+            ));
+        }
+        eprintln!(
+            "resuming at epoch {}/{}",
+            snap.epochs_done, snap.epochs_total
+        );
+        cellstream::IngestEngine::restore(&snap, resolvers)
+    } else {
+        let stream_cfg = cellstream::StreamConfig {
+            shards,
+            ..Default::default()
+        };
+        cellstream::IngestEngine::for_source(stream_cfg, &source, resolvers)
+    };
+
+    let wants_more = |done: u32| match stop_after {
+        Some(k) => done < k,
+        None => true,
+    };
+    while !engine.finished() && wants_more(engine.epochs_done()) {
+        let e = engine.ingest_epoch(&source);
+        eprintln!(
+            "epoch {}/{epochs}: {} events folded, ~{} KiB live state",
+            e + 1,
+            engine.events_seen(),
+            engine.state_bytes() / 1024
+        );
+        if let Some(path) = &ckpt_file {
+            if let Some(dir) = path.parent() {
+                fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+            }
+            engine
+                .snapshot()
+                .write_to(path)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+        }
+    }
+    if !engine.finished() {
+        eprintln!(
+            "stopped after epoch {} of {epochs}; continue with --resume --checkpoint DIR",
+            engine.epochs_done()
+        );
+        return Ok(());
+    }
+    let outputs = engine.finalize();
+    if let Some(dir) = &out_dir {
+        write(
+            &dir.join("beacons.csv"),
+            &io::beacons_to_csv(&outputs.beacons),
+        )?;
+        write(&dir.join("demand.csv"), &io::demand_to_csv(&outputs.demand))?;
+        eprintln!(
+            "wrote streamed beacons.csv and demand.csv to {}",
+            dir.display()
+        );
+    }
+    print!("{}", commands::stream_summary(&outputs, threshold));
+    Ok(())
+}
+
 /// `classify`: beacons + demand → cellular block CSV.
 fn classify(args: &[String]) -> CmdResult {
     let (beacons, demand) = load_datasets(args)?;
@@ -194,6 +316,9 @@ fn usage(err: &str) -> ! {
          \n\
          commands:\n\
            synth       --scale mini|demo|paper [--seed N] [--out DIR]\n\
+           stream      --scale mini|demo|paper [--seed N] [--epochs E] [--shards N]\n\
+                       [--checkpoint DIR] [--resume] [--stop-after-epoch K]\n\
+                       [--threshold T] [--out DIR]\n\
            classify    --beacons F --demand F [--threshold T] [--out F]\n\
            identify-as --beacons F --demand F --asdb F [--min-du X] [--min-hits N] [--out F]\n\
            validate    --beacons F --demand F --ground-truth F [--sweep]\n\

@@ -116,6 +116,83 @@ fn full_tool_workflow() {
 }
 
 #[test]
+fn stream_checkpoints_and_resumes() {
+    let dir = tmpdir("stream");
+    let ckpt = dir.join("ckpt");
+    let ckpt_s = ckpt.to_str().expect("utf8");
+    let base = [
+        "stream",
+        "--scale",
+        "mini",
+        "--epochs",
+        "4",
+        "--shards",
+        "3",
+        "--checkpoint",
+        ckpt_s,
+    ];
+
+    // Run to completion in one go, capturing the reference summary.
+    let mut full = base.to_vec();
+    full.extend(["--out", dir.join("full").to_str().expect("utf8")]);
+    let out = run(&full);
+    assert!(out.status.success(), "stream failed: {out:?}");
+    let reference = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        reference.contains("cellular blocks at threshold"),
+        "{reference}"
+    );
+    assert!(reference.contains("top demand blocks"), "{reference}");
+    assert!(dir.join("full/beacons.csv").exists());
+    assert!(dir.join("full/demand.csv").exists());
+    let full_ckpt =
+        std::fs::read_to_string(ckpt.join("checkpoint.json")).expect("checkpoint written");
+
+    // Now "kill" a run after 2 epochs …
+    let mut partial = base.to_vec();
+    partial.extend(["--stop-after-epoch", "2"]);
+    let out = run(&partial);
+    assert!(out.status.success(), "partial stream failed: {out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("stopped after epoch 2"));
+
+    // … and resume from its checkpoint: same summary, same final state.
+    let mut resumed = base.to_vec();
+    resumed.push("--resume");
+    let out = run(&resumed);
+    assert!(out.status.success(), "resume failed: {out:?}");
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        reference,
+        "resumed run must reproduce the uninterrupted summary"
+    );
+    let resumed_ckpt =
+        std::fs::read_to_string(ckpt.join("checkpoint.json")).expect("checkpoint rewritten");
+    assert_eq!(
+        resumed_ckpt, full_ckpt,
+        "final checkpoint must be byte-identical to the uninterrupted run's"
+    );
+
+    // Layout mismatches are rejected instead of silently mixing state.
+    let mut mismatched = vec![
+        "stream",
+        "--scale",
+        "mini",
+        "--epochs",
+        "5",
+        "--shards",
+        "3",
+        "--checkpoint",
+        ckpt_s,
+    ];
+    mismatched.push("--resume");
+    let out = run(&mismatched);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("layout mismatch"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn classification_is_deterministic_across_runs() {
     let dir = tmpdir("determinism");
     let data = dir.join("data");

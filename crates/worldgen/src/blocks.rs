@@ -664,7 +664,7 @@ mod tests {
             })
             .map(|r| r.demand_weight as f64)
             .collect();
-        cell.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        cell.sort_by(|a, b| b.total_cmp(a));
         let total: f64 = cell.iter().sum();
         let cgn = ops.get(ops.showcase_mixed).unwrap().cgn_blocks as usize;
         let top: f64 = cell.iter().take(cgn).sum();

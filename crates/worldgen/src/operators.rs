@@ -920,7 +920,7 @@ mod tests {
                     && o.kind.is_cellular_access()
             })
             .collect();
-        us.sort_by(|a, b| b.cell_demand.partial_cmp(&a.cell_demand).unwrap());
+        us.sort_by(|a, b| b.cell_demand.total_cmp(&a.cell_demand));
         // Table 7: 9.4, 9.2, 5.7, 3.8 — allow the renormalization wiggle.
         assert!(
             (us[0].cell_demand - 9.4).abs() < 0.5,

@@ -10,6 +10,8 @@
 //! * [`cdnsim`] — CDN measurement platform: BEACON and DEMAND datasets.
 //! * [`dnssim`] — DNS resolver assignment and public-DNS usage substrate.
 //! * [`cellspot`] — the paper's methodology: classification and analyses.
+//! * [`cellstream`] — streaming ingest: sharded incremental aggregation,
+//!   sketches, and checkpoint/restore over the event stream.
 //! * [`report`] — tables, figure series, and rendering.
 //!
 //! See `DESIGN.md` for the full system inventory and the per-experiment
@@ -18,6 +20,7 @@
 pub use asdb;
 pub use cdnsim;
 pub use cellspot;
+pub use cellstream;
 pub use dnssim;
 pub use netaddr;
 pub use report;

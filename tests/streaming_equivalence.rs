@@ -1,0 +1,249 @@
+//! Streaming ↔ batch equivalence: the acceptance contract of the
+//! `cellstream` subsystem.
+//!
+//! * Folding the complete event stream reproduces the batch datasets
+//!   **exactly** — bit for bit, at any shard count — so the downstream
+//!   study (classification, AS funnel, demand shares) is identical.
+//! * Sketch outputs are approximate but honor their documented bounds:
+//!   HyperLogLog distinct-client estimates within a few standard errors,
+//!   Space-Saving heavy hitters bracketing the true weights.
+//! * Killing the ingest at an epoch boundary and restoring from the
+//!   checkpoint ends in byte-identical state (covered in depth by
+//!   `crates/cellstream/tests/checkpoint.rs`; re-asserted here through
+//!   the dataset outputs).
+
+use std::collections::{HashMap, HashSet};
+
+use cellspotting::cdnsim::{
+    generate_datasets, BeaconDataset, CdnConfig, DemandDataset, EventSource, StreamEvent,
+};
+use cellspotting::cellspot::{run_study, StudyConfig};
+use cellspotting::cellstream::{IngestEngine, ResolverMap, StreamConfig};
+use cellspotting::dnssim::{generate_dns, DnsSim};
+use cellspotting::netaddr::BlockId;
+use cellspotting::worldgen::{World, WorldConfig};
+
+fn mini_setup() -> (World, DnsSim, BeaconDataset, DemandDataset) {
+    let world = World::generate(WorldConfig::mini());
+    let dns = generate_dns(&world);
+    let (beacons, demand) = generate_datasets(&world);
+    (world, dns, beacons, demand)
+}
+
+fn streamed(
+    world: &World,
+    dns: &DnsSim,
+    shards: u32,
+    epochs: u32,
+) -> cellspotting::cellstream::StreamOutputs {
+    let source = EventSource::new(world, CdnConfig::default(), epochs);
+    let mut engine = IngestEngine::for_source(
+        StreamConfig {
+            shards,
+            ..Default::default()
+        },
+        &source,
+        ResolverMap::from_dns(dns),
+    );
+    engine.run_to_end(&source);
+    engine.finalize()
+}
+
+fn assert_datasets_identical(
+    label: &str,
+    (ab, ad): (&BeaconDataset, &DemandDataset),
+    (bb, bd): (&BeaconDataset, &DemandDataset),
+) {
+    assert_eq!(ab.len(), bb.len(), "{label}: beacon block counts");
+    for (x, y) in ab.iter().zip(bb.iter()) {
+        assert_eq!(x, y, "{label}: beacon record");
+    }
+    assert_eq!(ad.len(), bd.len(), "{label}: demand block counts");
+    for (x, y) in ad.iter().zip(bd.iter()) {
+        assert_eq!(x.block, y.block, "{label}: demand block order");
+        assert_eq!(x.asn, y.asn, "{label}: demand asn");
+        assert_eq!(
+            x.du.to_bits(),
+            y.du.to_bits(),
+            "{label}: demand du must match bit for bit ({} vs {})",
+            x.du,
+            y.du
+        );
+    }
+}
+
+/// The tentpole guarantee: every (shards, epochs) layout folds the stream
+/// into exactly the batch datasets.
+#[test]
+fn stream_fold_reproduces_batch_at_any_shard_count() {
+    let (world, dns, beacons, demand) = mini_setup();
+    for (shards, epochs) in [(1u32, 1u32), (1, 6), (3, 4), (7, 9)] {
+        let out = streamed(&world, &dns, shards, epochs);
+        assert_datasets_identical(
+            &format!("shards={shards} epochs={epochs}"),
+            (&out.beacons, &out.demand),
+            (&beacons, &demand),
+        );
+    }
+}
+
+/// Counter-based study outputs over the streamed snapshot equal the
+/// batch study's: same classification, same funnel, same demand shares.
+#[test]
+fn study_over_streamed_snapshot_matches_batch() {
+    let (world, dns, beacons, demand) = mini_setup();
+    let out = streamed(&world, &dns, 5, 7);
+    let cfg = StudyConfig::default().with_min_hits(world.config.scaled_min_beacon_hits());
+    let batch = run_study(
+        &beacons,
+        &demand,
+        &world.as_db,
+        &world.carriers,
+        Some(&dns),
+        cfg.clone(),
+    );
+    let stream = run_study(
+        &out.beacons,
+        &out.demand,
+        &world.as_db,
+        &world.carriers,
+        Some(&dns),
+        cfg,
+    );
+    assert_eq!(
+        batch.classification.block_counts(),
+        stream.classification.block_counts()
+    );
+    assert_eq!(batch.filter.table5_counts(), stream.filter.table5_counts());
+    assert_eq!(
+        batch.view.global_cellular_pct().to_bits(),
+        stream.view.global_cellular_pct().to_bits()
+    );
+}
+
+/// HyperLogLog estimates: for every resolver with a meaningful client
+/// population, the estimate lands within 10% of the exact distinct count
+/// (the sketch's 3-sigma band at precision 12 is under 5%; 10% leaves
+/// headroom for small populations).
+#[test]
+fn resolver_client_estimates_are_within_bounds() {
+    let (world, dns, _, demand) = mini_setup();
+    let out = streamed(&world, &dns, 3, 5);
+
+    // Exact distinct demand blocks per resolver, from the same attribution
+    // the engine uses.
+    let map = ResolverMap::from_dns(&dns);
+    let mut exact: HashMap<u32, HashSet<BlockId>> = HashMap::new();
+    for r in demand.iter() {
+        if let Some(res) = map.resolver_of(r.block) {
+            exact.entry(res).or_default().insert(r.block);
+        }
+    }
+
+    let mut checked = 0;
+    for rc in &out.sketches.resolver_clients {
+        let truth = exact.get(&rc.resolver).map(|s| s.len()).unwrap_or_default() as f64;
+        assert!(
+            truth > 0.0,
+            "sketched resolver {} never saw demand",
+            rc.resolver
+        );
+        if truth >= 30.0 {
+            let rel = (rc.estimated_clients - truth).abs() / truth;
+            assert!(
+                rel <= 0.10,
+                "resolver {}: estimate {:.1} vs exact {truth} (rel err {rel:.3})",
+                rc.resolver,
+                rc.estimated_clients
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 3, "need well-populated resolvers, got {checked}");
+    // Every resolver with demand-attributed clients was sketched.
+    assert_eq!(exact.len(), out.sketches.resolver_clients.len());
+}
+
+/// Space-Saving heavy hitters: estimates bracket the true raw demand
+/// (true ≤ estimate ≤ true + error), and the heaviest blocks are found.
+#[test]
+fn demand_heavy_hitters_honor_error_bounds() {
+    let (world, dns, _, _) = mini_setup();
+    let epochs = 5;
+
+    // Exact raw per-block demand offered to the sketch, from the source.
+    let source = EventSource::new(&world, CdnConfig::default(), epochs);
+    let mut exact: HashMap<BlockId, f64> = HashMap::new();
+    let mut total = 0.0;
+    for ev in source.events() {
+        if let StreamEvent::Demand(d) = ev {
+            *exact.entry(d.block).or_default() += d.value;
+            total += d.value;
+        }
+    }
+
+    for shards in [1u32, 4] {
+        let out = streamed(&world, &dns, shards, epochs);
+        let s = &out.sketches;
+        assert!(
+            (s.total_demand_weight - total).abs() <= 1e-6 * total,
+            "shards={shards}: sketch total {} vs exact {total}",
+            s.total_demand_weight
+        );
+        for h in &s.heavy_hitters {
+            let t = exact.get(&h.block).copied().unwrap_or_default();
+            assert!(
+                h.weight + 1e-9 >= t,
+                "shards={shards}: {:?} under-counted ({} < {t})",
+                h.block,
+                h.weight
+            );
+            assert!(
+                h.weight - h.error <= t + 1e-9,
+                "shards={shards}: {:?} bound violated (est {} err {} true {t})",
+                h.block,
+                h.weight,
+                h.error
+            );
+        }
+        // The true top-10 blocks must all be tracked: each carries far
+        // more weight than the sketch's worst-case over-count.
+        let mut ranked: Vec<(&BlockId, &f64)> = exact.iter().collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(a.1).then(a.0.cmp(b.0)));
+        let tracked: HashSet<BlockId> = s.heavy_hitters.iter().map(|h| h.block).collect();
+        for (block, w) in ranked.iter().take(10) {
+            if **w > 2.0 * s.heavy_error_bound {
+                assert!(
+                    tracked.contains(*block),
+                    "shards={shards}: top block {block:?} (weight {w}) not tracked"
+                );
+            }
+        }
+    }
+}
+
+/// Partial streams also produce valid (smaller) datasets: stopping early
+/// never corrupts state — the engine just reports fewer hits.
+#[test]
+fn partial_stream_is_a_prefix_not_garbage() {
+    let (world, dns, beacons, _) = mini_setup();
+    let source = EventSource::new(&world, CdnConfig::default(), 4);
+    let mut engine = IngestEngine::for_source(
+        StreamConfig::default(),
+        &source,
+        ResolverMap::from_dns(&dns),
+    );
+    engine.ingest_epoch(&source);
+    engine.ingest_epoch(&source);
+    let partial = engine.finalize();
+    assert!(partial.beacons.hits_total() > 0);
+    assert!(
+        partial.beacons.hits_total() < beacons.hits_total(),
+        "half the epochs must hold fewer hits than the full month"
+    );
+    for r in partial.beacons.iter() {
+        let full = beacons.get(r.block).expect("no phantom blocks");
+        assert!(r.hits_total <= full.hits_total);
+        assert!(r.netinfo_hits <= full.netinfo_hits);
+    }
+}
