@@ -38,4 +38,6 @@ pub use connection::{Browser, ConnectionType, BROWSERS};
 pub use datasets::{BeaconDataset, BeaconRecord, DemandDataset, DemandRecord, TOTAL_DU};
 pub use events::{aggregate_events, simulate_events, BeaconEvent, EventSimConfig};
 pub use netinfo::{browser_mix, netinfo_share, netinfo_timeline, MonthShare, DEC_2016, JUN_2017};
-pub use source::{BeaconDelta, DemandDay, EventSource, StreamEvent};
+pub use source::{
+    BeaconDelta, DemandDay, EpochGate, EventSource, SourceError, SourceErrorKind, StreamEvent,
+};

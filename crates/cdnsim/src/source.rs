@@ -22,6 +22,9 @@
 //! how the stream is sharded by block — the determinism guarantee the
 //! ingest engine builds on.
 
+use std::fmt;
+use std::sync::Arc;
+
 use netaddr::{Asn, BlockId};
 use serde::{Deserialize, Serialize};
 use worldgen::sampling::{binomial, lognormal_jitter, poisson, rng_for, GenRng};
@@ -34,6 +37,48 @@ use crate::stream::{block_stream, BEACON_SEED_TAG, DEMAND_SEED_TAG};
 /// Seed tag for the epoch-split RNG stream. Distinct from the dataset
 /// tags so slicing draws never interleave with the monthly-total draws.
 const SPLIT_SEED_TAG: u64 = 0x5711_7000_0000_0000;
+
+/// How an event source failed to serve an epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SourceErrorKind {
+    /// Transient: the collector stalled; retrying the epoch may succeed.
+    Stall,
+    /// Permanent: the epoch cannot be served.
+    Failed,
+}
+
+/// Error surfaced by a faulty event source (a stalled or dead collector).
+///
+/// Only [`EventSource::try_epoch`] can return it, and only when a gate was
+/// installed with [`EventSource::with_gate`] — the default source is
+/// infallible.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SourceError {
+    /// Epoch the failure was injected at.
+    pub epoch: u32,
+    /// Transient stall or permanent failure.
+    pub kind: SourceErrorKind,
+}
+
+impl fmt::Display for SourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            SourceErrorKind::Stall => write!(f, "event source stalled at epoch {}", self.epoch),
+            SourceErrorKind::Failed => write!(f, "event source failed at epoch {}", self.epoch),
+        }
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+/// Per-epoch admission hook: the fault-injection seam a chaos harness uses
+/// to simulate collector stalls and failures. Consulted by
+/// [`EventSource::try_epoch`] once per call, before any event of the epoch
+/// is emitted.
+pub trait EpochGate: Send + Sync {
+    /// Allow (`Ok`) or fail (`Err`) serving `epoch` right now.
+    fn check(&self, epoch: u32) -> Result<(), SourceError>;
+}
 
 /// One element of the ingest feed.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -113,6 +158,7 @@ pub struct EventSource<'w> {
     weight_sum: f64,
     hits_budget: f64,
     netinfo_frac: f64,
+    gate: Option<Arc<dyn EpochGate>>,
 }
 
 impl<'w> EventSource<'w> {
@@ -140,7 +186,16 @@ impl<'w> EventSource<'w> {
             weight_sum,
             hits_budget,
             netinfo_frac,
+            gate: None,
         }
+    }
+
+    /// Install an epoch gate. Gated sources can fail per epoch through
+    /// [`try_epoch`](Self::try_epoch); the plain [`epoch`](Self::epoch)
+    /// accessor ignores the gate (recovery replays read through it).
+    pub fn with_gate(mut self, gate: Arc<dyn EpochGate>) -> Self {
+        self.gate = Some(gate);
+        self
     }
 
     /// Number of epoch slices.
@@ -189,6 +244,24 @@ impl<'w> EventSource<'w> {
             }
             out
         })
+    }
+
+    /// Fallible variant of [`epoch`](Self::epoch): consults the installed
+    /// [`EpochGate`] (if any) before emitting events, so an injected
+    /// collector stall or failure surfaces as a clean error instead of a
+    /// silently empty epoch.
+    ///
+    /// # Panics
+    /// Panics when `epoch >= self.epochs()` (programmer error, same as
+    /// [`epoch`](Self::epoch)).
+    pub fn try_epoch(
+        &self,
+        epoch: u32,
+    ) -> Result<impl Iterator<Item = StreamEvent> + '_, SourceError> {
+        if let Some(gate) = &self.gate {
+            gate.check(epoch)?;
+        }
+        Ok(self.epoch(epoch))
     }
 
     /// The full stream: every epoch in order, lazily.
@@ -404,6 +477,64 @@ mod tests {
                 assert_eq!(total, days);
             }
         }
+    }
+
+    #[test]
+    fn gate_faults_surface_through_try_epoch_only() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+
+        /// Stalls twice on epoch 1, then recovers; fails epoch 2 forever.
+        struct TestGate {
+            stalls_left: AtomicU32,
+        }
+        impl EpochGate for TestGate {
+            fn check(&self, epoch: u32) -> Result<(), SourceError> {
+                match epoch {
+                    1 if self
+                        .stalls_left
+                        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                        .is_ok() =>
+                    {
+                        Err(SourceError {
+                            epoch,
+                            kind: SourceErrorKind::Stall,
+                        })
+                    }
+                    2 => Err(SourceError {
+                        epoch,
+                        kind: SourceErrorKind::Failed,
+                    }),
+                    _ => Ok(()),
+                }
+            }
+        }
+
+        let world = World::generate(WorldConfig::mini());
+        let gated = EventSource::new(&world, CdnConfig::default(), 3).with_gate(Arc::new(
+            TestGate {
+                stalls_left: AtomicU32::new(2),
+            },
+        ));
+        let plain = EventSource::new(&world, CdnConfig::default(), 3);
+
+        // Epoch 0 passes and emits the exact same events as an ungated source.
+        let gated0: Vec<StreamEvent> = gated.try_epoch(0).expect("epoch 0 open").collect();
+        let plain0: Vec<StreamEvent> = plain.epoch(0).collect();
+        assert_eq!(gated0, plain0);
+
+        // Epoch 1 stalls twice, then recovers.
+        for attempt in 0..2 {
+            let err = gated.try_epoch(1).err().expect("stall");
+            assert_eq!(err.kind, SourceErrorKind::Stall, "attempt {attempt}");
+            assert_eq!(err.epoch, 1);
+        }
+        assert!(gated.try_epoch(1).is_ok(), "stalls are transient");
+
+        // Epoch 2 fails permanently; the infallible accessor still works
+        // (that is the recovery-replay path).
+        let err = gated.try_epoch(2).err().expect("failure");
+        assert_eq!(err.kind, SourceErrorKind::Failed);
+        assert_eq!(gated.epoch(2).count(), plain.epoch(2).count());
     }
 
     #[test]

@@ -8,16 +8,19 @@
 //! restore-and-continue is indistinguishable — snapshot-for-snapshot,
 //! byte for byte — from a run that was never interrupted.
 
+use std::collections::BTreeSet;
+use std::fmt;
+
 use netaddr::BlockId;
 use serde::{Deserialize, Serialize};
 
 use cdnsim::{
-    BeaconDataset, BeaconRecord, DemandDataset, DemandRecord, EventSource, BEACON_PERIOD,
-    DEMAND_PERIOD,
+    BeaconDataset, BeaconRecord, DemandDataset, DemandRecord, EventSource, SourceError,
+    BEACON_PERIOD, DEMAND_PERIOD,
 };
 use dnssim::DnsSim;
 
-use crate::hll::HyperLogLog;
+use crate::hll::{HyperLogLog, MAX_PRECISION, MIN_PRECISION};
 use crate::shard::{ShardRouter, ShardState};
 use crate::snapshot::Snapshot;
 use crate::spacesaving::{HeavyHitter, SpaceSaving};
@@ -35,6 +38,27 @@ pub struct StreamConfig {
     pub heavy_capacity: usize,
 }
 
+impl StreamConfig {
+    /// Check the knobs are usable before any shard state is allocated,
+    /// so degenerate configurations surface as errors instead of
+    /// assertion panics deep in the sketch constructors.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.shards == 0 {
+            return Err("stream config needs at least one shard".into());
+        }
+        if !(MIN_PRECISION..=MAX_PRECISION).contains(&self.hll_precision) {
+            return Err(format!(
+                "hll precision {} outside {MIN_PRECISION}..={MAX_PRECISION}",
+                self.hll_precision
+            ));
+        }
+        if self.heavy_capacity == 0 {
+            return Err("heavy-hitter sketch needs at least one counter".into());
+        }
+        Ok(())
+    }
+}
+
 impl Default for StreamConfig {
     fn default() -> Self {
         StreamConfig {
@@ -43,6 +67,97 @@ impl Default for StreamConfig {
             heavy_capacity: 64,
         }
     }
+}
+
+/// Why an ingest step could not run (the fallible mirror of the panics
+/// documented on [`IngestEngine::ingest_epoch`], plus the injected-fault
+/// outcomes a chaos harness drives recovery from).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IngestError {
+    /// Every epoch was already ingested.
+    Finished {
+        /// The stream's total epoch count.
+        epochs: u32,
+    },
+    /// The source's epoch layout or smoothing window does not match the
+    /// engine's.
+    LayoutMismatch(String),
+    /// The configuration failed [`StreamConfig::validate`].
+    BadConfig(String),
+    /// A snapshot failed validation or does not fit the running engine.
+    SnapshotMismatch(String),
+    /// The event source stalled or failed (injected via an
+    /// [`cdnsim::EpochGate`] or a real collector outage).
+    Source(SourceError),
+    /// A shard's fold panicked (simulated): its state is poisoned and
+    /// must be rebuilt via [`IngestEngine::recover_shard`] before the
+    /// engine can checkpoint or make further progress.
+    ShardPanic {
+        /// Epoch being folded when the shard died.
+        epoch: u32,
+        /// The poisoned shard.
+        shard: u32,
+    },
+    /// The whole process crashed mid-epoch (simulated): the in-memory
+    /// engine is unusable and a restart must restore from the last good
+    /// checkpoint.
+    Crashed {
+        /// Epoch being folded when the crash hit.
+        epoch: u32,
+    },
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Finished { epochs } => {
+                write!(f, "all {epochs} epochs already ingested")
+            }
+            IngestError::LayoutMismatch(why) => write!(f, "{why}"),
+            IngestError::BadConfig(why) => write!(f, "{why}"),
+            IngestError::SnapshotMismatch(why) => write!(f, "{why}"),
+            IngestError::Source(e) => write!(f, "{e}"),
+            IngestError::ShardPanic { epoch, shard } => {
+                write!(f, "shard {shard} panicked while folding epoch {epoch}")
+            }
+            IngestError::Crashed { epoch } => {
+                write!(f, "process crashed while folding epoch {epoch}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// What the fold loop should do after consulting an [`IngestObserver`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FoldAction {
+    /// Fold the event normally.
+    Continue,
+    /// Simulate this shard's worker panicking: the shard is poisoned and
+    /// stops folding; the epoch still completes for the other shards.
+    KillShard,
+    /// Simulate the whole process dying mid-epoch: ingest aborts
+    /// immediately and the epoch does not count as done.
+    CrashProcess,
+}
+
+/// Fold-loop hook consulted before every event: the fault-injection seam
+/// `faultsim` uses to kill shards and crash the process at deterministic
+/// points. Takes `&self` so one injector can serve as both this and an
+/// [`cdnsim::EpochGate`] behind an `Arc`.
+pub trait IngestObserver {
+    /// Decide the fate of the next event. `epoch_events` counts events
+    /// already processed this epoch across all shards; `shard_events`
+    /// counts events this shard already folded this epoch — both exclude
+    /// the current event, so `0` means "before the first event".
+    fn before_apply(
+        &self,
+        epoch: u32,
+        shard: u32,
+        epoch_events: u64,
+        shard_events: u64,
+    ) -> FoldAction;
 }
 
 /// Block → resolver assignment used to attribute demand to resolvers.
@@ -143,12 +258,27 @@ pub struct IngestEngine {
     epochs_total: u32,
     epochs_done: u32,
     smoothing_days: u32,
+    /// Shards whose fold "panicked" (fault injection): their state is
+    /// stale and must be rebuilt before the engine can checkpoint.
+    poisoned: BTreeSet<u32>,
+    /// Set when a simulated process crash hit: the engine is unusable.
+    crashed: bool,
 }
 
 impl IngestEngine {
     /// An empty engine sized for `source`'s epoch layout.
     pub fn for_source(cfg: StreamConfig, source: &EventSource<'_>, resolvers: ResolverMap) -> Self {
         Self::with_layout(cfg, source.epochs(), source.smoothing_days(), resolvers)
+    }
+
+    /// Fallible [`for_source`](Self::for_source): a degenerate config is
+    /// an error, not a panic.
+    pub fn try_for_source(
+        cfg: StreamConfig,
+        source: &EventSource<'_>,
+        resolvers: ResolverMap,
+    ) -> Result<Self, IngestError> {
+        Self::try_with_layout(cfg, source.epochs(), source.smoothing_days(), resolvers)
     }
 
     /// An empty engine with an explicit epoch layout.
@@ -170,7 +300,20 @@ impl IngestEngine {
             epochs_total,
             epochs_done: 0,
             smoothing_days,
+            poisoned: BTreeSet::new(),
+            crashed: false,
         }
+    }
+
+    /// Fallible [`with_layout`](Self::with_layout).
+    pub fn try_with_layout(
+        cfg: StreamConfig,
+        epochs_total: u32,
+        smoothing_days: u32,
+        resolvers: ResolverMap,
+    ) -> Result<Self, IngestError> {
+        cfg.validate().map_err(IngestError::BadConfig)?;
+        Ok(Self::with_layout(cfg, epochs_total, smoothing_days, resolvers))
     }
 
     /// Resume from a snapshot. The resolver map is not part of the
@@ -185,7 +328,18 @@ impl IngestEngine {
             epochs_total: snapshot.epochs_total,
             epochs_done: snapshot.epochs_done,
             smoothing_days: snapshot.smoothing_days,
+            poisoned: BTreeSet::new(),
+            crashed: false,
         }
+    }
+
+    /// Fallible [`restore`](Self::restore): the snapshot is validated
+    /// first, so an internally-inconsistent one (wrong shard count, bad
+    /// config, impossible progress) is rejected instead of restoring an
+    /// engine that would panic later.
+    pub fn try_restore(snapshot: &Snapshot, resolvers: ResolverMap) -> Result<Self, IngestError> {
+        snapshot.validate().map_err(IngestError::SnapshotMismatch)?;
+        Ok(Self::restore(snapshot, resolvers))
     }
 
     /// The engine's configuration.
@@ -225,29 +379,169 @@ impl IngestEngine {
     /// Panics when the stream is already finished or `source`'s layout
     /// does not match the engine's.
     pub fn ingest_epoch(&mut self, source: &EventSource<'_>) -> u32 {
-        assert!(
-            !self.finished(),
-            "all {} epochs already ingested",
-            self.epochs_total
-        );
-        assert_eq!(
-            source.epochs(),
-            self.epochs_total,
-            "source epoch layout changed mid-stream"
-        );
-        assert_eq!(
-            source.smoothing_days(),
-            self.smoothing_days,
-            "source smoothing window changed mid-stream"
-        );
+        match self.try_ingest_epoch(source, None) {
+            Ok(epoch) => epoch,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`ingest_epoch`](Self::ingest_epoch), with an optional
+    /// fault-injection observer consulted before every event.
+    ///
+    /// On [`IngestError::ShardPanic`] the epoch still *completes* for the
+    /// healthy shards (and counts as done) — only the named shard's state
+    /// is poisoned, mirroring a real worker death in a sharded pipeline —
+    /// so recovery only has to rebuild that shard. On
+    /// [`IngestError::Crashed`] the epoch does **not** count as done and
+    /// the whole engine is dead.
+    pub fn try_ingest_epoch(
+        &mut self,
+        source: &EventSource<'_>,
+        observer: Option<&dyn IngestObserver>,
+    ) -> Result<u32, IngestError> {
+        if self.crashed {
+            return Err(IngestError::Crashed {
+                epoch: self.epochs_done,
+            });
+        }
+        if let Some(&shard) = self.poisoned.iter().next() {
+            return Err(IngestError::ShardPanic {
+                epoch: self.epochs_done,
+                shard,
+            });
+        }
+        if self.finished() {
+            return Err(IngestError::Finished {
+                epochs: self.epochs_total,
+            });
+        }
+        if source.epochs() != self.epochs_total {
+            return Err(IngestError::LayoutMismatch(
+                "source epoch layout changed mid-stream".into(),
+            ));
+        }
+        if source.smoothing_days() != self.smoothing_days {
+            return Err(IngestError::LayoutMismatch(
+                "source smoothing window changed mid-stream".into(),
+            ));
+        }
         let epoch = self.epochs_done;
-        for ev in source.epoch(epoch) {
-            let resolver = self.resolver_map.resolver_of(ev.block());
-            let shard = self.router.shard_of(ev.block()) as usize;
-            self.shards[shard].apply(&ev, resolver);
+        let events = source.try_epoch(epoch).map_err(IngestError::Source)?;
+        // Event counters advance for *every* event — including ones a
+        // poisoned shard drops — so fault trigger points stay at the same
+        // stream offsets regardless of earlier faults.
+        let mut epoch_events = 0u64;
+        let mut shard_counts = vec![0u64; self.shards.len()];
+        let mut killed: Option<u32> = None;
+        for ev in events {
+            let shard = self.router.shard_of(ev.block());
+            let idx = shard as usize;
+            let dead = self.poisoned.contains(&shard);
+            if !dead {
+                match observer
+                    .map(|o| o.before_apply(epoch, shard, epoch_events, shard_counts[idx]))
+                    .unwrap_or(FoldAction::Continue)
+                {
+                    FoldAction::Continue => {
+                        let resolver = self.resolver_map.resolver_of(ev.block());
+                        self.shards[idx].apply(&ev, resolver);
+                    }
+                    FoldAction::KillShard => {
+                        self.poisoned.insert(shard);
+                        killed.get_or_insert(shard);
+                    }
+                    FoldAction::CrashProcess => {
+                        self.crashed = true;
+                        return Err(IngestError::Crashed { epoch });
+                    }
+                }
+            }
+            epoch_events += 1;
+            shard_counts[idx] += 1;
         }
         self.epochs_done += 1;
-        epoch
+        match killed {
+            Some(shard) => Err(IngestError::ShardPanic { epoch, shard }),
+            None => Ok(epoch),
+        }
+    }
+
+    /// Rebuild one shard after a [`IngestError::ShardPanic`]: reset it
+    /// from `base` (or to empty when `base` is `None`, e.g. every
+    /// retained checkpoint was corrupt) and replay only that shard's
+    /// slice of the missing epochs from `source`. Returns the number of
+    /// epochs replayed.
+    ///
+    /// Bit-exact by construction: the router assigns each block to
+    /// exactly one shard and per-shard fold order equals stream order, so
+    /// replaying the shard's events in stream order rebuilds the same
+    /// state the uninterrupted run would hold. The replay reads through
+    /// [`EventSource::epoch`], not the gated
+    /// [`try_epoch`](EventSource::try_epoch) — recovery must not be
+    /// re-failed by the same injected source fault.
+    pub fn recover_shard(
+        &mut self,
+        shard: u32,
+        base: Option<&Snapshot>,
+        source: &EventSource<'_>,
+    ) -> Result<u32, IngestError> {
+        if self.crashed {
+            return Err(IngestError::Crashed {
+                epoch: self.epochs_done,
+            });
+        }
+        if shard >= self.cfg.shards {
+            return Err(IngestError::BadConfig(format!(
+                "shard {shard} out of range (engine has {})",
+                self.cfg.shards
+            )));
+        }
+        let idx = shard as usize;
+        let start = match base {
+            Some(snap) => {
+                snap.validate().map_err(IngestError::SnapshotMismatch)?;
+                if snap.config != self.cfg
+                    || snap.epochs_total != self.epochs_total
+                    || snap.smoothing_days != self.smoothing_days
+                {
+                    return Err(IngestError::SnapshotMismatch(
+                        "checkpoint layout differs from the running engine".into(),
+                    ));
+                }
+                if snap.epochs_done > self.epochs_done {
+                    return Err(IngestError::SnapshotMismatch(
+                        "checkpoint is ahead of the engine".into(),
+                    ));
+                }
+                self.shards[idx] = snap.shard_state(idx);
+                snap.epochs_done
+            }
+            None => {
+                self.shards[idx] = ShardState::new(self.cfg.hll_precision, self.cfg.heavy_capacity);
+                0
+            }
+        };
+        for epoch in start..self.epochs_done {
+            for ev in source.epoch(epoch) {
+                if self.router.shard_of(ev.block()) == shard {
+                    let resolver = self.resolver_map.resolver_of(ev.block());
+                    self.shards[idx].apply(&ev, resolver);
+                }
+            }
+        }
+        self.poisoned.remove(&shard);
+        Ok(self.epochs_done - start)
+    }
+
+    /// Shards currently poisoned by an injected panic, ascending.
+    pub fn poisoned_shards(&self) -> Vec<u32> {
+        self.poisoned.iter().copied().collect()
+    }
+
+    /// True after a simulated process crash: the engine must be dropped
+    /// and restored from a checkpoint.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
     }
 
     /// Ingest every remaining epoch.
@@ -260,7 +554,16 @@ impl IngestEngine {
     /// Checkpoint the engine's complete state at the current epoch
     /// boundary. Serialization is canonical: the same engine state always
     /// produces byte-identical JSON.
+    ///
+    /// # Panics
+    /// Panics when the engine is poisoned or crashed — checkpointing
+    /// stale shard state would corrupt the recovery chain. Recover (or
+    /// restore) first.
     pub fn snapshot(&self) -> Snapshot {
+        assert!(
+            self.poisoned.is_empty() && !self.crashed,
+            "cannot checkpoint a poisoned engine (recover first)"
+        );
         Snapshot::capture(
             self.cfg,
             self.epochs_total,

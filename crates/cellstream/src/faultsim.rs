@@ -1,0 +1,571 @@
+//! Deterministic fault injection for the streaming ingest path.
+//!
+//! A [`FaultPlan`] is a serializable list of faults pinned to exact
+//! stream offsets — "crash the process after 500 events of epoch 3",
+//! "flip two bits in the epoch-4 checkpoint" — so a chaos run is fully
+//! reproducible from `(world seed, fault plan)` alone: no wall clocks,
+//! no OS scheduling, no randomness outside the plan's own seed.
+//!
+//! One [`FaultInjector`] drives every seam at once. It implements
+//! [`cdnsim::EpochGate`] (source stalls/failures, consulted by
+//! [`EventSource::try_epoch`]) and [`IngestObserver`] (shard kills and
+//! process crashes, consulted before every fold), and tampers with
+//! checkpoint files after they are written ([`FaultInjector::tamper_checkpoint`]).
+//! Each fault fires exactly once (stalls fire their configured count),
+//! so recovery replays cannot re-trigger the fault that necessitated
+//! them.
+//!
+//! [`run_chaos`] is the supervisor loop the `stream --fault-plan` CLI
+//! and the chaos test suite share: ingest epochs, checkpoint each
+//! boundary through a [`CheckpointStore`], and on every injected
+//! failure do what a production operator would — retry stalled epochs,
+//! rebuild killed shards from the last good checkpoint plus a replay of
+//! the missing epoch slice, restart crashed processes from disk. The
+//! chaos suite asserts the result is byte-identical to a fault-free run.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use cdnsim::{EpochGate, EventSource, SourceError, SourceErrorKind};
+
+use crate::engine::{
+    FoldAction, IngestEngine, IngestError, IngestObserver, ResolverMap, StreamConfig,
+};
+use crate::hll::mix64;
+use crate::integrity::{CheckpointStore, RecoveryOutcome};
+
+/// One injected fault, pinned to a deterministic stream offset.
+///
+/// Event counts are *within-epoch* offsets counted before the triggering
+/// event, so `after_events: 0` fires before the first event (an epoch
+/// boundary) and `after_events: n` fires once `n` events were counted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fault {
+    /// Kill the whole process mid-epoch: the epoch does not complete and
+    /// a restart must restore from the last good checkpoint.
+    Crash {
+        /// Epoch the crash hits.
+        epoch: u32,
+        /// Fire once this many events of the epoch were processed
+        /// (across all shards).
+        after_events: u64,
+    },
+    /// Kill one shard's worker mid-epoch: the other shards finish the
+    /// epoch and only this shard must be rebuilt.
+    ShardKill {
+        /// Epoch the kill hits.
+        epoch: u32,
+        /// The shard to poison.
+        shard: u32,
+        /// Fire once this shard folded this many events of the epoch.
+        after_events: u64,
+    },
+    /// Truncate the checkpoint file written after `epoch` epochs
+    /// completed, simulating a torn write the atomic path cannot cause
+    /// but a dying disk can.
+    TruncateCheckpoint {
+        /// `epochs_done` of the checkpoint file to tamper with.
+        epoch: u32,
+        /// Bytes to keep from the front of the file.
+        keep_bytes: u64,
+    },
+    /// Flip bits in the checkpoint file written after `epoch` epochs
+    /// completed. Offsets derive from the plan seed, so the same plan
+    /// always corrupts the same bytes.
+    FlipCheckpointBytes {
+        /// `epochs_done` of the checkpoint file to tamper with.
+        epoch: u32,
+        /// Number of single-bit flips to apply.
+        flips: u32,
+    },
+    /// Stall the event source at an epoch: serving it fails transiently
+    /// this many times, then succeeds.
+    SourceStall {
+        /// Epoch the stall hits.
+        epoch: u32,
+        /// Failures before the source recovers.
+        times: u32,
+    },
+    /// Fail the event source at an epoch permanently: the run cannot
+    /// finish and must surface a clean error.
+    SourceFail {
+        /// Epoch the failure hits.
+        epoch: u32,
+    },
+}
+
+/// A reproducible chaos scenario: a seed (drives bit-flip offsets) plus
+/// the faults to inject. Serialized as JSON for the `stream
+/// --fault-plan` CLI flag.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for fault-internal randomness (checkpoint bit-flip offsets).
+    pub seed: u64,
+    /// The faults, in any order; each is matched by its own trigger.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// Pretty JSON encoding (newline-terminated).
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("fault plan serialization is total");
+        s.push('\n');
+        s
+    }
+
+    /// Parse a plan from JSON.
+    pub fn from_json(json: &str) -> io::Result<Self> {
+        serde_json::from_str(json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Load a plan from a JSON file.
+    pub fn read_from(path: &Path) -> io::Result<Self> {
+        Self::from_json(&fs::read_to_string(path)?)
+    }
+
+    /// Write the plan to a JSON file.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        fs::write(path, self.to_json())
+    }
+}
+
+/// Per-fault progress: how many times each fault has fired.
+struct InjectorState {
+    fired: Vec<u32>,
+    log: Vec<String>,
+}
+
+/// Executes a [`FaultPlan`] across every injection seam. Interior
+/// mutability lets one `Arc<FaultInjector>` serve as both the source's
+/// [`EpochGate`] and the engine's [`IngestObserver`].
+pub struct FaultInjector {
+    plan: FaultPlan,
+    state: Mutex<InjectorState>,
+}
+
+impl FaultInjector {
+    /// An injector that will execute `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let fired = vec![0u32; plan.faults.len()];
+        FaultInjector {
+            plan,
+            state: Mutex::new(InjectorState {
+                fired,
+                log: Vec::new(),
+            }),
+        }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Drain the injection log (one line per fault fired since the last
+    /// drain).
+    pub fn drain_log(&self) -> Vec<String> {
+        std::mem::take(&mut self.state.lock().expect("injector mutex poisoned").log)
+    }
+
+    /// Apply any pending checkpoint-tampering faults to the file at
+    /// `path` (the checkpoint written after `epochs_done` epochs).
+    /// Returns the number of faults applied. Tampering writes directly —
+    /// not atomically — because it *simulates* torn writes and bit rot.
+    pub fn tamper_checkpoint(&self, epochs_done: u32, path: &Path) -> io::Result<u32> {
+        let mut st = self.state.lock().expect("injector mutex poisoned");
+        let mut applied = 0u32;
+        for (i, fault) in self.plan.faults.iter().enumerate() {
+            if st.fired[i] > 0 {
+                continue;
+            }
+            match *fault {
+                Fault::TruncateCheckpoint { epoch, keep_bytes } if epoch == epochs_done => {
+                    let mut bytes = fs::read(path)?;
+                    bytes.truncate(keep_bytes.min(bytes.len() as u64) as usize);
+                    fs::write(path, &bytes)?;
+                    st.fired[i] = 1;
+                    st.log.push(format!(
+                        "truncated checkpoint {} to {} bytes",
+                        path.display(),
+                        keep_bytes
+                    ));
+                    applied += 1;
+                }
+                Fault::FlipCheckpointBytes { epoch, flips } if epoch == epochs_done => {
+                    let mut bytes = fs::read(path)?;
+                    if !bytes.is_empty() {
+                        for k in 0..flips {
+                            let h = mix64(self.plan.seed ^ ((epoch as u64) << 32) ^ (k as u64));
+                            let off = (h % bytes.len() as u64) as usize;
+                            bytes[off] ^= 1u8 << ((h >> 61) as u32 % 8);
+                        }
+                        fs::write(path, &bytes)?;
+                    }
+                    st.fired[i] = 1;
+                    st.log.push(format!(
+                        "flipped {} bit(s) in checkpoint {}",
+                        flips,
+                        path.display()
+                    ));
+                    applied += 1;
+                }
+                _ => {}
+            }
+        }
+        Ok(applied)
+    }
+}
+
+impl EpochGate for FaultInjector {
+    fn check(&self, epoch: u32) -> Result<(), SourceError> {
+        let mut st = self.state.lock().expect("injector mutex poisoned");
+        for (i, fault) in self.plan.faults.iter().enumerate() {
+            match *fault {
+                Fault::SourceStall { epoch: e, times } if e == epoch && st.fired[i] < times => {
+                    st.fired[i] += 1;
+                    let left = times - st.fired[i];
+                    st.log.push(format!("source stalled at epoch {epoch} ({left} left)"));
+                    return Err(SourceError {
+                        epoch,
+                        kind: SourceErrorKind::Stall,
+                    });
+                }
+                Fault::SourceFail { epoch: e } if e == epoch => {
+                    if st.fired[i] == 0 {
+                        st.fired[i] = 1;
+                        st.log.push(format!("source failed at epoch {epoch}"));
+                    }
+                    return Err(SourceError {
+                        epoch,
+                        kind: SourceErrorKind::Failed,
+                    });
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+impl IngestObserver for FaultInjector {
+    fn before_apply(
+        &self,
+        epoch: u32,
+        shard: u32,
+        epoch_events: u64,
+        shard_events: u64,
+    ) -> FoldAction {
+        let mut st = self.state.lock().expect("injector mutex poisoned");
+        for (i, fault) in self.plan.faults.iter().enumerate() {
+            if st.fired[i] > 0 {
+                continue;
+            }
+            match *fault {
+                Fault::Crash {
+                    epoch: e,
+                    after_events,
+                } if e == epoch && epoch_events >= after_events => {
+                    st.fired[i] = 1;
+                    st.log.push(format!(
+                        "crashed process at epoch {epoch} after {epoch_events} events"
+                    ));
+                    return FoldAction::CrashProcess;
+                }
+                Fault::ShardKill {
+                    epoch: e,
+                    shard: s,
+                    after_events,
+                } if e == epoch && s == shard && shard_events >= after_events => {
+                    st.fired[i] = 1;
+                    st.log.push(format!(
+                        "killed shard {shard} at epoch {epoch} after {shard_events} shard events"
+                    ));
+                    return FoldAction::KillShard;
+                }
+                _ => {}
+            }
+        }
+        FoldAction::Continue
+    }
+}
+
+/// Counters a chaos run reports alongside its outputs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChaosReport {
+    /// Simulated process crashes survived.
+    pub crashes: u32,
+    /// Process restarts performed (equals `crashes` unless restarts ran
+    /// out).
+    pub restarts: u32,
+    /// Shards rebuilt after an injected panic.
+    pub shard_recoveries: u32,
+    /// Total epochs replayed across all shard recoveries.
+    pub replayed_epochs: u32,
+    /// Transient source stalls retried.
+    pub stalls: u32,
+    /// Checkpoint files rejected by integrity or schema verification
+    /// (counted per recovery scan, so a corrupt file left on disk counts
+    /// each time it is skipped over).
+    pub checkpoints_rejected: u32,
+    /// Human-readable event log, in order.
+    pub log: Vec<String>,
+}
+
+/// Why a chaos run could not complete.
+#[derive(Debug)]
+pub enum ChaosError {
+    /// The engine reported an unrecoverable ingest error (e.g. a
+    /// permanent source failure).
+    Ingest(IngestError),
+    /// Checkpoint I/O failed for real (not an injected corruption).
+    Io(io::Error),
+    /// The run crashed more times than the restart budget allows.
+    RestartsExhausted {
+        /// The budget that was exceeded.
+        limit: u32,
+    },
+}
+
+impl fmt::Display for ChaosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaosError::Ingest(e) => write!(f, "ingest failed: {e}"),
+            ChaosError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
+            ChaosError::RestartsExhausted { limit } => {
+                write!(f, "gave up after {limit} restarts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChaosError {}
+
+impl From<io::Error> for ChaosError {
+    fn from(e: io::Error) -> Self {
+        ChaosError::Io(e)
+    }
+}
+
+impl From<IngestError> for ChaosError {
+    fn from(e: IngestError) -> Self {
+        ChaosError::Ingest(e)
+    }
+}
+
+fn note_rejected(report: &mut ChaosReport, outcome: &RecoveryOutcome) {
+    for (path, why) in &outcome.skipped {
+        report.checkpoints_rejected += 1;
+        report.log.push(format!("rejected checkpoint {}: {why}", path.display()));
+    }
+}
+
+/// Run a full stream under fault injection, surviving everything the
+/// plan throws at it (except permanent source failures and an exhausted
+/// restart budget).
+///
+/// The supervisor loop mirrors a production deployment:
+///
+/// * each completed epoch is checkpointed through `store` (then handed
+///   to the injector, which may tamper with the file);
+/// * a transient source stall retries the same epoch;
+/// * a shard panic rebuilds the dead shard from the newest checkpoint
+///   that verifies (or from scratch when none does) plus a replay of the
+///   missing epochs, then continues — the epoch itself already completed
+///   for the healthy shards;
+/// * a process crash drops the engine and restarts from the newest good
+///   checkpoint, at most `max_restarts` times.
+///
+/// Pass a `source` gated on the same injector
+/// ([`EventSource::with_gate`]) so source faults actually fire. The
+/// returned engine finished every epoch; the chaos test suite asserts
+/// its state is byte-identical to a fault-free run's.
+pub fn run_chaos(
+    source: &EventSource<'_>,
+    cfg: StreamConfig,
+    resolvers: &ResolverMap,
+    store: &CheckpointStore,
+    injector: &FaultInjector,
+    max_restarts: u32,
+) -> Result<(IngestEngine, ChaosReport), ChaosError> {
+    let mut report = ChaosReport::default();
+    'restart: loop {
+        let recovered = store.load_latest_good()?;
+        note_rejected(&mut report, &recovered);
+        let mut engine = match &recovered.snapshot {
+            Some((snap, path)) => {
+                report.log.push(format!("restored from {}", path.display()));
+                IngestEngine::try_restore(snap, resolvers.clone())?
+            }
+            None => IngestEngine::try_for_source(cfg, source, resolvers.clone())?,
+        };
+        while !engine.finished() {
+            match engine.try_ingest_epoch(source, Some(injector)) {
+                Ok(_) => {}
+                Err(IngestError::Source(e)) if e.kind == SourceErrorKind::Stall => {
+                    report.stalls += 1;
+                    report.log.extend(injector.drain_log());
+                    continue;
+                }
+                Err(IngestError::ShardPanic { .. }) => {
+                    report.log.extend(injector.drain_log());
+                    // Several shards can die in one epoch; recover all of
+                    // them before checkpointing (a checkpoint of poisoned
+                    // state would corrupt the recovery chain).
+                    while let Some(shard) = engine.poisoned_shards().first().copied() {
+                        let rec = store.load_latest_good()?;
+                        note_rejected(&mut report, &rec);
+                        let base = rec.snapshot.as_ref().map(|(s, _)| s);
+                        let replayed = engine.recover_shard(shard, base, source)?;
+                        report.shard_recoveries += 1;
+                        report.replayed_epochs += replayed;
+                        report.log.push(format!(
+                            "recovered shard {shard} (replayed {replayed} epoch(s))"
+                        ));
+                    }
+                }
+                Err(IngestError::Crashed { epoch }) => {
+                    report.crashes += 1;
+                    report.restarts += 1;
+                    report.log.extend(injector.drain_log());
+                    if report.restarts > max_restarts {
+                        return Err(ChaosError::RestartsExhausted {
+                            limit: max_restarts,
+                        });
+                    }
+                    report.log.push(format!("restarting after crash in epoch {epoch}"));
+                    continue 'restart;
+                }
+                Err(e) => return Err(ChaosError::Ingest(e)),
+            }
+            let snap = engine.snapshot();
+            let path = store.save(&snap)?;
+            injector.tamper_checkpoint(snap.epochs_done, &path)?;
+            report.log.extend(injector.drain_log());
+        }
+        report.log.extend(injector.drain_log());
+        return Ok((engine, report));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_roundtrips_through_json() {
+        let plan = FaultPlan {
+            seed: 42,
+            faults: vec![
+                Fault::Crash {
+                    epoch: 3,
+                    after_events: 500,
+                },
+                Fault::ShardKill {
+                    epoch: 1,
+                    shard: 0,
+                    after_events: 50,
+                },
+                Fault::TruncateCheckpoint {
+                    epoch: 2,
+                    keep_bytes: 100,
+                },
+                Fault::FlipCheckpointBytes { epoch: 4, flips: 2 },
+                Fault::SourceStall { epoch: 0, times: 3 },
+                Fault::SourceFail { epoch: 5 },
+            ],
+        };
+        let json = plan.to_json();
+        assert_eq!(FaultPlan::from_json(&json).expect("parses"), plan);
+    }
+
+    #[test]
+    fn crash_fires_once_at_its_offset() {
+        let injector = FaultInjector::new(FaultPlan {
+            seed: 1,
+            faults: vec![Fault::Crash {
+                epoch: 2,
+                after_events: 10,
+            }],
+        });
+        // Wrong epoch, and offsets before the trigger: no fire.
+        assert_eq!(injector.before_apply(1, 0, 10, 10), FoldAction::Continue);
+        assert_eq!(injector.before_apply(2, 0, 9, 9), FoldAction::Continue);
+        // At the trigger: fires.
+        assert_eq!(injector.before_apply(2, 0, 10, 3), FoldAction::CrashProcess);
+        // Never again.
+        assert_eq!(injector.before_apply(2, 0, 11, 4), FoldAction::Continue);
+        assert_eq!(injector.drain_log().len(), 1);
+        assert!(injector.drain_log().is_empty(), "drain empties the log");
+    }
+
+    #[test]
+    fn shard_kill_matches_shard_and_offset() {
+        let injector = FaultInjector::new(FaultPlan {
+            seed: 1,
+            faults: vec![Fault::ShardKill {
+                epoch: 0,
+                shard: 2,
+                after_events: 5,
+            }],
+        });
+        assert_eq!(injector.before_apply(0, 1, 100, 5), FoldAction::Continue);
+        assert_eq!(injector.before_apply(0, 2, 100, 4), FoldAction::Continue);
+        assert_eq!(injector.before_apply(0, 2, 100, 5), FoldAction::KillShard);
+        assert_eq!(injector.before_apply(0, 2, 100, 6), FoldAction::Continue);
+    }
+
+    #[test]
+    fn stall_fires_its_count_then_clears() {
+        let injector = FaultInjector::new(FaultPlan {
+            seed: 1,
+            faults: vec![Fault::SourceStall { epoch: 1, times: 2 }],
+        });
+        assert!(injector.check(0).is_ok());
+        assert_eq!(injector.check(1).unwrap_err().kind, SourceErrorKind::Stall);
+        assert_eq!(injector.check(1).unwrap_err().kind, SourceErrorKind::Stall);
+        assert!(injector.check(1).is_ok(), "stall clears after its count");
+    }
+
+    #[test]
+    fn tampering_is_deterministic_per_seed() {
+        let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("faultsim_tamper");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("ckpt-ep000002.json");
+        let plan = FaultPlan {
+            seed: 7,
+            faults: vec![Fault::FlipCheckpointBytes { epoch: 2, flips: 2 }],
+        };
+        let original = "0123456789abcdef0123456789abcdef\n";
+
+        fs::write(&path, original).expect("write");
+        let a = FaultInjector::new(plan.clone());
+        assert_eq!(a.tamper_checkpoint(2, &path).expect("tamper"), 1);
+        let first = fs::read(&path).expect("read");
+
+        fs::write(&path, original).expect("rewrite");
+        let b = FaultInjector::new(plan);
+        assert_eq!(b.tamper_checkpoint(2, &path).expect("tamper"), 1);
+        let second = fs::read(&path).expect("read");
+
+        assert_ne!(first.as_slice(), original.as_bytes(), "bytes changed");
+        assert_eq!(first, second, "same seed, same corruption");
+        // Wrong epoch: untouched and unfired.
+        fs::write(&path, original).expect("rewrite");
+        let c = FaultInjector::new(FaultPlan {
+            seed: 7,
+            faults: vec![Fault::TruncateCheckpoint {
+                epoch: 3,
+                keep_bytes: 4,
+            }],
+        });
+        assert_eq!(c.tamper_checkpoint(2, &path).expect("tamper"), 0);
+        assert_eq!(fs::read(&path).expect("read"), original.as_bytes());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -21,6 +21,14 @@
 //! * **Checkpoint/restore** — at any epoch boundary the engine serializes
 //!   to a canonical JSON [`Snapshot`]; [`IngestEngine::restore`] resumes
 //!   it, and a resumed run is byte-identical to an uninterrupted one.
+//! * **Fault tolerance** — checkpoints are written atomically and sealed
+//!   with a length + CRC-32 footer; a [`CheckpointStore`] retains the
+//!   newest N so recovery can fall back past a truncated or bit-flipped
+//!   file. The `faultsim` layer injects deterministic faults (shard
+//!   panics, process crashes, checkpoint corruption, source stalls) from
+//!   a serializable [`FaultPlan`], and [`run_chaos`] supervises a run
+//!   through all of them — the chaos suite asserts the survivor's state
+//!   is byte-identical to a fault-free run's.
 //!
 //! ## Determinism contract
 //!
@@ -34,20 +42,31 @@
 //! including classification parity of the downstream `cellspot` study.
 
 mod engine;
+mod faultsim;
 mod hll;
+mod integrity;
 mod shard;
 mod snapshot;
 mod spacesaving;
 
 pub use engine::{
-    IngestEngine, ResolverClients, ResolverMap, SketchReport, StreamConfig, StreamOutputs,
+    FoldAction, IngestEngine, IngestError, IngestObserver, ResolverClients, ResolverMap,
+    SketchReport, StreamConfig, StreamOutputs,
 };
+pub use faultsim::{run_chaos, ChaosError, ChaosReport, Fault, FaultInjector, FaultPlan};
 pub use hll::{HyperLogLog, MAX_PRECISION, MIN_PRECISION};
+pub use integrity::{
+    crc32, read_verified, seal, unseal, write_atomic, CheckpointStore, IntegrityError,
+    RecoveryOutcome, DEFAULT_RETAIN, FOOTER_PREFIX,
+};
 pub use shard::{BeaconAccum, DemandAccum, ShardRouter, ShardState};
 pub use snapshot::{BeaconRow, DemandRow, ResolverRow, ShardSnapshot, Snapshot, SNAPSHOT_VERSION};
 pub use spacesaving::{HeavyHitter, SpaceSaving};
 
 pub mod prelude {
     //! One-line import for consumers of the streaming subsystem.
-    pub use crate::{IngestEngine, ResolverMap, Snapshot, StreamConfig, StreamOutputs};
+    pub use crate::{
+        CheckpointStore, FaultPlan, IngestEngine, ResolverMap, Snapshot, StreamConfig,
+        StreamOutputs,
+    };
 }

@@ -11,7 +11,6 @@
 //!   `serde_json`'s shortest-representation encoding, so an engine
 //!   restored from disk continues producing bit-identical results.
 
-use std::fs;
 use std::io;
 use std::path::Path;
 
@@ -160,42 +159,70 @@ impl Snapshot {
 
     /// Rebuild the engine's in-memory shard states.
     pub(crate) fn shard_states(&self) -> Vec<ShardState> {
-        self.shards
-            .iter()
-            .map(|s| {
-                let mut state =
-                    ShardState::new(self.config.hll_precision, self.config.heavy_capacity);
-                for r in &s.beacons {
-                    state.beacons.insert(
-                        r.block,
-                        BeaconAccum {
-                            asn: r.asn,
-                            hits_total: r.hits_total,
-                            netinfo_hits: r.netinfo_hits,
-                            cellular_hits: r.cellular_hits,
-                            wifi_hits: r.wifi_hits,
-                            other_hits: r.other_hits,
-                        },
-                    );
-                }
-                for r in &s.demand {
-                    state.demand.insert(
-                        r.block,
-                        DemandAccum {
-                            asn: r.asn,
-                            acc: r.acc,
-                            days_seen: r.days_seen,
-                        },
-                    );
-                }
-                for r in &s.resolvers {
-                    state.resolvers.insert(r.resolver, r.sketch.clone());
-                }
-                state.heavy = s.heavy.clone();
-                state.events_seen = s.events_seen;
-                state
-            })
-            .collect()
+        (0..self.shards.len()).map(|i| self.shard_state(i)).collect()
+    }
+
+    /// Rebuild a single shard's in-memory state (used by per-shard
+    /// recovery to reset one shard without touching the others).
+    pub(crate) fn shard_state(&self, idx: usize) -> ShardState {
+        let s = &self.shards[idx];
+        let mut state = ShardState::new(self.config.hll_precision, self.config.heavy_capacity);
+        for r in &s.beacons {
+            state.beacons.insert(
+                r.block,
+                BeaconAccum {
+                    asn: r.asn,
+                    hits_total: r.hits_total,
+                    netinfo_hits: r.netinfo_hits,
+                    cellular_hits: r.cellular_hits,
+                    wifi_hits: r.wifi_hits,
+                    other_hits: r.other_hits,
+                },
+            );
+        }
+        for r in &s.demand {
+            state.demand.insert(
+                r.block,
+                DemandAccum {
+                    asn: r.asn,
+                    acc: r.acc,
+                    days_seen: r.days_seen,
+                },
+            );
+        }
+        for r in &s.resolvers {
+            state.resolvers.insert(r.resolver, r.sketch.clone());
+        }
+        state.heavy = s.heavy.clone();
+        state.events_seen = s.events_seen;
+        state
+    }
+
+    /// Structural sanity checks beyond what serde enforces: version,
+    /// config validity, shard-count consistency, epoch ordering. A
+    /// snapshot that fails here must not be restored.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.version != SNAPSHOT_VERSION {
+            return Err(format!(
+                "snapshot version {} unsupported (expected {SNAPSHOT_VERSION})",
+                self.version
+            ));
+        }
+        self.config.validate()?;
+        if self.shards.len() != self.config.shards as usize {
+            return Err(format!(
+                "snapshot holds {} shard states but its config says {}",
+                self.shards.len(),
+                self.config.shards
+            ));
+        }
+        if self.epochs_done > self.epochs_total {
+            return Err(format!(
+                "snapshot claims {} epochs done of {} total",
+                self.epochs_done, self.epochs_total
+            ));
+        }
+        Ok(())
     }
 
     /// Canonical JSON encoding: byte-identical for identical state.
@@ -221,13 +248,17 @@ impl Snapshot {
         Ok(snap)
     }
 
-    /// Write the canonical encoding to a file.
+    /// Write the canonical encoding to a file: sealed with an integrity
+    /// footer (length + CRC-32) and written atomically, so a crash
+    /// mid-write can never leave a checkpoint that later restores as a
+    /// silently-wrong engine.
     pub fn write_to(&self, path: &Path) -> io::Result<()> {
-        fs::write(path, self.to_json())
+        crate::integrity::write_atomic(path, &crate::integrity::seal(&self.to_json()))
     }
 
-    /// Load a snapshot from a file written by [`write_to`](Self::write_to).
+    /// Load a snapshot from a file written by [`write_to`](Self::write_to),
+    /// rejecting truncated or bit-flipped files via the integrity footer.
     pub fn read_from(path: &Path) -> io::Result<Self> {
-        Self::from_json(&fs::read_to_string(path)?)
+        Self::from_json(&crate::integrity::read_verified(path)?)
     }
 }

@@ -1,0 +1,251 @@
+//! Property tests for the mergeable sketches: the merge laws the sharded
+//! engine relies on, and the documented error bounds.
+//!
+//! HyperLogLog's register-max merge is a true semilattice join —
+//! commutative, associative, and idempotent, asserted *exactly* (`Eq` on
+//! register state). Space-Saving's replay merge is **not** idempotent
+//! (re-merging a sketch into itself double-counts, by design: merge means
+//! "combine two disjoint substreams"), and counter *insertion order* is
+//! order-dependent even when the estimates are exact — so its laws are
+//! asserted up to the canonical [`SpaceSaving::top`] ordering, in the
+//! under-capacity regime where estimates are exact, with integer-valued
+//! weights so float addition commutes exactly. Over-capacity behaviour is
+//! covered by the bound properties instead, matching the module docs.
+
+use proptest::prelude::*;
+
+use cellstream::{HyperLogLog, SpaceSaving};
+use netaddr::{Block24, BlockId};
+
+fn hll_of(precision: u8, items: &[u64]) -> HyperLogLog {
+    let mut h = HyperLogLog::new(precision);
+    for &i in items {
+        h.insert_u64(i);
+    }
+    h
+}
+
+fn merged(a: &HyperLogLog, b: &HyperLogLog) -> HyperLogLog {
+    let mut m = a.clone();
+    m.merge(b);
+    m
+}
+
+fn b(i: u32) -> BlockId {
+    BlockId::V4(Block24::from_index(i))
+}
+
+/// A weighted stream over a small key space. Weights are integer-valued
+/// floats (exactly representable, exactly summable in any order below
+/// 2^53) so under-capacity estimates carry no float-ordering noise.
+fn arb_stream() -> impl Strategy<Value = Vec<(u32, f64)>> {
+    prop::collection::vec((0u32..48, 1u32..=1_000).prop_map(|(k, w)| (k, w as f64)), 0..200)
+}
+
+fn ss_of(capacity: usize, stream: &[(u32, f64)]) -> SpaceSaving {
+    let mut s = SpaceSaving::new(capacity);
+    for &(k, w) in stream {
+        s.offer(b(k), w);
+    }
+    s
+}
+
+fn ss_merged(a: &SpaceSaving, other: &SpaceSaving) -> SpaceSaving {
+    let mut m = a.clone();
+    m.merge(other);
+    m
+}
+
+fn true_weights(streams: &[&[(u32, f64)]]) -> std::collections::BTreeMap<u32, f64> {
+    let mut truth = std::collections::BTreeMap::new();
+    for stream in streams {
+        for &(k, w) in *stream {
+            *truth.entry(k).or_insert(0.0) += w;
+        }
+    }
+    truth
+}
+
+proptest! {
+    /// HLL merge is commutative: A ∪ B == B ∪ A, register for register.
+    #[test]
+    fn hll_merge_is_commutative(
+        p in 4u8..=10,
+        xs in prop::collection::vec(any::<u64>(), 0..300),
+        ys in prop::collection::vec(any::<u64>(), 0..300),
+    ) {
+        let a = hll_of(p, &xs);
+        let c = hll_of(p, &ys);
+        prop_assert_eq!(merged(&a, &c), merged(&c, &a));
+    }
+
+    /// HLL merge is associative: (A ∪ B) ∪ C == A ∪ (B ∪ C).
+    #[test]
+    fn hll_merge_is_associative(
+        p in 4u8..=10,
+        xs in prop::collection::vec(any::<u64>(), 0..200),
+        ys in prop::collection::vec(any::<u64>(), 0..200),
+        zs in prop::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let a = hll_of(p, &xs);
+        let c = hll_of(p, &ys);
+        let d = hll_of(p, &zs);
+        prop_assert_eq!(merged(&merged(&a, &c), &d), merged(&a, &merged(&c, &d)));
+    }
+
+    /// HLL merge is idempotent: A ∪ A == A.
+    #[test]
+    fn hll_merge_is_idempotent(
+        p in 4u8..=10,
+        xs in prop::collection::vec(any::<u64>(), 0..300),
+    ) {
+        let a = hll_of(p, &xs);
+        prop_assert_eq!(merged(&a, &a), a);
+    }
+
+    /// Merging sketches of two substreams yields *exactly* the sketch of
+    /// the concatenated stream — the property that makes per-shard
+    /// sketches equal to a single-shard run's at any shard count.
+    #[test]
+    fn hll_merge_equals_union_sketch(
+        p in 4u8..=10,
+        xs in prop::collection::vec(any::<u64>(), 0..300),
+        ys in prop::collection::vec(any::<u64>(), 0..300),
+    ) {
+        let union: Vec<u64> = xs.iter().chain(ys.iter()).copied().collect();
+        prop_assert_eq!(merged(&hll_of(p, &xs), &hll_of(p, &ys)), hll_of(p, &union));
+    }
+
+    /// The estimate stays within the documented standard error: 6σ plus
+    /// a small absolute slack for the tiny-cardinality regime. (3σ would
+    /// already hold with ~99.7% probability per draw; 6σ makes the test
+    /// deterministic-in-practice across proptest's case volume.)
+    #[test]
+    fn hll_estimate_is_within_documented_error(p in 8u8..=12, n in 0u64..3_000) {
+        let mut h = HyperLogLog::new(p);
+        for i in 0..n {
+            h.insert_u64(i);
+        }
+        let e = h.estimate();
+        let tol = 6.0 * h.relative_error() * n as f64 + 8.0;
+        prop_assert!(
+            (e - n as f64).abs() <= tol,
+            "n={}, estimate={}, tolerance={}", n, e, tol
+        );
+    }
+
+    /// Under capacity, Space-Saving is exact and merge is commutative up
+    /// to the canonical top() ordering: same counters, same (exact)
+    /// estimates, zero error, either merge order.
+    #[test]
+    fn spacesaving_merge_commutes_under_capacity(
+        xs in arb_stream(),
+        ys in arb_stream(),
+    ) {
+        // Key space is 0..48, so capacity 64 can never evict.
+        let a = ss_of(64, &xs);
+        let c = ss_of(64, &ys);
+        let ac = ss_merged(&a, &c);
+        let ca = ss_merged(&c, &a);
+        prop_assert_eq!(ac.top(64), ca.top(64));
+        prop_assert_eq!(ac.total_weight(), ca.total_weight());
+        prop_assert_eq!(ac.error_bound(), 0.0);
+
+        // And exact: every counter equals the true weight, error 0.
+        let truth = true_weights(&[&xs, &ys]);
+        for h in ac.top(64) {
+            let BlockId::V4(block) = h.block else { panic!("v4 keys only") };
+            prop_assert_eq!(h.weight, truth[&block.index()]);
+            prop_assert_eq!(h.error, 0.0);
+        }
+    }
+
+    /// Under capacity, merge grouping does not matter either:
+    /// (A ⊎ B) ⊎ C == A ⊎ (B ⊎ C) up to canonical ordering.
+    #[test]
+    fn spacesaving_merge_associates_under_capacity(
+        xs in arb_stream(),
+        ys in arb_stream(),
+        zs in arb_stream(),
+    ) {
+        let a = ss_of(64, &xs);
+        let c = ss_of(64, &ys);
+        let d = ss_of(64, &zs);
+        let left = ss_merged(&ss_merged(&a, &c), &d);
+        let right = ss_merged(&a, &ss_merged(&c, &d));
+        prop_assert_eq!(left.top(64), right.top(64));
+        prop_assert_eq!(left.total_weight(), right.total_weight());
+    }
+
+    /// Merging with an empty sketch is the identity (in both directions,
+    /// up to canonical ordering).
+    #[test]
+    fn spacesaving_empty_merge_is_identity(xs in arb_stream()) {
+        let s = ss_of(16, &xs);
+        let empty = SpaceSaving::new(16);
+        prop_assert_eq!(ss_merged(&s, &empty).top(16), s.top(16));
+        prop_assert_eq!(ss_merged(&empty, &s).top(16), s.top(16));
+        prop_assert_eq!(ss_merged(&s, &empty).total_weight(), s.total_weight());
+    }
+
+    /// The documented per-key bounds hold for a single over-capacity
+    /// sketch: `true ≤ estimate` and `estimate − error ≤ true` for every
+    /// tracked key, total weight is exact, and any key whose true weight
+    /// exceeds `W / capacity` is tracked.
+    #[test]
+    fn spacesaving_bounds_hold_over_capacity(xs in arb_stream()) {
+        let s = ss_of(8, &xs);
+        let truth = true_weights(&[&xs]);
+        let total: f64 = truth.values().sum();
+        prop_assert_eq!(s.total_weight(), total);
+        for h in s.entries() {
+            let BlockId::V4(block) = h.block else { panic!("v4 keys only") };
+            let t = truth.get(&block.index()).copied().unwrap_or(0.0);
+            prop_assert!(t <= h.weight, "under-count: true {} > est {}", t, h.weight);
+            prop_assert!(
+                h.weight - h.error <= t,
+                "bound violated: est {} − err {} > true {}", h.weight, h.error, t
+            );
+        }
+        let tracked: Vec<u32> = s
+            .entries()
+            .iter()
+            .map(|h| match h.block {
+                BlockId::V4(block) => block.index(),
+                BlockId::V6(_) => unreachable!("v4 keys only"),
+            })
+            .collect();
+        for (&k, &t) in &truth {
+            if t > total / 8.0 {
+                prop_assert!(tracked.contains(&k), "heavy key {} untracked", k);
+            }
+        }
+    }
+
+    /// The per-key bounds survive merging arbitrary 3-way splits of a
+    /// stream through capacity-limited sketches.
+    #[test]
+    fn spacesaving_bounds_survive_arbitrary_splits(
+        stream in arb_stream(),
+        routes in prop::collection::vec(0u8..3, 0..200),
+    ) {
+        let mut parts: [Vec<(u32, f64)>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for (i, &ev) in stream.iter().enumerate() {
+            let r = routes.get(i).copied().unwrap_or(0) as usize;
+            parts[r].push(ev);
+        }
+        let mut merged_sketch = ss_of(8, &parts[0]);
+        merged_sketch.merge(&ss_of(8, &parts[1]));
+        merged_sketch.merge(&ss_of(8, &parts[2]));
+
+        let truth = true_weights(&[&stream]);
+        let total: f64 = truth.values().sum();
+        prop_assert_eq!(merged_sketch.total_weight(), total);
+        for h in merged_sketch.entries() {
+            let BlockId::V4(block) = h.block else { panic!("v4 keys only") };
+            let t = truth.get(&block.index()).copied().unwrap_or(0.0);
+            prop_assert!(t <= h.weight);
+            prop_assert!(h.weight - h.error <= t);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Property tests for checkpoint durability: every snapshot the engine
+//! can express round-trips losslessly through its canonical JSON (and
+//! through a sealed file on disk), and **any** single-byte corruption or
+//! truncation of the sealed bytes is rejected by the integrity footer —
+//! CRC-32 catches every burst error up to 32 bits, so a one-byte change
+//! can never restore as a silently-wrong engine.
+
+use std::fs;
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+
+use cellstream::{
+    seal, unseal, BeaconRow, DemandRow, HyperLogLog, ResolverRow, ShardSnapshot, Snapshot,
+    SpaceSaving, StreamConfig, SNAPSHOT_VERSION,
+};
+use netaddr::{Asn, Block24, Block48, BlockId};
+
+fn arb_block() -> impl Strategy<Value = BlockId> {
+    prop_oneof![
+        any::<u32>().prop_map(|i| BlockId::V4(Block24::from_index(i))),
+        any::<u64>().prop_map(|i| BlockId::V6(Block48::from_index(i))),
+    ]
+}
+
+fn arb_beacon() -> impl Strategy<Value = BeaconRow> {
+    (
+        arb_block(),
+        any::<u32>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(block, asn, hits_total, netinfo_hits, cellular_hits, wifi_hits, other_hits)| {
+            BeaconRow {
+                block,
+                asn: Asn(asn),
+                hits_total,
+                netinfo_hits,
+                cellular_hits,
+                wifi_hits,
+                other_hits,
+            }
+        })
+}
+
+fn arb_demand() -> impl Strategy<Value = DemandRow> {
+    // Any finite float round-trips exactly through serde_json's
+    // shortest-representation encoding; only NaN/∞ (unrepresentable in
+    // JSON) are excluded by the bounded range.
+    (arb_block(), any::<u32>(), -1.0e12f64..1.0e12, any::<u32>()).prop_map(
+        |(block, asn, acc, days_seen)| DemandRow {
+            block,
+            asn: Asn(asn),
+            acc,
+            days_seen,
+        },
+    )
+}
+
+fn arb_resolver(precision: u8) -> impl Strategy<Value = ResolverRow> {
+    (any::<u32>(), prop::collection::vec(any::<u64>(), 0..60)).prop_map(move |(resolver, items)| {
+        let mut sketch = HyperLogLog::new(precision);
+        for i in items {
+            sketch.insert_u64(i);
+        }
+        ResolverRow { resolver, sketch }
+    })
+}
+
+fn arb_heavy(capacity: usize) -> impl Strategy<Value = SpaceSaving> {
+    prop::collection::vec((any::<u32>(), 1u32..=1_000), 0..40).prop_map(move |offers| {
+        let mut s = SpaceSaving::new(capacity);
+        for (i, w) in offers {
+            s.offer(BlockId::V4(Block24::from_index(i)), w as f64);
+        }
+        s
+    })
+}
+
+fn arb_shard(precision: u8, capacity: usize) -> impl Strategy<Value = ShardSnapshot> {
+    (
+        any::<u64>(),
+        prop::collection::vec(arb_beacon(), 0..6),
+        prop::collection::vec(arb_demand(), 0..6),
+        prop::collection::vec(arb_resolver(precision), 0..4),
+        arb_heavy(capacity),
+    )
+        .prop_map(|(events_seen, beacons, demand, resolvers, heavy)| ShardSnapshot {
+            events_seen,
+            beacons,
+            demand,
+            resolvers,
+            heavy,
+        })
+}
+
+fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
+    (1u32..=3, 4u8..=8, 1usize..=8).prop_flat_map(|(shards, precision, capacity)| {
+        (
+            prop::collection::vec(arb_shard(precision, capacity), shards as usize),
+            0u32..=12,
+            0u32..=12,
+            1u32..=30,
+        )
+            .prop_map(move |(shard_vec, epochs_total, epochs_done, smoothing_days)| Snapshot {
+                version: SNAPSHOT_VERSION,
+                config: StreamConfig {
+                    shards,
+                    hll_precision: precision,
+                    heavy_capacity: capacity,
+                },
+                epochs_total,
+                epochs_done,
+                smoothing_days,
+                shards: shard_vec,
+            })
+    })
+}
+
+/// True when the sealed-checkpoint read path rejects `bytes`: either the
+/// bytes are no longer UTF-8 (rejected before unsealing) or the footer
+/// check fails.
+fn corruption_detected(bytes: Vec<u8>) -> bool {
+    match String::from_utf8(bytes) {
+        Err(_) => true,
+        Ok(s) => unseal(&s).is_err(),
+    }
+}
+
+proptest! {
+    /// Canonical JSON is lossless for every expressible snapshot.
+    #[test]
+    fn snapshot_json_roundtrips(snap in arb_snapshot()) {
+        let back = Snapshot::from_json(&snap.to_json());
+        prop_assert!(back.is_ok(), "roundtrip failed: {:?}", back.err());
+        prop_assert_eq!(back.unwrap(), snap);
+    }
+
+    /// The sealed on-disk form (atomic write + integrity footer) is just
+    /// as lossless.
+    #[test]
+    fn snapshot_file_roundtrips(snap in arb_snapshot()) {
+        let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("snapshot_props");
+        fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("roundtrip.json");
+        snap.write_to(&path).expect("write sealed snapshot");
+        let back = Snapshot::read_from(&path).expect("read sealed snapshot");
+        prop_assert_eq!(back, snap);
+    }
+
+    /// Flipping any nonzero bit pattern into any single byte of a sealed
+    /// checkpoint is detected, wherever it lands — body, footer, or the
+    /// footer's own length/CRC fields.
+    #[test]
+    fn any_single_byte_corruption_is_rejected(
+        snap in arb_snapshot(),
+        at in any::<prop::sample::Index>(),
+        delta in 1u8..=255,
+    ) {
+        let mut bytes = seal(&snap.to_json()).into_bytes();
+        let i = at.index(bytes.len());
+        bytes[i] ^= delta;
+        prop_assert!(corruption_detected(bytes), "byte {} xor {:#04x} went unnoticed", i, delta);
+    }
+
+    /// Every strict prefix of a sealed checkpoint — any torn write the
+    /// atomic rename could conceivably have let through — is rejected.
+    #[test]
+    fn any_truncation_is_rejected(snap in arb_snapshot(), at in any::<prop::sample::Index>()) {
+        let sealed = seal(&snap.to_json()).into_bytes();
+        let keep = at.index(sealed.len());
+        prop_assert!(corruption_detected(sealed[..keep].to_vec()), "prefix of {} bytes passed", keep);
+    }
+}

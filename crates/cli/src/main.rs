@@ -5,8 +5,9 @@
 //! file I/O.
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::exit;
+use std::sync::Arc;
 
 use cli::{commands, io};
 
@@ -154,23 +155,83 @@ fn stream(args: &[String]) -> CmdResult {
         ),
         None => None,
     };
-    let ckpt_file =
-        flag_value(args, "--checkpoint").map(|d| PathBuf::from(d).join("checkpoint.json"));
+    let retain: usize = flag_value(args, "--retain")
+        .map(|v| v.parse())
+        .transpose()
+        .map_err(|_| "bad --retain")?
+        .unwrap_or(cellstream::DEFAULT_RETAIN);
+    if retain == 0 {
+        return Err("--retain must be at least 1".into());
+    }
+    let ckpt_store = flag_value(args, "--checkpoint")
+        .map(|d| cellstream::CheckpointStore::new(PathBuf::from(d), retain));
+    let fault_plan = flag_value(args, "--fault-plan");
     let resume = args.iter().any(|a| a == "--resume");
     let out_dir = flag_value(args, "--out").map(PathBuf::from);
 
     eprintln!("generating {scale} world (seed {:#x}) …", config.seed);
     let world = worldgen::World::generate(config);
     let dns = dnssim::generate_dns(&world);
-    let source = cdnsim::EventSource::new(&world, cdnsim::CdnConfig::default(), epochs);
     let resolvers = cellstream::ResolverMap::from_dns(&dns);
+    let stream_cfg = cellstream::StreamConfig {
+        shards,
+        ..Default::default()
+    };
+
+    if let Some(plan_path) = fault_plan {
+        // Chaos mode: run the whole stream under the fault plan's injected
+        // failures, recovering through the checkpoint store.
+        let store = ckpt_store
+            .as_ref()
+            .ok_or("--fault-plan needs --checkpoint DIR")?;
+        if stop_after.is_some() {
+            return Err("--fault-plan runs the full stream; drop --stop-after-epoch".into());
+        }
+        let plan = cellstream::FaultPlan::read_from(Path::new(&plan_path))
+            .map_err(|e| format!("{plan_path}: {e}"))?;
+        let injector = Arc::new(cellstream::FaultInjector::new(plan));
+        let gate: Arc<dyn cdnsim::EpochGate> = injector.clone();
+        let source =
+            cdnsim::EventSource::new(&world, cdnsim::CdnConfig::default(), epochs).with_gate(gate);
+        let (engine, report) =
+            cellstream::run_chaos(&source, stream_cfg, &resolvers, store, &injector, 32)
+                .map_err(|e| e.to_string())?;
+        for line in &report.log {
+            eprintln!("chaos: {line}");
+        }
+        eprintln!(
+            "chaos run survived {} crash(es), {} shard recovery(ies) ({} epoch(s) replayed), \
+             {} stall(s); {} checkpoint read(s) rejected",
+            report.crashes,
+            report.shard_recoveries,
+            report.replayed_epochs,
+            report.stalls,
+            report.checkpoints_rejected
+        );
+        let outputs = engine.finalize();
+        write_stream_outputs(&out_dir, &outputs)?;
+        print!("{}", commands::stream_summary(&outputs, threshold));
+        return Ok(());
+    }
+
+    let source = cdnsim::EventSource::new(&world, cdnsim::CdnConfig::default(), epochs);
 
     let mut engine = if resume {
-        let path = ckpt_file
+        let store = ckpt_store
             .as_ref()
             .ok_or("--resume needs --checkpoint DIR")?;
-        let snap = cellstream::Snapshot::read_from(path)
-            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let rec = store
+            .load_latest_good()
+            .map_err(|e| format!("{}: {e}", store.dir().display()))?;
+        for (path, why) in &rec.skipped {
+            eprintln!(
+                "warning: skipping corrupt checkpoint {}: {why}",
+                path.display()
+            );
+        }
+        let (snap, path) = rec
+            .snapshot
+            .ok_or_else(|| format!("no usable checkpoint in {}", store.dir().display()))?;
         if snap.epochs_total != epochs || snap.config.shards != shards {
             return Err(format!(
                 "checkpoint layout mismatch: {} epochs / {} shards on disk vs \
@@ -179,16 +240,15 @@ fn stream(args: &[String]) -> CmdResult {
             ));
         }
         eprintln!(
-            "resuming at epoch {}/{}",
-            snap.epochs_done, snap.epochs_total
+            "resuming at epoch {}/{} from {}",
+            snap.epochs_done,
+            snap.epochs_total,
+            path.display()
         );
-        cellstream::IngestEngine::restore(&snap, resolvers)
+        cellstream::IngestEngine::try_restore(&snap, resolvers).map_err(|e| e.to_string())?
     } else {
-        let stream_cfg = cellstream::StreamConfig {
-            shards,
-            ..Default::default()
-        };
-        cellstream::IngestEngine::for_source(stream_cfg, &source, resolvers)
+        cellstream::IngestEngine::try_for_source(stream_cfg, &source, resolvers)
+            .map_err(|e| e.to_string())?
     };
 
     let wants_more = |done: u32| match stop_after {
@@ -196,21 +256,19 @@ fn stream(args: &[String]) -> CmdResult {
         None => true,
     };
     while !engine.finished() && wants_more(engine.epochs_done()) {
-        let e = engine.ingest_epoch(&source);
+        let e = engine
+            .try_ingest_epoch(&source, None)
+            .map_err(|e| e.to_string())?;
         eprintln!(
             "epoch {}/{epochs}: {} events folded, ~{} KiB live state",
             e + 1,
             engine.events_seen(),
             engine.state_bytes() / 1024
         );
-        if let Some(path) = &ckpt_file {
-            if let Some(dir) = path.parent() {
-                fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
-            }
-            engine
-                .snapshot()
-                .write_to(path)
-                .map_err(|e| format!("{}: {e}", path.display()))?;
+        if let Some(store) = &ckpt_store {
+            store
+                .save(&engine.snapshot())
+                .map_err(|e| format!("{}: {e}", store.dir().display()))?;
         }
     }
     if !engine.finished() {
@@ -221,7 +279,17 @@ fn stream(args: &[String]) -> CmdResult {
         return Ok(());
     }
     let outputs = engine.finalize();
-    if let Some(dir) = &out_dir {
+    write_stream_outputs(&out_dir, &outputs)?;
+    print!("{}", commands::stream_summary(&outputs, threshold));
+    Ok(())
+}
+
+/// Write the streamed datasets as CSVs when `--out` was given.
+fn write_stream_outputs(
+    out_dir: &Option<PathBuf>,
+    outputs: &cellstream::StreamOutputs,
+) -> CmdResult {
+    if let Some(dir) = out_dir {
         write(
             &dir.join("beacons.csv"),
             &io::beacons_to_csv(&outputs.beacons),
@@ -232,7 +300,6 @@ fn stream(args: &[String]) -> CmdResult {
             dir.display()
         );
     }
-    print!("{}", commands::stream_summary(&outputs, threshold));
     Ok(())
 }
 
@@ -317,8 +384,8 @@ fn usage(err: &str) -> ! {
          commands:\n\
            synth       --scale mini|demo|paper [--seed N] [--out DIR]\n\
            stream      --scale mini|demo|paper [--seed N] [--epochs E] [--shards N]\n\
-                       [--checkpoint DIR] [--resume] [--stop-after-epoch K]\n\
-                       [--threshold T] [--out DIR]\n\
+                       [--checkpoint DIR] [--retain N] [--resume] [--stop-after-epoch K]\n\
+                       [--fault-plan FILE] [--threshold T] [--out DIR]\n\
            classify    --beacons F --demand F [--threshold T] [--out F]\n\
            identify-as --beacons F --demand F --asdb F [--min-du X] [--min-hits N] [--out F]\n\
            validate    --beacons F --demand F --ground-truth F [--sweep]\n\

@@ -118,24 +118,35 @@ fn full_tool_workflow() {
 #[test]
 fn stream_checkpoints_and_resumes() {
     let dir = tmpdir("stream");
-    let ckpt = dir.join("ckpt");
-    let ckpt_s = ckpt.to_str().expect("utf8");
-    let base = [
-        "stream",
-        "--scale",
-        "mini",
-        "--epochs",
-        "4",
-        "--shards",
-        "3",
-        "--checkpoint",
-        ckpt_s,
-    ];
+    // Separate checkpoint dirs per scenario: the store retains several
+    // checkpoints, and a resume must not see another run's newer files.
+    let ckpt_full = dir.join("ckpt_full");
+    let ckpt_partial = dir.join("ckpt_partial");
+    let args_with_ckpt = |ckpt: &str| {
+        vec![
+            "stream".to_string(),
+            "--scale".to_string(),
+            "mini".to_string(),
+            "--epochs".to_string(),
+            "4".to_string(),
+            "--shards".to_string(),
+            "3".to_string(),
+            "--checkpoint".to_string(),
+            ckpt.to_string(),
+        ]
+    };
+    let run_owned = |args: &[String]| {
+        let refs: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
+        run(&refs)
+    };
 
     // Run to completion in one go, capturing the reference summary.
-    let mut full = base.to_vec();
-    full.extend(["--out", dir.join("full").to_str().expect("utf8")]);
-    let out = run(&full);
+    let mut full = args_with_ckpt(ckpt_full.to_str().expect("utf8"));
+    full.extend([
+        "--out".to_string(),
+        dir.join("full").to_str().expect("utf8").to_string(),
+    ]);
+    let out = run_owned(&full);
     assert!(out.status.success(), "stream failed: {out:?}");
     let reference = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(
@@ -145,49 +156,150 @@ fn stream_checkpoints_and_resumes() {
     assert!(reference.contains("top demand blocks"), "{reference}");
     assert!(dir.join("full/beacons.csv").exists());
     assert!(dir.join("full/demand.csv").exists());
-    let full_ckpt =
-        std::fs::read_to_string(ckpt.join("checkpoint.json")).expect("checkpoint written");
+    let full_ckpt = std::fs::read_to_string(ckpt_full.join("ckpt-ep000004.json"))
+        .expect("final checkpoint written");
+    assert!(
+        !ckpt_full.join("ckpt-ep000001.json").exists(),
+        "default retention prunes the oldest checkpoint"
+    );
 
     // Now "kill" a run after 2 epochs …
-    let mut partial = base.to_vec();
-    partial.extend(["--stop-after-epoch", "2"]);
-    let out = run(&partial);
+    let mut partial = args_with_ckpt(ckpt_partial.to_str().expect("utf8"));
+    partial.extend(["--stop-after-epoch".to_string(), "2".to_string()]);
+    let out = run_owned(&partial);
     assert!(out.status.success(), "partial stream failed: {out:?}");
     assert!(String::from_utf8_lossy(&out.stderr).contains("stopped after epoch 2"));
 
     // … and resume from its checkpoint: same summary, same final state.
-    let mut resumed = base.to_vec();
-    resumed.push("--resume");
-    let out = run(&resumed);
+    let mut resumed = args_with_ckpt(ckpt_partial.to_str().expect("utf8"));
+    resumed.push("--resume".to_string());
+    let out = run_owned(&resumed);
     assert!(out.status.success(), "resume failed: {out:?}");
     assert_eq!(
         String::from_utf8_lossy(&out.stdout),
         reference,
         "resumed run must reproduce the uninterrupted summary"
     );
-    let resumed_ckpt =
-        std::fs::read_to_string(ckpt.join("checkpoint.json")).expect("checkpoint rewritten");
+    let resumed_ckpt = std::fs::read_to_string(ckpt_partial.join("ckpt-ep000004.json"))
+        .expect("final checkpoint rewritten");
     assert_eq!(
         resumed_ckpt, full_ckpt,
         "final checkpoint must be byte-identical to the uninterrupted run's"
     );
 
+    // A resume that only finds corrupt checkpoints fails cleanly.
+    let ckpt_bad = dir.join("ckpt_bad");
+    std::fs::create_dir_all(&ckpt_bad).expect("mkdir");
+    std::fs::write(ckpt_bad.join("ckpt-ep000002.json"), "{ torn").expect("write");
+    let mut from_bad = args_with_ckpt(ckpt_bad.to_str().expect("utf8"));
+    from_bad.push("--resume".to_string());
+    let out = run_owned(&from_bad);
+    assert!(!out.status.success(), "corrupt-only store must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("skipping corrupt checkpoint"),
+        "warns per corrupt file: {stderr}"
+    );
+    assert!(
+        stderr.contains("no usable checkpoint"),
+        "clean error, no panic: {stderr}"
+    );
+
     // Layout mismatches are rejected instead of silently mixing state.
-    let mut mismatched = vec![
+    let mismatched = vec![
+        "stream".to_string(),
+        "--scale".to_string(),
+        "mini".to_string(),
+        "--epochs".to_string(),
+        "5".to_string(),
+        "--shards".to_string(),
+        "3".to_string(),
+        "--checkpoint".to_string(),
+        ckpt_partial.to_str().expect("utf8").to_string(),
+        "--resume".to_string(),
+    ];
+    let out = run_owned(&mismatched);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("layout mismatch"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stream_survives_a_fault_plan() {
+    let dir = tmpdir("chaos");
+    let ckpt_ref = dir.join("ckpt_ref");
+    let ckpt_chaos = dir.join("ckpt_chaos");
+    let base = |ckpt: &std::path::Path| {
+        vec![
+            "stream".to_string(),
+            "--scale".to_string(),
+            "mini".to_string(),
+            "--epochs".to_string(),
+            "4".to_string(),
+            "--shards".to_string(),
+            "3".to_string(),
+            "--checkpoint".to_string(),
+            ckpt.to_str().expect("utf8").to_string(),
+        ]
+    };
+    let run_owned = |args: &[String]| {
+        let refs: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
+        run(&refs)
+    };
+
+    // Fault-free reference.
+    let out = run_owned(&base(&ckpt_ref));
+    assert!(out.status.success(), "reference stream failed: {out:?}");
+    let reference = String::from_utf8_lossy(&out.stdout).to_string();
+
+    // Crash at the epoch-2 boundary with the newest checkpoint bit-flipped:
+    // recovery must fall back to the epoch-1 checkpoint and still finish
+    // with the exact reference summary.
+    let plan = dir.join("plan.json");
+    std::fs::write(
+        &plan,
+        r#"{
+  "seed": 9,
+  "faults": [
+    { "Crash": { "epoch": 2, "after_events": 0 } },
+    { "FlipCheckpointBytes": { "epoch": 2, "flips": 2 } }
+  ]
+}
+"#,
+    )
+    .expect("write plan");
+    let mut chaos = base(&ckpt_chaos);
+    chaos.extend([
+        "--fault-plan".to_string(),
+        plan.to_str().expect("utf8").to_string(),
+    ]);
+    let out = run_owned(&chaos);
+    assert!(out.status.success(), "chaos stream failed: {out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("crashed process"), "crash fired: {stderr}");
+    assert!(
+        stderr.contains("rejected checkpoint"),
+        "corrupt checkpoint skipped: {stderr}"
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        reference,
+        "chaos run must reproduce the fault-free summary"
+    );
+
+    // --fault-plan without a checkpoint dir is a clean error.
+    let out = run(&[
         "stream",
         "--scale",
         "mini",
         "--epochs",
-        "5",
-        "--shards",
-        "3",
-        "--checkpoint",
-        ckpt_s,
-    ];
-    mismatched.push("--resume");
-    let out = run(&mismatched);
+        "4",
+        "--fault-plan",
+        plan.to_str().expect("utf8"),
+    ]);
     assert!(!out.status.success());
-    assert!(String::from_utf8_lossy(&out.stderr).contains("layout mismatch"));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("needs --checkpoint"));
 
     std::fs::remove_dir_all(&dir).ok();
 }

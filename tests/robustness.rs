@@ -2,13 +2,20 @@
 //! handle empty, tiny, and pathological datasets without panicking and
 //! with sensible (empty) results.
 
+use std::fs;
+use std::path::PathBuf;
+
 use cellspotting::asdb::AsDatabase;
-use cellspotting::cdnsim::{BeaconDataset, BeaconRecord, DemandDataset, DemandRecord};
+use cellspotting::cdnsim::{
+    BeaconDataset, BeaconRecord, CdnConfig, DemandDataset, DemandRecord, EventSource,
+};
 use cellspotting::cellspot::{
     run_study, v6_deployment, BlockIndex, Classification, RatioDistributions, StudyConfig,
     WorldView,
 };
+use cellspotting::cellstream::{IngestEngine, IngestError, ResolverMap, Snapshot, StreamConfig};
 use cellspotting::netaddr::{Asn, Block24, BlockId};
+use cellspotting::worldgen::{World, WorldConfig};
 
 #[test]
 fn empty_datasets_produce_empty_study() {
@@ -174,4 +181,131 @@ fn nan_free_everywhere_on_degenerate_inputs() {
         study.classification.is_empty(),
         "no NetInfo → unclassifiable"
     );
+}
+
+#[test]
+fn degenerate_stream_configs_are_errors_not_panics() {
+    let zero_shards = StreamConfig {
+        shards: 0,
+        ..Default::default()
+    };
+    let err = IngestEngine::try_with_layout(zero_shards, 4, 28, ResolverMap::empty())
+        .expect_err("zero shards must be rejected");
+    match err {
+        IngestError::BadConfig(msg) => assert!(msg.contains("shard"), "{msg}"),
+        other => panic!("unexpected error: {other:?}"),
+    }
+
+    let bad_precision = StreamConfig {
+        hll_precision: 0,
+        ..Default::default()
+    };
+    assert!(IngestEngine::try_with_layout(bad_precision, 4, 28, ResolverMap::empty()).is_err());
+
+    let no_counters = StreamConfig {
+        heavy_capacity: 0,
+        ..Default::default()
+    };
+    assert!(IngestEngine::try_with_layout(no_counters, 4, 28, ResolverMap::empty()).is_err());
+}
+
+#[test]
+fn checkpoint_at_epoch_zero_restores_to_a_full_run() {
+    // `--stop-after-epoch 0` leaves a checkpoint with nothing ingested;
+    // resuming it must replay the whole stream bit-for-bit.
+    let world = World::generate(WorldConfig::mini());
+    let source = EventSource::new(&world, CdnConfig::default(), 3);
+    let cfg = StreamConfig {
+        shards: 2,
+        ..Default::default()
+    };
+    let mut direct = IngestEngine::for_source(cfg, &source, ResolverMap::empty());
+    direct.run_to_end(&source);
+
+    let snap = IngestEngine::for_source(cfg, &source, ResolverMap::empty()).snapshot();
+    assert_eq!(snap.epochs_done, 0);
+    let mut resumed =
+        IngestEngine::try_restore(&snap, ResolverMap::empty()).expect("epoch-0 snapshot restores");
+    resumed.run_to_end(&source);
+    assert_eq!(resumed.snapshot().to_json(), direct.snapshot().to_json());
+}
+
+#[test]
+fn resume_from_the_final_epoch_is_finished_not_a_panic() {
+    let world = World::generate(WorldConfig::mini());
+    let source = EventSource::new(&world, CdnConfig::default(), 2);
+    let cfg = StreamConfig {
+        shards: 2,
+        ..Default::default()
+    };
+    let mut engine = IngestEngine::for_source(cfg, &source, ResolverMap::empty());
+    engine.run_to_end(&source);
+
+    let mut resumed = IngestEngine::try_restore(&engine.snapshot(), ResolverMap::empty())
+        .expect("final snapshot restores");
+    assert!(resumed.finished());
+    let err = resumed
+        .try_ingest_epoch(&source, None)
+        .expect_err("nothing left to ingest");
+    assert_eq!(err, IngestError::Finished { epochs: 2 });
+    // Finalizing a fully-resumed engine still works.
+    let outputs = resumed.finalize();
+    let direct = engine.finalize();
+    assert_eq!(outputs.beacons.len(), direct.beacons.len());
+    assert_eq!(outputs.demand.len(), direct.demand.len());
+}
+
+#[test]
+fn doctored_snapshots_are_rejected_on_restore() {
+    let world = World::generate(WorldConfig::mini());
+    let source = EventSource::new(&world, CdnConfig::default(), 2);
+    let cfg = StreamConfig {
+        shards: 2,
+        ..Default::default()
+    };
+    let mut engine = IngestEngine::for_source(cfg, &source, ResolverMap::empty());
+    engine.ingest_epoch(&source);
+    let snap = engine.snapshot();
+
+    let mut fewer_shards = snap.clone();
+    fewer_shards.shards.pop();
+    assert!(IngestEngine::try_restore(&fewer_shards, ResolverMap::empty()).is_err());
+
+    let mut wrong_config = snap.clone();
+    wrong_config.config.shards += 1;
+    assert!(IngestEngine::try_restore(&wrong_config, ResolverMap::empty()).is_err());
+
+    let mut ahead = snap.clone();
+    ahead.epochs_done = ahead.epochs_total + 1;
+    assert!(IngestEngine::try_restore(&ahead, ResolverMap::empty()).is_err());
+
+    let mut future_version = snap;
+    future_version.version += 1;
+    assert!(IngestEngine::try_restore(&future_version, ResolverMap::empty()).is_err());
+}
+
+#[test]
+fn unreadable_checkpoint_files_fail_cleanly() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("robustness_ckpt");
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("tmp dir");
+
+    // Missing file: a clean io::Error, not a panic.
+    assert!(Snapshot::read_from(&dir.join("absent.json")).is_err());
+
+    // Torn write (invalid JSON, no footer).
+    let torn = dir.join("torn.json");
+    fs::write(&torn, "{ \"version\": 1").expect("write torn file");
+    assert!(Snapshot::read_from(&torn).is_err());
+
+    // A well-formed snapshot body without the integrity footer is also
+    // rejected: only sealed files count as checkpoints.
+    let world = World::generate(WorldConfig::mini());
+    let source = EventSource::new(&world, CdnConfig::default(), 1);
+    let engine = IngestEngine::for_source(StreamConfig::default(), &source, ResolverMap::empty());
+    let unsealed = dir.join("unsealed.json");
+    fs::write(&unsealed, engine.snapshot().to_json()).expect("write unsealed file");
+    assert!(Snapshot::read_from(&unsealed).is_err());
+
+    let _ = fs::remove_dir_all(&dir);
 }
