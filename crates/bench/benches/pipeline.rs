@@ -5,8 +5,8 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use cdnsim::generate_datasets;
 use cellspot::{
-    aggregate_by_as, identify_cellular_ases, run_study, threshold_sweep, BlockIndex,
-    Classification, FilterConfig, StudyConfig, WorldView,
+    aggregate_by_as, identify_cellular_ases, threshold_sweep, BlockIndex, Classification,
+    FilterConfig, Pipeline, StudyConfig, WorldView,
 };
 use worldgen::{World, WorldConfig};
 
@@ -24,14 +24,15 @@ fn bench_pipeline(c: &mut Criterion) {
 
     g.bench_function("full_study_mini", |b| {
         b.iter(|| {
-            black_box(run_study(
-                &beacons,
-                &demand,
-                &world.as_db,
-                &world.carriers,
-                Some(&dns),
-                StudyConfig::default().with_min_hits(min_hits),
-            ))
+            black_box(
+                Pipeline::new(&beacons, &demand)
+                    .as_db(&world.as_db)
+                    .carriers(&world.carriers)
+                    .dns(&dns)
+                    .study_config(StudyConfig::default().with_min_hits(min_hits))
+                    .run()
+                    .expect("default study config is valid"),
+            )
         })
     });
 

@@ -1,0 +1,162 @@
+//! `bench_pipeline` — one instrumented end-to-end run, summarized as
+//! `BENCH_pipeline.json`.
+//!
+//! ```text
+//! bench_pipeline [--scale mini|demo|paper|<float>] [--seed N] [--threads N]
+//!                [--epochs E] [--shards N] [--out FILE]
+//! ```
+//!
+//! Runs the batch pipeline (world → datasets → full study) under an
+//! enabled observer, then streams the same world's event stream through
+//! the ingest engine, and writes a machine-readable benchmark record:
+//!
+//! * `stages` — wall-clock milliseconds and item counts per pipeline
+//!   stage (setup + all study stages, in execution order);
+//! * `stream` — event count, wall clock, events/sec, and the engine's
+//!   peak live-state bytes for the streaming leg;
+//! * `counters` — the deterministic observability counters (byte-wise
+//!   identical across thread counts, so CI can diff them).
+//!
+//! CI's bench-smoke step runs this at mini scale and validates the keys.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use bench::{build_bundle_with, config_for_scale};
+use cellobs::Observer;
+
+fn main() {
+    let mut scale = "mini".to_string();
+    let mut seed: Option<u64> = None;
+    let mut threads: Option<usize> = None;
+    let mut epochs: u32 = 4;
+    let mut shards: u32 = 4;
+    let mut out = PathBuf::from("BENCH_pipeline.json");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing --scale value"))
+            }
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage("missing --seed value"));
+                seed = Some(v.parse().unwrap_or_else(|_| usage("bad --seed value")));
+            }
+            "--threads" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing --threads value"));
+                threads = Some(v.parse().unwrap_or_else(|_| usage("bad --threads value")));
+            }
+            "--epochs" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing --epochs value"));
+                epochs = v.parse().unwrap_or_else(|_| usage("bad --epochs value"));
+            }
+            "--shards" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing --shards value"));
+                shards = v.parse().unwrap_or_else(|_| usage("bad --shards value"));
+            }
+            "--out" => {
+                out = PathBuf::from(args.next().unwrap_or_else(|| usage("missing --out value")))
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    if epochs == 0 || shards == 0 {
+        usage("--epochs and --shards must be at least 1");
+    }
+
+    let choice = cellspot::resolve_threads(threads);
+    if let Some(n) = cellspot::configure_threads(choice) {
+        eprintln!(
+            "rayon pool pinned to {n} thread(s) (from {})",
+            choice.source()
+        );
+    }
+
+    let mut config = config_for_scale(&scale).unwrap_or_else(|e| usage(&e));
+    if let Some(s) = seed {
+        config.seed = s;
+    }
+    let seed = config.seed;
+
+    // Batch leg: world + datasets + full study, observed.
+    let obs = Observer::enabled();
+    eprintln!("batch pipeline at scale {scale} (seed {seed:#x}) …");
+    let bundle = build_bundle_with(config, &obs);
+    let mut stages = bundle.timing.clone();
+    stages.extend(&bundle.study.timing);
+
+    // Streaming leg: fold the same world's event stream.
+    eprintln!("streaming {epochs} epoch(s) across {shards} shard(s) …");
+    let resolvers = cellstream::ResolverMap::from_dns(&bundle.dns);
+    let source = cdnsim::EventSource::new(&bundle.world, cdnsim::CdnConfig::default(), epochs);
+    let mut engine = cellstream::IngestEngine::for_source(
+        cellstream::StreamConfig {
+            shards,
+            ..Default::default()
+        },
+        &source,
+        resolvers,
+    )
+    .with_observer(obs.clone());
+    let t_stream = Instant::now();
+    engine.run_to_end(&source);
+    let stream_secs = t_stream.elapsed().as_secs_f64();
+    stages.push("stream_ingest", stream_secs * 1e3, engine.events_seen());
+
+    let snapshot = obs.snapshot();
+    let peak_state_bytes = snapshot
+        .gauges
+        .get("stream.state_bytes.peak")
+        .copied()
+        .unwrap_or(engine.state_bytes() as u64);
+    let events = engine.events_seen();
+    let record = serde_json::json!({
+        "scale": scale,
+        "seed": seed,
+        "threads": choice.pinned(),
+        "stages": serde_json::to_value(&stages.stages).expect("serialize stage timings"),
+        "stream": {
+            "epochs": epochs,
+            "shards": shards,
+            "events": events,
+            "wall_millis": stream_secs * 1e3,
+            "events_per_sec": events as f64 / stream_secs.max(1e-9),
+            "peak_state_bytes": peak_state_bytes,
+        },
+        "counters": snapshot.counters,
+    });
+    fs::write(
+        &out,
+        serde_json::to_string_pretty(&record).expect("serialize benchmark record"),
+    )
+    .expect("write benchmark record");
+    eprintln!(
+        "{} stages, {events} streamed events ({:.0}/s, peak state {} KiB) → {}",
+        stages.stages.len(),
+        events as f64 / stream_secs.max(1e-9),
+        peak_state_bytes / 1024,
+        out.display()
+    );
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: bench_pipeline [--scale mini|demo|paper|<float>] [--seed N] [--threads N]\n\
+         \x20                     [--epochs E] [--shards N] [--out FILE]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--scale mini|demo|paper|<float>] [--seed N] [--threads N]
-//!       [--out DIR] [ids…]
+//!       [--out DIR] [--metrics FILE [--metrics-format json|prometheus]]
+//!       [ids…]
 //! ```
 //!
 //! Without ids, all 25 artifacts are produced (the paper's 20 tables and
@@ -11,21 +12,29 @@
 //! collects every headline note (measured vs. paper), and
 //! `DIR/timings.json` records per-stage wall-clock and item counts.
 //!
+//! `--metrics FILE` additionally exports the full observability snapshot
+//! — spans, counters, gauges, histograms — in canonical JSON (default)
+//! or Prometheus text format.
+//!
 //! `--threads N` (or the `CELLSPOT_THREADS` environment variable) pins
 //! the rayon pool for reproducible benchmarking; every result is
 //! byte-identical regardless of the thread count.
 
 use std::fs;
 use std::path::PathBuf;
+use std::str::FromStr;
 use std::time::Instant;
 
-use bench::{build_bundle, config_for_scale};
+use bench::{build_bundle_with, config_for_scale};
+use cellobs::{ExportFormat, Observer};
 
 fn main() {
     let mut scale = "demo".to_string();
     let mut seed: Option<u64> = None;
     let mut threads: Option<usize> = None;
     let mut out_dir = PathBuf::from("results");
+    let mut metrics: Option<PathBuf> = None;
+    let mut metrics_format = ExportFormat::Json;
     let mut ids: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -49,16 +58,30 @@ fn main() {
             "--out" => {
                 out_dir = PathBuf::from(args.next().unwrap_or_else(|| usage("missing --out value")))
             }
+            "--metrics" => {
+                metrics = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| usage("missing --metrics value")),
+                ))
+            }
+            "--metrics-format" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing --metrics-format value"));
+                metrics_format = ExportFormat::from_str(&v).unwrap_or_else(|e| usage(&e));
+            }
             "--help" | "-h" => usage(""),
             id => ids.push(id.to_string()),
         }
     }
 
-    // CLI flag wins over the CELLSPOT_THREADS environment variable.
-    if let Some(n) =
-        cellspot::configure_thread_pool_with(threads).or_else(cellspot::configure_thread_pool)
-    {
-        eprintln!("rayon pool pinned to {n} thread(s)");
+    // Shared precedence: --threads beats CELLSPOT_THREADS beats auto.
+    let choice = cellspot::resolve_threads(threads);
+    if let Some(n) = cellspot::configure_threads(choice) {
+        eprintln!(
+            "rayon pool pinned to {n} thread(s) (from {})",
+            choice.source()
+        );
     }
 
     let mut config = config_for_scale(&scale).unwrap_or_else(|e| usage(&e));
@@ -66,12 +89,18 @@ fn main() {
         config.seed = s;
     }
 
+    let obs = if metrics.is_some() {
+        Observer::enabled()
+    } else {
+        Observer::disabled()
+    };
+
     eprintln!(
         "generating world (block_scale {:.3}, seed {:#x}) …",
         config.block_scale, config.seed
     );
     let t0 = Instant::now();
-    let bundle = build_bundle(config);
+    let bundle = build_bundle_with(config, &obs);
     eprintln!(
         "world: {} operators, {} blocks; BEACON {} blocks, DEMAND {} blocks ({:.1}s)",
         bundle.world.operators.ops.len(),
@@ -124,6 +153,10 @@ fn main() {
         produced += 1;
     }
     fs::write(out_dir.join("summary.txt"), &summary).expect("write summary");
+    if let Some(path) = &metrics {
+        fs::write(path, metrics_format.render(&obs.snapshot())).expect("write metrics export");
+        eprintln!("metrics ({metrics_format}) → {}", path.display());
+    }
     eprintln!(
         "wrote {produced} artifacts to {} in {:.1}s total",
         out_dir.display(),
@@ -163,7 +196,8 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro [--scale mini|demo|paper|<float>] [--seed N] [--threads N] [--out DIR] [ids…]\n\
+        "usage: repro [--scale mini|demo|paper|<float>] [--seed N] [--threads N] [--out DIR]\n\
+         \x20            [--metrics FILE [--metrics-format json|prometheus]] [ids…]\n\
          ids: table1 table2 table3 table4 table5 table6 table7 table8\n\
               fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12\n\
               ext-asn-level ext-granularity ext-rules ext-confidence ext-temporal"

@@ -1,8 +1,9 @@
 //! Shared setup for the `repro` harness and the Criterion benches: build
 //! a world, sample its datasets, and run the full study in one call.
 
-use cdnsim::{generate_datasets, BeaconDataset, DemandDataset};
-use cellspot::{run_study, Study, StudyConfig, TimingReport};
+use cdnsim::{generate_datasets_observed, BeaconDataset, DemandDataset};
+use cellobs::Observer;
+use cellspot::{Pipeline, Study, StudyConfig, TimingReport};
 use dnssim::DnsSim;
 use worldgen::{World, WorldConfig};
 
@@ -27,31 +28,39 @@ pub struct Bundle {
 /// Generate world + datasets + DNS and run the full study, timing each
 /// setup stage along the way.
 pub fn build_bundle(config: WorldConfig) -> Bundle {
+    build_bundle_with(config, &Observer::disabled())
+}
+
+/// [`build_bundle`] with an observer: world generation, dataset
+/// sampling, and every study stage report spans and counters into `obs`
+/// (a disabled observer records nothing at near-zero cost).
+pub fn build_bundle_with(config: WorldConfig, obs: &Observer) -> Bundle {
     let mut timing = TimingReport::new();
     let min_hits = config.scaled_min_beacon_hits();
     let world = timing.stage(
         "worldgen",
         |w: &World| w.blocks.records.len() as u64,
-        || World::generate(config),
+        || World::generate_with(config, obs),
     );
     let (beacons, demand) = timing.stage(
         "datasets",
         |(b, d): &(BeaconDataset, DemandDataset)| (b.len() + d.len()) as u64,
-        || generate_datasets(&world),
+        || generate_datasets_observed(&world, obs),
     );
     let dns = timing.stage(
         "dns",
         |d: &DnsSim| d.resolvers.len() as u64,
         || dnssim::generate_dns(&world),
     );
-    let study = run_study(
-        &beacons,
-        &demand,
-        &world.as_db,
-        &world.carriers,
-        Some(&dns),
-        StudyConfig::default().with_min_hits(min_hits),
-    );
+    let study = Pipeline::new(&beacons, &demand)
+        .as_db(&world.as_db)
+        .carriers(&world.carriers)
+        .dns(&dns)
+        .study_config(StudyConfig::default().with_min_hits(min_hits))
+        .observer(obs.clone())
+        .run()
+        .expect("the default study config is valid")
+        .into_study();
     Bundle {
         world,
         beacons,

@@ -134,8 +134,59 @@ pub fn generate_demand(world: &World, cfg: &CdnConfig) -> DemandDataset {
 
 /// Convenience: both datasets with default CDN knobs.
 pub fn generate_datasets(world: &World) -> (BeaconDataset, DemandDataset) {
+    generate_datasets_observed(world, &cellobs::Observer::disabled())
+}
+
+/// [`generate_beacons`] under a span (`beacon_sample`) with record and
+/// hit counters. Every reported quantity is a function of the world and
+/// config alone, so counters are byte-identical across thread counts.
+pub fn generate_beacons_observed(
+    world: &World,
+    cfg: &CdnConfig,
+    obs: &cellobs::Observer,
+) -> BeaconDataset {
+    let mut span = obs.span("beacon_sample");
+    let ds = generate_beacons(world, cfg);
+    span.set_items(ds.len() as u64);
+    drop(span);
+    if obs.is_enabled() {
+        obs.counter("cdnsim.beacon.records").add(ds.len() as u64);
+        obs.counter("cdnsim.beacon.hits_total").add(ds.hits_total());
+        obs.counter("cdnsim.beacon.netinfo_hits")
+            .add(ds.netinfo_hits_total());
+    }
+    ds
+}
+
+/// [`generate_demand`] under a span (`demand_sample`) with record
+/// counters and the normalized DU total as a gauge.
+pub fn generate_demand_observed(
+    world: &World,
+    cfg: &CdnConfig,
+    obs: &cellobs::Observer,
+) -> DemandDataset {
+    let mut span = obs.span("demand_sample");
+    let ds = generate_demand(world, cfg);
+    span.set_items(ds.len() as u64);
+    drop(span);
+    if obs.is_enabled() {
+        obs.counter("cdnsim.demand.records").add(ds.len() as u64);
+        obs.gauge("cdnsim.demand.total_du")
+            .set(ds.total_du().round() as u64);
+    }
+    ds
+}
+
+/// Both datasets with default CDN knobs, instrumented.
+pub fn generate_datasets_observed(
+    world: &World,
+    obs: &cellobs::Observer,
+) -> (BeaconDataset, DemandDataset) {
     let cfg = CdnConfig::default();
-    (generate_beacons(world, &cfg), generate_demand(world, &cfg))
+    (
+        generate_beacons_observed(world, &cfg, obs),
+        generate_demand_observed(world, &cfg, obs),
+    )
 }
 
 #[cfg(test)]

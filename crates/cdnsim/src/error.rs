@@ -1,0 +1,62 @@
+//! The crate's unified error type (hand-rolled `Display`/`Error` impls
+//! in the workspace's house style — the `thiserror` derive is
+//! deliberately not a dependency).
+
+use std::fmt;
+
+use crate::source::SourceError;
+
+/// Why the measurement platform could not produce data.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CdnError {
+    /// An event source failed to serve an epoch (stalled or dead
+    /// collector). Wraps [`SourceError`], which stays the fine-grained
+    /// type on [`crate::EventSource::try_epoch`] itself.
+    Source(SourceError),
+    /// A sampling knob is out of range.
+    Config(String),
+}
+
+impl fmt::Display for CdnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CdnError::Source(e) => write!(f, "event source error: {e}"),
+            CdnError::Config(why) => write!(f, "invalid cdn configuration: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CdnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CdnError::Source(e) => Some(e),
+            CdnError::Config(_) => None,
+        }
+    }
+}
+
+impl From<SourceError> for CdnError {
+    fn from(e: SourceError) -> Self {
+        CdnError::Source(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceErrorKind;
+
+    #[test]
+    fn wraps_source_errors_with_chain() {
+        let inner = SourceError {
+            epoch: 3,
+            kind: SourceErrorKind::Stall,
+        };
+        let e: CdnError = inner.into();
+        assert!(e.to_string().contains("epoch 3"));
+        assert!(std::error::Error::source(&e).is_some());
+        let c = CdnError::Config("page_loads must be positive".into());
+        assert!(c.to_string().contains("invalid cdn configuration"));
+        assert!(std::error::Error::source(&c).is_none());
+    }
+}

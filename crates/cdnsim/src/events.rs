@@ -112,6 +112,28 @@ pub fn simulate_events(world: &World, cfg: &EventSimConfig) -> Vec<BeaconEvent> 
     per_block.into_iter().flatten().collect()
 }
 
+/// [`simulate_events`] under a span (`simulate_events`) with event and
+/// NetInfo-label counters. The event stream is bit-identical for any
+/// thread count, so the counters are too.
+pub fn simulate_events_observed(
+    world: &World,
+    cfg: &EventSimConfig,
+    obs: &cellobs::Observer,
+) -> Vec<BeaconEvent> {
+    let mut span = obs.span("simulate_events");
+    let events = simulate_events(world, cfg);
+    span.set_items(events.len() as u64);
+    drop(span);
+    if obs.is_enabled() {
+        obs.counter("cdnsim.events.page_loads")
+            .add(events.len() as u64);
+        let labeled = events.iter().filter(|e| e.connection.is_some()).count();
+        obs.counter("cdnsim.events.netinfo_labeled")
+            .add(labeled as u64);
+    }
+    events
+}
+
 /// Aggregate raw events into the BEACON dataset shape.
 pub fn aggregate_events(period: impl Into<String>, events: &[BeaconEvent]) -> BeaconDataset {
     use std::collections::HashMap;

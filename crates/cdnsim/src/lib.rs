@@ -26,17 +26,22 @@
 mod aggregate;
 mod connection;
 mod datasets;
+mod error;
 mod events;
 mod netinfo;
 mod source;
 pub mod stream;
 
 pub use aggregate::{
-    generate_beacons, generate_datasets, generate_demand, CdnConfig, BEACON_PERIOD, DEMAND_PERIOD,
+    generate_beacons, generate_beacons_observed, generate_datasets, generate_datasets_observed,
+    generate_demand, generate_demand_observed, CdnConfig, BEACON_PERIOD, DEMAND_PERIOD,
 };
 pub use connection::{Browser, ConnectionType, BROWSERS};
 pub use datasets::{BeaconDataset, BeaconRecord, DemandDataset, DemandRecord, TOTAL_DU};
-pub use events::{aggregate_events, simulate_events, BeaconEvent, EventSimConfig};
+pub use error::CdnError;
+pub use events::{
+    aggregate_events, simulate_events, simulate_events_observed, BeaconEvent, EventSimConfig,
+};
 pub use netinfo::{browser_mix, netinfo_share, netinfo_timeline, MonthShare, DEC_2016, JUN_2017};
 pub use source::{
     BeaconDelta, DemandDay, EpochGate, EventSource, SourceError, SourceErrorKind, StreamEvent,

@@ -510,11 +510,10 @@ mod tests {
         }
 
         let world = World::generate(WorldConfig::mini());
-        let gated = EventSource::new(&world, CdnConfig::default(), 3).with_gate(Arc::new(
-            TestGate {
+        let gated =
+            EventSource::new(&world, CdnConfig::default(), 3).with_gate(Arc::new(TestGate {
                 stalls_left: AtomicU32::new(2),
-            },
-        ));
+            }));
         let plain = EventSource::new(&world, CdnConfig::default(), 3);
 
         // Epoch 0 passes and emits the exact same events as an ungated source.

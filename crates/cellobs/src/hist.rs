@@ -1,0 +1,129 @@
+//! Fixed log-scaled histogram buckets.
+//!
+//! Every histogram shares one bucket layout: 64 power-of-two upper
+//! bounds (`1, 2, 4, …, 2^63`) plus a final overflow bucket. A fixed
+//! layout keeps the exported distribution deterministic — bucket counts
+//! are order-independent sums of per-value increments, so they are
+//! byte-identical across runs and thread counts whenever the recorded
+//! values are.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: 64 power-of-two bounds plus the overflow bucket.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// The bucket a value lands in: the smallest `i` with `value <= 2^i`
+/// (values 0 and 1 share bucket 0; values above `2^63` land in the
+/// overflow bucket 64).
+pub fn bucket_index(value: u64) -> usize {
+    if value <= 1 {
+        return 0;
+    }
+    // Bits needed to represent value - 1: ceil(log2(value)) for value > 1.
+    64 - (value - 1).leading_zeros() as usize
+}
+
+/// Human-readable upper bound of a bucket (`"1"`, `"2"`, …, `"+Inf"`).
+pub fn bucket_bound_label(index: usize) -> String {
+    if index >= HISTOGRAM_BUCKETS - 1 {
+        "+Inf".to_string()
+    } else {
+        (1u64 << index).to_string()
+    }
+}
+
+/// Lock-free histogram core: per-bucket counts plus count and sum.
+#[derive(Debug)]
+pub(crate) struct HistCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl HistCore {
+    pub(crate) fn new() -> Self {
+        HistCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                buckets.push((i, c));
+            }
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Point-in-time histogram state: only occupied buckets are kept, as
+/// `(bucket index, count)` pairs in ascending bucket order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values (wrapping add on overflow).
+    pub sum: u64,
+    /// Occupied buckets, ascending by bucket index.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_inclusive_powers_of_two() {
+        // Bucket i covers (2^(i-1), 2^i]; 0 and 1 share bucket 0.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(8), 3);
+        assert_eq!(bucket_index(9), 4);
+        assert_eq!(bucket_index(1 << 20), 20);
+        assert_eq!(bucket_index((1 << 20) + 1), 21);
+        assert_eq!(bucket_index(1u64 << 63), 63);
+        assert_eq!(bucket_index((1u64 << 63) + 1), 64);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bound_labels_match_layout() {
+        assert_eq!(bucket_bound_label(0), "1");
+        assert_eq!(bucket_bound_label(1), "2");
+        assert_eq!(bucket_bound_label(10), "1024");
+        assert_eq!(bucket_bound_label(63), (1u64 << 63).to_string());
+        assert_eq!(bucket_bound_label(64), "+Inf");
+    }
+
+    #[test]
+    fn record_fills_expected_buckets() {
+        let h = HistCore::new();
+        for v in [0u64, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1010);
+        // 0,1 → bucket 0; 2 → 1; 3,4 → 2; 1000 → 10.
+        assert_eq!(s.buckets, vec![(0, 2), (1, 1), (2, 2), (10, 1)]);
+    }
+}

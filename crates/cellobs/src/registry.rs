@@ -1,0 +1,411 @@
+//! The observer: span log plus metric registry behind one cheap handle.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::hist::HistCore;
+use crate::snapshot::{ObsSnapshot, SpanRecord};
+
+/// The one observability handle threaded through every layer.
+///
+/// Clones share state (`Arc` inside). A disabled observer carries no
+/// state at all: every operation on it is an inert no-op, so hot paths
+/// can be instrumented unconditionally.
+#[derive(Clone, Default)]
+pub struct Observer {
+    inner: Option<Arc<Registry>>,
+}
+
+impl std::fmt::Debug for Observer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Observer")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistCore>>>,
+    spans: Mutex<SpanLog>,
+}
+
+#[derive(Default)]
+struct SpanLog {
+    /// Currently open spans, outermost first.
+    open: Vec<OpenSpan>,
+    /// Finished spans with their open-order sequence numbers.
+    closed: Vec<(u64, SpanRecord)>,
+    next_id: u64,
+}
+
+struct OpenSpan {
+    id: u64,
+    seq: u64,
+    path: String,
+    depth: usize,
+}
+
+impl Observer {
+    /// An observer that records nothing. All handles it returns are
+    /// inert; no lock is taken and no clock is read.
+    pub fn disabled() -> Self {
+        Observer { inner: None }
+    }
+
+    /// An observer that collects spans and metrics for later export.
+    pub fn enabled() -> Self {
+        Observer {
+            inner: Some(Arc::new(Registry {
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+                spans: Mutex::new(SpanLog::default()),
+            })),
+        }
+    }
+
+    /// Whether this observer records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Open a span named `name`, nested under the currently open spans.
+    /// The returned guard records the span (path, depth, wall-clock
+    /// duration, item count) when dropped.
+    ///
+    /// Spans must close in LIFO order per observer — the sequential stage
+    /// boundaries this layer instruments do so naturally. Parallel inner
+    /// loops report through counters and histograms instead of spans.
+    pub fn span(&self, name: &str) -> Span {
+        let Some(reg) = &self.inner else {
+            return Span { state: None };
+        };
+        let id = {
+            let mut log = reg.spans.lock().expect("span log poisoned");
+            let id = log.next_id;
+            log.next_id += 1;
+            let path = match log.open.last() {
+                Some(parent) => format!("{}/{name}", parent.path),
+                None => name.to_string(),
+            };
+            let depth = log.open.len();
+            log.open.push(OpenSpan {
+                id,
+                seq: id,
+                path,
+                depth,
+            });
+            id
+        };
+        Span {
+            state: Some(SpanState {
+                reg: Arc::clone(reg),
+                id,
+                start: Instant::now(),
+                items: 0,
+            }),
+        }
+    }
+
+    /// A monotonic counter handle. Increments on the same name from any
+    /// clone accumulate into one value.
+    pub fn counter(&self, name: &str) -> Counter {
+        let cell = self.inner.as_ref().map(|reg| {
+            Arc::clone(
+                reg.counters
+                    .lock()
+                    .expect("counter registry poisoned")
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+            )
+        });
+        Counter { cell }
+    }
+
+    /// A gauge handle: last-set value, with a dedicated high-water
+    /// helper ([`Gauge::set_max`]) for peak tracking.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let cell = self.inner.as_ref().map(|reg| {
+            Arc::clone(
+                reg.gauges
+                    .lock()
+                    .expect("gauge registry poisoned")
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+            )
+        });
+        Gauge { cell }
+    }
+
+    /// A histogram handle over the fixed power-of-two bucket layout.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let core = self.inner.as_ref().map(|reg| {
+            Arc::clone(
+                reg.histograms
+                    .lock()
+                    .expect("histogram registry poisoned")
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(HistCore::new())),
+            )
+        });
+        Histogram { core }
+    }
+
+    /// Point-in-time copy of everything recorded so far. Spans are
+    /// ordered by open sequence (stable for sequential stages); metric
+    /// maps are ordered by name.
+    pub fn snapshot(&self) -> ObsSnapshot {
+        let Some(reg) = &self.inner else {
+            return ObsSnapshot::default();
+        };
+        let counters = reg
+            .counters
+            .lock()
+            .expect("counter registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = reg
+            .gauges
+            .lock()
+            .expect("gauge registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = reg
+            .histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        let spans = {
+            let log = reg.spans.lock().expect("span log poisoned");
+            let mut closed: Vec<(u64, SpanRecord)> = log.closed.clone();
+            closed.sort_by_key(|(seq, _)| *seq);
+            closed.into_iter().map(|(_, r)| r).collect()
+        };
+        ObsSnapshot {
+            counters,
+            gauges,
+            histograms,
+            spans,
+        }
+    }
+}
+
+/// Monotonic counter handle (inert when the observer is disabled).
+#[derive(Clone)]
+pub struct Counter {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl Counter {
+    /// Add `n` to the counter.
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.cell {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.cell
+            .as_ref()
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+}
+
+/// Gauge handle: a last-set or high-water value.
+#[derive(Clone)]
+pub struct Gauge {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl Gauge {
+    /// Set the gauge to `v`.
+    pub fn set(&self, v: u64) {
+        if let Some(c) = &self.cell {
+            c.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raise the gauge to `v` if `v` exceeds the current value — the
+    /// high-water primitive used for peak state-bytes tracking. Safe
+    /// under concurrency: `fetch_max` makes the final value the maximum
+    /// of all reported values regardless of ordering.
+    pub fn set_max(&self, v: u64) {
+        if let Some(c) = &self.cell {
+            c.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.cell
+            .as_ref()
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+}
+
+/// Histogram handle over the fixed power-of-two buckets.
+#[derive(Clone)]
+pub struct Histogram {
+    core: Option<Arc<HistCore>>,
+}
+
+impl Histogram {
+    /// Record one value.
+    pub fn record(&self, v: u64) {
+        if let Some(core) = &self.core {
+            core.record(v);
+        }
+    }
+}
+
+struct SpanState {
+    reg: Arc<Registry>,
+    id: u64,
+    start: Instant,
+    items: u64,
+}
+
+/// Guard for an open span; records the span when dropped.
+pub struct Span {
+    state: Option<SpanState>,
+}
+
+impl Span {
+    /// Add to the span's item count (events folded, blocks classified…).
+    pub fn add_items(&mut self, n: u64) {
+        if let Some(s) = &mut self.state {
+            s.items += n;
+        }
+    }
+
+    /// Set the span's item count outright.
+    pub fn set_items(&mut self, n: u64) {
+        if let Some(s) = &mut self.state {
+            s.items = n;
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(s) = self.state.take() else {
+            return;
+        };
+        let millis = s.start.elapsed().as_secs_f64() * 1e3;
+        let mut log = s.reg.spans.lock().expect("span log poisoned");
+        let Some(pos) = log.open.iter().position(|o| o.id == s.id) else {
+            return;
+        };
+        let open = log.open.remove(pos);
+        log.closed.push((
+            open.seq,
+            SpanRecord {
+                path: open.path,
+                depth: open.depth,
+                millis,
+                items: s.items,
+            },
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_observer_is_inert() {
+        let obs = Observer::disabled();
+        assert!(!obs.is_enabled());
+        let c = obs.counter("x");
+        c.inc();
+        assert_eq!(c.get(), 0);
+        obs.gauge("g").set_max(9);
+        obs.histogram("h").record(4);
+        let mut span = obs.span("s");
+        span.add_items(3);
+        drop(span);
+        let snap = obs.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert!(snap.spans.is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate_across_clones() {
+        let obs = Observer::enabled();
+        let a = obs.counter("events");
+        let b = obs.clone().counter("events");
+        a.add(2);
+        b.add(3);
+        assert_eq!(obs.counter("events").get(), 5);
+        assert_eq!(obs.snapshot().counters["events"], 5);
+    }
+
+    #[test]
+    fn gauge_set_and_high_water() {
+        let obs = Observer::enabled();
+        let g = obs.gauge("peak");
+        g.set_max(10);
+        g.set_max(4);
+        assert_eq!(g.get(), 10);
+        g.set(2);
+        assert_eq!(obs.snapshot().gauges["peak"], 2);
+    }
+
+    #[test]
+    fn spans_nest_by_open_order() {
+        let obs = Observer::enabled();
+        {
+            let mut outer = obs.span("study");
+            outer.set_items(1);
+            {
+                let mut inner = obs.span("classify");
+                inner.set_items(42);
+            }
+            {
+                let _inner2 = obs.span("sweep");
+            }
+        }
+        let snap = obs.snapshot();
+        let paths: Vec<(&str, usize, u64)> = snap
+            .spans
+            .iter()
+            .map(|s| (s.path.as_str(), s.depth, s.items))
+            .collect();
+        assert_eq!(
+            paths,
+            vec![
+                ("study", 0, 1),
+                ("study/classify", 1, 42),
+                ("study/sweep", 1, 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn observer_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Observer>();
+        assert_send_sync::<Counter>();
+        assert_send_sync::<Gauge>();
+        assert_send_sync::<Histogram>();
+    }
+}

@@ -76,10 +76,16 @@ impl Classification {
 
 /// Join a dataset pair and classify it in one call.
 ///
-/// This is the entry point for consumers that materialize datasets
+/// This was the entry point for consumers that materialize datasets
 /// outside the batch pipeline — notably the streaming ingest engine,
 /// whose finalized snapshots must flow through the exact same join and
-/// threshold rule as batch-generated data.
+/// threshold rule as batch-generated data. Those callers now go through
+/// [`crate::Pipeline::classify`], which adds config validation, thread
+/// pinning, and observability on the same join + threshold rule.
+#[deprecated(
+    since = "0.1.0",
+    note = "use cellspot::Pipeline::new(beacons, demand).threshold(t).classify() instead"
+)]
 pub fn classify_datasets(
     beacons: &cdnsim::BeaconDataset,
     demand: &cdnsim::DemandDataset,
@@ -198,6 +204,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn classify_datasets_matches_manual_join() {
         let beacons = BeaconDataset::from_records(
             "t",

@@ -1,0 +1,47 @@
+//! The crate's unified error type.
+//!
+//! One enum covers every fallible public entry point (hand-rolled
+//! `Display`/`Error` impls in the workspace's house style — the
+//! `thiserror` derive is deliberately not a dependency). The CLI maps
+//! each public crate's error enum to a documented exit code; see
+//! `crates/cli/src/error.rs`.
+
+use std::fmt;
+
+/// Why a pipeline run could not produce a study.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CellspotError {
+    /// A configuration knob is out of range (threshold outside `[0, 1]`,
+    /// zero sweep steps, non-finite filter thresholds…).
+    Config(String),
+    /// The input datasets violate an invariant the methodology relies on
+    /// (e.g. a classified block missing from the joined index, possible
+    /// only with inconsistent duplicate rows).
+    InconsistentDatasets(String),
+}
+
+impl fmt::Display for CellspotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellspotError::Config(why) => write!(f, "invalid pipeline configuration: {why}"),
+            CellspotError::InconsistentDatasets(why) => {
+                write!(f, "inconsistent input datasets: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CellspotError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_prefixed() {
+        let e = CellspotError::Config("threshold 1.5 outside [0, 1]".into());
+        assert!(e.to_string().contains("invalid pipeline configuration"));
+        let e = CellspotError::InconsistentDatasets("duplicate block".into());
+        assert!(e.to_string().contains("inconsistent input datasets"));
+    }
+}

@@ -17,11 +17,25 @@
 //! * **§7 Macroscopic view** — continent and country rollups
 //!   ([`WorldView`]).
 //!
-//! [`run_study`] chains all of it; each piece is equally usable on its
-//! own. The crate deliberately depends only on *observable* data —
-//! datasets, AS metadata, resolver affinities — never on the synthetic
-//! world's hidden ground truth (enforced by the dependency graph:
-//! `worldgen` is a dev-dependency only).
+//! The [`Pipeline`] builder chains all of it — attach an
+//! [`Observer`](cellobs::Observer) to get per-stage spans and metrics —
+//! and each piece stays equally usable on its own. The crate
+//! deliberately depends only on *observable* data — datasets, AS
+//! metadata, resolver affinities — never on the synthetic world's hidden
+//! ground truth (enforced by the dependency graph: `worldgen` is a
+//! dev-dependency only).
+//!
+//! ```ignore
+//! use cellspot::prelude::*;
+//!
+//! let report = Pipeline::new(&beacons, &demand)
+//!     .as_db(&as_db)
+//!     .carriers(&carriers)
+//!     .threads(8)
+//!     .observer(obs.clone())
+//!     .run()?;
+//! println!("cellular ASes: {}", report.cellular_as_count());
+//! ```
 
 mod ablation;
 mod asid;
@@ -29,6 +43,7 @@ mod classify;
 mod confidence;
 mod demand;
 mod dns;
+mod error;
 mod index;
 mod metrics;
 mod mixed;
@@ -46,23 +61,39 @@ pub use ablation::{
 pub use asid::{
     aggregate_by_as, identify_cellular_ases, AsAggregate, AsFilterOutcome, FilterConfig,
 };
-pub use classify::{classify_datasets, Classification, RatioDistributions, DEFAULT_THRESHOLD};
+#[allow(deprecated)]
+pub use classify::classify_datasets;
+pub use classify::{Classification, RatioDistributions, DEFAULT_THRESHOLD};
 pub use confidence::{
     classify_with_confidence, confident_label, wilson_interval, ConfidenceSummary, ConfidentLabel,
 };
 pub use demand::{cellular_demand_values, AsDemandRanking, RankedAs, SubnetDemandProfile};
 pub use dns::{DnsAnalysis, PublicDnsUsage, ResolverDemand};
+pub use error::CellspotError;
 pub use index::{BlockIndex, BlockObs};
 pub use metrics::{validate_carrier, CarrierValidation, Confusion};
 pub use mixed::{max_cfd_gap, AsRatioBreakdown, MixedAnalysis, MixedVerdict, DEDICATED_CFD};
-pub use pipeline::{run_study, Study, StudyConfig};
+#[allow(deprecated)]
+pub use pipeline::run_study;
+pub use pipeline::{Pipeline, PipelineReport, Study, StudyConfig};
 pub use stats::{count_for_share, gini, top_k_share, Ecdf};
 pub use sweep::{threshold_sweep, SweepCurve, SweepPoint};
 pub use temporal::{MonthTransition, TemporalAnalysis};
 pub use timing::{
-    configure_thread_pool, configure_thread_pool_with, StageTiming, TimingReport, THREADS_ENV,
+    configure_thread_pool, configure_thread_pool_with, configure_threads, resolve_threads,
+    resolve_threads_with, StageTiming, ThreadsChoice, TimingReport, THREADS_ENV,
 };
 pub use world_view::{
     continent_rows, v6_deployment, ContinentDemand, ContinentSubnets, CountryDemand, V6Deployment,
     WorldView,
 };
+
+/// The blessed public surface in one import: the [`Pipeline`] builder,
+/// its report and error types, configuration, and the observability
+/// types a caller needs to attach and export metrics.
+pub mod prelude {
+    pub use crate::error::CellspotError;
+    pub use crate::pipeline::{Pipeline, PipelineReport, Study, StudyConfig};
+    pub use crate::timing::{resolve_threads, ThreadsChoice, TimingReport, THREADS_ENV};
+    pub use cellobs::{ExportFormat, ObsSnapshot, Observer};
+}

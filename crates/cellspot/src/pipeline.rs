@@ -1,7 +1,12 @@
-//! End-to-end study orchestration: the one-call entry point that runs the
-//! paper's full methodology over a pair of datasets.
+//! End-to-end study orchestration: the [`Pipeline`] builder is the
+//! crate's blessed entry point; it joins the datasets, runs every stage
+//! of the paper's methodology, and reports spans/metrics for each stage
+//! into an attached [`cellobs::Observer`].
+
+use std::time::Instant;
 
 use asdb::{AsDatabase, CarrierGroundTruth};
+use cellobs::Observer;
 use serde::{Deserialize, Serialize};
 
 use cdnsim::{BeaconDataset, DemandDataset};
@@ -13,11 +18,12 @@ use crate::asid::{
 use crate::classify::{Classification, RatioDistributions, DEFAULT_THRESHOLD};
 use crate::demand::AsDemandRanking;
 use crate::dns::DnsAnalysis;
+use crate::error::CellspotError;
 use crate::index::BlockIndex;
 use crate::metrics::{validate_carrier, CarrierValidation};
 use crate::mixed::{MixedAnalysis, DEDICATED_CFD};
 use crate::sweep::{threshold_sweep, SweepCurve};
-use crate::timing::TimingReport;
+use crate::timing::{configure_threads, resolve_threads, TimingReport};
 use crate::world_view::WorldView;
 
 /// Knobs for a full study run (defaults are the paper's choices).
@@ -54,6 +60,40 @@ impl StudyConfig {
     pub fn with_min_hits(mut self, min_netinfo_hits: f64) -> Self {
         self.min_netinfo_hits = min_netinfo_hits;
         self
+    }
+
+    /// Check every knob is in range before any stage runs.
+    pub fn validate(&self) -> Result<(), CellspotError> {
+        if !(0.0..=1.0).contains(&self.threshold) {
+            return Err(CellspotError::Config(format!(
+                "threshold {} outside [0, 1]",
+                self.threshold
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.dedicated_cfd) {
+            return Err(CellspotError::Config(format!(
+                "dedicated_cfd {} outside [0, 1]",
+                self.dedicated_cfd
+            )));
+        }
+        if !(self.min_cell_du.is_finite() && self.min_cell_du >= 0.0) {
+            return Err(CellspotError::Config(format!(
+                "min_cell_du {} must be finite and non-negative",
+                self.min_cell_du
+            )));
+        }
+        if !(self.min_netinfo_hits.is_finite() && self.min_netinfo_hits >= 0.0) {
+            return Err(CellspotError::Config(format!(
+                "min_netinfo_hits {} must be finite and non-negative",
+                self.min_netinfo_hits
+            )));
+        }
+        if self.sweep_steps == 0 {
+            return Err(CellspotError::Config(
+                "sweep_steps must be at least 1".into(),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -122,40 +162,274 @@ mod serde_asn_map {
     }
 }
 
-/// Run the full pipeline.
+/// Builder for a full study run: the one public entry point for the
+/// batch pipeline.
 ///
-/// Per-carrier validations and sweeps fan out across the rayon pool;
-/// results are collected in carrier order, and every parallel stage is
-/// bit-deterministic regardless of thread count (see each stage's docs).
-/// Wall-clock per stage lands in the returned study's `timing` field.
-pub fn run_study(
+/// ```ignore
+/// let report = Pipeline::new(&beacons, &demand)
+///     .as_db(&world.as_db)
+///     .carriers(&world.carriers)
+///     .dns(&dns)
+///     .threads(8)
+///     .observer(obs.clone())
+///     .run()?;
+/// ```
+///
+/// The builder deliberately takes *observable* inputs only (datasets, AS
+/// metadata, resolver affinities) — never the synthetic world itself, so
+/// the methodology can't peek at hidden ground truth (`worldgen` stays a
+/// dev-dependency). The umbrella `cellspotting` crate offers a
+/// `Pipeline` over a `WorldConfig` for the common world-to-study path.
+pub struct Pipeline<'a> {
+    beacons: &'a BeaconDataset,
+    demand: &'a DemandDataset,
+    as_db: Option<&'a AsDatabase>,
+    carriers: &'a [CarrierGroundTruth],
+    dns: Option<&'a DnsSim>,
+    config: StudyConfig,
+    threads: Option<usize>,
+    observer: Observer,
+}
+
+impl<'a> Pipeline<'a> {
+    /// A pipeline over a dataset pair, with paper-default configuration,
+    /// no AS metadata, no carriers, no DNS, auto threads, and a disabled
+    /// observer.
+    pub fn new(beacons: &'a BeaconDataset, demand: &'a DemandDataset) -> Self {
+        Pipeline {
+            beacons,
+            demand,
+            as_db: None,
+            carriers: &[],
+            dns: None,
+            config: StudyConfig::default(),
+            threads: None,
+            observer: Observer::disabled(),
+        }
+    }
+
+    /// AS metadata for the §5 filters and §7 rollups. Without it those
+    /// stages still run, over an empty database.
+    pub fn as_db(mut self, as_db: &'a AsDatabase) -> Self {
+        self.as_db = Some(as_db);
+        self
+    }
+
+    /// Ground-truth carriers to validate against (Table 3 / Fig. 3).
+    pub fn carriers(mut self, carriers: &'a [CarrierGroundTruth]) -> Self {
+        self.carriers = carriers;
+        self
+    }
+
+    /// Resolver data for the §6.3 DNS analysis.
+    pub fn dns(mut self, dns: &'a DnsSim) -> Self {
+        self.dns = Some(dns);
+        self
+    }
+
+    /// Replace the whole study configuration.
+    pub fn study_config(mut self, config: StudyConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Set just the classification threshold.
+    pub fn threshold(mut self, threshold: f64) -> Self {
+        self.config.threshold = threshold;
+        self
+    }
+
+    /// Pin the rayon pool width for this process. Resolution follows the
+    /// documented precedence (builder/flag > `CELLSPOT_THREADS` > auto);
+    /// results never depend on the width.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Attach an observer; every stage reports a span plus
+    /// `pipeline.<stage>.items` counters into it.
+    pub fn observer(mut self, observer: Observer) -> Self {
+        self.observer = observer;
+        self
+    }
+
+    /// Run the full methodology.
+    pub fn run(self) -> Result<PipelineReport, CellspotError> {
+        self.config.validate()?;
+        configure_threads(resolve_threads(self.threads));
+        let empty_db;
+        let as_db = match self.as_db {
+            Some(db) => db,
+            None => {
+                empty_db = AsDatabase::new();
+                &empty_db
+            }
+        };
+        let study = run_study_observed(
+            self.beacons,
+            self.demand,
+            as_db,
+            self.carriers,
+            self.dns,
+            self.config,
+            &self.observer,
+        );
+        Ok(PipelineReport { study })
+    }
+
+    /// Run only the join + classification front of the pipeline — the
+    /// light path behind `cellspot classify`.
+    pub fn classify(self) -> Result<(BlockIndex, Classification), CellspotError> {
+        self.config.validate()?;
+        configure_threads(resolve_threads(self.threads));
+        let obs = &self.observer;
+        let mut timing = TimingReport::new();
+        let index = stage(
+            &mut timing,
+            obs,
+            "join",
+            |i: &BlockIndex| i.len() as u64,
+            || BlockIndex::build(self.beacons, self.demand),
+        );
+        let classification = stage(
+            &mut timing,
+            obs,
+            "classify",
+            |c: &Classification| c.len() as u64,
+            || Classification::new(&index, self.config.threshold),
+        );
+        record_classify_detail(obs, &index, &classification);
+        Ok((index, classification))
+    }
+}
+
+/// The typed result of a [`Pipeline`] run.
+///
+/// Dereferences to the underlying [`Study`] (every table/figure field),
+/// and adds the headline accessors most callers reach for.
+pub struct PipelineReport {
+    /// The full study output.
+    pub study: Study,
+}
+
+impl std::ops::Deref for PipelineReport {
+    type Target = Study;
+
+    fn deref(&self) -> &Study {
+        &self.study
+    }
+}
+
+impl PipelineReport {
+    /// Unwrap into the raw [`Study`].
+    pub fn into_study(self) -> Study {
+        self.study
+    }
+
+    /// (IPv4 /24, IPv6 /48) cellular block counts.
+    pub fn cellular_blocks(&self) -> (usize, usize) {
+        self.study.classification.block_counts()
+    }
+
+    /// Number of ASes the §5 filters retained as cellular.
+    pub fn cellular_as_count(&self) -> usize {
+        self.study.filter.cellular_ases.len()
+    }
+
+    /// Fraction of cellular ASes that are mixed (§6.1).
+    pub fn mixed_fraction(&self) -> f64 {
+        self.study.mixed.mixed_fraction()
+    }
+
+    /// Global cellular share of demand, percent (§7).
+    pub fn global_cellular_pct(&self) -> f64 {
+        self.study.view.global_cellular_pct()
+    }
+
+    /// Per-stage wall-clock timings.
+    pub fn timing(&self) -> &TimingReport {
+        &self.study.timing
+    }
+}
+
+/// Run `f` as one pipeline stage: wall-clock into `timing`, a span plus
+/// a `pipeline.<name>.items` counter into the observer.
+fn stage<T>(
+    timing: &mut TimingReport,
+    obs: &Observer,
+    name: &str,
+    items: impl FnOnce(&T) -> u64,
+    f: impl FnOnce() -> T,
+) -> T {
+    let mut span = obs.span(name);
+    let start = Instant::now();
+    let out = f();
+    let millis = start.elapsed().as_secs_f64() * 1e3;
+    let n = items(&out);
+    span.set_items(n);
+    drop(span);
+    timing.push(name, millis, n);
+    obs.counter(&format!("pipeline.{name}.items")).add(n);
+    out
+}
+
+/// Classification detail metrics shared by `run` and `classify`.
+fn record_classify_detail(obs: &Observer, index: &BlockIndex, classification: &Classification) {
+    if !obs.is_enabled() {
+        return;
+    }
+    let (v4, v6) = classification.block_counts();
+    obs.counter("pipeline.classify.cellular_v4").add(v4 as u64);
+    obs.counter("pipeline.classify.cellular_v6").add(v6 as u64);
+    let hist = obs.histogram("pipeline.join.netinfo_hits_per_block");
+    for o in index.iter() {
+        hist.record(o.netinfo_hits);
+    }
+}
+
+/// The instrumented study runner behind [`Pipeline::run`] and the
+/// deprecated [`run_study`] shim.
+pub(crate) fn run_study_observed(
     beacons: &BeaconDataset,
     demand: &DemandDataset,
     as_db: &AsDatabase,
     carriers: &[CarrierGroundTruth],
     dns: Option<&DnsSim>,
     config: StudyConfig,
+    obs: &Observer,
 ) -> Study {
     use rayon::prelude::*;
     let mut timing = TimingReport::new();
+    let mut root = obs.span("study");
 
-    let index = timing.stage(
+    let index = stage(
+        &mut timing,
+        obs,
         "join",
         |i: &BlockIndex| i.len() as u64,
         || BlockIndex::build(beacons, demand),
     );
-    let classification = timing.stage(
+    root.set_items(index.len() as u64);
+    let classification = stage(
+        &mut timing,
+        obs,
         "classify",
         |c: &Classification| c.len() as u64,
         || Classification::new(&index, config.threshold),
     );
-    let ratio_distributions = timing.stage(
+    record_classify_detail(obs, &index, &classification);
+    let ratio_distributions = stage(
+        &mut timing,
+        obs,
         "ratio_distributions",
         |_: &RatioDistributions| index.len() as u64,
         || RatioDistributions::build(&index),
     );
 
-    let validations = timing.stage(
+    let validations = stage(
+        &mut timing,
+        obs,
         "validate",
         |v: &Vec<CarrierValidation>| v.len() as u64,
         || {
@@ -165,7 +439,9 @@ pub fn run_study(
                 .collect()
         },
     );
-    let sweeps = timing.stage(
+    let sweeps = stage(
+        &mut timing,
+        obs,
         "sweep",
         |s: &Vec<SweepCurve>| s.iter().map(|c| c.points.len() as u64).sum(),
         || {
@@ -176,12 +452,16 @@ pub fn run_study(
         },
     );
 
-    let as_aggregates = timing.stage(
+    let as_aggregates = stage(
+        &mut timing,
+        obs,
         "aggregate_by_as",
         |m: &std::collections::HashMap<netaddr::Asn, AsAggregate>| m.len() as u64,
         || aggregate_by_as(&index, &classification),
     );
-    let filter = timing.stage(
+    let filter = stage(
+        &mut timing,
+        obs,
         "as_filter",
         |f: &AsFilterOutcome| f.candidates.len() as u64,
         || {
@@ -195,26 +475,43 @@ pub fn run_study(
             )
         },
     );
-    let mixed = timing.stage(
+    obs.counter("pipeline.as_filter.cellular_ases")
+        .add(filter.cellular_ases.len() as u64);
+    let mixed = stage(
+        &mut timing,
+        obs,
         "mixed",
         |m: &MixedAnalysis| m.verdicts.len() as u64,
         || MixedAnalysis::build(&filter.cellular_ases, &as_aggregates, config.dedicated_cfd),
     );
-    let ranking = timing.stage(
+    if obs.is_enabled() {
+        let (n_mixed, n_dedicated) = mixed.counts();
+        obs.counter("pipeline.mixed.mixed_ases").add(n_mixed as u64);
+        obs.counter("pipeline.mixed.dedicated_ases")
+            .add(n_dedicated as u64);
+    }
+    let ranking = stage(
+        &mut timing,
+        obs,
         "ranking",
         |r: &AsDemandRanking| r.rows.len() as u64,
         || AsDemandRanking::build(&mixed, as_db),
     );
-    let dns_analysis = timing.stage(
+    let dns_analysis = stage(
+        &mut timing,
+        obs,
         "dns",
         |d: &Option<DnsAnalysis>| u64::from(d.is_some()),
         || dns.map(|d| DnsAnalysis::build(d, &index, &classification)),
     );
-    let view = timing.stage(
+    let view = stage(
+        &mut timing,
+        obs,
         "world_view",
         |_: &WorldView| index.len() as u64,
         || WorldView::build(&index, &classification, as_db),
     );
+    drop(root);
 
     Study {
         config,
@@ -233,6 +530,35 @@ pub fn run_study(
     }
 }
 
+/// Run the full pipeline.
+///
+/// Per-carrier validations and sweeps fan out across the rayon pool;
+/// results are collected in carrier order, and every parallel stage is
+/// bit-deterministic regardless of thread count (see each stage's docs).
+/// Wall-clock per stage lands in the returned study's `timing` field.
+#[deprecated(
+    since = "0.1.0",
+    note = "use cellspot::Pipeline::new(beacons, demand)…run() instead"
+)]
+pub fn run_study(
+    beacons: &BeaconDataset,
+    demand: &DemandDataset,
+    as_db: &AsDatabase,
+    carriers: &[CarrierGroundTruth],
+    dns: Option<&DnsSim>,
+    config: StudyConfig,
+) -> Study {
+    run_study_observed(
+        beacons,
+        demand,
+        as_db,
+        carriers,
+        dns,
+        config,
+        &Observer::disabled(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,14 +572,14 @@ mod tests {
         let world = World::generate(wcfg);
         let (beacons, demand) = generate_datasets(&world);
         let dns = dnssim::generate_dns(&world);
-        let study = run_study(
-            &beacons,
-            &demand,
-            &world.as_db,
-            &world.carriers,
-            Some(&dns),
-            StudyConfig::default().with_min_hits(min_hits),
-        );
+        let study = Pipeline::new(&beacons, &demand)
+            .as_db(&world.as_db)
+            .carriers(&world.carriers)
+            .dns(&dns)
+            .study_config(StudyConfig::default().with_min_hits(min_hits))
+            .run()
+            .expect("default config is valid")
+            .into_study();
         (world, study)
     }
 
@@ -338,5 +664,104 @@ mod tests {
             "Carrier B CIDR recall {:.3} (paper: 0.99)",
             b.by_cidr.recall()
         );
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_knobs() {
+        assert!(StudyConfig::default().validate().is_ok());
+        let mut c = StudyConfig::default();
+        c.threshold = 1.5;
+        assert!(matches!(c.validate(), Err(CellspotError::Config(_))));
+        let mut c = StudyConfig::default();
+        c.dedicated_cfd = -0.1;
+        assert!(c.validate().is_err());
+        let mut c = StudyConfig::default();
+        c.min_cell_du = f64::NAN;
+        assert!(c.validate().is_err());
+        let mut c = StudyConfig::default();
+        c.sweep_steps = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn pipeline_rejects_bad_threshold() {
+        let wcfg = WorldConfig::mini();
+        let world = World::generate(wcfg);
+        let (beacons, demand) = generate_datasets(&world);
+        let err = Pipeline::new(&beacons, &demand)
+            .threshold(2.0)
+            .run()
+            .err()
+            .expect("threshold 2.0 must be rejected");
+        assert!(matches!(err, CellspotError::Config(_)));
+        assert!(Pipeline::new(&beacons, &demand)
+            .threshold(2.0)
+            .classify()
+            .is_err());
+    }
+
+    #[test]
+    fn deprecated_shim_still_runs() {
+        let wcfg = WorldConfig::mini();
+        let world = World::generate(wcfg);
+        let (beacons, demand) = generate_datasets(&world);
+        #[allow(deprecated)]
+        let study = run_study(
+            &beacons,
+            &demand,
+            &world.as_db,
+            &world.carriers,
+            None,
+            StudyConfig::default(),
+        );
+        assert!(study.classification.len() > 100);
+    }
+
+    #[test]
+    fn observer_sees_every_stage() {
+        let wcfg = WorldConfig::mini();
+        let min_hits = wcfg.scaled_min_beacon_hits();
+        let world = World::generate(wcfg);
+        let (beacons, demand) = generate_datasets(&world);
+        let obs = Observer::enabled();
+        let report = Pipeline::new(&beacons, &demand)
+            .as_db(&world.as_db)
+            .carriers(&world.carriers)
+            .study_config(StudyConfig::default().with_min_hits(min_hits))
+            .observer(obs.clone())
+            .run()
+            .expect("valid config");
+        let snap = obs.snapshot();
+        for stage in [
+            "join",
+            "classify",
+            "ratio_distributions",
+            "validate",
+            "sweep",
+            "aggregate_by_as",
+            "as_filter",
+            "mixed",
+            "ranking",
+            "dns",
+            "world_view",
+        ] {
+            assert!(
+                snap.counters
+                    .contains_key(&format!("pipeline.{stage}.items")),
+                "missing counter for stage {stage}"
+            );
+            assert!(
+                snap.spans
+                    .iter()
+                    .any(|s| s.path == format!("study/{stage}")),
+                "missing span for stage {stage}"
+            );
+        }
+        assert_eq!(
+            snap.counters["pipeline.classify.items"],
+            report.classification.len() as u64
+        );
+        // Timing report mirrors the spans.
+        assert_eq!(report.timing().stages.len(), 11);
     }
 }

@@ -263,6 +263,9 @@ pub struct IngestEngine {
     poisoned: BTreeSet<u32>,
     /// Set when a simulated process crash hit: the engine is unusable.
     crashed: bool,
+    /// Observability sink: epoch/event counters, state-bytes high-water,
+    /// recovery counters. Disabled by default (near-zero cost).
+    obs: cellobs::Observer,
 }
 
 impl IngestEngine {
@@ -302,6 +305,7 @@ impl IngestEngine {
             smoothing_days,
             poisoned: BTreeSet::new(),
             crashed: false,
+            obs: cellobs::Observer::disabled(),
         }
     }
 
@@ -313,7 +317,12 @@ impl IngestEngine {
         resolvers: ResolverMap,
     ) -> Result<Self, IngestError> {
         cfg.validate().map_err(IngestError::BadConfig)?;
-        Ok(Self::with_layout(cfg, epochs_total, smoothing_days, resolvers))
+        Ok(Self::with_layout(
+            cfg,
+            epochs_total,
+            smoothing_days,
+            resolvers,
+        ))
     }
 
     /// Resume from a snapshot. The resolver map is not part of the
@@ -330,6 +339,7 @@ impl IngestEngine {
             smoothing_days: snapshot.smoothing_days,
             poisoned: BTreeSet::new(),
             crashed: false,
+            obs: cellobs::Observer::disabled(),
         }
     }
 
@@ -340,6 +350,22 @@ impl IngestEngine {
     pub fn try_restore(snapshot: &Snapshot, resolvers: ResolverMap) -> Result<Self, IngestError> {
         snapshot.validate().map_err(IngestError::SnapshotMismatch)?;
         Ok(Self::restore(snapshot, resolvers))
+    }
+
+    /// Attach an observer (builder form). Per-epoch event counters, an
+    /// epoch-size histogram, a state-bytes high-water gauge, and recovery
+    /// counters report into it. Counters and the histogram are functions
+    /// of the stream alone — byte-identical at any shard or thread
+    /// count — while the state-bytes gauge legitimately varies with the
+    /// shard count (each shard carries fixed sketch budgets).
+    pub fn with_observer(mut self, obs: cellobs::Observer) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Attach an observer in place (for engines built by a supervisor).
+    pub fn set_observer(&mut self, obs: cellobs::Observer) {
+        self.obs = obs;
     }
 
     /// The engine's configuration.
@@ -460,6 +486,20 @@ impl IngestEngine {
             shard_counts[idx] += 1;
         }
         self.epochs_done += 1;
+        // The epoch counts as done even when a shard died (healthy shards
+        // finished it), so report it either way. `epoch_events` counts
+        // every event — including ones a poisoned shard dropped — so the
+        // counters are a function of the stream alone.
+        if self.obs.is_enabled() {
+            self.obs.counter("stream.events").add(epoch_events);
+            self.obs.counter("stream.epochs").inc();
+            self.obs
+                .histogram("stream.epoch.events")
+                .record(epoch_events);
+            self.obs
+                .gauge("stream.state_bytes.peak")
+                .set_max(self.state_bytes() as u64);
+        }
         match killed {
             Some(shard) => Err(IngestError::ShardPanic { epoch, shard }),
             None => Ok(epoch),
@@ -530,6 +570,12 @@ impl IngestEngine {
             }
         }
         self.poisoned.remove(&shard);
+        if self.obs.is_enabled() {
+            self.obs.counter("stream.recovery.shard_rebuilds").inc();
+            self.obs
+                .counter("stream.recovery.replayed_epochs")
+                .add((self.epochs_done - start) as u64);
+        }
         Ok(self.epochs_done - start)
     }
 

@@ -229,7 +229,8 @@ impl EpochGate for FaultInjector {
                 Fault::SourceStall { epoch: e, times } if e == epoch && st.fired[i] < times => {
                     st.fired[i] += 1;
                     let left = times - st.fired[i];
-                    st.log.push(format!("source stalled at epoch {epoch} ({left} left)"));
+                    st.log
+                        .push(format!("source stalled at epoch {epoch} ({left} left)"));
                     return Err(SourceError {
                         epoch,
                         kind: SourceErrorKind::Stall,
@@ -360,7 +361,9 @@ impl From<IngestError> for ChaosError {
 fn note_rejected(report: &mut ChaosReport, outcome: &RecoveryOutcome) {
     for (path, why) in &outcome.skipped {
         report.checkpoints_rejected += 1;
-        report.log.push(format!("rejected checkpoint {}: {why}", path.display()));
+        report
+            .log
+            .push(format!("rejected checkpoint {}: {why}", path.display()));
     }
 }
 
@@ -392,6 +395,56 @@ pub fn run_chaos(
     injector: &FaultInjector,
     max_restarts: u32,
 ) -> Result<(IngestEngine, ChaosReport), ChaosError> {
+    run_chaos_observed(
+        source,
+        cfg,
+        resolvers,
+        store,
+        injector,
+        max_restarts,
+        &cellobs::Observer::disabled(),
+    )
+}
+
+/// [`run_chaos`] with observability: every engine the supervisor builds
+/// (initial, restarted) reports into `obs`, and the final
+/// [`ChaosReport`]'s fault-trip totals land in `stream.faults.*`
+/// counters. Trip counters are a function of `(stream, fault plan)`
+/// alone, so they stay byte-identical across thread counts.
+#[allow(clippy::too_many_arguments)]
+pub fn run_chaos_observed(
+    source: &EventSource<'_>,
+    cfg: StreamConfig,
+    resolvers: &ResolverMap,
+    store: &CheckpointStore,
+    injector: &FaultInjector,
+    max_restarts: u32,
+    obs: &cellobs::Observer,
+) -> Result<(IngestEngine, ChaosReport), ChaosError> {
+    let result = run_chaos_inner(source, cfg, resolvers, store, injector, max_restarts, obs);
+    if let (Ok((_, report)), true) = (&result, obs.is_enabled()) {
+        obs.counter("stream.faults.crashes")
+            .add(report.crashes as u64);
+        obs.counter("stream.faults.restarts")
+            .add(report.restarts as u64);
+        obs.counter("stream.faults.stalls")
+            .add(report.stalls as u64);
+        obs.counter("stream.faults.checkpoints_rejected")
+            .add(report.checkpoints_rejected as u64);
+    }
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_chaos_inner(
+    source: &EventSource<'_>,
+    cfg: StreamConfig,
+    resolvers: &ResolverMap,
+    store: &CheckpointStore,
+    injector: &FaultInjector,
+    max_restarts: u32,
+    obs: &cellobs::Observer,
+) -> Result<(IngestEngine, ChaosReport), ChaosError> {
     let mut report = ChaosReport::default();
     'restart: loop {
         let recovered = store.load_latest_good()?;
@@ -403,6 +456,7 @@ pub fn run_chaos(
             }
             None => IngestEngine::try_for_source(cfg, source, resolvers.clone())?,
         };
+        engine.set_observer(obs.clone());
         while !engine.finished() {
             match engine.try_ingest_epoch(source, Some(injector)) {
                 Ok(_) => {}
@@ -437,7 +491,9 @@ pub fn run_chaos(
                             limit: max_restarts,
                         });
                     }
-                    report.log.push(format!("restarting after crash in epoch {epoch}"));
+                    report
+                        .log
+                        .push(format!("restarting after crash in epoch {epoch}"));
                     continue 'restart;
                 }
                 Err(e) => return Err(ChaosError::Ingest(e)),

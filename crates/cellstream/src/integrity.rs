@@ -148,7 +148,9 @@ fn parse_crc(v: &str) -> Option<u32> {
 /// with a specific [`IntegrityError`]; the body is returned only when both
 /// the recorded length and checksum match exactly.
 pub fn unseal(data: &str) -> Result<&str, IntegrityError> {
-    let idx = data.rfind(FOOTER_PREFIX).ok_or(IntegrityError::MissingFooter)?;
+    let idx = data
+        .rfind(FOOTER_PREFIX)
+        .ok_or(IntegrityError::MissingFooter)?;
     let (body, footer_line) = data.split_at(idx);
     let footer = footer_line
         .strip_prefix(FOOTER_PREFIX)
@@ -217,11 +219,17 @@ pub fn read_verified(path: &Path) -> io::Result<String> {
     let text = String::from_utf8(bytes).map_err(|_| {
         io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("{}: checkpoint is not valid UTF-8 (corrupt)", path.display()),
+            format!(
+                "{}: checkpoint is not valid UTF-8 (corrupt)",
+                path.display()
+            ),
         )
     })?;
     let body = unseal(&text).map_err(|e| {
-        io::Error::new(io::ErrorKind::InvalidData, format!("{}: {e}", path.display()))
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: {e}", path.display()),
+        )
     })?;
     Ok(body.to_string())
 }
@@ -247,6 +255,7 @@ pub struct RecoveryOutcome {
 pub struct CheckpointStore {
     dir: PathBuf,
     retain: usize,
+    obs: cellobs::Observer,
 }
 
 impl CheckpointStore {
@@ -256,7 +265,17 @@ impl CheckpointStore {
         CheckpointStore {
             dir: dir.into(),
             retain: retain.max(1),
+            obs: cellobs::Observer::disabled(),
         }
+    }
+
+    /// Attach an observer: every save reports checkpoint count and sealed
+    /// bytes written (`stream.checkpoint.*`). Note the byte counter
+    /// depends on the shard count — per-shard snapshot sections grow with
+    /// the shard budget — unlike the engine's event counters.
+    pub fn with_observer(mut self, obs: cellobs::Observer) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The directory this store manages.
@@ -286,8 +305,15 @@ impl CheckpointStore {
     /// retained depth. Returns the path written.
     pub fn save(&self, snapshot: &Snapshot) -> io::Result<PathBuf> {
         let path = self.path_for(snapshot.epochs_done);
-        write_atomic(&path, &seal(&snapshot.to_json()))?;
+        let sealed = seal(&snapshot.to_json());
+        write_atomic(&path, &sealed)?;
         self.prune()?;
+        if self.obs.is_enabled() {
+            self.obs.counter("stream.checkpoint.writes").inc();
+            self.obs
+                .counter("stream.checkpoint.bytes")
+                .add(sealed.len() as u64);
+        }
         Ok(path)
     }
 

@@ -42,6 +42,7 @@
 //! including classification parity of the downstream `cellspot` study.
 
 mod engine;
+mod error;
 mod faultsim;
 mod hll;
 mod integrity;
@@ -53,7 +54,10 @@ pub use engine::{
     FoldAction, IngestEngine, IngestError, IngestObserver, ResolverClients, ResolverMap,
     SketchReport, StreamConfig, StreamOutputs,
 };
-pub use faultsim::{run_chaos, ChaosError, ChaosReport, Fault, FaultInjector, FaultPlan};
+pub use error::StreamError;
+pub use faultsim::{
+    run_chaos, run_chaos_observed, ChaosError, ChaosReport, Fault, FaultInjector, FaultPlan,
+};
 pub use hll::{HyperLogLog, MAX_PRECISION, MIN_PRECISION};
 pub use integrity::{
     crc32, read_verified, seal, unseal, write_atomic, CheckpointStore, IntegrityError,
@@ -66,7 +70,7 @@ pub use spacesaving::{HeavyHitter, SpaceSaving};
 pub mod prelude {
     //! One-line import for consumers of the streaming subsystem.
     pub use crate::{
-        CheckpointStore, FaultPlan, IngestEngine, ResolverMap, Snapshot, StreamConfig,
+        CheckpointStore, FaultPlan, IngestEngine, ResolverMap, Snapshot, StreamConfig, StreamError,
         StreamOutputs,
     };
 }

@@ -159,7 +159,9 @@ impl Snapshot {
 
     /// Rebuild the engine's in-memory shard states.
     pub(crate) fn shard_states(&self) -> Vec<ShardState> {
-        (0..self.shards.len()).map(|i| self.shard_state(i)).collect()
+        (0..self.shards.len())
+            .map(|i| self.shard_state(i))
+            .collect()
     }
 
     /// Rebuild a single shard's in-memory state (used by per-shard

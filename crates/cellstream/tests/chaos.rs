@@ -100,7 +100,11 @@ fn crash_with_flipped_newest_checkpoint_recovers_exactly() {
         ],
     };
     let (engine, report) = run_plan(&world, &dns, &dir, plan);
-    assert_eq!(engine.snapshot().to_json(), ref_json, "byte-identical state");
+    assert_eq!(
+        engine.snapshot().to_json(),
+        ref_json,
+        "byte-identical state"
+    );
     assert_outputs_eq(&engine.finalize(), &ref_outputs);
     assert_eq!(report.crashes, 1, "{:?}", report.log);
     assert!(report.checkpoints_rejected >= 1, "{:?}", report.log);
@@ -135,7 +139,11 @@ fn multi_shard_kill_with_truncated_checkpoint_recovers_exactly() {
         ],
     };
     let (engine, report) = run_plan(&world, &dns, &dir, plan);
-    assert_eq!(engine.snapshot().to_json(), ref_json, "byte-identical state");
+    assert_eq!(
+        engine.snapshot().to_json(),
+        ref_json,
+        "byte-identical state"
+    );
     assert_outputs_eq(&engine.finalize(), &ref_outputs);
     assert_eq!(report.shard_recoveries, 2, "{:?}", report.log);
     // Both shards found no usable base (the sole checkpoint was truncated)
@@ -170,7 +178,11 @@ fn boundary_crash_with_two_bad_checkpoints_recovers_exactly() {
         ],
     };
     let (engine, report) = run_plan(&world, &dns, &dir, plan);
-    assert_eq!(engine.snapshot().to_json(), ref_json, "byte-identical state");
+    assert_eq!(
+        engine.snapshot().to_json(),
+        ref_json,
+        "byte-identical state"
+    );
     assert_outputs_eq(&engine.finalize(), &ref_outputs);
     assert_eq!(report.stalls, 3, "{:?}", report.log);
     assert_eq!(report.crashes, 1, "{:?}", report.log);

@@ -39,7 +39,10 @@ fn b(i: u32) -> BlockId {
 /// floats (exactly representable, exactly summable in any order below
 /// 2^53) so under-capacity estimates carry no float-ordering noise.
 fn arb_stream() -> impl Strategy<Value = Vec<(u32, f64)>> {
-    prop::collection::vec((0u32..48, 1u32..=1_000).prop_map(|(k, w)| (k, w as f64)), 0..200)
+    prop::collection::vec(
+        (0u32..48, 1u32..=1_000).prop_map(|(k, w)| (k, w as f64)),
+        0..200,
+    )
 }
 
 fn ss_of(capacity: usize, stream: &[(u32, f64)]) -> SpaceSaving {

@@ -33,17 +33,19 @@ fn arb_beacon() -> impl Strategy<Value = BeaconRow> {
         any::<u64>(),
         any::<u64>(),
     )
-        .prop_map(|(block, asn, hits_total, netinfo_hits, cellular_hits, wifi_hits, other_hits)| {
-            BeaconRow {
-                block,
-                asn: Asn(asn),
-                hits_total,
-                netinfo_hits,
-                cellular_hits,
-                wifi_hits,
-                other_hits,
-            }
-        })
+        .prop_map(
+            |(block, asn, hits_total, netinfo_hits, cellular_hits, wifi_hits, other_hits)| {
+                BeaconRow {
+                    block,
+                    asn: Asn(asn),
+                    hits_total,
+                    netinfo_hits,
+                    cellular_hits,
+                    wifi_hits,
+                    other_hits,
+                }
+            },
+        )
 }
 
 fn arb_demand() -> impl Strategy<Value = DemandRow> {
@@ -88,13 +90,15 @@ fn arb_shard(precision: u8, capacity: usize) -> impl Strategy<Value = ShardSnaps
         prop::collection::vec(arb_resolver(precision), 0..4),
         arb_heavy(capacity),
     )
-        .prop_map(|(events_seen, beacons, demand, resolvers, heavy)| ShardSnapshot {
-            events_seen,
-            beacons,
-            demand,
-            resolvers,
-            heavy,
-        })
+        .prop_map(
+            |(events_seen, beacons, demand, resolvers, heavy)| ShardSnapshot {
+                events_seen,
+                beacons,
+                demand,
+                resolvers,
+                heavy,
+            },
+        )
 }
 
 fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
@@ -105,18 +109,20 @@ fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
             0u32..=12,
             1u32..=30,
         )
-            .prop_map(move |(shard_vec, epochs_total, epochs_done, smoothing_days)| Snapshot {
-                version: SNAPSHOT_VERSION,
-                config: StreamConfig {
-                    shards,
-                    hll_precision: precision,
-                    heavy_capacity: capacity,
+            .prop_map(
+                move |(shard_vec, epochs_total, epochs_done, smoothing_days)| Snapshot {
+                    version: SNAPSHOT_VERSION,
+                    config: StreamConfig {
+                        shards,
+                        hll_precision: precision,
+                        heavy_capacity: capacity,
+                    },
+                    epochs_total,
+                    epochs_done,
+                    smoothing_days,
+                    shards: shard_vec,
                 },
-                epochs_total,
-                epochs_done,
-                smoothing_days,
-                shards: shard_vec,
-            })
+            )
     })
 }
 

@@ -6,7 +6,8 @@ use asdb::{AsDatabase, CarrierGroundTruth};
 use cdnsim::{BeaconDataset, DemandDataset};
 use cellspot::{
     aggregate_by_as, identify_cellular_ases, threshold_sweep, validate_carrier, BlockIndex,
-    Classification, FilterConfig, MixedAnalysis, WorldView, DEDICATED_CFD, DEFAULT_THRESHOLD,
+    CellspotError, Classification, FilterConfig, MixedAnalysis, Pipeline, WorldView, DEDICATED_CFD,
+    DEFAULT_THRESHOLD,
 };
 use netaddr::CONTINENTS;
 
@@ -24,18 +25,21 @@ pub fn classify(
     beacons: &BeaconDataset,
     demand: &DemandDataset,
     threshold: Option<f64>,
-) -> Result<(String, usize), String> {
+    obs: &cellobs::Observer,
+) -> Result<(String, usize), CellspotError> {
     let t = threshold.unwrap_or(DEFAULT_THRESHOLD);
-    let index = BlockIndex::build(beacons, demand);
-    let class = Classification::new(&index, t);
+    let (index, class) = Pipeline::new(beacons, demand)
+        .threshold(t)
+        .observer(obs.clone())
+        .classify()?;
     let mut out = String::from("block,asn,cellular_ratio,netinfo_hits,du\n");
     for (block, asn) in class.iter() {
         let obs = index.get(block).ok_or_else(|| {
-            format!(
-                "classified block {} is missing from the joined index; \
-                 the input datasets are inconsistent (duplicate block rows?)",
+            CellspotError::InconsistentDatasets(format!(
+                "classified block {} is missing from the joined index \
+                 (duplicate block rows?)",
                 block_to_string(block)
-            )
+            ))
         })?;
         out.push_str(&format!(
             "{},{},{:.4},{},{:.4}\n",
@@ -102,9 +106,14 @@ pub fn identify_as(
 /// `stream`: summarize a finalized streaming ingest run — dataset sizes,
 /// classification counts over the streamed snapshot, and the sketch
 /// estimates with their error bounds.
-pub fn stream_summary(outputs: &cellstream::StreamOutputs, threshold: Option<f64>) -> String {
+pub fn stream_summary(
+    outputs: &cellstream::StreamOutputs,
+    threshold: Option<f64>,
+) -> Result<String, CellspotError> {
     let t = threshold.unwrap_or(DEFAULT_THRESHOLD);
-    let (_, class) = cellspot::classify_datasets(&outputs.beacons, &outputs.demand, t);
+    let (_, class) = Pipeline::new(&outputs.beacons, &outputs.demand)
+        .threshold(t)
+        .classify()?;
     let (v4, v6) = class.block_counts();
     let s = &outputs.sketches;
     let mut out = String::new();
@@ -143,7 +152,7 @@ pub fn stream_summary(outputs: &cellstream::StreamOutputs, threshold: Option<f64
             h.error
         ));
     }
-    out
+    Ok(out)
 }
 
 /// `validate`: score against ground truth at the default threshold and
@@ -227,13 +236,20 @@ mod tests {
     #[test]
     fn classify_emits_csv_rows() {
         let (_, b, d) = setup();
-        let (csv, n) = classify(&b, &d, None).expect("consistent datasets classify");
+        let obs = cellobs::Observer::disabled();
+        let (csv, n) = classify(&b, &d, None, &obs).expect("consistent datasets classify");
         assert!(n > 100);
         assert_eq!(csv.lines().count(), n + 1);
         assert!(csv.starts_with("block,asn,"));
         // Higher threshold → fewer rows.
-        let (_, n95) = classify(&b, &d, Some(0.95)).expect("consistent datasets classify");
+        let (_, n95) = classify(&b, &d, Some(0.95), &obs).expect("consistent datasets classify");
         assert!(n95 < n);
+        // An enabled observer sees the two front stages.
+        let obs = cellobs::Observer::enabled();
+        classify(&b, &d, None, &obs).expect("classifies");
+        let snap = obs.snapshot();
+        assert!(snap.counters.contains_key("pipeline.join.items"));
+        assert!(snap.counters.contains_key("pipeline.classify.items"));
     }
 
     #[test]
@@ -260,8 +276,8 @@ mod tests {
         let outputs = engine.finalize();
         // The streamed datasets equal the batch ones, so the summary's
         // classification count matches a direct batch classification.
-        let (_, batch_class) = cellspot::classify_datasets(&b, &d, DEFAULT_THRESHOLD);
-        let out = stream_summary(&outputs, None);
+        let (_, batch_class) = Pipeline::new(&b, &d).classify().expect("default threshold");
+        let out = stream_summary(&outputs, None).expect("valid threshold");
         assert!(out.contains("beacons:"));
         assert!(out.contains(&format!(
             "cellular blocks at threshold 0.50: {}",

@@ -1,0 +1,103 @@
+//! CLI error type with documented exit codes.
+//!
+//! Every subcommand returns [`CliError`]; `main` prints it and exits
+//! with the matching code, so scripts can tell misuse from bad data
+//! from a pipeline failure:
+//!
+//! | code | variant | meaning |
+//! |------|------------|----------------------------------------|
+//! | 2 | `Usage` | bad flags or arguments |
+//! | 3 | `Io` | file read/write failed |
+//! | 4 | `Data` | an input file failed to parse/validate |
+//! | 5 | `Pipeline` | the study pipeline refused to run |
+//! | 6 | `Stream` | the streaming ingest subsystem failed |
+
+use std::fmt;
+
+use cellspot::CellspotError;
+use cellstream::StreamError;
+
+/// Why a `cellspot` subcommand failed, mapped to an exit code.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad flags or arguments (exit 2, same as the usage screen).
+    Usage(String),
+    /// File I/O failed (exit 3).
+    Io(String),
+    /// An input file failed to parse or validate (exit 4).
+    Data(String),
+    /// The study pipeline refused to run (exit 5).
+    Pipeline(CellspotError),
+    /// The streaming ingest subsystem failed (exit 6).
+    Stream(StreamError),
+}
+
+impl CliError {
+    /// The process exit code this error maps to.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io(_) => 3,
+            CliError::Data(_) => 4,
+            CliError::Pipeline(_) => 5,
+            CliError::Stream(_) => 6,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(why) => write!(f, "{why}"),
+            CliError::Io(why) => write!(f, "{why}"),
+            CliError::Data(why) => write!(f, "{why}"),
+            CliError::Pipeline(e) => write!(f, "{e}"),
+            CliError::Stream(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Pipeline(e) => Some(e),
+            CliError::Stream(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CellspotError> for CliError {
+    fn from(e: CellspotError) -> Self {
+        CliError::Pipeline(e)
+    }
+}
+
+impl From<StreamError> for CliError {
+    fn from(e: StreamError) -> Self {
+        CliError::Stream(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_stable() {
+        assert_eq!(CliError::Usage("x".into()).exit_code(), 2);
+        assert_eq!(CliError::Io("x".into()).exit_code(), 3);
+        assert_eq!(CliError::Data("x".into()).exit_code(), 4);
+        assert_eq!(
+            CliError::Pipeline(CellspotError::Config("x".into())).exit_code(),
+            5
+        );
+        assert_eq!(
+            CliError::Stream(StreamError::Ingest(cellstream::IngestError::Finished {
+                epochs: 1
+            }))
+            .exit_code(),
+            6
+        );
+    }
+}

@@ -16,4 +16,7 @@
 //! ```
 
 pub mod commands;
+pub mod error;
 pub mod io;
+
+pub use error::CliError;

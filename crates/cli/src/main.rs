@@ -2,14 +2,17 @@
 //!
 //! Run `cellspot --help` for usage. All heavy lifting lives in the
 //! library (`cli::commands`); this file only parses arguments and does
-//! file I/O.
+//! file I/O. Failures exit with documented codes (see `cli::error`):
+//! 2 usage, 3 I/O, 4 bad data, 5 pipeline, 6 streaming.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::exit;
+use std::str::FromStr;
 use std::sync::Arc;
 
-use cli::{commands, io};
+use cellobs::{ExportFormat, Observer};
+use cli::{commands, io, CliError};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,11 +34,11 @@ fn main() {
     };
     if let Err(e) = result {
         eprintln!("error: {e}");
-        exit(1);
+        exit(e.exit_code());
     }
 }
 
-type CmdResult = Result<(), String>;
+type CmdResult = Result<(), CliError>;
 
 /// Pull the value following a `--flag`, if present.
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -44,44 +47,113 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
-fn required(args: &[String], flag: &str) -> Result<String, String> {
-    flag_value(args, flag).ok_or_else(|| format!("missing required {flag} FILE"))
+fn required(args: &[String], flag: &str) -> Result<String, CliError> {
+    flag_value(args, flag).ok_or_else(|| CliError::Usage(format!("missing required {flag} FILE")))
 }
 
-fn read(path: &str) -> Result<String, String> {
-    fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+fn read(path: &str) -> Result<String, CliError> {
+    fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))
 }
 
-fn write(path: &PathBuf, content: &str) -> Result<(), String> {
+fn write(path: &PathBuf, content: &str) -> Result<(), CliError> {
     if let Some(parent) = path.parent() {
-        fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
+        fs::create_dir_all(parent)
+            .map_err(|e| CliError::Io(format!("{}: {e}", parent.display())))?;
     }
-    fs::write(path, content).map_err(|e| format!("{}: {e}", path.display()))
+    fs::write(path, content).map_err(|e| CliError::Io(format!("{}: {e}", path.display())))
 }
 
 fn load_datasets(
     args: &[String],
-) -> Result<(cdnsim::BeaconDataset, cdnsim::DemandDataset), String> {
+) -> Result<(cdnsim::BeaconDataset, cdnsim::DemandDataset), CliError> {
     let beacons = io::parse_beacons(&read(&required(args, "--beacons")?)?)
-        .map_err(|e| format!("beacons: {e}"))?;
+        .map_err(|e| CliError::Data(format!("beacons: {e}")))?;
     let demand = io::parse_demand(&read(&required(args, "--demand")?)?)
-        .map_err(|e| format!("demand: {e}"))?;
+        .map_err(|e| CliError::Data(format!("demand: {e}")))?;
     Ok((beacons, demand))
 }
 
-/// `synth`: generate a world and write its observable datasets as CSVs.
-fn synth(args: &[String]) -> CmdResult {
+/// Apply the shared `--threads` knob: flag beats `CELLSPOT_THREADS`
+/// beats rayon's auto width. Every subcommand accepts it; results never
+/// depend on the resolved width.
+fn setup_threads(args: &[String]) -> Result<(), CliError> {
+    let flag = match flag_value(args, "--threads") {
+        Some(v) => Some(v.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
+            CliError::Usage("bad --threads (expected a positive integer)".into())
+        })?),
+        None => None,
+    };
+    let choice = cellspot::resolve_threads(flag);
+    if let Some(n) = cellspot::configure_threads(choice) {
+        eprintln!("thread pool pinned to {n} (from {})", choice.source());
+    }
+    Ok(())
+}
+
+/// Parse the shared `--metrics FILE [--metrics-format json|prometheus]`
+/// knobs. `--metrics-format` without `--metrics` is a usage error.
+fn parse_metrics(args: &[String]) -> Result<Option<(PathBuf, ExportFormat)>, CliError> {
+    let path = flag_value(args, "--metrics");
+    let format = flag_value(args, "--metrics-format");
+    match (path, format) {
+        (Some(p), f) => {
+            let fmt = match f {
+                Some(f) => ExportFormat::from_str(&f).map_err(CliError::Usage)?,
+                None => ExportFormat::Json,
+            };
+            Ok(Some((PathBuf::from(p), fmt)))
+        }
+        (None, Some(_)) => Err(CliError::Usage(
+            "--metrics-format needs --metrics FILE".into(),
+        )),
+        (None, None) => Ok(None),
+    }
+}
+
+/// An observer wired to the `--metrics` knobs: enabled only when an
+/// export was requested (a disabled observer is near-zero cost).
+fn observer_for(metrics: &Option<(PathBuf, ExportFormat)>) -> Observer {
+    if metrics.is_some() {
+        Observer::enabled()
+    } else {
+        Observer::disabled()
+    }
+}
+
+/// Render and write the metrics export, if one was requested.
+fn write_metrics(metrics: &Option<(PathBuf, ExportFormat)>, obs: &Observer) -> CmdResult {
+    if let Some((path, format)) = metrics {
+        write(path, &format.render(&obs.snapshot()))?;
+        eprintln!("metrics ({format}) → {}", path.display());
+    }
+    Ok(())
+}
+
+fn world_config(args: &[String]) -> Result<(String, worldgen::WorldConfig), CliError> {
     let scale = flag_value(args, "--scale").unwrap_or_else(|| "demo".into());
-    let out = PathBuf::from(flag_value(args, "--out").unwrap_or_else(|| "data".into()));
     let mut config = match scale.as_str() {
         "mini" => worldgen::WorldConfig::mini(),
         "demo" => worldgen::WorldConfig::demo(),
         "paper" => worldgen::WorldConfig::paper(),
-        other => return Err(format!("unknown scale {other:?} (mini|demo|paper)")),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown scale {other:?} (mini|demo|paper)"
+            )))
+        }
     };
     if let Some(seed) = flag_value(args, "--seed") {
-        config.seed = seed.parse().map_err(|_| "bad --seed value".to_string())?;
+        config.seed = seed
+            .parse()
+            .map_err(|_| CliError::Usage("bad --seed value".into()))?;
     }
+    Ok((scale, config))
+}
+
+/// `synth`: generate a world and write its observable datasets as CSVs.
+fn synth(args: &[String]) -> CmdResult {
+    setup_threads(args)?;
+    let (scale, config) = world_config(args)?;
+    let out = PathBuf::from(flag_value(args, "--out").unwrap_or_else(|| "data".into()));
     let min_hits = config.scaled_min_beacon_hits();
     eprintln!("generating {scale} world (seed {:#x}) …", config.seed);
     let world = worldgen::World::generate(config);
@@ -119,58 +191,55 @@ fn synth(args: &[String]) -> CmdResult {
 /// `stream`: run the streaming ingest engine over the built-in world's
 /// event stream, with optional per-epoch checkpointing and resume.
 fn stream(args: &[String]) -> CmdResult {
-    let scale = flag_value(args, "--scale").unwrap_or_else(|| "demo".into());
-    let mut config = match scale.as_str() {
-        "mini" => worldgen::WorldConfig::mini(),
-        "demo" => worldgen::WorldConfig::demo(),
-        "paper" => worldgen::WorldConfig::paper(),
-        other => return Err(format!("unknown scale {other:?} (mini|demo|paper)")),
-    };
-    if let Some(seed) = flag_value(args, "--seed") {
-        config.seed = seed.parse().map_err(|_| "bad --seed value".to_string())?;
-    }
+    setup_threads(args)?;
+    let (scale, config) = world_config(args)?;
     let epochs: u32 = flag_value(args, "--epochs")
         .map(|v| v.parse())
         .transpose()
-        .map_err(|_| "bad --epochs")?
+        .map_err(|_| CliError::Usage("bad --epochs".into()))?
         .unwrap_or(8);
     let shards: u32 = flag_value(args, "--shards")
         .map(|v| v.parse())
         .transpose()
-        .map_err(|_| "bad --shards")?
+        .map_err(|_| CliError::Usage("bad --shards".into()))?
         .unwrap_or(4);
     if epochs == 0 || shards == 0 {
-        return Err("--epochs and --shards must be at least 1".into());
+        return Err(CliError::Usage(
+            "--epochs and --shards must be at least 1".into(),
+        ));
     }
     let stop_after: Option<u32> = flag_value(args, "--stop-after-epoch")
         .map(|v| v.parse())
         .transpose()
-        .map_err(|_| "bad --stop-after-epoch")?;
+        .map_err(|_| CliError::Usage("bad --stop-after-epoch".into()))?;
     let threshold = match flag_value(args, "--threshold") {
         Some(t) => Some(
             t.parse::<f64>()
                 .ok()
                 .filter(|t| (0.0..=1.0).contains(t))
-                .ok_or("bad --threshold (expected 0..1)")?,
+                .ok_or_else(|| CliError::Usage("bad --threshold (expected 0..1)".into()))?,
         ),
         None => None,
     };
     let retain: usize = flag_value(args, "--retain")
         .map(|v| v.parse())
         .transpose()
-        .map_err(|_| "bad --retain")?
+        .map_err(|_| CliError::Usage("bad --retain".into()))?
         .unwrap_or(cellstream::DEFAULT_RETAIN);
     if retain == 0 {
-        return Err("--retain must be at least 1".into());
+        return Err(CliError::Usage("--retain must be at least 1".into()));
     }
-    let ckpt_store = flag_value(args, "--checkpoint")
-        .map(|d| cellstream::CheckpointStore::new(PathBuf::from(d), retain));
+    let metrics = parse_metrics(args)?;
+    let obs = observer_for(&metrics);
+    let ckpt_store = flag_value(args, "--checkpoint").map(|d| {
+        cellstream::CheckpointStore::new(PathBuf::from(d), retain).with_observer(obs.clone())
+    });
     let fault_plan = flag_value(args, "--fault-plan");
     let resume = args.iter().any(|a| a == "--resume");
     let out_dir = flag_value(args, "--out").map(PathBuf::from);
 
     eprintln!("generating {scale} world (seed {:#x}) …", config.seed);
-    let world = worldgen::World::generate(config);
+    let world = worldgen::World::generate_with(config, &obs);
     let dns = dnssim::generate_dns(&world);
     let resolvers = cellstream::ResolverMap::from_dns(&dns);
     let stream_cfg = cellstream::StreamConfig {
@@ -183,19 +252,25 @@ fn stream(args: &[String]) -> CmdResult {
         // failures, recovering through the checkpoint store.
         let store = ckpt_store
             .as_ref()
-            .ok_or("--fault-plan needs --checkpoint DIR")?;
+            .ok_or_else(|| CliError::Usage("--fault-plan needs --checkpoint DIR".into()))?;
         if stop_after.is_some() {
-            return Err("--fault-plan runs the full stream; drop --stop-after-epoch".into());
+            return Err(CliError::Usage(
+                "--fault-plan runs the full stream; drop --stop-after-epoch".into(),
+            ));
         }
         let plan = cellstream::FaultPlan::read_from(Path::new(&plan_path))
-            .map_err(|e| format!("{plan_path}: {e}"))?;
+            .map_err(|e| CliError::Data(format!("{plan_path}: {e}")))?;
         let injector = Arc::new(cellstream::FaultInjector::new(plan));
         let gate: Arc<dyn cdnsim::EpochGate> = injector.clone();
         let source =
             cdnsim::EventSource::new(&world, cdnsim::CdnConfig::default(), epochs).with_gate(gate);
-        let (engine, report) =
-            cellstream::run_chaos(&source, stream_cfg, &resolvers, store, &injector, 32)
-                .map_err(|e| e.to_string())?;
+        let mut span = obs.span("ingest");
+        let (engine, report) = cellstream::run_chaos_observed(
+            &source, stream_cfg, &resolvers, store, &injector, 32, &obs,
+        )
+        .map_err(cellstream::StreamError::from)?;
+        span.set_items(engine.events_seen());
+        drop(span);
         for line in &report.log {
             eprintln!("chaos: {line}");
         }
@@ -210,7 +285,8 @@ fn stream(args: &[String]) -> CmdResult {
         );
         let outputs = engine.finalize();
         write_stream_outputs(&out_dir, &outputs)?;
-        print!("{}", commands::stream_summary(&outputs, threshold));
+        print!("{}", commands::stream_summary(&outputs, threshold)?);
+        write_metrics(&metrics, &obs)?;
         return Ok(());
     }
 
@@ -219,25 +295,25 @@ fn stream(args: &[String]) -> CmdResult {
     let mut engine = if resume {
         let store = ckpt_store
             .as_ref()
-            .ok_or("--resume needs --checkpoint DIR")?;
+            .ok_or_else(|| CliError::Usage("--resume needs --checkpoint DIR".into()))?;
         let rec = store
             .load_latest_good()
-            .map_err(|e| format!("{}: {e}", store.dir().display()))?;
+            .map_err(|e| CliError::Io(format!("{}: {e}", store.dir().display())))?;
         for (path, why) in &rec.skipped {
             eprintln!(
                 "warning: skipping corrupt checkpoint {}: {why}",
                 path.display()
             );
         }
-        let (snap, path) = rec
-            .snapshot
-            .ok_or_else(|| format!("no usable checkpoint in {}", store.dir().display()))?;
+        let (snap, path) = rec.snapshot.ok_or_else(|| {
+            CliError::Data(format!("no usable checkpoint in {}", store.dir().display()))
+        })?;
         if snap.epochs_total != epochs || snap.config.shards != shards {
-            return Err(format!(
+            return Err(CliError::Usage(format!(
                 "checkpoint layout mismatch: {} epochs / {} shards on disk vs \
                  {epochs} / {shards} requested",
                 snap.epochs_total, snap.config.shards
-            ));
+            )));
         }
         eprintln!(
             "resuming at epoch {}/{} from {}",
@@ -245,20 +321,23 @@ fn stream(args: &[String]) -> CmdResult {
             snap.epochs_total,
             path.display()
         );
-        cellstream::IngestEngine::try_restore(&snap, resolvers).map_err(|e| e.to_string())?
+        cellstream::IngestEngine::try_restore(&snap, resolvers)
+            .map_err(cellstream::StreamError::from)?
     } else {
         cellstream::IngestEngine::try_for_source(stream_cfg, &source, resolvers)
-            .map_err(|e| e.to_string())?
-    };
+            .map_err(cellstream::StreamError::from)?
+    }
+    .with_observer(obs.clone());
 
     let wants_more = |done: u32| match stop_after {
         Some(k) => done < k,
         None => true,
     };
+    let mut span = obs.span("ingest");
     while !engine.finished() && wants_more(engine.epochs_done()) {
         let e = engine
             .try_ingest_epoch(&source, None)
-            .map_err(|e| e.to_string())?;
+            .map_err(cellstream::StreamError::from)?;
         eprintln!(
             "epoch {}/{epochs}: {} events folded, ~{} KiB live state",
             e + 1,
@@ -268,19 +347,23 @@ fn stream(args: &[String]) -> CmdResult {
         if let Some(store) = &ckpt_store {
             store
                 .save(&engine.snapshot())
-                .map_err(|e| format!("{}: {e}", store.dir().display()))?;
+                .map_err(|e| CliError::Io(format!("{}: {e}", store.dir().display())))?;
         }
     }
+    span.set_items(engine.events_seen());
+    drop(span);
     if !engine.finished() {
         eprintln!(
             "stopped after epoch {} of {epochs}; continue with --resume --checkpoint DIR",
             engine.epochs_done()
         );
+        write_metrics(&metrics, &obs)?;
         return Ok(());
     }
     let outputs = engine.finalize();
     write_stream_outputs(&out_dir, &outputs)?;
-    print!("{}", commands::stream_summary(&outputs, threshold));
+    print!("{}", commands::stream_summary(&outputs, threshold)?);
+    write_metrics(&metrics, &obs)?;
     Ok(())
 }
 
@@ -305,17 +388,20 @@ fn write_stream_outputs(
 
 /// `classify`: beacons + demand → cellular block CSV.
 fn classify(args: &[String]) -> CmdResult {
+    setup_threads(args)?;
     let (beacons, demand) = load_datasets(args)?;
     let threshold = match flag_value(args, "--threshold") {
         Some(t) => Some(
             t.parse::<f64>()
                 .ok()
                 .filter(|t| (0.0..=1.0).contains(t))
-                .ok_or("bad --threshold (expected 0..1)")?,
+                .ok_or_else(|| CliError::Usage("bad --threshold (expected 0..1)".into()))?,
         ),
         None => None,
     };
-    let (csv, n) = commands::classify(&beacons, &demand, threshold)?;
+    let metrics = parse_metrics(args)?;
+    let obs = observer_for(&metrics);
+    let (csv, n) = commands::classify(&beacons, &demand, threshold, &obs)?;
     match flag_value(args, "--out") {
         Some(path) => {
             write(&PathBuf::from(&path), &csv)?;
@@ -323,23 +409,25 @@ fn classify(args: &[String]) -> CmdResult {
         }
         None => print!("{csv}"),
     }
+    write_metrics(&metrics, &obs)?;
     Ok(())
 }
 
 /// `identify-as`: the §5 AS pipeline.
 fn identify_as(args: &[String]) -> CmdResult {
+    setup_threads(args)?;
     let (beacons, demand) = load_datasets(args)?;
-    let as_db =
-        io::parse_asdb(&read(&required(args, "--asdb")?)?).map_err(|e| format!("asdb: {e}"))?;
+    let as_db = io::parse_asdb(&read(&required(args, "--asdb")?)?)
+        .map_err(|e| CliError::Data(format!("asdb: {e}")))?;
     let min_du: f64 = flag_value(args, "--min-du")
         .map(|v| v.parse())
         .transpose()
-        .map_err(|_| "bad --min-du")?
+        .map_err(|_| CliError::Usage("bad --min-du".into()))?
         .unwrap_or(0.1);
     let min_hits: f64 = flag_value(args, "--min-hits")
         .map(|v| v.parse())
         .transpose()
-        .map_err(|_| "bad --min-hits")?
+        .map_err(|_| CliError::Usage("bad --min-hits".into()))?
         .unwrap_or(300.0);
     let (csv, report) = commands::identify_as(&beacons, &demand, &as_db, min_du, min_hits);
     eprint!("{report}");
@@ -352,10 +440,11 @@ fn identify_as(args: &[String]) -> CmdResult {
 
 /// `validate`: score against a ground-truth CSV.
 fn validate(args: &[String]) -> CmdResult {
+    setup_threads(args)?;
     let (beacons, demand) = load_datasets(args)?;
     let gt_path = required(args, "--ground-truth")?;
     let gt = io::parse_ground_truth("ground truth", &read(&gt_path)?)
-        .map_err(|e| format!("ground truth: {e}"))?;
+        .map_err(|e| CliError::Data(format!("ground truth: {e}")))?;
     let sweep = if args.iter().any(|a| a == "--sweep") {
         50
     } else {
@@ -367,9 +456,10 @@ fn validate(args: &[String]) -> CmdResult {
 
 /// `stats`: the geographic rollup.
 fn stats(args: &[String]) -> CmdResult {
+    setup_threads(args)?;
     let (beacons, demand) = load_datasets(args)?;
-    let as_db =
-        io::parse_asdb(&read(&required(args, "--asdb")?)?).map_err(|e| format!("asdb: {e}"))?;
+    let as_db = io::parse_asdb(&read(&required(args, "--asdb")?)?)
+        .map_err(|e| CliError::Data(format!("asdb: {e}")))?;
     print!("{}", commands::stats(&beacons, &demand, &as_db));
     Ok(())
 }
@@ -391,6 +481,12 @@ fn usage(err: &str) -> ! {
            validate    --beacons F --demand F --ground-truth F [--sweep]\n\
            stats       --beacons F --demand F --asdb F\n\
          \n\
+         global flags:\n\
+           --threads N                 pin the rayon pool (flag > CELLSPOT_THREADS > auto)\n\
+           --metrics FILE              export observability metrics (classify, stream)\n\
+           --metrics-format json|prometheus   export format (default json)\n\
+         \n\
+         exit codes: 2 usage, 3 I/O, 4 bad data, 5 pipeline, 6 streaming\n\
          CSV formats: see crates/cli/src/io.rs docs."
     );
     exit(if err.is_empty() { 0 } else { 2 });

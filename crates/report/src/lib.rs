@@ -64,7 +64,7 @@ pub fn ablation_artifacts(study: &Study, as_db: &AsDatabase) -> Vec<Artifact> {
 mod tests {
     use super::*;
     use cdnsim::generate_datasets;
-    use cellspot::{run_study, StudyConfig};
+    use cellspot::{Pipeline, StudyConfig};
     use worldgen::{World, WorldConfig};
 
     #[test]
@@ -74,14 +74,14 @@ mod tests {
         let world = World::generate(wcfg);
         let (beacons, demand) = generate_datasets(&world);
         let dns = dnssim::generate_dns(&world);
-        let study = run_study(
-            &beacons,
-            &demand,
-            &world.as_db,
-            &world.carriers,
-            Some(&dns),
-            StudyConfig::default().with_min_hits(min_hits),
-        );
+        let study = Pipeline::new(&beacons, &demand)
+            .as_db(&world.as_db)
+            .carriers(&world.carriers)
+            .dns(&dns)
+            .study_config(StudyConfig::default().with_min_hits(min_hits))
+            .run()
+            .expect("default study config is valid")
+            .into_study();
         let artifacts = all_artifacts(&study, &world.as_db, &dns);
         assert_eq!(artifacts.len(), 20, "every table and figure is covered");
         let mut ids: Vec<&str> = artifacts.iter().map(|a| a.id).collect();

@@ -40,18 +40,50 @@ impl World {
     /// Panics if the configuration fails [`WorldConfig::validate`] — a
     /// nonsense config is a programming error, not a runtime condition.
     pub fn generate(config: WorldConfig) -> World {
+        World::generate_with(config, &cellobs::Observer::disabled())
+    }
+
+    /// [`World::generate`] with observability: each construction step
+    /// runs under a span (`worldgen/<step>`), and block/operator counts
+    /// land in counters. The world — and therefore every counter — is a
+    /// pure function of the config, identical across thread counts.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`WorldConfig::validate`], like
+    /// [`World::generate`].
+    pub fn generate_with(config: WorldConfig, obs: &cellobs::Observer) -> World {
         config
             .validate()
             .unwrap_or_else(|e| panic!("invalid WorldConfig: {e}"));
+        let mut root = obs.span("worldgen");
         let countries = build_countries();
-        let operators = generate_operators(&config, &countries);
-        let blocks = generate_blocks(&config, &operators);
+        let operators = {
+            let mut span = obs.span("operators");
+            let ops = generate_operators(&config, &countries);
+            span.set_items(ops.ops.len() as u64);
+            ops
+        };
+        let blocks = {
+            let mut span = obs.span("blocks");
+            let blocks = generate_blocks(&config, &operators);
+            span.set_items(blocks.records.len() as u64);
+            blocks
+        };
         let as_db = build_as_db(&config, &operators);
         let carriers = if config.with_carriers {
             build_carriers(&operators, &blocks.spans)
         } else {
             Vec::new()
         };
+        root.set_items(blocks.records.len() as u64);
+        drop(root);
+        if obs.is_enabled() {
+            obs.counter("worldgen.operators")
+                .add(operators.ops.len() as u64);
+            obs.counter("worldgen.blocks")
+                .add(blocks.records.len() as u64);
+            obs.counter("worldgen.carriers").add(carriers.len() as u64);
+        }
         let op_index = operators
             .ops
             .iter()

@@ -6,44 +6,38 @@
 //! cargo run --release --example dns_study
 //! ```
 
-use cellspotting::cdnsim::generate_datasets;
-use cellspotting::cellspot::{run_study, StudyConfig};
-use cellspotting::dnssim::{generate_dns, ResolverKind};
+use cellspotting::dnssim::ResolverKind;
 use cellspotting::report::experiments as exp;
-use cellspotting::worldgen::{World, WorldConfig};
+use cellspotting::worldgen::WorldConfig;
+use cellspotting::Pipeline;
 
 fn main() {
-    let config = WorldConfig::demo();
-    let min_hits = config.scaled_min_beacon_hits();
-    let world = World::generate(config);
-    let (beacons, demand) = generate_datasets(&world);
-    let dns = generate_dns(&world);
+    let report = Pipeline::new(WorldConfig::demo())
+        .run()
+        .expect("default config is valid");
+    let world = &report.world;
+    let dns = report
+        .dns
+        .as_ref()
+        .expect("pipeline includes DNS by default");
     println!(
         "resolver population: {} resolvers, {} client-block affinities",
         dns.resolvers.len(),
         dns.affinities.len()
     );
+    let study = &report.study;
 
-    let study = run_study(
-        &beacons,
-        &demand,
-        &world.as_db,
-        &world.carriers,
-        Some(&dns),
-        StudyConfig::default().with_min_hits(min_hits),
-    );
-
-    println!("{}", exp::fig9_resolver_sharing(&study, &dns).render());
+    println!("{}", exp::fig9_resolver_sharing(study, dns).render());
     println!(
         "{}",
-        exp::fig10_public_dns(&study, &dns, &world.as_db).render()
+        exp::fig10_public_dns(study, dns, &world.as_db).render()
     );
 
     // The paper's Brazilian example: shared resolvers whose cellular
     // clients are 1,470 miles away while fixed clients sit nearby.
     let analysis = study.dns.as_ref().expect("study ran with DNS data");
     let mixed = study.mixed.mixed_asns();
-    let distant = analysis.distant_shared_resolvers(&dns, &mixed, 5.0);
+    let distant = analysis.distant_shared_resolvers(dns, &mixed, 5.0);
     println!("-- distant shared resolvers (≥5x farther from cellular clients) --");
     for id in distant.iter().take(5) {
         let r = dns.resolver(*id);

@@ -6,11 +6,10 @@
 //! cargo run --release --example global_census [-- demo|paper|mini]
 //! ```
 
-use cellspotting::cdnsim::generate_datasets;
-use cellspotting::cellspot::{run_study, StudyConfig};
 use cellspotting::netaddr::CONTINENTS;
 use cellspotting::report::experiments as exp;
-use cellspotting::worldgen::{World, WorldConfig};
+use cellspotting::worldgen::WorldConfig;
+use cellspotting::Pipeline;
 
 fn main() {
     let scale = std::env::args().nth(1).unwrap_or_else(|| "demo".into());
@@ -19,25 +18,20 @@ fn main() {
         "paper" => WorldConfig::paper(),
         _ => WorldConfig::demo(),
     };
-    let min_hits = config.scaled_min_beacon_hits();
 
     eprintln!("generating {scale} world …");
-    let world = World::generate(config);
-    let (beacons, demand) = generate_datasets(&world);
-    let study = run_study(
-        &beacons,
-        &demand,
-        &world.as_db,
-        &world.carriers,
-        None,
-        StudyConfig::default().with_min_hits(min_hits),
-    );
+    let report = Pipeline::new(config)
+        .without_dns()
+        .run()
+        .expect("default config is valid");
+    let world = &report.world;
+    let study = &report.study;
 
     for artifact in [
-        exp::table4_subnets(&study),
-        exp::table5_filters(&study),
-        exp::table6_cellular_ases(&study, &world.as_db),
-        exp::table8_continent_demand(&study),
+        exp::table4_subnets(study),
+        exp::table5_filters(study),
+        exp::table6_cellular_ases(study, &world.as_db),
+        exp::table8_continent_demand(study),
     ] {
         println!("{}", artifact.render());
     }

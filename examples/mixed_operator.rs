@@ -6,26 +6,20 @@
 //! cargo run --release --example mixed_operator
 //! ```
 
-use cellspotting::cdnsim::generate_datasets;
-use cellspotting::cellspot::{run_study, AsRatioBreakdown, StudyConfig, SubnetDemandProfile};
+use cellspotting::cellspot::{AsRatioBreakdown, SubnetDemandProfile};
 use cellspotting::report::experiments::select_showcases;
-use cellspotting::worldgen::{World, WorldConfig};
+use cellspotting::worldgen::WorldConfig;
+use cellspotting::Pipeline;
 
 fn main() {
-    let config = WorldConfig::demo();
-    let min_hits = config.scaled_min_beacon_hits();
-    let world = World::generate(config);
-    let (beacons, demand) = generate_datasets(&world);
-    let study = run_study(
-        &beacons,
-        &demand,
-        &world.as_db,
-        &world.carriers,
-        None,
-        StudyConfig::default().with_min_hits(min_hits),
-    );
+    let report = Pipeline::new(WorldConfig::demo())
+        .without_dns()
+        .run()
+        .expect("default config is valid");
+    let world = &report.world;
+    let study = &report.study;
 
-    let (dedicated, mixed) = select_showcases(&study, &world.as_db);
+    let (dedicated, mixed) = select_showcases(study, &world.as_db);
 
     for (label, asn) in [("dedicated US", dedicated), ("mixed EU", mixed)] {
         let Some(asn) = asn else {

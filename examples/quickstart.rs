@@ -6,42 +6,31 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use cellspotting::cdnsim::generate_datasets;
-use cellspotting::cellspot::{run_study, StudyConfig};
-use cellspotting::worldgen::{World, WorldConfig};
+use cellspotting::worldgen::WorldConfig;
+use cellspotting::Pipeline;
 
 fn main() {
-    // 1. A synthetic Internet, ~1/50th of the paper's magnitudes. Every
-    //    random quantity derives from the seed, so runs are reproducible.
-    let config = WorldConfig::demo().with_seed(42);
-    let min_hits = config.scaled_min_beacon_hits();
-    let world = World::generate(config);
-    let truth = world.summary();
+    // 1–3. One builder call: a synthetic Internet (~1/50th of the
+    //    paper's magnitudes, reproducible from the seed), the CDN's
+    //    BEACON/DEMAND view of it, and the paper's methodology end to
+    //    end. `without_dns` skips the §6.3 resolver analyses.
+    let report = Pipeline::new(WorldConfig::demo().with_seed(42))
+        .without_dns()
+        .run()
+        .expect("default config is valid");
+    let truth = report.world.summary();
     println!(
         "world: {} ASes ({} genuinely cellular), {} active /24 blocks, {} /48 blocks",
         truth.operators, truth.true_cellular_ases, truth.blocks24, truth.blocks48
     );
-
-    // 2. The CDN's view: one month of RUM beacons with Network
-    //    Information API labels, one smoothed week of request demand.
-    let (beacons, demand) = generate_datasets(&world);
     println!(
         "BEACON: {} blocks / {} NetInfo hits; DEMAND: {} blocks / {:.0} DU",
-        beacons.len(),
-        beacons.netinfo_hits_total(),
-        demand.len(),
-        demand.total_du()
+        report.beacons.len(),
+        report.beacons.netinfo_hits_total(),
+        report.demand.len(),
+        report.demand.total_du()
     );
-
-    // 3. The paper's methodology, end to end.
-    let study = run_study(
-        &beacons,
-        &demand,
-        &world.as_db,
-        &world.carriers,
-        None,
-        StudyConfig::default().with_min_hits(min_hits),
-    );
+    let study = &report.study;
 
     // 4. Headline findings (§1's summary list).
     let (cell24, cell48) = study.classification.block_counts();

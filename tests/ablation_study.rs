@@ -3,7 +3,7 @@
 
 use cellspotting::cdnsim::generate_datasets;
 use cellspotting::cellspot::{
-    asn_level_ablation, granularity_sweep, rule_ablation, run_study, AsnStrategy, FilterConfig,
+    asn_level_ablation, granularity_sweep, rule_ablation, AsnStrategy, FilterConfig, Pipeline,
     StudyConfig,
 };
 use cellspotting::worldgen::{World, WorldConfig};
@@ -16,14 +16,13 @@ fn study() -> (World, cellspotting::cellspot::Study) {
     let min_hits = cfg.scaled_min_beacon_hits();
     let world = World::generate(cfg);
     let (beacons, demand) = generate_datasets(&world);
-    let s = run_study(
-        &beacons,
-        &demand,
-        &world.as_db,
-        &world.carriers,
-        None,
-        StudyConfig::default().with_min_hits(min_hits),
-    );
+    let s = Pipeline::new(&beacons, &demand)
+        .as_db(&world.as_db)
+        .carriers(&world.carriers)
+        .study_config(StudyConfig::default().with_min_hits(min_hits))
+        .run()
+        .expect("default study config is valid")
+        .into_study();
     (world, s)
 }
 

@@ -3,7 +3,7 @@
 //! while preserving every calibrated shape.
 
 use cellspotting::cdnsim::generate_datasets;
-use cellspotting::cellspot::{run_study, StudyConfig};
+use cellspotting::cellspot::{Pipeline, StudyConfig};
 use cellspotting::worldgen::{World, WorldConfig};
 
 #[test]
@@ -39,14 +39,13 @@ fn same_seed_same_classification() {
         let min_hits = cfg.scaled_min_beacon_hits();
         let world = World::generate(cfg);
         let (beacons, demand) = generate_datasets(&world);
-        run_study(
-            &beacons,
-            &demand,
-            &world.as_db,
-            &world.carriers,
-            None,
-            StudyConfig::default().with_min_hits(min_hits),
-        )
+        Pipeline::new(&beacons, &demand)
+            .as_db(&world.as_db)
+            .carriers(&world.carriers)
+            .study_config(StudyConfig::default().with_min_hits(min_hits))
+            .run()
+            .expect("default study config is valid")
+            .into_study()
     };
     let s1 = run();
     let s2 = run();
@@ -63,14 +62,13 @@ fn different_seeds_differ_but_preserve_shape() {
         let min_hits = cfg.scaled_min_beacon_hits();
         let world = World::generate(cfg);
         let (beacons, demand) = generate_datasets(&world);
-        run_study(
-            &beacons,
-            &demand,
-            &world.as_db,
-            &world.carriers,
-            None,
-            StudyConfig::default().with_min_hits(min_hits),
-        )
+        Pipeline::new(&beacons, &demand)
+            .as_db(&world.as_db)
+            .carriers(&world.carriers)
+            .study_config(StudyConfig::default().with_min_hits(min_hits))
+            .run()
+            .expect("default study config is valid")
+            .into_study()
     };
     let s1 = study(1);
     let s2 = study(2);

@@ -3,7 +3,7 @@
 //! wins, by roughly what factor, where the crossovers fall.
 
 use cellspotting::cdnsim::generate_datasets;
-use cellspotting::cellspot::{run_study, Study, StudyConfig};
+use cellspotting::cellspot::{Pipeline, Study, StudyConfig};
 use cellspotting::netaddr::Continent;
 use cellspotting::worldgen::{World, WorldConfig};
 
@@ -13,14 +13,14 @@ fn demo_study() -> (World, Study) {
     let world = World::generate(cfg);
     let (beacons, demand) = generate_datasets(&world);
     let dns = cellspotting::dnssim::generate_dns(&world);
-    let study = run_study(
-        &beacons,
-        &demand,
-        &world.as_db,
-        &world.carriers,
-        Some(&dns),
-        StudyConfig::default().with_min_hits(min_hits),
-    );
+    let study = Pipeline::new(&beacons, &demand)
+        .as_db(&world.as_db)
+        .carriers(&world.carriers)
+        .dns(&dns)
+        .study_config(StudyConfig::default().with_min_hits(min_hits))
+        .run()
+        .expect("default study config is valid")
+        .into_study();
     (world, study)
 }
 

@@ -1,0 +1,307 @@
+//! Observability contract tests: the instrumented pipeline's exported
+//! counters, histograms, and span structure are deterministic functions
+//! of the configuration and input stream — byte-identical across rayon
+//! thread counts and (for counters) shard counts — and both exporters
+//! stay parseable and stable.
+
+use std::collections::BTreeMap;
+
+use cellspotting::cdnsim::{self, CdnConfig, EventSource};
+use cellspotting::cellobs::{ExportFormat, Observer};
+use cellspotting::cellspot::{Pipeline, StudyConfig};
+use cellspotting::cellstream::{IngestEngine, ResolverMap, StreamConfig};
+use cellspotting::worldgen::{World, WorldConfig};
+
+/// The eleven study stages `cellspot::Pipeline::run` reports, in order.
+const STUDY_STAGES: [&str; 11] = [
+    "join",
+    "classify",
+    "ratio_distributions",
+    "validate",
+    "sweep",
+    "aggregate_by_as",
+    "as_filter",
+    "mixed",
+    "ranking",
+    "dns",
+    "world_view",
+];
+
+/// Run the fully instrumented batch pipeline (world → datasets → DNS →
+/// study) inside a private rayon pool of `threads` workers and return
+/// the redacted canonical JSON export.
+fn observed_study_export(threads: usize) -> String {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("local rayon pool")
+        .install(|| {
+            let obs = Observer::enabled();
+            let cfg = WorldConfig::mini().with_seed(0xC0FFEE);
+            let min_hits = cfg.scaled_min_beacon_hits();
+            let world = World::generate_with(cfg, &obs);
+            let (beacons, demand) = cdnsim::generate_datasets_observed(&world, &obs);
+            let dns = cellspotting::dnssim::generate_dns(&world);
+            Pipeline::new(&beacons, &demand)
+                .as_db(&world.as_db)
+                .carriers(&world.carriers)
+                .dns(&dns)
+                .study_config(StudyConfig::default().with_min_hits(min_hits))
+                .observer(obs.clone())
+                .run()
+                .expect("default study config is valid");
+            obs.snapshot().to_canonical_json_redacted()
+        })
+}
+
+/// Stream the mini world's event stream through `shards` shards and
+/// return the observer's snapshot.
+fn observed_stream_snapshot(shards: u32) -> cellspotting::cellobs::ObsSnapshot {
+    let obs = Observer::enabled();
+    let world = World::generate(WorldConfig::mini().with_seed(0xBEEF));
+    let dns = cellspotting::dnssim::generate_dns(&world);
+    let source = EventSource::new(&world, CdnConfig::default(), 4);
+    let mut engine = IngestEngine::for_source(
+        StreamConfig {
+            shards,
+            ..Default::default()
+        },
+        &source,
+        ResolverMap::from_dns(&dns),
+    )
+    .with_observer(obs.clone());
+    engine.run_to_end(&source);
+    obs.snapshot()
+}
+
+/// The acceptance contract: counters and gauges (the whole redacted
+/// export, in fact) are byte-identical whether the pipeline runs on 1
+/// thread or 8.
+#[test]
+fn redacted_export_is_byte_identical_across_thread_counts() {
+    let one = observed_study_export(1);
+    let eight = observed_study_export(8);
+    assert_eq!(
+        one, eight,
+        "redacted observability export must not depend on the rayon thread count"
+    );
+}
+
+/// Two identical runs produce byte-identical redacted exports (the
+/// golden-stability half of the exporter contract).
+#[test]
+fn redacted_export_is_stable_across_runs() {
+    assert_eq!(observed_study_export(2), observed_study_export(2));
+}
+
+/// The JSON export parses with a standard JSON parser and covers every
+/// pipeline stage: a `pipeline.<stage>.items` counter and a
+/// `study/<stage>` span per stage, plus the worldgen and cdnsim
+/// sampling metrics.
+#[test]
+fn json_export_parses_and_covers_every_stage() {
+    let json = observed_study_export(2);
+    let v: serde_json::Value = serde_json::from_str(&json).expect("export is valid JSON");
+    let counters = v["counters"].as_object().expect("counters object");
+    for stage in STUDY_STAGES {
+        assert!(
+            counters.contains_key(&format!("pipeline.{stage}.items")),
+            "missing counter for stage {stage}"
+        );
+    }
+    for key in [
+        "worldgen.blocks",
+        "worldgen.operators",
+        "worldgen.carriers",
+        "cdnsim.beacon.records",
+        "cdnsim.beacon.hits_total",
+        "cdnsim.beacon.netinfo_hits",
+        "cdnsim.demand.records",
+    ] {
+        assert!(counters.contains_key(key), "missing counter {key}");
+        assert!(
+            counters[key].as_u64().expect("u64 counter") > 0,
+            "{key} is zero"
+        );
+    }
+    let spans: Vec<&str> = v["spans"]
+        .as_array()
+        .expect("spans array")
+        .iter()
+        .map(|s| s["path"].as_str().expect("span path"))
+        .collect();
+    assert!(spans.contains(&"worldgen"));
+    assert!(spans.contains(&"study"));
+    for stage in STUDY_STAGES {
+        let path = format!("study/{stage}");
+        assert!(spans.contains(&path.as_str()), "missing span {path}");
+    }
+    assert!(
+        v["histograms"]
+            .as_object()
+            .expect("histograms object")
+            .contains_key("pipeline.join.netinfo_hits_per_block"),
+        "join stage histogram present"
+    );
+}
+
+/// Streaming counters and histograms are functions of the stream alone:
+/// identical at any shard count. (Gauges — peak state bytes — and
+/// checkpoint byte counters legitimately vary with the shard layout and
+/// are excluded from this contract.)
+#[test]
+fn stream_counters_are_shard_count_invariant() {
+    let two = observed_stream_snapshot(2);
+    let seven = observed_stream_snapshot(7);
+    assert_eq!(
+        two.counters, seven.counters,
+        "stream counters must not depend on the shard count"
+    );
+    assert_eq!(
+        two.histograms, seven.histograms,
+        "per-epoch event histogram must not depend on the shard count"
+    );
+    assert!(two.counters["stream.events"] > 0);
+    assert_eq!(two.counters["stream.epochs"], 4);
+    // The gauge exists in both runs even though its value may differ.
+    assert!(two.gauges.contains_key("stream.state_bytes.peak"));
+    assert!(seven.gauges.contains_key("stream.state_bytes.peak"));
+}
+
+/// The Prometheus export is line-parseable, covers the same families,
+/// and is stable across identical runs once wall-clock (`span_millis`)
+/// lines are dropped.
+#[test]
+fn prometheus_export_is_parseable_and_stable() {
+    let render = || {
+        let snap = observed_stream_snapshot(3);
+        ExportFormat::Prometheus.render(&snap)
+    };
+    let text = render();
+    let mut families = BTreeMap::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest.split_once(' ').expect("TYPE name kind");
+            families.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        let (name, value) = line.rsplit_once(' ').expect("sample line is `name value`");
+        assert!(!name.is_empty(), "empty metric name in {line:?}");
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparseable value in {line:?}"
+        );
+    }
+    assert_eq!(
+        families.get("stream_events").map(String::as_str),
+        Some("counter")
+    );
+    assert_eq!(
+        families.get("stream_state_bytes_peak").map(String::as_str),
+        Some("gauge")
+    );
+    assert_eq!(
+        families.get("stream_epoch_events").map(String::as_str),
+        Some("histogram")
+    );
+    let strip_wall_clock = |t: &str| {
+        t.lines()
+            .filter(|l| !l.starts_with("span_millis"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        strip_wall_clock(&text),
+        strip_wall_clock(&render()),
+        "Prometheus export (minus wall clock) must be stable across runs"
+    );
+}
+
+/// Histogram buckets are powers of two with the documented boundaries:
+/// a value lands in the bucket whose upper bound is the smallest power
+/// of two ≥ the value.
+#[test]
+fn histogram_bucket_boundaries_are_powers_of_two() {
+    let obs = Observer::enabled();
+    let h = obs.histogram("h");
+    for v in [1u64, 2, 3, 4, 5, 8, 9, 1 << 40] {
+        h.record(v);
+    }
+    let snap = obs.snapshot();
+    let hist = &snap.histograms["h"];
+    assert_eq!(hist.count, 8);
+    assert_eq!(hist.sum, 1 + 2 + 3 + 4 + 5 + 8 + 9 + (1u64 << 40));
+    // Sparse ascending (bucket_index, count) pairs: 1 → le="1"; 2 →
+    // le="2"; 3,4 → le="4"; 5,8 → le="8"; 9 → le="16"; 2^40 → its own.
+    assert_eq!(
+        hist.buckets,
+        vec![(0, 1), (1, 1), (2, 2), (3, 2), (4, 1), (40, 1)]
+    );
+    // And the Prometheus rendering accumulates them cumulatively.
+    let text = ExportFormat::Prometheus.render(&snap);
+    for (bound, cumulative) in [("1", 1), ("2", 2), ("4", 4), ("8", 6), ("16", 7)] {
+        assert!(
+            text.contains(&format!("h_bucket{{le=\"{bound}\"}} {cumulative}\n")),
+            "missing cumulative bucket le={bound}"
+        );
+    }
+    assert!(text.contains("h_bucket{le=\"+Inf\"} 8\n"));
+}
+
+/// A disabled observer records nothing — the near-zero-cost default.
+#[test]
+fn disabled_observer_records_nothing() {
+    let obs = Observer::disabled();
+    let world = World::generate_with(WorldConfig::mini(), &obs);
+    let (beacons, demand) = cdnsim::generate_datasets_observed(&world, &obs);
+    Pipeline::new(&beacons, &demand)
+        .observer(obs.clone())
+        .run()
+        .expect("default study config is valid");
+    let snap = obs.snapshot();
+    assert!(snap.counters.is_empty());
+    assert!(snap.gauges.is_empty());
+    assert!(snap.histograms.is_empty());
+    assert!(snap.spans.is_empty());
+}
+
+/// The deprecated free-function entry points still work and agree with
+/// the builder they forward to.
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_match_the_builder() {
+    let world = World::generate(WorldConfig::mini());
+    let (beacons, demand) = cdnsim::generate_datasets(&world);
+    let min_hits = world.config.scaled_min_beacon_hits();
+    let cfg = StudyConfig::default().with_min_hits(min_hits);
+
+    let old = cellspotting::cellspot::run_study(
+        &beacons,
+        &demand,
+        &world.as_db,
+        &world.carriers,
+        None,
+        cfg.clone(),
+    );
+    let new = Pipeline::new(&beacons, &demand)
+        .as_db(&world.as_db)
+        .carriers(&world.carriers)
+        .study_config(cfg)
+        .run()
+        .expect("default study config is valid")
+        .into_study();
+    assert_eq!(old.classification.len(), new.classification.len());
+    assert_eq!(old.filter.table5_counts(), new.filter.table5_counts());
+    assert_eq!(
+        old.view.global_cellular_pct().to_bits(),
+        new.view.global_cellular_pct().to_bits()
+    );
+
+    let (old_index, old_class) = cellspotting::cellspot::classify_datasets(&beacons, &demand, 0.5);
+    let (new_index, new_class) = Pipeline::new(&beacons, &demand)
+        .threshold(0.5)
+        .classify()
+        .expect("valid threshold");
+    assert_eq!(old_index.len(), new_index.len());
+    assert_eq!(old_class.len(), new_class.len());
+}

@@ -13,7 +13,7 @@
 use std::collections::HashMap;
 
 use cellspotting::cdnsim::{aggregate_events, generate_datasets, simulate_events, EventSimConfig};
-use cellspotting::cellspot::{run_study, StudyConfig};
+use cellspotting::cellspot::{Pipeline, StudyConfig};
 use cellspotting::worldgen::{World, WorldConfig};
 
 /// Generate a mini world and run the full study, returning the study's
@@ -25,14 +25,14 @@ fn study_json() -> String {
     let world = World::generate(cfg);
     let (beacons, demand) = generate_datasets(&world);
     let dns = cellspotting::dnssim::generate_dns(&world);
-    let study = run_study(
-        &beacons,
-        &demand,
-        &world.as_db,
-        &world.carriers,
-        Some(&dns),
-        StudyConfig::default().with_min_hits(min_hits),
-    );
+    let study = Pipeline::new(&beacons, &demand)
+        .as_db(&world.as_db)
+        .carriers(&world.carriers)
+        .dns(&dns)
+        .study_config(StudyConfig::default().with_min_hits(min_hits))
+        .run()
+        .expect("default study config is valid")
+        .into_study();
     serde_json::to_string(&study).expect("study serializes")
 }
 

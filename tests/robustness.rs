@@ -10,8 +10,7 @@ use cellspotting::cdnsim::{
     BeaconDataset, BeaconRecord, CdnConfig, DemandDataset, DemandRecord, EventSource,
 };
 use cellspotting::cellspot::{
-    run_study, v6_deployment, BlockIndex, Classification, RatioDistributions, StudyConfig,
-    WorldView,
+    v6_deployment, BlockIndex, Classification, Pipeline, RatioDistributions, StudyConfig, WorldView,
 };
 use cellspotting::cellstream::{IngestEngine, IngestError, ResolverMap, Snapshot, StreamConfig};
 use cellspotting::netaddr::{Asn, Block24, BlockId};
@@ -21,14 +20,10 @@ use cellspotting::worldgen::{World, WorldConfig};
 fn empty_datasets_produce_empty_study() {
     let beacons = BeaconDataset::from_records("t", vec![]);
     let demand = DemandDataset::from_raw("t", vec![]);
-    let study = run_study(
-        &beacons,
-        &demand,
-        &AsDatabase::new(),
-        &[],
-        None,
-        StudyConfig::default(),
-    );
+    let study = Pipeline::new(&beacons, &demand)
+        .run()
+        .expect("default study config is valid")
+        .into_study();
     assert_eq!(study.index.len(), 0);
     assert!(study.classification.is_empty());
     assert!(study.filter.candidates.is_empty());
@@ -122,14 +117,11 @@ fn single_block_world() {
             du: 1.0,
         }],
     );
-    let study = run_study(
-        &beacons,
-        &demand,
-        &AsDatabase::new(),
-        &[],
-        None,
-        StudyConfig::default().with_min_hits(1.0),
-    );
+    let study = Pipeline::new(&beacons, &demand)
+        .study_config(StudyConfig::default().with_min_hits(1.0))
+        .run()
+        .expect("valid study config")
+        .into_study();
     // One cellular block, whole world's demand: the single AS is a
     // candidate, passes rules 1-2, and dies at rule 3 (no known class).
     assert_eq!(study.classification.len(), 1);
@@ -166,14 +158,10 @@ fn nan_free_everywhere_on_degenerate_inputs() {
         }],
     );
     let demand = DemandDataset::from_raw("t", vec![]);
-    let study = run_study(
-        &beacons,
-        &demand,
-        &AsDatabase::new(),
-        &[],
-        None,
-        StudyConfig::default(),
-    );
+    let study = Pipeline::new(&beacons, &demand)
+        .run()
+        .expect("default study config is valid")
+        .into_study();
     assert!(study.view.global_cellular_pct().is_finite());
     assert!(study.mixed.mixed_fraction().is_finite());
     assert!(study.ranking.top_share(10).is_finite());

@@ -2,7 +2,7 @@
 //! trip — the formats downstream users would persist and reload.
 
 use cellspotting::cdnsim::{generate_datasets, BeaconDataset, DemandDataset};
-use cellspotting::cellspot::{run_study, BlockIndex, Classification, Study, StudyConfig};
+use cellspotting::cellspot::{BlockIndex, Classification, Pipeline, Study, StudyConfig};
 use cellspotting::worldgen::{World, WorldConfig};
 
 fn mini_world() -> World {
@@ -49,14 +49,13 @@ fn full_study_round_trip() {
     let min_hits = cfg.scaled_min_beacon_hits();
     let world = World::generate(cfg);
     let (beacons, demand) = generate_datasets(&world);
-    let study = run_study(
-        &beacons,
-        &demand,
-        &world.as_db,
-        &world.carriers,
-        None,
-        StudyConfig::default().with_min_hits(min_hits),
-    );
+    let study = Pipeline::new(&beacons, &demand)
+        .as_db(&world.as_db)
+        .carriers(&world.carriers)
+        .study_config(StudyConfig::default().with_min_hits(min_hits))
+        .run()
+        .expect("default study config is valid")
+        .into_study();
     let json = serde_json::to_string(&study).expect("serialize study");
     let back: Study = serde_json::from_str(&json).expect("deserialize study");
     assert_eq!(study.classification.len(), back.classification.len());

@@ -17,7 +17,7 @@ use std::collections::{HashMap, HashSet};
 use cellspotting::cdnsim::{
     generate_datasets, BeaconDataset, CdnConfig, DemandDataset, EventSource, StreamEvent,
 };
-use cellspotting::cellspot::{run_study, StudyConfig};
+use cellspotting::cellspot::{Pipeline, StudyConfig};
 use cellspotting::cellstream::{IngestEngine, ResolverMap, StreamConfig};
 use cellspotting::dnssim::{generate_dns, DnsSim};
 use cellspotting::netaddr::BlockId;
@@ -94,22 +94,22 @@ fn study_over_streamed_snapshot_matches_batch() {
     let (world, dns, beacons, demand) = mini_setup();
     let out = streamed(&world, &dns, 5, 7);
     let cfg = StudyConfig::default().with_min_hits(world.config.scaled_min_beacon_hits());
-    let batch = run_study(
-        &beacons,
-        &demand,
-        &world.as_db,
-        &world.carriers,
-        Some(&dns),
-        cfg.clone(),
-    );
-    let stream = run_study(
-        &out.beacons,
-        &out.demand,
-        &world.as_db,
-        &world.carriers,
-        Some(&dns),
-        cfg,
-    );
+    let batch = Pipeline::new(&beacons, &demand)
+        .as_db(&world.as_db)
+        .carriers(&world.carriers)
+        .dns(&dns)
+        .study_config(cfg.clone())
+        .run()
+        .expect("default study config is valid")
+        .into_study();
+    let stream = Pipeline::new(&out.beacons, &out.demand)
+        .as_db(&world.as_db)
+        .carriers(&world.carriers)
+        .dns(&dns)
+        .study_config(cfg)
+        .run()
+        .expect("default study config is valid")
+        .into_study();
     assert_eq!(
         batch.classification.block_counts(),
         stream.classification.block_counts()
