@@ -1,0 +1,217 @@
+//! `bench_lookup` — frozen-index serving throughput, summarized as
+//! `BENCH_lookup.json`.
+//!
+//! ```text
+//! bench_lookup [--scale mini|demo|paper|<float>] [--seed N] [--lookups N]
+//!              [--threads N] [--out FILE]
+//! ```
+//!
+//! Builds a world, classifies it, freezes the classification into the
+//! sealed serving artifact, then replays a deterministic query mix
+//! (cellular hits at varied depths plus TEST-NET misses) through the
+//! [`cellserve::QueryEngine`] at one thread and at N threads — each in
+//! its own private rayon pool, so the two measurements run in one
+//! process without fighting over the global pool. The record carries:
+//!
+//! * `artifact_bytes` — size of the sealed artifact;
+//! * `single` / `multi` — wall clock and lookups/sec at each width;
+//! * `speedup` — multi ÷ single throughput;
+//! * `stats` — match/cache counters, asserted identical across widths
+//!   (the engine's determinism contract, checked on every bench run).
+//!
+//! CI's bench-smoke step runs this at mini scale and validates the keys.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use bench::config_for_scale;
+use cellserve::{BatchStats, FrozenIndex, IpKey, QueryEngine};
+use cellspot::{aggregate_by_as, MixedAnalysis, Pipeline, DEDICATED_CFD};
+use netaddr::{Asn, BlockId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut scale = "mini".to_string();
+    let mut seed: Option<u64> = None;
+    let mut lookups: usize = 200_000;
+    let mut threads: Option<usize> = None;
+    let mut out = PathBuf::from("BENCH_lookup.json");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing --scale value"))
+            }
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage("missing --seed value"));
+                seed = Some(v.parse().unwrap_or_else(|_| usage("bad --seed value")));
+            }
+            "--lookups" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing --lookups value"));
+                lookups = v.parse().unwrap_or_else(|_| usage("bad --lookups value"));
+            }
+            "--threads" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing --threads value"));
+                threads = Some(v.parse().unwrap_or_else(|_| usage("bad --threads value")));
+            }
+            "--out" => {
+                out = PathBuf::from(args.next().unwrap_or_else(|| usage("missing --out value")))
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    if lookups == 0 {
+        usage("--lookups must be at least 1");
+    }
+    let multi_threads = threads
+        .or_else(|| std::thread::available_parallelism().ok().map(usize::from))
+        .unwrap_or(2)
+        .max(1);
+
+    let mut config = config_for_scale(&scale).unwrap_or_else(|e| usage(&e));
+    if let Some(s) = seed {
+        config.seed = s;
+    }
+    let seed = config.seed;
+
+    // Build → classify → freeze, mirroring `cellspot index build`.
+    eprintln!("building {scale} world (seed {seed:#x}) and freezing its classification …");
+    let world = worldgen::World::generate(config);
+    let (beacons, demand) = cdnsim::generate_datasets(&world);
+    let (index, class) = Pipeline::new(&beacons, &demand)
+        .classify()
+        .expect("generated datasets classify at the default threshold");
+    let aggs = aggregate_by_as(&index, &class);
+    let mut candidates: Vec<Asn> = aggs
+        .iter()
+        .filter(|(_, a)| a.cell_blocks() > 0)
+        .map(|(&asn, _)| asn)
+        .collect();
+    candidates.sort_unstable();
+    let mixed = MixedAnalysis::build(&candidates, &aggs, DEDICATED_CFD);
+    let frozen = FrozenIndex::from_classification(&class, Some(&mixed));
+    let artifact_bytes = cellserve::to_bytes(&frozen).len();
+    let (v4_prefixes, v6_prefixes) = frozen.prefix_counts();
+
+    let queries = query_mix(&class, lookups, seed);
+    eprintln!(
+        "artifact: {v4_prefixes} v4 + {v6_prefixes} v6 prefixes, {artifact_bytes} bytes; \
+         replaying {} queries …",
+        queries.len()
+    );
+
+    let engine = QueryEngine::new(&frozen);
+    let (single_secs, single_stats) = measure(&engine, &queries, 1);
+    let (multi_secs, multi_stats) = measure(&engine, &queries, multi_threads);
+    assert_eq!(
+        single_stats, multi_stats,
+        "lookup stats must not depend on thread count"
+    );
+
+    let n = queries.len() as f64;
+    let single_rate = n / single_secs.max(1e-9);
+    let multi_rate = n / multi_secs.max(1e-9);
+    let record = serde_json::json!({
+        "scale": scale,
+        "seed": seed,
+        "lookups": queries.len(),
+        "artifact_bytes": artifact_bytes,
+        "prefixes": { "v4": v4_prefixes, "v6": v6_prefixes },
+        "single": {
+            "threads": 1,
+            "wall_millis": single_secs * 1e3,
+            "lookups_per_sec": single_rate,
+        },
+        "multi": {
+            "threads": multi_threads,
+            "wall_millis": multi_secs * 1e3,
+            "lookups_per_sec": multi_rate,
+        },
+        "speedup": multi_rate / single_rate.max(1e-9),
+        "stats": {
+            "matched": single_stats.matched,
+            "cache_hits": single_stats.cache_hits,
+            "cache_misses": single_stats.cache_misses,
+        },
+    });
+    fs::write(
+        &out,
+        serde_json::to_string_pretty(&record).expect("serialize benchmark record"),
+    )
+    .expect("write benchmark record");
+    eprintln!(
+        "single {:.0}/s, {multi_threads}-thread {:.0}/s ({:.2}x) → {}",
+        single_rate,
+        multi_rate,
+        multi_rate / single_rate.max(1e-9),
+        out.display()
+    );
+}
+
+/// A deterministic query mix: ~70% addresses inside classified cellular
+/// blocks (varied host offsets, so repeated blocks still exercise the
+/// per-chunk cache) and ~30% TEST-NET / random misses, shuffled by a
+/// seeded RNG so every run of the same scale+seed replays byte-identical
+/// queries.
+fn query_mix(class: &cellspot::Classification, lookups: usize, seed: u64) -> Vec<IpKey> {
+    let mut v4_blocks = Vec::new();
+    let mut v6_blocks = Vec::new();
+    for (block, _) in class.iter() {
+        match block {
+            BlockId::V4(b) => v4_blocks.push(b),
+            BlockId::V6(b) => v6_blocks.push(b),
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xB37C_5E11);
+    let mut queries = Vec::with_capacity(lookups);
+    for _ in 0..lookups {
+        let roll: f64 = rng.gen();
+        if roll < 0.55 && !v4_blocks.is_empty() {
+            let b = v4_blocks[rng.gen_range(0..v4_blocks.len())];
+            queries.push(IpKey::V4(b.addr(rng.gen())));
+        } else if roll < 0.70 && !v6_blocks.is_empty() {
+            let b = v6_blocks[rng.gen_range(0..v6_blocks.len())];
+            queries.push(IpKey::V6(b.addr(rng.gen(), rng.gen())));
+        } else if roll < 0.85 {
+            // TEST-NET-1: never generated, guaranteed miss.
+            queries.push(IpKey::V4(0xC000_0200 | rng.gen_range(0u32..256)));
+        } else {
+            queries.push(IpKey::V4(rng.gen()));
+        }
+    }
+    queries
+}
+
+/// Run the batch once to warm up, then time it in a private pool pinned
+/// to `threads`, returning wall seconds and the (deterministic) stats.
+fn measure(engine: &QueryEngine<'_>, queries: &[IpKey], threads: usize) -> (f64, BatchStats) {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("build rayon pool");
+    pool.install(|| engine.run(queries));
+    let t = Instant::now();
+    let (_, stats) = pool.install(|| engine.run(queries));
+    (t.elapsed().as_secs_f64(), stats)
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: bench_lookup [--scale mini|demo|paper|<float>] [--seed N] [--lookups N]\n\
+         \x20                   [--threads N] [--out FILE]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,358 @@
+//! The batch query engine: rayon fan-out over an IP list with
+//! per-chunk hot-block caches and `cellobs` instrumentation.
+//!
+//! ## Determinism contract
+//!
+//! The batch is split into fixed-size chunks ([`QUERY_CHUNK`]) that
+//! rayon distributes over worker threads; every chunk starts with a
+//! *fresh* direct-mapped hot-block cache. Because chunk boundaries
+//! depend only on the query list — never on the thread count — the
+//! result vector and every counter ([`BatchStats`], and the
+//! `serve.lookups` / `serve.matched` / `serve.cache.hits` /
+//! `serve.cache.misses` observer counters) are identical at any pool
+//! width. Only the `serve.lookup.ns` latency histogram reads the wall
+//! clock and sits outside the contract, like every other duration in
+//! the workspace's observability layer.
+//!
+//! The cache key is the queried address masked to the family's
+//! *longest* served prefix length: two addresses equal under that mask
+//! are equal under every shorter served mask too, so caching the full
+//! longest-prefix-match result under it is sound.
+
+use std::str::FromStr;
+use std::time::Instant;
+
+use cellobs::Observer;
+use netaddr::{fmt_ipv4, fmt_ipv6, Ipv4Net, Ipv6Net};
+use rayon::prelude::*;
+
+use crate::error::ServeError;
+use crate::frozen::{FamilyIndex, FrozenIndex, PrefixKey, ServeLabel};
+
+/// Queries per work unit. Fixed — never derived from the thread count —
+/// so cache resets, and with them the hit/miss counters, depend only on
+/// the data (same rationale as `cellspot`'s aggregation chunking).
+pub const QUERY_CHUNK: usize = 1024;
+
+/// Slots in the per-chunk direct-mapped hot-block cache.
+const CACHE_SLOTS: usize = 256;
+
+/// A parsed query address, one of the two families.
+#[derive(Clone, Copy, Debug, Hash, PartialEq, Eq)]
+pub enum IpKey {
+    /// IPv4 address in host byte order.
+    V4(u32),
+    /// IPv6 address in host byte order.
+    V6(u128),
+}
+
+impl IpKey {
+    /// Parse a textual IPv4 (`203.0.113.5`) or IPv6 (`2001:db8::1`)
+    /// address.
+    ///
+    /// # Errors
+    /// [`ServeError::BadAddress`] when the text parses as neither.
+    pub fn parse(s: &str) -> Result<IpKey, ServeError> {
+        if s.contains(':') {
+            std::net::Ipv6Addr::from_str(s)
+                .map(|a| IpKey::V6(u128::from(a)))
+                .map_err(|_| ServeError::BadAddress(s.to_string()))
+        } else {
+            std::net::Ipv4Addr::from_str(s)
+                .map(|a| IpKey::V4(u32::from(a)))
+                .map_err(|_| ServeError::BadAddress(s.to_string()))
+        }
+    }
+}
+
+impl std::fmt::Display for IpKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IpKey::V4(a) => f.write_str(&fmt_ipv4(*a)),
+            IpKey::V6(a) => f.write_str(&fmt_ipv6(*a)),
+        }
+    }
+}
+
+/// The prefix a lookup matched, tagged by family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MatchedPrefix {
+    /// An IPv4 served prefix.
+    V4(Ipv4Net),
+    /// An IPv6 served prefix.
+    V6(Ipv6Net),
+}
+
+impl std::fmt::Display for MatchedPrefix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatchedPrefix::V4(net) => write!(f, "{net}"),
+            MatchedPrefix::V6(net) => write!(f, "{net}"),
+        }
+    }
+}
+
+/// One successful lookup: the most specific served prefix covering the
+/// queried address, and its label.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LookupMatch {
+    /// The matched prefix.
+    pub prefix: MatchedPrefix,
+    /// Its AS + class label.
+    pub label: ServeLabel,
+}
+
+/// Deterministic batch counters (see the module docs for the
+/// contract). `cache_hits + cache_misses == lookups` always holds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Addresses looked up.
+    pub lookups: u64,
+    /// Lookups that matched a served prefix.
+    pub matched: u64,
+    /// Lookups answered from a chunk's hot-block cache.
+    pub cache_hits: u64,
+    /// Lookups that walked the index (and populated the cache).
+    pub cache_misses: u64,
+}
+
+impl BatchStats {
+    fn absorb(&mut self, other: BatchStats) {
+        self.lookups += other.lookups;
+        self.matched += other.matched;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
+}
+
+/// One cache slot: the longest-mask key it answers for, and the cached
+/// result (`None` result = cached miss).
+type CacheSlot<K> = Option<(K, Option<(u8, u32)>)>;
+
+/// High-throughput lookups over a [`FrozenIndex`].
+pub struct QueryEngine<'a> {
+    index: &'a FrozenIndex,
+    obs: Observer,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// An engine over a loaded index, with a disabled observer.
+    pub fn new(index: &'a FrozenIndex) -> Self {
+        QueryEngine {
+            index,
+            obs: Observer::disabled(),
+        }
+    }
+
+    /// Attach an observer; batches report `serve.*` counters and the
+    /// `serve.lookup.ns` latency histogram into it.
+    pub fn with_observer(mut self, obs: Observer) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Look up a single address (no cache, no instrumentation).
+    pub fn lookup(&self, ip: IpKey) -> Option<LookupMatch> {
+        match ip {
+            IpKey::V4(a) => self.index.lookup_v4(a).map(|(net, label)| LookupMatch {
+                prefix: MatchedPrefix::V4(net),
+                label,
+            }),
+            IpKey::V6(a) => self.index.lookup_v6(a).map(|(net, label)| LookupMatch {
+                prefix: MatchedPrefix::V6(net),
+                label,
+            }),
+        }
+    }
+
+    /// Run a batch: results in query order, plus the deterministic
+    /// counters. Chunks run on the current rayon pool — wrap the call
+    /// in [`rayon::ThreadPool::install`] to pin the width.
+    pub fn run(&self, queries: &[IpKey]) -> (Vec<Option<LookupMatch>>, BatchStats) {
+        let chunks: Vec<(Vec<Option<LookupMatch>>, BatchStats)> = queries
+            .par_chunks(QUERY_CHUNK)
+            .map(|chunk| self.run_chunk(chunk))
+            .collect();
+        let mut results = Vec::with_capacity(queries.len());
+        let mut stats = BatchStats::default();
+        for (r, s) in chunks {
+            results.extend(r);
+            stats.absorb(s);
+        }
+        self.obs.counter("serve.lookups").add(stats.lookups);
+        self.obs.counter("serve.matched").add(stats.matched);
+        self.obs.counter("serve.cache.hits").add(stats.cache_hits);
+        self.obs
+            .counter("serve.cache.misses")
+            .add(stats.cache_misses);
+        (results, stats)
+    }
+
+    fn run_chunk(&self, chunk: &[IpKey]) -> (Vec<Option<LookupMatch>>, BatchStats) {
+        let start = Instant::now();
+        let mut stats = BatchStats::default();
+        let mut v4_cache: Vec<CacheSlot<u32>> = vec![None; CACHE_SLOTS];
+        let mut v6_cache: Vec<CacheSlot<u128>> = vec![None; CACHE_SLOTS];
+        let mut out = Vec::with_capacity(chunk.len());
+        for &ip in chunk {
+            stats.lookups += 1;
+            let hit =
+                match ip {
+                    IpKey::V4(a) => cached_lookup(&self.index.v4, &mut v4_cache, a, &mut stats)
+                        .map(|(len, idx)| LookupMatch {
+                            prefix: MatchedPrefix::V4(
+                                Ipv4Net::new(a, len).expect("level length ≤ 32 by construction"),
+                            ),
+                            label: self.index.label(idx),
+                        }),
+                    IpKey::V6(a) => cached_lookup(&self.index.v6, &mut v6_cache, a, &mut stats)
+                        .map(|(len, idx)| LookupMatch {
+                            prefix: MatchedPrefix::V6(
+                                Ipv6Net::new(a, len).expect("level length ≤ 128 by construction"),
+                            ),
+                            label: self.index.label(idx),
+                        }),
+                };
+            stats.matched += hit.is_some() as u64;
+            out.push(hit);
+        }
+        if self.obs.is_enabled() && !chunk.is_empty() {
+            let per_lookup_ns = start.elapsed().as_nanos() as u64 / chunk.len() as u64;
+            self.obs.histogram("serve.lookup.ns").record(per_lookup_ns);
+        }
+        (out, stats)
+    }
+}
+
+/// Cache-fronted family lookup. Returns `(prefix_len, label_idx)`;
+/// callers rebuild the matched net by re-masking the address, so the
+/// cache never stores per-address data.
+fn cached_lookup<K: PrefixKey>(
+    fam: &FamilyIndex<K>,
+    cache: &mut [CacheSlot<K>],
+    addr: K,
+    stats: &mut BatchStats,
+) -> Option<(u8, u32)> {
+    let Some(top_len) = fam.longest_len() else {
+        // No served prefixes in this family: nothing to cache, every
+        // lookup is a (deterministic) miss.
+        stats.cache_misses += 1;
+        return None;
+    };
+    let key = addr.and(K::mask(top_len));
+    let slot = (key.cache_hash() >> 56) as usize % CACHE_SLOTS;
+    if let Some((cached_key, result)) = cache[slot] {
+        if cached_key == key {
+            stats.cache_hits += 1;
+            return result;
+        }
+    }
+    stats.cache_misses += 1;
+    let result = fam.lookup(addr).map(|(_, len, idx)| (len, idx));
+    cache[slot] = Some((key, result));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frozen::AsClass;
+    use netaddr::Asn;
+
+    fn engine_index() -> FrozenIndex {
+        let mut b = FrozenIndex::builder();
+        let label = |asn: u32| ServeLabel {
+            asn: Asn(asn),
+            class: AsClass::Dedicated,
+        };
+        b.insert_v4("10.0.0.0/8".parse().expect("cidr"), label(1));
+        b.insert_v4("10.1.0.0/16".parse().expect("cidr"), label(2));
+        b.insert_v4("203.0.113.0/24".parse().expect("cidr"), label(3));
+        b.insert_v6("2001:db8::/48".parse().expect("cidr"), label(4));
+        b.build()
+    }
+
+    #[test]
+    fn ip_parsing_and_display_roundtrip() {
+        assert_eq!(
+            IpKey::parse("203.0.113.5").expect("v4"),
+            IpKey::V4(0xCB007105)
+        );
+        assert_eq!(
+            IpKey::parse("2001:db8::1").expect("v6"),
+            IpKey::V6(0x2001_0db8_0000_0000_0000_0000_0000_0001)
+        );
+        assert_eq!(
+            IpKey::parse("203.0.113.5").expect("v4").to_string(),
+            "203.0.113.5"
+        );
+        for bad in ["", "notanip", "10.0.0.256", "2001:zz::1", "10.0.0.1/24"] {
+            assert!(IpKey::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn batch_equals_per_item_lookups() {
+        let index = engine_index();
+        let engine = QueryEngine::new(&index);
+        let queries: Vec<IpKey> = (0..3000u32)
+            .map(|i| IpKey::V4(0x0A000000 + i * 0x1001))
+            .chain((0..64).map(|i| IpKey::V6(0x2001_0db8_0000_0000_0000_0000_0000_0000 + i)))
+            .collect();
+        let (results, stats) = engine.run(&queries);
+        assert_eq!(results.len(), queries.len());
+        for (q, r) in queries.iter().zip(&results) {
+            assert_eq!(*r, engine.lookup(*q), "batch diverges on {q}");
+        }
+        assert_eq!(stats.lookups, queries.len() as u64);
+        assert_eq!(stats.cache_hits + stats.cache_misses, stats.lookups);
+        assert!(stats.matched > 0);
+    }
+
+    #[test]
+    fn repeated_addresses_hit_the_cache() {
+        let index = engine_index();
+        let engine = QueryEngine::new(&index);
+        let queries = vec![IpKey::V4(0xCB007105); 100];
+        let (results, stats) = engine.run(&queries);
+        assert!(results.iter().all(|r| r.is_some()));
+        // One cold miss, 99 hits: all queries share one cache key and
+        // fit in a single chunk.
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_hits, 99);
+    }
+
+    #[test]
+    fn stats_are_reproducible_and_observed() {
+        let index = engine_index();
+        let queries: Vec<IpKey> = (0..5000u32).map(|i| IpKey::V4(i * 77777)).collect();
+        let (r1, s1) = QueryEngine::new(&index).run(&queries);
+        let (r2, s2) = QueryEngine::new(&index).run(&queries);
+        assert_eq!(r1, r2);
+        assert_eq!(s1, s2, "counters must not depend on scheduling");
+
+        let obs = Observer::enabled();
+        let engine = QueryEngine::new(&index).with_observer(obs.clone());
+        let (_, stats) = engine.run(&queries);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counters["serve.lookups"], stats.lookups);
+        assert_eq!(snap.counters["serve.matched"], stats.matched);
+        assert_eq!(snap.counters["serve.cache.hits"], stats.cache_hits);
+        assert_eq!(snap.counters["serve.cache.misses"], stats.cache_misses);
+        assert!(snap.histograms.contains_key("serve.lookup.ns"));
+    }
+
+    #[test]
+    fn empty_batch_and_empty_index_are_fine() {
+        let index = engine_index();
+        let (results, stats) = QueryEngine::new(&index).run(&[]);
+        assert!(results.is_empty());
+        assert_eq!(stats, BatchStats::default());
+
+        let empty = FrozenIndex::builder().build();
+        let queries = [IpKey::V4(1), IpKey::V6(2)];
+        let (results, stats) = QueryEngine::new(&empty).run(&queries);
+        assert!(results.iter().all(|r| r.is_none()));
+        assert_eq!(stats.cache_misses, 2);
+    }
+}

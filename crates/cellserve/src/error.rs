@@ -1,0 +1,49 @@
+//! Error type for artifact decoding and query parsing.
+
+use std::fmt;
+
+/// Why a cellserve operation failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The artifact bytes failed integrity or structural validation:
+    /// bad magic, broken seal (length or CRC-32 mismatch), truncated
+    /// body, or an invariant violation (unsorted keys, out-of-range
+    /// label index, non-canonical prefix key). The string names the
+    /// first check that failed.
+    Corrupt(String),
+    /// The artifact was sealed with a format version this build cannot
+    /// read.
+    UnsupportedVersion(u32),
+    /// A query address failed to parse as IPv4 or IPv6.
+    BadAddress(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Corrupt(why) => write!(f, "corrupt artifact: {why}"),
+            ServeError::UnsupportedVersion(v) => {
+                write!(f, "unsupported artifact version {v}")
+            }
+            ServeError::BadAddress(s) => write!(f, "bad IP address {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        assert!(ServeError::Corrupt("CRC mismatch".into())
+            .to_string()
+            .contains("CRC mismatch"));
+        assert!(ServeError::UnsupportedVersion(7).to_string().contains('7'));
+        assert!(ServeError::BadAddress("nope".into())
+            .to_string()
+            .contains("nope"));
+    }
+}

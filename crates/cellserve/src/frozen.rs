@@ -1,0 +1,572 @@
+//! The immutable lookup structure: flat sorted arrays instead of a
+//! pointer-chasing trie.
+//!
+//! [`FrozenIndex`] holds, per address family, one *level* per distinct
+//! prefix length, ordered longest-first. A level is two parallel flat
+//! arrays: the masked prefix keys, sorted ascending, and the index of
+//! each prefix's label in the shared label table. Longest-prefix match
+//! walks the levels longest-first, masks the queried address to the
+//! level's length, and runs a branch-free binary search over the key
+//! array; the first level that contains the masked key wins — exactly
+//! the semantics of [`netaddr::PrefixTrie`], which the equivalence
+//! property suite in `tests/frozen_props.rs` pins down.
+//!
+//! The layout is cache-friendly where the trie is not: a lookup touches
+//! at most `levels × log2(keys)` contiguous array slots, with no child
+//! pointers to chase and no allocation, and the whole structure
+//! serializes to the sealed artifact format of [`crate::to_bytes`]
+//! without transformation.
+
+use std::collections::{BTreeMap, HashMap};
+
+use cellspot::{Classification, MixedAnalysis};
+use netaddr::{Asn, BlockId, Ipv4Net, Ipv6Net};
+
+/// How the prefix's origin AS serves its traffic (§6 of the paper).
+#[derive(Clone, Copy, Debug, Hash, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AsClass {
+    /// The AS carries (almost) exclusively cellular demand.
+    Dedicated,
+    /// The AS mixes cellular and fixed-line demand.
+    Mixed,
+    /// No mixed/dedicated verdict was available when the artifact was
+    /// built (e.g. the AS fell below the demand floor of the §5 filter).
+    Unknown,
+}
+
+impl std::fmt::Display for AsClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AsClass::Dedicated => "dedicated",
+            AsClass::Mixed => "mixed",
+            AsClass::Unknown => "unknown",
+        })
+    }
+}
+
+/// The label attached to every served prefix: origin AS plus its
+/// mixed/dedicated class. Deduplicated into one table per artifact —
+/// prefixes store a `u32` index into it.
+#[derive(Clone, Copy, Debug, Hash, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ServeLabel {
+    /// Origin AS of the prefix.
+    pub asn: Asn,
+    /// Mixed/dedicated verdict for that AS.
+    pub class: AsClass,
+}
+
+/// A left-aligned prefix key: the integer address type of one family,
+/// with just enough bit arithmetic for masking, serialization, and
+/// cache-slot hashing. Implemented for `u32` (IPv4) and `u128` (IPv6).
+pub(crate) trait PrefixKey: Copy + Ord {
+    /// Family bit width (32 or 128).
+    const BITS: u8;
+    /// Serialized size in bytes (4 or 16).
+    const SIZE: usize;
+    /// Network mask for a prefix length; `mask(0)` is all-zeros and
+    /// `mask(BITS)` is all-ones.
+    fn mask(len: u8) -> Self;
+    /// Bitwise AND.
+    fn and(self, other: Self) -> Self;
+    /// Append the key in little-endian byte order.
+    fn write_le(self, out: &mut Vec<u8>);
+    /// Read a key from exactly [`PrefixKey::SIZE`] little-endian bytes.
+    fn read_le(bytes: &[u8]) -> Self;
+    /// A well-mixed 64-bit hash, used to pick a hot-cache slot.
+    fn cache_hash(self) -> u64;
+}
+
+/// Fibonacci-hashing multiplier (2^64 / φ): mixes the high bits well
+/// even when keys differ only in a narrow bit range, as /24-aligned
+/// prefixes do.
+const HASH_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl PrefixKey for u32 {
+    const BITS: u8 = 32;
+    const SIZE: usize = 4;
+
+    #[inline]
+    fn mask(len: u8) -> u32 {
+        debug_assert!(len <= 32);
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    #[inline]
+    fn and(self, other: u32) -> u32 {
+        self & other
+    }
+
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn read_le(bytes: &[u8]) -> u32 {
+        u32::from_le_bytes(bytes.try_into().expect("caller passes SIZE bytes"))
+    }
+
+    #[inline]
+    fn cache_hash(self) -> u64 {
+        (self as u64).wrapping_mul(HASH_MUL)
+    }
+}
+
+impl PrefixKey for u128 {
+    const BITS: u8 = 128;
+    const SIZE: usize = 16;
+
+    #[inline]
+    fn mask(len: u8) -> u128 {
+        debug_assert!(len <= 128);
+        if len == 0 {
+            0
+        } else {
+            u128::MAX << (128 - len)
+        }
+    }
+
+    #[inline]
+    fn and(self, other: u128) -> u128 {
+        self & other
+    }
+
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn read_le(bytes: &[u8]) -> u128 {
+        u128::from_le_bytes(bytes.try_into().expect("caller passes SIZE bytes"))
+    }
+
+    #[inline]
+    fn cache_hash(self) -> u64 {
+        (((self >> 64) as u64) ^ (self as u64)).wrapping_mul(HASH_MUL)
+    }
+}
+
+/// All prefixes of one length: masked keys sorted strictly ascending,
+/// with the parallel label-table indexes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct Level<K> {
+    /// Prefix length shared by every key in the level.
+    pub(crate) len: u8,
+    /// Masked prefix keys, sorted strictly ascending.
+    pub(crate) keys: Vec<K>,
+    /// `labels[i]` is the label-table index of `keys[i]`.
+    pub(crate) labels: Vec<u32>,
+}
+
+/// One address family's levels, ordered longest prefix first.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct FamilyIndex<K> {
+    pub(crate) levels: Vec<Level<K>>,
+}
+
+/// Branch-free binary search for an exact key. The classic branchless
+/// lower-bound loop: `base` advances via a conditional move, never a
+/// data-dependent branch, so the pipeline never mispredicts on the
+/// random probe sequence a lookup workload produces.
+#[inline]
+fn branchless_eq_search<K: Copy + Ord>(keys: &[K], target: K) -> Option<usize> {
+    if keys.is_empty() {
+        return None;
+    }
+    let mut base = 0usize;
+    let mut size = keys.len();
+    while size > 1 {
+        let half = size / 2;
+        let probe = base + half;
+        base = if keys[probe] <= target { probe } else { base };
+        size -= half;
+    }
+    (keys[base] == target).then_some(base)
+}
+
+impl<K: PrefixKey> FamilyIndex<K> {
+    pub(crate) fn empty() -> Self {
+        FamilyIndex { levels: Vec::new() }
+    }
+
+    /// Longest-prefix match: `(masked key, prefix length, label index)`
+    /// of the most specific covering prefix.
+    pub(crate) fn lookup(&self, addr: K) -> Option<(K, u8, u32)> {
+        for level in &self.levels {
+            let masked = addr.and(K::mask(level.len));
+            if let Some(i) = branchless_eq_search(&level.keys, masked) {
+                return Some((masked, level.len, level.labels[i]));
+            }
+        }
+        None
+    }
+
+    /// The longest prefix length present, i.e. the first level's — the
+    /// mask the batch engine's hot cache keys on.
+    pub(crate) fn longest_len(&self) -> Option<u8> {
+        self.levels.first().map(|l| l.len)
+    }
+
+    pub(crate) fn prefix_count(&self) -> usize {
+        self.levels.iter().map(|l| l.keys.len()).sum()
+    }
+}
+
+/// The immutable serving index: label table plus per-family flat-array
+/// levels. Built with [`FrozenIndexBuilder`] or decoded from a sealed
+/// artifact with [`crate::from_bytes`]; never mutated after either.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrozenIndex {
+    pub(crate) labels: Vec<ServeLabel>,
+    pub(crate) v4: FamilyIndex<u32>,
+    pub(crate) v6: FamilyIndex<u128>,
+}
+
+impl FrozenIndex {
+    /// Start building an index prefix by prefix.
+    pub fn builder() -> FrozenIndexBuilder {
+        FrozenIndexBuilder::new()
+    }
+
+    /// Freeze a [`Classification`] into a serving index: every cellular
+    /// block becomes a served prefix (/24 for IPv4, /48 for IPv6)
+    /// labeled with its origin AS. When a [`MixedAnalysis`] is supplied
+    /// its per-AS verdicts become the [`AsClass`]; ASes without a
+    /// verdict — and every AS when `mixed` is `None` — are labeled
+    /// [`AsClass::Unknown`].
+    pub fn from_classification(
+        classification: &Classification,
+        mixed: Option<&MixedAnalysis>,
+    ) -> FrozenIndex {
+        let verdicts: HashMap<Asn, bool> = mixed
+            .map(|m| m.verdicts.iter().map(|v| (v.asn, v.is_mixed)).collect())
+            .unwrap_or_default();
+        let mut builder = FrozenIndexBuilder::new();
+        for (block, asn) in classification.iter() {
+            let class = match verdicts.get(&asn) {
+                Some(true) => AsClass::Mixed,
+                Some(false) => AsClass::Dedicated,
+                None => AsClass::Unknown,
+            };
+            let label = ServeLabel { asn, class };
+            match block {
+                BlockId::V4(blk) => builder.insert_v4(blk.network(), label),
+                BlockId::V6(blk) => builder.insert_v6(blk.network(), label),
+            }
+        }
+        builder.build()
+    }
+
+    /// Longest-prefix match for an IPv4 address: the most specific
+    /// served prefix covering it, with its label.
+    pub fn lookup_v4(&self, addr: u32) -> Option<(Ipv4Net, ServeLabel)> {
+        let (key, len, idx) = self.v4.lookup(addr)?;
+        let net = Ipv4Net::new(key, len).expect("level length ≤ 32 by construction");
+        Some((net, self.labels[idx as usize]))
+    }
+
+    /// Longest-prefix match for an IPv6 address.
+    pub fn lookup_v6(&self, addr: u128) -> Option<(Ipv6Net, ServeLabel)> {
+        let (key, len, idx) = self.v6.lookup(addr)?;
+        let net = Ipv6Net::new(key, len).expect("level length ≤ 128 by construction");
+        Some((net, self.labels[idx as usize]))
+    }
+
+    /// Total served prefixes across both families.
+    pub fn len(&self) -> usize {
+        self.v4.prefix_count() + self.v6.prefix_count()
+    }
+
+    /// True when no prefix is served.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(IPv4, IPv6)` served-prefix counts.
+    pub fn prefix_counts(&self) -> (usize, usize) {
+        (self.v4.prefix_count(), self.v6.prefix_count())
+    }
+
+    /// Number of distinct labels in the table.
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The label at a validated table index (decoder and engine
+    /// internals only — indexes come from the index itself).
+    pub(crate) fn label(&self, idx: u32) -> ServeLabel {
+        self.labels[idx as usize]
+    }
+}
+
+/// Accumulates prefixes for a [`FrozenIndex`]. Duplicate prefixes
+/// resolve last-wins, matching [`netaddr::PrefixTrie::insert`]'s
+/// replacement semantics, so a builder fed the same sequence as a trie
+/// freezes to an index with identical lookups.
+#[derive(Clone, Debug, Default)]
+pub struct FrozenIndexBuilder {
+    v4: BTreeMap<(u8, u32), ServeLabel>,
+    v6: BTreeMap<(u8, u128), ServeLabel>,
+}
+
+impl FrozenIndexBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add (or replace) an IPv4 prefix.
+    pub fn insert_v4(&mut self, net: Ipv4Net, label: ServeLabel) {
+        self.v4.insert((net.len(), net.addr()), label);
+    }
+
+    /// Add (or replace) an IPv6 prefix.
+    pub fn insert_v6(&mut self, net: Ipv6Net, label: ServeLabel) {
+        self.v6.insert((net.len(), net.addr()), label);
+    }
+
+    /// Freeze into the immutable index. Canonical by construction: the
+    /// label table is deduplicated and sorted, levels are ordered
+    /// longest-first, keys within a level strictly ascending — the same
+    /// builder contents always freeze to byte-identical artifacts.
+    pub fn build(self) -> FrozenIndex {
+        let labels: Vec<ServeLabel> = self
+            .v4
+            .values()
+            .chain(self.v6.values())
+            .copied()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let ids: BTreeMap<ServeLabel, u32> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (*l, i as u32))
+            .collect();
+        FrozenIndex {
+            v4: family_from_map(self.v4, &ids),
+            v6: family_from_map(self.v6, &ids),
+            labels,
+        }
+    }
+}
+
+/// Group a `(len, key) → label` map into longest-first levels.
+fn family_from_map<K: PrefixKey>(
+    map: BTreeMap<(u8, K), ServeLabel>,
+    ids: &BTreeMap<ServeLabel, u32>,
+) -> FamilyIndex<K> {
+    let mut levels: Vec<Level<K>> = Vec::new();
+    // BTreeMap iteration is (len ascending, key ascending) — exactly one
+    // contiguous run per length, already sorted within it.
+    for ((len, key), label) in map {
+        let idx = ids[&label];
+        match levels.last_mut() {
+            Some(level) if level.len == len => {
+                level.keys.push(key);
+                level.labels.push(idx);
+            }
+            _ => levels.push(Level {
+                len,
+                keys: vec![key],
+                labels: vec![idx],
+            }),
+        }
+    }
+    levels.reverse();
+    FamilyIndex { levels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn label(asn: u32, class: AsClass) -> ServeLabel {
+        ServeLabel {
+            asn: Asn(asn),
+            class,
+        }
+    }
+
+    fn v4(s: &str) -> Ipv4Net {
+        s.parse().expect("valid v4 cidr")
+    }
+
+    fn v6(s: &str) -> Ipv6Net {
+        s.parse().expect("valid v6 cidr")
+    }
+
+    #[test]
+    fn branchless_search_finds_exact_keys_only() {
+        let keys = [2u32, 5, 9, 14, 20];
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(branchless_eq_search(&keys, k), Some(i));
+        }
+        for miss in [0u32, 3, 10, 21] {
+            assert_eq!(branchless_eq_search(&keys, miss), None);
+        }
+        assert_eq!(branchless_eq_search::<u32>(&[], 7), None);
+        assert_eq!(branchless_eq_search(&[7u32], 7), Some(0));
+        assert_eq!(branchless_eq_search(&[7u32], 8), None);
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut b = FrozenIndex::builder();
+        b.insert_v4(v4("10.0.0.0/8"), label(1, AsClass::Mixed));
+        b.insert_v4(v4("10.1.0.0/16"), label(2, AsClass::Dedicated));
+        b.insert_v4(v4("10.1.2.0/24"), label(3, AsClass::Unknown));
+        let idx = b.build();
+        // 10.1.2.3 → the /24.
+        let (net, l) = idx.lookup_v4(0x0A010203).expect("covered");
+        assert_eq!(net, v4("10.1.2.0/24"));
+        assert_eq!(l.asn, Asn(3));
+        // 10.1.9.1 → the /16.
+        let (net, l) = idx.lookup_v4(0x0A010901).expect("covered");
+        assert_eq!(net, v4("10.1.0.0/16"));
+        assert_eq!(l.asn, Asn(2));
+        // 10.200.0.1 → the /8.
+        let (net, l) = idx.lookup_v4(0x0AC80001).expect("covered");
+        assert_eq!(net, v4("10.0.0.0/8"));
+        assert_eq!(l, label(1, AsClass::Mixed));
+        // 11.0.0.1 → miss.
+        assert_eq!(idx.lookup_v4(0x0B000001), None);
+    }
+
+    #[test]
+    fn duplicate_insert_is_last_wins() {
+        let mut b = FrozenIndex::builder();
+        b.insert_v4(v4("10.0.0.0/8"), label(1, AsClass::Unknown));
+        b.insert_v4(v4("10.0.0.0/8"), label(9, AsClass::Dedicated));
+        let idx = b.build();
+        assert_eq!(idx.len(), 1);
+        let (_, l) = idx.lookup_v4(0x0A000000).expect("covered");
+        assert_eq!(l, label(9, AsClass::Dedicated));
+    }
+
+    #[test]
+    fn default_route_catches_everything() {
+        let mut b = FrozenIndex::builder();
+        b.insert_v4(
+            Ipv4Net::new(0, 0).expect("default"),
+            label(1, AsClass::Unknown),
+        );
+        b.insert_v4(v4("203.0.113.0/24"), label(2, AsClass::Mixed));
+        let idx = b.build();
+        assert_eq!(
+            idx.lookup_v4(0xCB007105).expect("covered").0,
+            v4("203.0.113.0/24")
+        );
+        assert_eq!(
+            idx.lookup_v4(0x01020304).expect("default catches").0,
+            Ipv4Net::new(0, 0).expect("default")
+        );
+    }
+
+    #[test]
+    fn v6_lookups_work_and_families_are_disjoint() {
+        let mut b = FrozenIndex::builder();
+        b.insert_v6(v6("2001:db8::/48"), label(5, AsClass::Dedicated));
+        let idx = b.build();
+        let addr = 0x2001_0db8_0000_0000_0000_0000_0000_0001u128;
+        let (net, l) = idx.lookup_v6(addr).expect("covered");
+        assert_eq!(net, v6("2001:db8::/48"));
+        assert_eq!(l.asn, Asn(5));
+        assert_eq!(idx.lookup_v6(addr ^ (1 << 100)), None);
+        // No v4 prefixes were inserted at all.
+        assert_eq!(idx.lookup_v4(0x2001_0db8), None);
+        assert_eq!(idx.prefix_counts(), (0, 1));
+    }
+
+    #[test]
+    fn labels_are_deduplicated() {
+        let mut b = FrozenIndex::builder();
+        let shared = label(7, AsClass::Mixed);
+        b.insert_v4(v4("10.0.0.0/24"), shared);
+        b.insert_v4(v4("10.0.1.0/24"), shared);
+        b.insert_v6(v6("2001:db8::/48"), shared);
+        b.insert_v4(v4("10.0.2.0/24"), label(8, AsClass::Dedicated));
+        let idx = b.build();
+        assert_eq!(idx.label_count(), 2);
+        assert_eq!(idx.len(), 4);
+    }
+
+    #[test]
+    fn build_is_canonical_regardless_of_insert_order() {
+        let entries = [
+            (v4("10.0.0.0/8"), label(1, AsClass::Mixed)),
+            (v4("10.1.0.0/16"), label(2, AsClass::Dedicated)),
+            (v4("192.0.2.0/24"), label(3, AsClass::Unknown)),
+        ];
+        let mut fwd = FrozenIndex::builder();
+        for (n, l) in entries {
+            fwd.insert_v4(n, l);
+        }
+        let mut rev = FrozenIndex::builder();
+        for (n, l) in entries.iter().rev() {
+            rev.insert_v4(*n, *l);
+        }
+        assert_eq!(fwd.build(), rev.build());
+    }
+
+    #[test]
+    fn from_classification_serves_every_cellular_block() {
+        use cdnsim::{BeaconDataset, BeaconRecord, DemandDataset, DemandRecord};
+        use cellspot::BlockIndex;
+        use netaddr::Block24;
+
+        let block = |i: u32| BlockId::V4(Block24::from_index(i));
+        let beacons = BeaconDataset::from_records(
+            "t",
+            vec![
+                BeaconRecord {
+                    block: block(1),
+                    asn: Asn(1),
+                    hits_total: 80,
+                    netinfo_hits: 10,
+                    cellular_hits: 9,
+                    wifi_hits: 1,
+                    other_hits: 0,
+                },
+                BeaconRecord {
+                    block: block(2),
+                    asn: Asn(2),
+                    hits_total: 80,
+                    netinfo_hits: 10,
+                    cellular_hits: 0,
+                    wifi_hits: 10,
+                    other_hits: 0,
+                },
+            ],
+        );
+        let demand = DemandDataset::from_raw(
+            "t",
+            vec![
+                DemandRecord {
+                    block: block(1),
+                    asn: Asn(1),
+                    du: 3.0,
+                },
+                DemandRecord {
+                    block: block(2),
+                    asn: Asn(2),
+                    du: 1.0,
+                },
+            ],
+        );
+        let index = BlockIndex::build(&beacons, &demand);
+        let class = Classification::with_default_threshold(&index);
+        assert_eq!(class.len(), 1, "only block 1 is cellular");
+
+        let frozen = FrozenIndex::from_classification(&class, None);
+        assert_eq!(frozen.prefix_counts(), (1, 0));
+        let addr = Block24::from_index(1).addr(5);
+        let (net, l) = frozen.lookup_v4(addr).expect("cellular block served");
+        assert_eq!(net, Block24::from_index(1).network());
+        assert_eq!(l.asn, Asn(1));
+        assert_eq!(l.class, AsClass::Unknown, "no mixed analysis supplied");
+        // The wifi block is not served.
+        assert_eq!(frozen.lookup_v4(Block24::from_index(2).addr(5)), None);
+    }
+}

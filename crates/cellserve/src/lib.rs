@@ -1,0 +1,60 @@
+//! # cellserve — frozen classification artifact + lookup engine
+//!
+//! The paper's methodology ends with a *classification*: the set of
+//! /24 and /48 blocks labeled cellular, each with its origin AS. Every
+//! operational consumer of that result — traffic steering, analytics
+//! enrichment, abuse triage — asks the same question at high volume:
+//! *given an IP address, is it cellular, and under which operator?*
+//! This crate is that serving layer:
+//!
+//! * **Sealed artifact** — [`to_bytes`]/[`from_bytes`] snapshot a
+//!   classification into a compact, versioned binary format sealed
+//!   with the same CRC-32 the streaming checkpoints use
+//!   ([`cellstream::crc32`]); any single-byte corruption is rejected
+//!   at load, never served.
+//! * **[`FrozenIndex`]** — the artifact loads into an immutable
+//!   longest-prefix-match structure: per family, per prefix length,
+//!   flat sorted key arrays probed with a branch-free binary search.
+//!   No pointer chasing, no allocation per lookup, and provably the
+//!   same answers as [`netaddr::PrefixTrie`] (pinned by the
+//!   equivalence property suite in `tests/frozen_props.rs`).
+//! * **[`QueryEngine`]** — batch lookups fan out over rayon in
+//!   fixed-size chunks, each fronted by a small hot-block cache whose
+//!   hit/miss counters are deterministic at any thread count; an
+//!   attached [`Observer`](cellobs::Observer) collects `serve.*`
+//!   counters and a lookup-latency histogram.
+//!
+//! The `cellspot index build` and `cellspot lookup` CLI subcommands
+//! wrap this crate, and `bench_lookup` measures its single- vs
+//! multi-threaded throughput.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use cellserve::{AsClass, FrozenIndex, ServeLabel};
+//! use netaddr::{Asn, Ipv4Net};
+//!
+//! let mut builder = FrozenIndex::builder();
+//! builder.insert_v4(
+//!     "203.0.113.0/24".parse::<Ipv4Net>().unwrap(),
+//!     ServeLabel { asn: Asn(7), class: AsClass::Dedicated },
+//! );
+//! let index = builder.build();
+//!
+//! // Seal to bytes; loading verifies the seal before serving anything.
+//! let bytes = cellserve::to_bytes(&index);
+//! let loaded = cellserve::from_bytes(&bytes).unwrap();
+//! let (net, label) = loaded.lookup_v4(0xCB007105).unwrap(); // 203.0.113.5
+//! assert_eq!(net.to_string(), "203.0.113.0/24");
+//! assert_eq!(label.asn, Asn(7));
+//! ```
+
+mod artifact;
+mod engine;
+mod error;
+mod frozen;
+
+pub use artifact::{from_bytes, to_bytes, ARTIFACT_MAGIC, ARTIFACT_VERSION};
+pub use engine::{BatchStats, IpKey, LookupMatch, MatchedPrefix, QueryEngine, QUERY_CHUNK};
+pub use error::ServeError;
+pub use frozen::{AsClass, FrozenIndex, FrozenIndexBuilder, ServeLabel};

@@ -1,0 +1,155 @@
+//! Property suite for the serving layer.
+//!
+//! The load-bearing property: [`cellserve::FrozenIndex`]'s flat-array
+//! longest-prefix match answers **exactly** like the pointer-chasing
+//! [`netaddr::PrefixTrie`] for any prefix set and any probe address, in
+//! both families — matched prefix and label, hit or miss. Both sides
+//! are fed the same insertion sequence (duplicates resolve last-wins in
+//! each), so the frozen index is a drop-in replacement for the trie on
+//! the serving path.
+//!
+//! On top of that: the sealed artifact round-trips losslessly, its
+//! encoding is canonical (re-encoding the decoded index is
+//! byte-identical), and any single-byte corruption at any position is
+//! rejected at load.
+
+use proptest::prelude::*;
+
+use cellserve::{from_bytes, to_bytes, AsClass, FrozenIndex, FrozenIndexBuilder, ServeLabel};
+use netaddr::{Asn, Ipv4Net, Ipv6Net, PrefixTrie};
+
+fn arb_label() -> impl Strategy<Value = ServeLabel> {
+    (0u32..50, 0u8..3).prop_map(|(asn, c)| ServeLabel {
+        asn: Asn(asn),
+        class: match c {
+            0 => AsClass::Dedicated,
+            1 => AsClass::Mixed,
+            _ => AsClass::Unknown,
+        },
+    })
+}
+
+/// Arbitrary v4 prefix as raw parts; `Ipv4Net::new` masks host bits.
+fn arb_v4() -> impl Strategy<Value = (u32, u8, ServeLabel)> {
+    (any::<u32>(), 0u8..=32, arb_label())
+}
+
+/// Arbitrary v6 prefix as raw parts.
+fn arb_v6() -> impl Strategy<Value = (u128, u8, ServeLabel)> {
+    (any::<u128>(), 0u8..=128, arb_label())
+}
+
+fn v4_index(entries: &[(u32, u8, ServeLabel)]) -> (PrefixTrie<ServeLabel>, FrozenIndex) {
+    let mut trie = PrefixTrie::new();
+    let mut builder = FrozenIndexBuilder::new();
+    for &(addr, len, label) in entries {
+        let net = Ipv4Net::new(addr, len).expect("len ≤ 32");
+        trie.insert(net, label);
+        builder.insert_v4(net, label);
+    }
+    (trie, builder.build())
+}
+
+fn v6_index(entries: &[(u128, u8, ServeLabel)]) -> (PrefixTrie<ServeLabel>, FrozenIndex) {
+    let mut trie = PrefixTrie::new();
+    let mut builder = FrozenIndexBuilder::new();
+    for &(addr, len, label) in entries {
+        let net = Ipv6Net::new(addr, len).expect("len ≤ 128");
+        trie.insert_v6(net, label);
+        builder.insert_v6(net, label);
+    }
+    (trie, builder.build())
+}
+
+/// Last address covered by a v6 prefix (the v4 type has `last()`
+/// built in; v6 does not).
+fn v6_last(net: Ipv6Net) -> u128 {
+    let host_mask = if net.len() == 0 {
+        u128::MAX
+    } else {
+        !(u128::MAX << (128 - net.len()))
+    };
+    net.addr() | host_mask
+}
+
+proptest! {
+    /// Frozen LPM ≡ trie LPM for IPv4, probed at every entry's first
+    /// and last covered address (guaranteed hits at varied depths) plus
+    /// random addresses (mostly misses).
+    #[test]
+    fn frozen_lpm_matches_trie_lpm_v4(
+        entries in prop::collection::vec(arb_v4(), 0..48),
+        probes in prop::collection::vec(any::<u32>(), 0..64),
+    ) {
+        let (trie, frozen) = v4_index(&entries);
+        let mut addrs = probes;
+        for &(addr, len, _) in &entries {
+            let net = Ipv4Net::new(addr, len).expect("len ≤ 32");
+            addrs.push(net.first());
+            addrs.push(net.last());
+        }
+        for a in addrs {
+            let want = trie.lookup_v4(a).map(|(net, v)| (net, *v));
+            prop_assert_eq!(frozen.lookup_v4(a), want, "addr {:#010x}", a);
+        }
+    }
+
+    /// Frozen LPM ≡ trie LPM for IPv6.
+    #[test]
+    fn frozen_lpm_matches_trie_lpm_v6(
+        entries in prop::collection::vec(arb_v6(), 0..48),
+        probes in prop::collection::vec(any::<u128>(), 0..64),
+    ) {
+        let (trie, frozen) = v6_index(&entries);
+        let mut addrs = probes;
+        for &(addr, len, _) in &entries {
+            let net = Ipv6Net::new(addr, len).expect("len ≤ 128");
+            addrs.push(net.addr());
+            addrs.push(v6_last(net));
+        }
+        for a in addrs {
+            let want = trie.lookup_v6(a).map(|(net, v)| (net, *v));
+            prop_assert_eq!(frozen.lookup_v6(a), want, "addr {:#034x}", a);
+        }
+    }
+
+    /// Seal → load round-trips the index exactly, and the encoding is
+    /// canonical: re-encoding the decoded index is byte-identical.
+    #[test]
+    fn artifact_roundtrip_is_lossless_and_canonical(
+        v4_entries in prop::collection::vec(arb_v4(), 0..32),
+        v6_entries in prop::collection::vec(arb_v6(), 0..32),
+    ) {
+        let mut builder = FrozenIndexBuilder::new();
+        for &(addr, len, label) in &v4_entries {
+            builder.insert_v4(Ipv4Net::new(addr, len).expect("len ≤ 32"), label);
+        }
+        for &(addr, len, label) in &v6_entries {
+            builder.insert_v6(Ipv6Net::new(addr, len).expect("len ≤ 128"), label);
+        }
+        let index = builder.build();
+        let bytes = to_bytes(&index);
+        let decoded = from_bytes(&bytes);
+        prop_assert_eq!(decoded.as_ref(), Ok(&index));
+        prop_assert_eq!(to_bytes(&decoded.expect("just matched")), bytes);
+    }
+
+    /// Any single-byte corruption, at any position, with any nonzero
+    /// XOR pattern, is rejected at load. (The unit suite additionally
+    /// sweeps every byte position exhaustively.)
+    #[test]
+    fn random_single_byte_corruption_is_rejected(
+        entries in prop::collection::vec(arb_v4(), 0..24),
+        pos_seed in any::<usize>(),
+        xor in 1u8..=255,
+    ) {
+        let (_, frozen) = v4_index(&entries);
+        let mut bytes = to_bytes(&frozen);
+        let pos = pos_seed % bytes.len();
+        bytes[pos] ^= xor;
+        prop_assert!(
+            from_bytes(&bytes).is_err(),
+            "flip {:#04x} at byte {} accepted", xor, pos
+        );
+    }
+}

@@ -10,6 +10,8 @@ use serde::{Deserialize, Serialize};
 
 use cdnsim::{BeaconDataset, DemandDataset};
 
+use crate::error::CellspotError;
+
 /// One block's joined observation.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct BlockObs {
@@ -51,7 +53,39 @@ impl BlockIndex {
     /// Both inputs must be sorted by block id with no duplicates — the
     /// dataset constructors guarantee this, and the merge join silently
     /// corrupts the output otherwise, so debug builds verify it.
+    ///
+    /// When both datasets carry a block but disagree on its origin AS,
+    /// the DEMAND-side label wins, deterministically: DEMAND covers all
+    /// traffic (Table 2's BEACON ⊂ DEMAND for IPv4), so its AS mapping
+    /// reflects the broader routing view a disagreement would have come
+    /// from. (The pre-fix code silently took the beacon-side ASN.) Use
+    /// [`BlockIndex::try_build`] to reject such inputs instead — the
+    /// [`Pipeline`](crate::Pipeline) entry points do.
     pub fn build(beacons: &BeaconDataset, demand: &DemandDataset) -> Self {
+        Self::join(beacons, demand, false).expect("lenient join reconciles instead of failing")
+    }
+
+    /// [`BlockIndex::build`], but a BEACON/DEMAND disagreement on a
+    /// block's origin AS is rejected as
+    /// [`CellspotError::InconsistentDatasets`] instead of reconciled —
+    /// mismatched labels mean the two datasets were produced against
+    /// different routing tables, and every per-AS aggregate downstream
+    /// would silently blend them.
+    pub fn try_build(
+        beacons: &BeaconDataset,
+        demand: &DemandDataset,
+    ) -> Result<Self, CellspotError> {
+        Self::join(beacons, demand, true)
+    }
+
+    /// The shared merge join. `strict` decides what an ASN disagreement
+    /// on a both-present block does: error out, or resolve to the
+    /// demand-side label.
+    fn join(
+        beacons: &BeaconDataset,
+        demand: &DemandDataset,
+        strict: bool,
+    ) -> Result<Self, CellspotError> {
         debug_assert!(
             beacons
                 .iter()
@@ -95,9 +129,19 @@ impl BlockIndex {
                     } else {
                         let b = b_iter.next().expect("peeked");
                         let d = d_iter.next().expect("peeked");
+                        if strict && b.asn != d.asn {
+                            return Err(CellspotError::InconsistentDatasets(format!(
+                                "block {:?} is labeled AS{} in BEACON but AS{} in DEMAND",
+                                b.block,
+                                b.asn.value(),
+                                d.asn.value()
+                            )));
+                        }
                         blocks.push(BlockObs {
                             block: b.block,
-                            asn: b.asn,
+                            // Demand-side label (they agree on consistent
+                            // inputs; see the build/try_build docs).
+                            asn: d.asn,
                             netinfo_hits: b.netinfo_hits,
                             cellular_hits: b.cellular_hits,
                             beacon_hits: b.hits_total,
@@ -130,7 +174,7 @@ impl BlockIndex {
                 (None, None) => break,
             }
         }
-        BlockIndex { blocks }
+        Ok(BlockIndex { blocks })
     }
 
     /// Number of joined blocks.
@@ -225,6 +269,47 @@ mod tests {
         assert_eq!(o3.du, 0.0);
         assert_eq!(o3.cellular_ratio(), Some(0.0));
         assert!(idx.get(b(9)).is_none());
+    }
+
+    #[test]
+    fn mismatched_asn_join_reconciles_or_rejects() {
+        // Block 1 is labeled AS1 by BEACON but AS7 by DEMAND.
+        let mut d1 = demand(1, 3.0);
+        d1.asn = Asn(7);
+        let beacons = BeaconDataset::from_records("t", vec![beacon(1, 10, 9), beacon(3, 4, 0)]);
+        let dem = DemandDataset::from_raw("t", vec![d1, demand(2, 1.0)]);
+
+        // Lenient build reconciles deterministically: demand-side wins
+        // (the pre-fix code silently took the beacon side instead).
+        let idx = BlockIndex::build(&beacons, &dem);
+        assert_eq!(idx.get(b(1)).unwrap().asn, Asn(7));
+        // One-sided blocks keep their only label.
+        assert_eq!(idx.get(b(2)).unwrap().asn, Asn(1));
+        assert_eq!(idx.get(b(3)).unwrap().asn, Asn(1));
+        // The rest of the joined observation is intact.
+        let o1 = idx.get(b(1)).unwrap();
+        assert_eq!(o1.netinfo_hits, 10);
+        assert!(o1.du > 0.0);
+
+        // Strict build rejects, naming the block and both labels.
+        let err = BlockIndex::try_build(&beacons, &dem)
+            .err()
+            .expect("mismatched ASN must be rejected");
+        let msg = err.to_string();
+        assert!(msg.contains("AS1"), "beacon label in {msg:?}");
+        assert!(msg.contains("AS7"), "demand label in {msg:?}");
+    }
+
+    #[test]
+    fn consistent_inputs_build_identically_strict_or_not() {
+        let beacons = BeaconDataset::from_records("t", vec![beacon(1, 10, 9), beacon(3, 4, 0)]);
+        let dem = DemandDataset::from_raw("t", vec![demand(1, 3.0), demand(2, 1.0)]);
+        let lenient = BlockIndex::build(&beacons, &dem);
+        let strict = BlockIndex::try_build(&beacons, &dem).expect("consistent inputs");
+        assert_eq!(lenient.len(), strict.len());
+        for (a, c) in lenient.iter().zip(strict.iter()) {
+            assert_eq!(a, c);
+        }
     }
 
     #[test]

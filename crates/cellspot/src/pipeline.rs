@@ -274,7 +274,7 @@ impl<'a> Pipeline<'a> {
             self.dns,
             self.config,
             &self.observer,
-        );
+        )?;
         Ok(PipelineReport { study })
     }
 
@@ -289,9 +289,9 @@ impl<'a> Pipeline<'a> {
             &mut timing,
             obs,
             "join",
-            |i: &BlockIndex| i.len() as u64,
-            || BlockIndex::build(self.beacons, self.demand),
-        );
+            |i: &Result<BlockIndex, CellspotError>| i.as_ref().map_or(0, |i| i.len() as u64),
+            || BlockIndex::try_build(self.beacons, self.demand),
+        )?;
         let classification = stage(
             &mut timing,
             obs,
@@ -389,7 +389,8 @@ fn record_classify_detail(obs: &Observer, index: &BlockIndex, classification: &C
 }
 
 /// The instrumented study runner behind [`Pipeline::run`] and the
-/// deprecated [`run_study`] shim.
+/// deprecated [`run_study`] shim. Errors when the datasets disagree on
+/// a block's origin AS (see [`BlockIndex::try_build`]).
 pub(crate) fn run_study_observed(
     beacons: &BeaconDataset,
     demand: &DemandDataset,
@@ -398,7 +399,7 @@ pub(crate) fn run_study_observed(
     dns: Option<&DnsSim>,
     config: StudyConfig,
     obs: &Observer,
-) -> Study {
+) -> Result<Study, CellspotError> {
     use rayon::prelude::*;
     let mut timing = TimingReport::new();
     let mut root = obs.span("study");
@@ -407,9 +408,9 @@ pub(crate) fn run_study_observed(
         &mut timing,
         obs,
         "join",
-        |i: &BlockIndex| i.len() as u64,
-        || BlockIndex::build(beacons, demand),
-    );
+        |i: &Result<BlockIndex, CellspotError>| i.as_ref().map_or(0, |i| i.len() as u64),
+        || BlockIndex::try_build(beacons, demand),
+    )?;
     root.set_items(index.len() as u64);
     let classification = stage(
         &mut timing,
@@ -513,7 +514,7 @@ pub(crate) fn run_study_observed(
     );
     drop(root);
 
-    Study {
+    Ok(Study {
         config,
         index,
         classification,
@@ -527,7 +528,7 @@ pub(crate) fn run_study_observed(
         dns: dns_analysis,
         view,
         timing,
-    }
+    })
 }
 
 /// Run the full pipeline.
@@ -536,6 +537,12 @@ pub(crate) fn run_study_observed(
 /// results are collected in carrier order, and every parallel stage is
 /// bit-deterministic regardless of thread count (see each stage's docs).
 /// Wall-clock per stage lands in the returned study's `timing` field.
+///
+/// # Panics
+/// Panics when the datasets disagree on a block's origin AS — this shim
+/// predates error reporting; use [`Pipeline`] to handle
+/// [`CellspotError::InconsistentDatasets`] instead. (The pre-fix join
+/// silently took the beacon-side label, biasing every per-AS result.)
 #[deprecated(
     since = "0.1.0",
     note = "use cellspot::Pipeline::new(beacons, demand)…run() instead"
@@ -557,6 +564,7 @@ pub fn run_study(
         config,
         &Observer::disabled(),
     )
+    .unwrap_or_else(|e| panic!("{e}; use cellspot::Pipeline to handle this error"))
 }
 
 #[cfg(test)]
@@ -698,6 +706,40 @@ mod tests {
             .threshold(2.0)
             .classify()
             .is_err());
+    }
+
+    #[test]
+    fn pipeline_rejects_mismatched_asn_datasets() {
+        use cdnsim::{BeaconRecord, DemandRecord};
+        use netaddr::{Asn, Block24, BlockId};
+
+        let block = BlockId::V4(Block24::from_index(1));
+        let beacons = BeaconDataset::from_records(
+            "t",
+            vec![BeaconRecord {
+                block,
+                asn: Asn(1),
+                hits_total: 80,
+                netinfo_hits: 10,
+                cellular_hits: 9,
+                wifi_hits: 1,
+                other_hits: 0,
+            }],
+        );
+        let demand = DemandDataset::from_raw(
+            "t",
+            vec![DemandRecord {
+                block,
+                asn: Asn(7),
+                du: 5.0,
+            }],
+        );
+        let err = Pipeline::new(&beacons, &demand)
+            .run()
+            .err()
+            .expect("a BEACON/DEMAND ASN disagreement must be rejected");
+        assert!(matches!(err, CellspotError::InconsistentDatasets(_)));
+        assert!(Pipeline::new(&beacons, &demand).classify().is_err());
     }
 
     #[test]

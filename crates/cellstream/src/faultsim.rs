@@ -27,7 +27,7 @@ use std::fmt;
 use std::fs;
 use std::io;
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use serde::{Deserialize, Serialize};
 
@@ -166,10 +166,22 @@ impl FaultInjector {
         &self.plan
     }
 
+    /// Lock the injector state, recovering from a poisoned mutex. A
+    /// shard panicking while the injector is held is exactly the kind
+    /// of fault this module *simulates*, and the state behind the lock
+    /// (fire counts plus a log) is updated one field at a time with no
+    /// cross-field invariant a mid-update panic could break — so poison
+    /// here carries no information and recovery is always safe. The
+    /// previous `.expect("injector mutex poisoned")` turned a simulated
+    /// shard death into a real supervisor panic.
+    fn state(&self) -> MutexGuard<'_, InjectorState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Drain the injection log (one line per fault fired since the last
     /// drain).
     pub fn drain_log(&self) -> Vec<String> {
-        std::mem::take(&mut self.state.lock().expect("injector mutex poisoned").log)
+        std::mem::take(&mut self.state().log)
     }
 
     /// Apply any pending checkpoint-tampering faults to the file at
@@ -177,7 +189,7 @@ impl FaultInjector {
     /// Returns the number of faults applied. Tampering writes directly —
     /// not atomically — because it *simulates* torn writes and bit rot.
     pub fn tamper_checkpoint(&self, epochs_done: u32, path: &Path) -> io::Result<u32> {
-        let mut st = self.state.lock().expect("injector mutex poisoned");
+        let mut st = self.state();
         let mut applied = 0u32;
         for (i, fault) in self.plan.faults.iter().enumerate() {
             if st.fired[i] > 0 {
@@ -223,7 +235,7 @@ impl FaultInjector {
 
 impl EpochGate for FaultInjector {
     fn check(&self, epoch: u32) -> Result<(), SourceError> {
-        let mut st = self.state.lock().expect("injector mutex poisoned");
+        let mut st = self.state();
         for (i, fault) in self.plan.faults.iter().enumerate() {
             match *fault {
                 Fault::SourceStall { epoch: e, times } if e == epoch && st.fired[i] < times => {
@@ -261,7 +273,7 @@ impl IngestObserver for FaultInjector {
         epoch_events: u64,
         shard_events: u64,
     ) -> FoldAction {
-        let mut st = self.state.lock().expect("injector mutex poisoned");
+        let mut st = self.state();
         for (i, fault) in self.plan.faults.iter().enumerate() {
             if st.fired[i] > 0 {
                 continue;
@@ -622,6 +634,102 @@ mod tests {
         });
         assert_eq!(c.tamper_checkpoint(2, &path).expect("tamper"), 0);
         assert_eq!(fs::read(&path).expect("read"), original.as_bytes());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Panic a thread while it holds the injector lock, poisoning the
+    /// mutex the way a shard dying inside the critical section would.
+    fn poison(injector: &FaultInjector) {
+        let panicked = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _held = injector.state.lock().expect("not yet poisoned");
+                panic!("simulated shard panic while holding the injector");
+            })
+            .join()
+        });
+        assert!(panicked.is_err(), "the holder must have panicked");
+        assert!(injector.state.is_poisoned(), "the mutex must be poisoned");
+    }
+
+    #[test]
+    fn every_seam_survives_a_poisoned_injector() {
+        let injector = FaultInjector::new(FaultPlan {
+            seed: 9,
+            faults: vec![
+                Fault::Crash {
+                    epoch: 0,
+                    after_events: 0,
+                },
+                Fault::SourceStall { epoch: 2, times: 1 },
+                Fault::TruncateCheckpoint {
+                    epoch: 5,
+                    keep_bytes: 2,
+                },
+            ],
+        });
+        poison(&injector);
+        // Every entry point still works — the poison is recovered, not
+        // re-thrown into the supervisor (which would turn a *simulated*
+        // fault into a real panic).
+        assert_eq!(injector.before_apply(0, 0, 0, 0), FoldAction::CrashProcess);
+        assert_eq!(injector.check(2).unwrap_err().kind, SourceErrorKind::Stall);
+        assert!(injector.check(2).is_ok(), "stall cleared after its count");
+        let log = injector.drain_log();
+        assert!(log.iter().any(|l| l.contains("crashed process")));
+        assert!(log.iter().any(|l| l.contains("stalled")));
+        let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("faultsim_poison");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("ckpt-ep000005.json");
+        fs::write(&path, "0123456789\n").expect("write");
+        assert_eq!(injector.tamper_checkpoint(5, &path).expect("tamper"), 1);
+        assert_eq!(fs::read(&path).expect("read"), b"01");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_run_completes_with_a_poisoned_injector() {
+        use std::sync::Arc;
+
+        use cdnsim::{CdnConfig, EventSource};
+
+        let world = worldgen::World::generate(worldgen::WorldConfig::mini());
+        let dns = dnssim::generate_dns(&world);
+        let resolvers = crate::ResolverMap::from_dns(&dns);
+        let cfg = StreamConfig {
+            shards: 3,
+            ..Default::default()
+        };
+        let epochs = 3;
+
+        // Fault-free truth.
+        let source = EventSource::new(&world, CdnConfig::default(), epochs);
+        let mut reference = IngestEngine::for_source(cfg, &source, resolvers.clone());
+        reference.run_to_end(&source);
+        let want = reference.snapshot().to_json();
+
+        // A chaos run whose injector was poisoned by a holder's panic
+        // *before* the supervisor ever touches it: the kill still fires,
+        // the shard is rebuilt, and the result is byte-identical.
+        let injector = Arc::new(FaultInjector::new(FaultPlan {
+            seed: 11,
+            faults: vec![Fault::ShardKill {
+                epoch: 1,
+                shard: 0,
+                after_events: 5,
+            }],
+        }));
+        poison(&injector);
+        let gate: Arc<dyn EpochGate> = injector.clone();
+        let source = EventSource::new(&world, CdnConfig::default(), epochs).with_gate(gate);
+        let dir =
+            std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("faultsim_poison_chaos");
+        let _ = fs::remove_dir_all(&dir);
+        let store = CheckpointStore::new(&dir, 3);
+        let (engine, report) =
+            run_chaos(&source, cfg, &resolvers, &store, &injector, 4).expect("chaos run recovers");
+        assert_eq!(report.shard_recoveries, 1, "the kill fired and recovered");
+        assert_eq!(engine.snapshot().to_json(), want, "byte-identical result");
         let _ = fs::remove_dir_all(&dir);
     }
 }

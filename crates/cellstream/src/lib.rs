@@ -60,8 +60,8 @@ pub use faultsim::{
 };
 pub use hll::{HyperLogLog, MAX_PRECISION, MIN_PRECISION};
 pub use integrity::{
-    crc32, read_verified, seal, unseal, write_atomic, CheckpointStore, IntegrityError,
-    RecoveryOutcome, DEFAULT_RETAIN, FOOTER_PREFIX,
+    crc32, read_verified, seal, unseal, write_atomic, write_atomic_bytes, CheckpointStore,
+    IntegrityError, RecoveryOutcome, DEFAULT_RETAIN, FOOTER_PREFIX,
 };
 pub use shard::{BeaconAccum, DemandAccum, ShardRouter, ShardState};
 pub use snapshot::{BeaconRow, DemandRow, ResolverRow, ShardSnapshot, Snapshot, SNAPSHOT_VERSION};

@@ -225,6 +225,40 @@ proptest! {
         }
     }
 
+    /// The module-level tracking guarantee, pinned for *any* capacity
+    /// (not just the fixed sizes above): once the sketch is full,
+    /// `error_bound()` — the smallest live counter — never exceeds
+    /// `total_weight / capacity`, and every key whose true weight is
+    /// strictly above that threshold is tracked. Weights are
+    /// integer-valued (see [`arb_stream`]), so counter sums and the
+    /// total are exact and the comparisons need no float slack.
+    #[test]
+    fn spacesaving_tracking_guarantee_holds_at_any_capacity(
+        xs in arb_stream(),
+        cap in 1usize..=24,
+    ) {
+        let s = ss_of(cap, &xs);
+        let truth = true_weights(&[&xs]);
+        let total: f64 = truth.values().sum();
+        if s.len() < cap {
+            prop_assert_eq!(s.error_bound(), 0.0, "not full yet: bound must be 0");
+        } else {
+            prop_assert!(
+                s.error_bound() <= total / cap as f64,
+                "error_bound {} > W/m = {}/{}", s.error_bound(), total, cap
+            );
+        }
+        for (&k, &t) in &truth {
+            if t > total / cap as f64 {
+                prop_assert!(
+                    s.entries().iter().any(|h| h.block == b(k)),
+                    "key {} with true weight {} > {}/{} fell out of the sketch",
+                    k, t, total, cap
+                );
+            }
+        }
+    }
+
     /// The per-key bounds survive merging arbitrary 3-way splits of a
     /// stream through capacity-limited sketches.
     #[test]

@@ -4,12 +4,13 @@
 
 use asdb::{AsDatabase, CarrierGroundTruth};
 use cdnsim::{BeaconDataset, DemandDataset};
+use cellserve::{FrozenIndex, IpKey, QueryEngine};
 use cellspot::{
     aggregate_by_as, identify_cellular_ases, threshold_sweep, validate_carrier, BlockIndex,
     CellspotError, Classification, FilterConfig, MixedAnalysis, Pipeline, WorldView, DEDICATED_CFD,
     DEFAULT_THRESHOLD,
 };
-use netaddr::CONTINENTS;
+use netaddr::{Asn, CONTINENTS};
 
 use crate::io::block_to_string;
 
@@ -101,6 +102,77 @@ pub fn identify_as(
         100.0 * mixed.mixed_fraction()
     );
     (csv, report)
+}
+
+/// `index build`: run the classification and freeze it into a sealed
+/// serving artifact. Returns the artifact bytes (the caller writes them
+/// atomically) plus a one-line human summary.
+///
+/// Every AS holding at least one cellular block gets a mixed/dedicated
+/// verdict here — the §5 demand/hits funnel filters *which ASes count as
+/// cellular operators*, but the serving artifact must label every prefix
+/// it ships, so the funnel is deliberately not applied.
+pub fn index_build(
+    beacons: &BeaconDataset,
+    demand: &DemandDataset,
+    threshold: Option<f64>,
+    obs: &cellobs::Observer,
+) -> Result<(Vec<u8>, String), CellspotError> {
+    let t = threshold.unwrap_or(DEFAULT_THRESHOLD);
+    let (index, class) = Pipeline::new(beacons, demand)
+        .threshold(t)
+        .observer(obs.clone())
+        .classify()?;
+    let aggs = aggregate_by_as(&index, &class);
+    let mut candidates: Vec<Asn> = aggs
+        .iter()
+        .filter(|(_, a)| a.cell_blocks() > 0)
+        .map(|(&asn, _)| asn)
+        .collect();
+    candidates.sort_unstable();
+    let mixed = MixedAnalysis::build(&candidates, &aggs, DEDICATED_CFD);
+    let frozen = FrozenIndex::from_classification(&class, Some(&mixed));
+    let bytes = cellserve::to_bytes(&frozen);
+    let (v4, v6) = frozen.prefix_counts();
+    let summary = format!(
+        "frozen {v4} IPv4 + {v6} IPv6 prefixes, {} labels, {} bytes (format v{})\n",
+        frozen.label_count(),
+        bytes.len(),
+        cellserve::ARTIFACT_VERSION,
+    );
+    Ok((bytes, summary))
+}
+
+/// `lookup`: answer a batch of IPs against a loaded [`FrozenIndex`].
+///
+/// Returns the result CSV (`ip,prefix,asn,class`, with `-` columns for
+/// misses, one row per query in input order) and a stderr summary line
+/// with the match rate and cache counters.
+pub fn lookup_batch(
+    index: &FrozenIndex,
+    queries: &[IpKey],
+    obs: &cellobs::Observer,
+) -> (String, String) {
+    let engine = QueryEngine::new(index).with_observer(obs.clone());
+    let (results, stats) = engine.run(queries);
+    let mut csv = String::from("ip,prefix,asn,class\n");
+    for (ip, res) in queries.iter().zip(&results) {
+        match res {
+            Some(m) => csv.push_str(&format!(
+                "{ip},{},{},{}\n",
+                m.prefix,
+                m.label.asn.value(),
+                m.label.class
+            )),
+            None => csv.push_str(&format!("{ip},-,-,-\n")),
+        }
+    }
+    let pct = 100.0 * stats.matched as f64 / (stats.lookups.max(1)) as f64;
+    let summary = format!(
+        "{} lookups: {} matched ({pct:.1}%), cache {} hit(s) / {} miss(es)\n",
+        stats.lookups, stats.matched, stats.cache_hits, stats.cache_misses,
+    );
+    (csv, summary)
 }
 
 /// `stream`: summarize a finalized streaming ingest run — dataset sizes,
@@ -294,6 +366,60 @@ mod tests {
         assert!(out.contains("Carrier B"));
         assert!(out.contains("precision"));
         assert!(out.contains("stable range"));
+    }
+
+    #[test]
+    fn index_build_freezes_the_classification() {
+        let (_, b, d) = setup();
+        let obs = cellobs::Observer::disabled();
+        let (bytes, summary) = index_build(&b, &d, None, &obs).expect("consistent datasets");
+        assert!(summary.contains("IPv4"), "{summary}");
+        let frozen = cellserve::from_bytes(&bytes).expect("sealed artifact loads");
+        let (_, class) = Pipeline::new(&b, &d).classify().expect("default threshold");
+        assert_eq!(frozen.len(), class.len());
+        // Every classified block answers a lookup with its own AS, and
+        // carries a definite mixed/dedicated verdict (no Unknowns: every
+        // AS with a cellular block is analyzed at build time).
+        for (block, asn) in class.iter() {
+            let got = match block {
+                netaddr::BlockId::V4(blk) => frozen.lookup_v4(blk.addr(9)).map(|(_, l)| l),
+                netaddr::BlockId::V6(blk) => frozen.lookup_v6(blk.addr(3, 9)).map(|(_, l)| l),
+            };
+            let label = got.expect("classified block is served");
+            assert_eq!(label.asn, asn);
+            assert_ne!(label.class, cellserve::AsClass::Unknown);
+        }
+    }
+
+    #[test]
+    fn lookup_batch_reports_rows_and_match_rate() {
+        let (_, b, d) = setup();
+        let obs = cellobs::Observer::disabled();
+        let (bytes, _) = index_build(&b, &d, None, &obs).expect("consistent datasets");
+        let frozen = cellserve::from_bytes(&bytes).expect("artifact loads");
+        let (_, class) = Pipeline::new(&b, &d).classify().expect("default threshold");
+        let probe = class
+            .iter()
+            .find_map(|(block, _)| match block {
+                netaddr::BlockId::V4(blk) => Some(blk.addr(1)),
+                netaddr::BlockId::V6(_) => None,
+            })
+            .expect("mini world has v4 cellular blocks");
+        let (net, label) = frozen.lookup_v4(probe).expect("classified block hits");
+        let queries = [
+            cellserve::IpKey::V4(net.first()),
+            cellserve::IpKey::V4(net.first()), // repeat → a cache hit
+            cellserve::IpKey::parse("192.0.2.1").expect("valid"),
+        ];
+        let (csv, summary) = lookup_batch(&frozen, &queries, &obs);
+        assert_eq!(csv.lines().count(), 4, "header + one row per query");
+        assert!(csv.starts_with("ip,prefix,asn,class\n"));
+        assert!(
+            csv.contains(&format!("{net},{}", label.asn.value())),
+            "{csv}"
+        );
+        assert!(csv.contains("192.0.2.1,-,-,-"), "miss renders dashes");
+        assert!(summary.contains("3 lookups: 2 matched"), "{summary}");
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //! * **groundtruth.csv** — `prefix,label` with label `cellular` or
 //!   `fixed`, arbitrary prefix lengths.
 //!
+//! The `lookup` subcommand additionally reads a plain query list: one IP
+//! address per line, blank lines and `#` comments skipped.
+//!
 //! Parsing is strict with precise line-numbered errors: a measurement
 //! tool that silently skips malformed rows produces silently wrong
 //! studies.
@@ -319,6 +322,23 @@ pub fn parse_asdb(content: &str) -> Result<asdb::AsDatabase, CsvError> {
     Ok(asdb::AsDatabase::from_records(records))
 }
 
+/// Parse a `lookup` query list: one IP address per line (v4 dotted quad
+/// or v6 hex groups), blank lines and `#` comments skipped. Strict like
+/// the CSV parsers — a malformed address fails the batch with its line
+/// number rather than silently shrinking it.
+pub fn parse_ip_list(content: &str) -> Result<Vec<cellserve::IpKey>, CsvError> {
+    let mut ips = Vec::new();
+    for (i, line) in content.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let ip = cellserve::IpKey::parse(line).map_err(|e| err(i + 1, e.to_string()))?;
+        ips.push(ip);
+    }
+    Ok(ips)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -411,5 +431,15 @@ mod tests {
     fn comments_and_blank_lines_are_skipped() {
         let csv = format!("{DEMAND_HEADER}\n# a comment\n\n203.0.113.0/24,1,5\n");
         assert_eq!(parse_demand(&csv).expect("valid").len(), 1);
+    }
+
+    #[test]
+    fn ip_list_parses_both_families_with_line_numbers() {
+        let ips = parse_ip_list("# probes\n203.0.113.5\n\n2001:db8::1\n").expect("valid");
+        assert_eq!(ips.len(), 2);
+        assert_eq!(ips[0], cellserve::IpKey::V4(0xCB00_7105));
+        let e = parse_ip_list("203.0.113.5\nnot-an-ip\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("not-an-ip"), "{e}");
     }
 }

@@ -27,6 +27,8 @@ fn main() {
         "identify-as" => identify_as(rest),
         "validate" => validate(rest),
         "stats" => stats(rest),
+        "index" => index(rest),
+        "lookup" => lookup(rest),
         "--help" | "-h" | "help" => {
             usage("");
         }
@@ -71,6 +73,19 @@ fn load_datasets(
     let demand = io::parse_demand(&read(&required(args, "--demand")?)?)
         .map_err(|e| CliError::Data(format!("demand: {e}")))?;
     Ok((beacons, demand))
+}
+
+/// Parse the shared `--threshold` knob (cellular-ratio cutoff in 0..1).
+fn parse_threshold(args: &[String]) -> Result<Option<f64>, CliError> {
+    match flag_value(args, "--threshold") {
+        Some(t) => Ok(Some(
+            t.parse::<f64>()
+                .ok()
+                .filter(|t| (0.0..=1.0).contains(t))
+                .ok_or_else(|| CliError::Usage("bad --threshold (expected 0..1)".into()))?,
+        )),
+        None => Ok(None),
+    }
 }
 
 /// Apply the shared `--threads` knob: flag beats `CELLSPOT_THREADS`
@@ -212,15 +227,7 @@ fn stream(args: &[String]) -> CmdResult {
         .map(|v| v.parse())
         .transpose()
         .map_err(|_| CliError::Usage("bad --stop-after-epoch".into()))?;
-    let threshold = match flag_value(args, "--threshold") {
-        Some(t) => Some(
-            t.parse::<f64>()
-                .ok()
-                .filter(|t| (0.0..=1.0).contains(t))
-                .ok_or_else(|| CliError::Usage("bad --threshold (expected 0..1)".into()))?,
-        ),
-        None => None,
-    };
+    let threshold = parse_threshold(args)?;
     let retain: usize = flag_value(args, "--retain")
         .map(|v| v.parse())
         .transpose()
@@ -390,15 +397,7 @@ fn write_stream_outputs(
 fn classify(args: &[String]) -> CmdResult {
     setup_threads(args)?;
     let (beacons, demand) = load_datasets(args)?;
-    let threshold = match flag_value(args, "--threshold") {
-        Some(t) => Some(
-            t.parse::<f64>()
-                .ok()
-                .filter(|t| (0.0..=1.0).contains(t))
-                .ok_or_else(|| CliError::Usage("bad --threshold (expected 0..1)".into()))?,
-        ),
-        None => None,
-    };
+    let threshold = parse_threshold(args)?;
     let metrics = parse_metrics(args)?;
     let obs = observer_for(&metrics);
     let (csv, n) = commands::classify(&beacons, &demand, threshold, &obs)?;
@@ -464,6 +463,68 @@ fn stats(args: &[String]) -> CmdResult {
     Ok(())
 }
 
+/// `index build`: freeze the classification into a sealed serving
+/// artifact file.
+fn index(args: &[String]) -> CmdResult {
+    match args.first().map(String::as_str) {
+        Some("build") => {}
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "unknown index subcommand {other:?} (expected build)"
+            )))
+        }
+        None => {
+            return Err(CliError::Usage(
+                "missing index subcommand (expected build)".into(),
+            ))
+        }
+    }
+    let args = &args[1..];
+    setup_threads(args)?;
+    let (beacons, demand) = load_datasets(args)?;
+    let threshold = parse_threshold(args)?;
+    let out = PathBuf::from(required(args, "--out")?);
+    let metrics = parse_metrics(args)?;
+    let obs = observer_for(&metrics);
+    let (bytes, summary) = commands::index_build(&beacons, &demand, threshold, &obs)?;
+    // Same crash-safe sequence the checkpoint store uses: temp file →
+    // fsync → rename → parent-dir fsync. A serving artifact must never
+    // be observable half-written.
+    cellstream::write_atomic_bytes(&out, &bytes)
+        .map_err(|e| CliError::Io(format!("{}: {e}", out.display())))?;
+    eprint!("{summary}");
+    eprintln!("artifact → {}", out.display());
+    write_metrics(&metrics, &obs)?;
+    Ok(())
+}
+
+/// `lookup`: batch longest-prefix-match queries against a sealed
+/// artifact. A corrupt or truncated artifact is bad data (exit 4), not
+/// an I/O failure.
+fn lookup(args: &[String]) -> CmdResult {
+    setup_threads(args)?;
+    let index_path = required(args, "--index")?;
+    let artifact = fs::read(&index_path).map_err(|e| CliError::Io(format!("{index_path}: {e}")))?;
+    let frozen = cellserve::from_bytes(&artifact)
+        .map_err(|e| CliError::Data(format!("{index_path}: {e}")))?;
+    let ips_path = required(args, "--ips")?;
+    let queries = io::parse_ip_list(&read(&ips_path)?)
+        .map_err(|e| CliError::Data(format!("{ips_path}: {e}")))?;
+    let metrics = parse_metrics(args)?;
+    let obs = observer_for(&metrics);
+    let (csv, summary) = commands::lookup_batch(&frozen, &queries, &obs);
+    match flag_value(args, "--out") {
+        Some(path) => {
+            write(&PathBuf::from(&path), &csv)?;
+            eprintln!("lookup results → {path}");
+        }
+        None => print!("{csv}"),
+    }
+    eprint!("{summary}");
+    write_metrics(&metrics, &obs)?;
+    Ok(())
+}
+
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}\n");
@@ -480,10 +541,13 @@ fn usage(err: &str) -> ! {
            identify-as --beacons F --demand F --asdb F [--min-du X] [--min-hits N] [--out F]\n\
            validate    --beacons F --demand F --ground-truth F [--sweep]\n\
            stats       --beacons F --demand F --asdb F\n\
+           index build --beacons F --demand F [--threshold T] --out ARTIFACT\n\
+           lookup      --index ARTIFACT --ips F [--out F]\n\
          \n\
          global flags:\n\
            --threads N                 pin the rayon pool (flag > CELLSPOT_THREADS > auto)\n\
-           --metrics FILE              export observability metrics (classify, stream)\n\
+           --metrics FILE              export observability metrics (classify, stream,\n\
+                                       index build, lookup)\n\
            --metrics-format json|prometheus   export format (default json)\n\
          \n\
          exit codes: 2 usage, 3 I/O, 4 bad data, 5 pipeline, 6 streaming\n\

@@ -1,6 +1,7 @@
 //! End-to-end tests of the `cellspot` binary: synth → classify →
 //! identify-as → validate → stats, via real process invocations, plus
-//! error-path behaviour (bad flags, malformed CSV).
+//! the serving path (index build → lookup, corrupted-artifact
+//! rejection) and error-path behaviour (bad flags, malformed CSV).
 
 use std::path::PathBuf;
 use std::process::{Command, Output};
@@ -365,6 +366,169 @@ fn error_paths_are_clean() {
     // --help exits 0.
     let out = run(&["--help"]);
     assert!(out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn index_build_and_lookup_roundtrip() {
+    let dir = tmpdir("serving");
+    let data = dir.join("data");
+    let data_s = data.to_str().expect("utf8");
+    assert!(run(&["synth", "--scale", "mini", "--out", data_s])
+        .status
+        .success());
+    let beacons = data.join("beacons.csv");
+    let demand = data.join("demand.csv");
+    let (b, d) = (
+        beacons.to_str().expect("utf8"),
+        demand.to_str().expect("utf8"),
+    );
+
+    // Freeze the classification into a sealed artifact.
+    let artifact = dir.join("cells.idx");
+    let art_s = artifact.to_str().expect("utf8");
+    let out = run(&[
+        "index",
+        "build",
+        "--beacons",
+        b,
+        "--demand",
+        d,
+        "--out",
+        art_s,
+    ]);
+    assert!(out.status.success(), "index build failed: {out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("frozen"), "build summary: {stderr}");
+    let sealed = std::fs::read(&artifact).expect("artifact written");
+    assert!(!sealed.is_empty());
+
+    // A cellular block from `classify` must resolve through `lookup`;
+    // 192.0.2.1 (TEST-NET-1, never generated) must miss.
+    let out = run(&["classify", "--beacons", b, "--demand", d]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    let hit_net = stdout
+        .lines()
+        .skip(1)
+        .find(|l| !l.contains(':'))
+        .and_then(|l| l.split(',').next())
+        .expect("a v4 cellular block")
+        .to_string();
+    let hit_ip = hit_net.split('/').next().expect("cidr has an address");
+    let ips = dir.join("ips.txt");
+    std::fs::write(&ips, format!("# probes\n{hit_ip}\n192.0.2.1\n")).expect("write");
+    let metrics = dir.join("metrics.json");
+    let out = run(&[
+        "lookup",
+        "--index",
+        art_s,
+        "--ips",
+        ips.to_str().expect("utf8"),
+        "--metrics",
+        metrics.to_str().expect("utf8"),
+    ]);
+    assert!(out.status.success(), "lookup failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("ip,prefix,asn,class\n"), "{stdout}");
+    assert!(
+        stdout.contains(&format!("{hit_ip},{hit_net},")),
+        "hit row names its prefix: {stdout}"
+    );
+    assert!(stdout.contains("192.0.2.1,-,-,-"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("2 lookups: 1 matched"), "{stderr}");
+    let exported = std::fs::read_to_string(&metrics).expect("metrics written");
+    assert!(exported.contains("serve.lookups"), "{exported}");
+
+    // Lookup results land in a file with --out.
+    let results = dir.join("results.csv");
+    let out = run(&[
+        "lookup",
+        "--index",
+        art_s,
+        "--ips",
+        ips.to_str().expect("utf8"),
+        "--out",
+        results.to_str().expect("utf8"),
+    ]);
+    assert!(out.status.success(), "lookup --out failed: {out:?}");
+    assert!(std::fs::read_to_string(&results)
+        .expect("results written")
+        .contains(&hit_net));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_artifacts_are_rejected_as_bad_data() {
+    let dir = tmpdir("corrupt_artifact");
+    let data = dir.join("data");
+    assert!(run(&[
+        "synth",
+        "--scale",
+        "mini",
+        "--out",
+        data.to_str().expect("utf8")
+    ])
+    .status
+    .success());
+    let artifact = dir.join("cells.idx");
+    let art_s = artifact.to_str().expect("utf8");
+    assert!(run(&[
+        "index",
+        "build",
+        "--beacons",
+        data.join("beacons.csv").to_str().expect("utf8"),
+        "--demand",
+        data.join("demand.csv").to_str().expect("utf8"),
+        "--out",
+        art_s,
+    ])
+    .status
+    .success());
+    let ips = dir.join("ips.txt");
+    std::fs::write(&ips, "192.0.2.1\n").expect("write");
+    let ips_s = ips.to_str().expect("utf8");
+
+    // Flip one byte in the middle: exit 4 (bad data), precise error.
+    let sealed = std::fs::read(&artifact).expect("artifact");
+    let mut torn = sealed.clone();
+    let mid = torn.len() / 2;
+    torn[mid] ^= 0x40;
+    std::fs::write(&artifact, &torn).expect("rewrite");
+    let out = run(&["lookup", "--index", art_s, "--ips", ips_s]);
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "corruption is bad data: {out:?}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("corrupt artifact"), "{stderr}");
+
+    // Truncation is rejected the same way.
+    std::fs::write(&artifact, &sealed[..sealed.len() - 7]).expect("rewrite");
+    let out = run(&["lookup", "--index", art_s, "--ips", ips_s]);
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "truncation is bad data: {out:?}"
+    );
+
+    // Restore the good artifact: a malformed IP line is also exit 4,
+    // with its line number.
+    std::fs::write(&artifact, &sealed).expect("restore");
+    std::fs::write(&ips, "192.0.2.1\nnot-an-ip\n").expect("write");
+    let out = run(&["lookup", "--index", art_s, "--ips", ips_s]);
+    assert_eq!(out.status.code(), Some(4), "bad IP is bad data: {out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 2"));
+
+    // Usage errors stay exit 2.
+    let out = run(&["index", "frobnicate"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = run(&["lookup", "--ips", ips_s]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -12,6 +12,8 @@
 //! * [`cellspot`] — the paper's methodology: classification and analyses.
 //! * [`cellstream`] — streaming ingest: sharded incremental aggregation,
 //!   sketches, and checkpoint/restore over the event stream.
+//! * [`cellserve`] — serving: the sealed classification artifact, the
+//!   frozen flat-array LPM index, and the batch query engine.
 //! * [`cellobs`] — zero-dependency observability: spans, counters, gauges,
 //!   histograms, and the JSON/Prometheus exporters.
 //! * [`report`] — tables, figure series, and rendering.
@@ -34,6 +36,7 @@
 pub use asdb;
 pub use cdnsim;
 pub use cellobs;
+pub use cellserve;
 pub use cellspot;
 pub use cellstream;
 pub use dnssim;
