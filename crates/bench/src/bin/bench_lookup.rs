@@ -25,12 +25,10 @@ use std::fs;
 use std::path::PathBuf;
 use std::time::Instant;
 
-use bench::config_for_scale;
+use bench::{config_for_scale, query_mix};
 use cellserve::{BatchStats, FrozenIndex, IpKey, QueryEngine};
 use cellspot::{aggregate_by_as, MixedAnalysis, Pipeline, DEDICATED_CFD};
-use netaddr::{Asn, BlockId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use netaddr::Asn;
 
 fn main() {
     let mut scale = "mini".to_string();
@@ -142,6 +140,7 @@ fn main() {
             "matched": single_stats.matched,
             "cache_hits": single_stats.cache_hits,
             "cache_misses": single_stats.cache_misses,
+            "uncached": single_stats.uncached,
         },
     });
     fs::write(
@@ -156,40 +155,6 @@ fn main() {
         multi_rate / single_rate.max(1e-9),
         out.display()
     );
-}
-
-/// A deterministic query mix: ~70% addresses inside classified cellular
-/// blocks (varied host offsets, so repeated blocks still exercise the
-/// per-chunk cache) and ~30% TEST-NET / random misses, shuffled by a
-/// seeded RNG so every run of the same scale+seed replays byte-identical
-/// queries.
-fn query_mix(class: &cellspot::Classification, lookups: usize, seed: u64) -> Vec<IpKey> {
-    let mut v4_blocks = Vec::new();
-    let mut v6_blocks = Vec::new();
-    for (block, _) in class.iter() {
-        match block {
-            BlockId::V4(b) => v4_blocks.push(b),
-            BlockId::V6(b) => v6_blocks.push(b),
-        }
-    }
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xB37C_5E11);
-    let mut queries = Vec::with_capacity(lookups);
-    for _ in 0..lookups {
-        let roll: f64 = rng.gen();
-        if roll < 0.55 && !v4_blocks.is_empty() {
-            let b = v4_blocks[rng.gen_range(0..v4_blocks.len())];
-            queries.push(IpKey::V4(b.addr(rng.gen())));
-        } else if roll < 0.70 && !v6_blocks.is_empty() {
-            let b = v6_blocks[rng.gen_range(0..v6_blocks.len())];
-            queries.push(IpKey::V6(b.addr(rng.gen(), rng.gen())));
-        } else if roll < 0.85 {
-            // TEST-NET-1: never generated, guaranteed miss.
-            queries.push(IpKey::V4(0xC000_0200 | rng.gen_range(0u32..256)));
-        } else {
-            queries.push(IpKey::V4(rng.gen()));
-        }
-    }
-    queries
 }
 
 /// Run the batch once to warm up, then time it in a private pool pinned

@@ -83,6 +83,39 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(usize, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// Upper-bound estimate of the `q`-quantile (`q` in `[0, 1]`,
+    /// clamped): the inclusive upper bound of the bucket where the
+    /// cumulative count first reaches `ceil(q * count)`. With
+    /// power-of-two buckets the estimate is within 2× of the true
+    /// value — the right resolution for latency percentiles (p50, p99,
+    /// p999) where order of magnitude matters and exactness does not.
+    ///
+    /// Returns `None` for an empty histogram; values in the overflow
+    /// bucket report `u64::MAX`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(bucket, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return Some(if bucket >= HISTOGRAM_BUCKETS - 1 {
+                    u64::MAX
+                } else {
+                    1u64 << bucket
+                });
+            }
+        }
+        // Unreachable when bucket counts sum to `count`; be permissive
+        // about snapshots taken mid-record under relaxed atomics.
+        Some(u64::MAX)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,6 +145,42 @@ mod tests {
         assert_eq!(bucket_bound_label(10), "1024");
         assert_eq!(bucket_bound_label(63), (1u64 << 63).to_string());
         assert_eq!(bucket_bound_label(64), "+Inf");
+    }
+
+    #[test]
+    fn quantiles_report_bucket_upper_bounds() {
+        // 100 values: 90 land in bucket 3 (≤8), 9 in bucket 6 (≤64),
+        // 1 in bucket 10 (≤1024).
+        let mut buckets = vec![(3, 90u64), (6, 9), (10, 1)];
+        let snap = HistogramSnapshot {
+            count: 100,
+            sum: 0,
+            buckets: buckets.clone(),
+        };
+        assert_eq!(snap.quantile(0.0), Some(8), "q=0 is the first bucket");
+        assert_eq!(snap.quantile(0.5), Some(8));
+        assert_eq!(snap.quantile(0.9), Some(8), "rank 90 is still bucket 3");
+        assert_eq!(snap.quantile(0.99), Some(64));
+        assert_eq!(snap.quantile(0.999), Some(1024));
+        assert_eq!(snap.quantile(1.0), Some(1024));
+        assert_eq!(snap.quantile(2.0), Some(1024), "clamped above 1");
+
+        // Overflow bucket reports u64::MAX.
+        buckets.push((HISTOGRAM_BUCKETS - 1, 1));
+        let snap = HistogramSnapshot {
+            count: 101,
+            sum: 0,
+            buckets,
+        };
+        assert_eq!(snap.quantile(1.0), Some(u64::MAX));
+
+        // Empty histogram has no quantiles.
+        let empty = HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: Vec::new(),
+        };
+        assert_eq!(empty.quantile(0.5), None);
     }
 
     #[test]

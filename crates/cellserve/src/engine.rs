@@ -9,10 +9,13 @@
 //! depend only on the query list — never on the thread count — the
 //! result vector and every counter ([`BatchStats`], and the
 //! `serve.lookups` / `serve.matched` / `serve.cache.hits` /
-//! `serve.cache.misses` observer counters) are identical at any pool
-//! width. Only the `serve.lookup.ns` latency histogram reads the wall
-//! clock and sits outside the contract, like every other duration in
-//! the workspace's observability layer.
+//! `serve.cache.misses` / `serve.cache.uncached` observer counters) are
+//! identical at any pool width. Only the `serve.lookup.ns` latency
+//! histogram reads the wall clock and sits outside the contract, like
+//! every other duration in the workspace's observability layer — but its
+//! *sample count* is deterministic: exactly one sample per lookup, so
+//! exported percentiles are distributions of real per-lookup latencies,
+//! never of per-chunk means.
 //!
 //! The cache key is the queried address masked to the family's
 //! *longest* served prefix length: two addresses equal under that mask
@@ -103,7 +106,9 @@ pub struct LookupMatch {
 }
 
 /// Deterministic batch counters (see the module docs for the
-/// contract). `cache_hits + cache_misses == lookups` always holds.
+/// contract). `cache_hits + cache_misses + uncached == lookups` always
+/// holds: every lookup either consulted a chunk cache (hit or miss) or
+/// targeted a family with no served prefixes at all (`uncached`).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BatchStats {
     /// Addresses looked up.
@@ -112,8 +117,13 @@ pub struct BatchStats {
     pub matched: u64,
     /// Lookups answered from a chunk's hot-block cache.
     pub cache_hits: u64,
-    /// Lookups that walked the index (and populated the cache).
+    /// Lookups that consulted the cache, missed, and walked the index
+    /// (populating the cache).
     pub cache_misses: u64,
+    /// Lookups against a family with no served prefixes: a guaranteed
+    /// non-match that never consults the cache, accounted separately so
+    /// miss counters measure real cache behaviour.
+    pub uncached: u64,
 }
 
 impl BatchStats {
@@ -122,6 +132,7 @@ impl BatchStats {
         self.matched += other.matched;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.uncached += other.uncached;
     }
 }
 
@@ -185,17 +196,24 @@ impl<'a> QueryEngine<'a> {
         self.obs
             .counter("serve.cache.misses")
             .add(stats.cache_misses);
+        self.obs.counter("serve.cache.uncached").add(stats.uncached);
         (results, stats)
     }
 
     fn run_chunk(&self, chunk: &[IpKey]) -> (Vec<Option<LookupMatch>>, BatchStats) {
-        let start = Instant::now();
+        // Per-lookup latency sampling: one histogram sample per lookup,
+        // so percentiles describe lookups, not chunk means. The clock is
+        // only read when an observer is attached, keeping the
+        // unobserved hot path branch-predictable and clock-free.
+        let timed = self.obs.is_enabled();
+        let latency = self.obs.histogram("serve.lookup.ns");
         let mut stats = BatchStats::default();
         let mut v4_cache: Vec<CacheSlot<u32>> = vec![None; CACHE_SLOTS];
         let mut v6_cache: Vec<CacheSlot<u128>> = vec![None; CACHE_SLOTS];
         let mut out = Vec::with_capacity(chunk.len());
         for &ip in chunk {
             stats.lookups += 1;
+            let start = timed.then(Instant::now);
             let hit =
                 match ip {
                     IpKey::V4(a) => cached_lookup(&self.index.v4, &mut v4_cache, a, &mut stats)
@@ -213,12 +231,11 @@ impl<'a> QueryEngine<'a> {
                             label: self.index.label(idx),
                         }),
                 };
+            if let Some(t0) = start {
+                latency.record(t0.elapsed().as_nanos() as u64);
+            }
             stats.matched += hit.is_some() as u64;
             out.push(hit);
-        }
-        if self.obs.is_enabled() && !chunk.is_empty() {
-            let per_lookup_ns = start.elapsed().as_nanos() as u64 / chunk.len() as u64;
-            self.obs.histogram("serve.lookup.ns").record(per_lookup_ns);
         }
         (out, stats)
     }
@@ -234,9 +251,11 @@ fn cached_lookup<K: PrefixKey>(
     stats: &mut BatchStats,
 ) -> Option<(u8, u32)> {
     let Some(top_len) = fam.longest_len() else {
-        // No served prefixes in this family: nothing to cache, every
-        // lookup is a (deterministic) miss.
-        stats.cache_misses += 1;
+        // No served prefixes in this family: the cache is never
+        // consulted (there is nothing it could answer), so account the
+        // lookup as `uncached` rather than inflating the miss counter
+        // with lookups the cache never saw.
+        stats.uncached += 1;
         return None;
     };
     let key = addr.and(K::mask(top_len));
@@ -305,7 +324,11 @@ mod tests {
             assert_eq!(*r, engine.lookup(*q), "batch diverges on {q}");
         }
         assert_eq!(stats.lookups, queries.len() as u64);
-        assert_eq!(stats.cache_hits + stats.cache_misses, stats.lookups);
+        assert_eq!(
+            stats.cache_hits + stats.cache_misses + stats.uncached,
+            stats.lookups
+        );
+        assert_eq!(stats.uncached, 0, "both families serve prefixes here");
         assert!(stats.matched > 0);
     }
 
@@ -339,7 +362,46 @@ mod tests {
         assert_eq!(snap.counters["serve.matched"], stats.matched);
         assert_eq!(snap.counters["serve.cache.hits"], stats.cache_hits);
         assert_eq!(snap.counters["serve.cache.misses"], stats.cache_misses);
+        assert_eq!(snap.counters["serve.cache.uncached"], stats.uncached);
         assert!(snap.histograms.contains_key("serve.lookup.ns"));
+    }
+
+    /// Regression test for the per-chunk-mean bug: `serve.lookup.ns`
+    /// used to record `elapsed / chunk.len()` once per chunk, so the
+    /// histogram held one truncated mean per 1024 lookups and its tail
+    /// percentiles were meaningless. The contract is now one sample per
+    /// lookup, at any thread count.
+    #[test]
+    fn latency_histogram_has_one_sample_per_lookup() {
+        let index = engine_index();
+        // Span several chunks, mix hits/misses and both families.
+        let queries: Vec<IpKey> = (0..(3 * QUERY_CHUNK as u32 + 17))
+            .map(|i| {
+                if i % 7 == 0 {
+                    IpKey::V6(0x2001_0db8_0000_0000_0000_0000_0000_0000 + i as u128)
+                } else {
+                    IpKey::V4(i.wrapping_mul(0x9E37_79B9))
+                }
+            })
+            .collect();
+        for threads in [1usize, 4] {
+            let obs = Observer::enabled();
+            let engine = QueryEngine::new(&index).with_observer(obs.clone());
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("build rayon pool");
+            let (results, stats) = pool.install(|| engine.run(&queries));
+            assert_eq!(results.len(), queries.len());
+            let snap = obs.snapshot();
+            let hist = &snap.histograms["serve.lookup.ns"];
+            assert_eq!(
+                hist.count,
+                queries.len() as u64,
+                "one latency sample per lookup at {threads} thread(s)"
+            );
+            assert_eq!(hist.count, stats.lookups);
+        }
     }
 
     #[test]
@@ -353,6 +415,10 @@ mod tests {
         let queries = [IpKey::V4(1), IpKey::V6(2)];
         let (results, stats) = QueryEngine::new(&empty).run(&queries);
         assert!(results.iter().all(|r| r.is_none()));
-        assert_eq!(stats.cache_misses, 2);
+        // Empty families never consult the cache: these are uncached
+        // lookups, not cache misses.
+        assert_eq!(stats.cache_misses, 0);
+        assert_eq!(stats.uncached, 2);
+        assert_eq!(stats.lookups, 2);
     }
 }

@@ -1,0 +1,208 @@
+//! Request coalescing: a bounded queue that turns many concurrent small
+//! requests into shared [`cellserve::QUERY_CHUNK`]-sized batches.
+//!
+//! Connection handlers push one [`Pending`] per query and block while
+//! the queue is at capacity (backpressure instead of unbounded memory).
+//! Worker threads pull batches: a worker wakes on the first pending
+//! query, then lingers up to `max_linger` for more to arrive, so a burst
+//! of single-query requests shares one engine chunk — and one pass over
+//! the hot-block cache — instead of paying per-request setup. A full
+//! chunk ends the linger early.
+//!
+//! Shutdown is graceful by construction: after [`BatchQueue::shutdown`]
+//! new pushes fail with [`ServedError::ShuttingDown`], but
+//! [`BatchQueue::next_batch`] keeps returning batches until the queue is
+//! drained, so every accepted query is answered before workers exit.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use cellserve::{IpKey, LookupMatch};
+
+use crate::error::ServedError;
+
+/// One query waiting for a shared batch.
+pub(crate) struct Pending {
+    /// The address to look up.
+    pub ip: IpKey,
+    /// The caller's position in its own request, so multi-query
+    /// requests reassemble answers in order regardless of batching.
+    pub slot: usize,
+    /// Where the worker sends `(slot, answer)`.
+    pub tx: Sender<(usize, Option<LookupMatch>)>,
+    /// When the query entered the queue, for wait-latency accounting.
+    pub enqueued: Instant,
+}
+
+struct QueueState {
+    pending: VecDeque<Pending>,
+    shutdown: bool,
+}
+
+/// Bounded multi-producer queue with linger-based batch formation.
+pub(crate) struct BatchQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    max_linger: Duration,
+}
+
+impl BatchQueue {
+    pub fn new(capacity: usize, max_linger: Duration) -> Self {
+        BatchQueue {
+            state: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                shutdown: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+            max_linger,
+        }
+    }
+
+    /// Enqueue one query, blocking while the queue is at capacity.
+    pub fn push(&self, p: Pending) -> Result<(), ServedError> {
+        let mut state = self.state.lock().expect("batch queue poisoned");
+        while state.pending.len() >= self.capacity && !state.shutdown {
+            state = self
+                .not_full
+                .wait(state)
+                .expect("batch queue poisoned");
+        }
+        if state.shutdown {
+            return Err(ServedError::ShuttingDown);
+        }
+        state.pending.push_back(p);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Block until at least one query is pending, linger up to
+    /// `max_linger` (or until `max` queries accumulate), then drain up
+    /// to `max` queries. Returns `None` only when the queue is shut down
+    /// *and* empty — the drain guarantee.
+    pub fn next_batch(&self, max: usize) -> Option<Vec<Pending>> {
+        let mut state = self.state.lock().expect("batch queue poisoned");
+        while state.pending.is_empty() {
+            if state.shutdown {
+                return None;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .expect("batch queue poisoned");
+        }
+        // Linger: give concurrent requests a bounded window to join
+        // this batch. Skipped entirely once shutdown begins.
+        let deadline = Instant::now() + self.max_linger;
+        while state.pending.len() < max && !state.shutdown {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (next, timeout) = self
+                .not_empty
+                .wait_timeout(state, deadline - now)
+                .expect("batch queue poisoned");
+            state = next;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        let take = state.pending.len().min(max);
+        let batch: Vec<Pending> = state.pending.drain(..take).collect();
+        drop(state);
+        self.not_full.notify_all();
+        Some(batch)
+    }
+
+    /// Reject new pushes and wake every waiter so workers can drain.
+    pub fn shutdown(&self) {
+        let mut state = self.state.lock().expect("batch queue poisoned");
+        state.shutdown = true;
+        drop(state);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::sync::Arc;
+
+    fn pending(ip: u32, slot: usize, tx: &Sender<(usize, Option<LookupMatch>)>) -> Pending {
+        Pending {
+            ip: IpKey::V4(ip),
+            slot,
+            tx: tx.clone(),
+            enqueued: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn batches_coalesce_pending_queries() {
+        let q = BatchQueue::new(16, Duration::from_millis(1));
+        let (tx, _rx) = mpsc::channel();
+        for i in 0..3 {
+            q.push(pending(i, i as usize, &tx)).expect("queue open");
+        }
+        let batch = q.next_batch(1024).expect("queue not shut down");
+        assert_eq!(batch.len(), 3, "all pending queries share one batch");
+        assert_eq!(batch[2].slot, 2);
+    }
+
+    #[test]
+    fn max_caps_a_batch_and_the_rest_waits() {
+        let q = BatchQueue::new(16, Duration::from_millis(1));
+        let (tx, _rx) = mpsc::channel();
+        for i in 0..5 {
+            q.push(pending(i, i as usize, &tx)).expect("queue open");
+        }
+        assert_eq!(q.next_batch(4).expect("first batch").len(), 4);
+        assert_eq!(q.next_batch(4).expect("second batch").len(), 1);
+    }
+
+    #[test]
+    fn shutdown_drains_then_ends() {
+        let q = BatchQueue::new(16, Duration::from_millis(50));
+        let (tx, _rx) = mpsc::channel();
+        q.push(pending(1, 0, &tx)).expect("queue open");
+        q.push(pending(2, 1, &tx)).expect("queue open");
+        q.shutdown();
+        assert!(matches!(
+            q.push(pending(3, 2, &tx)),
+            Err(ServedError::ShuttingDown)
+        ));
+        // Accepted queries still come out (no linger after shutdown)…
+        assert_eq!(q.next_batch(1024).expect("drain batch").len(), 2);
+        // …and only then does the queue report exhaustion.
+        assert!(q.next_batch(1024).is_none());
+    }
+
+    #[test]
+    fn full_queue_blocks_until_space_frees() {
+        let q = Arc::new(BatchQueue::new(2, Duration::from_millis(1)));
+        let (tx, _rx) = mpsc::channel();
+        q.push(pending(1, 0, &tx)).expect("queue open");
+        q.push(pending(2, 1, &tx)).expect("queue open");
+
+        let q2 = Arc::clone(&q);
+        let tx2 = tx.clone();
+        let pusher = std::thread::spawn(move || q2.push(pending(3, 2, &tx2)));
+        // The blocked producer gets through once a batch drains.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.next_batch(2).expect("drain").len(), 2);
+        pusher
+            .join()
+            .expect("pusher thread")
+            .expect("push succeeds after space frees");
+        assert_eq!(q.next_batch(2).expect("third").len(), 1);
+    }
+}

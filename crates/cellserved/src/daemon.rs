@@ -1,0 +1,325 @@
+//! The daemon itself: listeners, batch workers, reload watcher, and the
+//! shutdown choreography that drains them in order.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cellobs::{ObsSnapshot, Observer};
+use cellserve::{FrozenIndex, IpKey, LookupMatch, QueryEngine, QUERY_CHUNK};
+
+use crate::batcher::{BatchQueue, Pending};
+use crate::error::ServedError;
+use crate::generation::GenerationStore;
+use crate::reload;
+
+/// Tunables for one daemon instance.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// `host:port` for the HTTP endpoint; `None` disables it. Use port
+    /// 0 to let the OS pick (see [`Daemon::http_addr`]).
+    pub http_listen: Option<String>,
+    /// `host:port` for the framed TCP endpoint; `None` disables it.
+    pub tcp_listen: Option<String>,
+    /// Batch worker threads pulling from the shared queue.
+    pub workers: usize,
+    /// Queued-query capacity before producers block (backpressure).
+    pub queue_depth: usize,
+    /// How long a worker lingers for more queries before running a
+    /// partial batch. Zero means "run whatever is there immediately".
+    pub max_linger: Duration,
+    /// Watch the artifact path and hot-swap validated replacements.
+    pub reload_watch: bool,
+    /// Poll interval for the reload watcher.
+    pub reload_poll: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            http_listen: None,
+            tcp_listen: None,
+            workers: 2,
+            queue_depth: 64 * QUERY_CHUNK,
+            max_linger: Duration::from_micros(200),
+            reload_watch: false,
+            reload_poll: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Shared state every connection handler and worker sees.
+pub(crate) struct Ctx {
+    pub store: Arc<GenerationStore>,
+    pub queue: Arc<BatchQueue>,
+    pub obs: Observer,
+}
+
+/// Push `ips` through the shared batcher and reassemble the answers in
+/// request order. Used by both the HTTP and TCP handlers, so every
+/// endpoint benefits from coalescing.
+pub(crate) fn lookup_via_batcher(
+    ctx: &Ctx,
+    ips: Vec<IpKey>,
+) -> Result<Vec<Option<LookupMatch>>, ServedError> {
+    let n = ips.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let (tx, rx) = mpsc::channel();
+    for (slot, ip) in ips.into_iter().enumerate() {
+        ctx.queue.push(Pending {
+            ip,
+            slot,
+            tx: tx.clone(),
+            enqueued: Instant::now(),
+        })?;
+    }
+    drop(tx);
+    let mut out: Vec<Option<LookupMatch>> = vec![None; n];
+    for _ in 0..n {
+        // Workers answer every drained query before exiting, so a
+        // closed channel here means queries were lost to a dying daemon.
+        let (slot, answer) = rx.recv().map_err(|_| ServedError::ShuttingDown)?;
+        out[slot] = answer;
+    }
+    Ok(out)
+}
+
+#[derive(Clone, Copy)]
+enum Endpoint {
+    Http,
+    Tcp,
+}
+
+/// A running lookup daemon. Dropping it without calling
+/// [`shutdown`](Daemon::shutdown) leaves threads running; always shut
+/// down for a clean exit and the final metrics snapshot.
+pub struct Daemon {
+    store: Arc<GenerationStore>,
+    queue: Arc<BatchQueue>,
+    obs: Observer,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    http_addr: Option<SocketAddr>,
+    tcp_addr: Option<SocketAddr>,
+    artifact_path: Option<PathBuf>,
+}
+
+impl Daemon {
+    /// Read, validate, and serve a sealed artifact file.
+    pub fn start(config: ServeConfig, artifact: &Path, obs: Observer) -> Result<Daemon, ServedError> {
+        // Fingerprint before reading: if the file is replaced between
+        // the read and the watcher's first poll, the change is seen.
+        let initial = reload::fingerprint(artifact);
+        let bytes = std::fs::read(artifact)?;
+        let index = cellserve::from_bytes(&bytes)?;
+        Self::start_inner(
+            config,
+            index,
+            bytes.len() as u64,
+            Some((artifact.to_path_buf(), initial)),
+            obs,
+        )
+    }
+
+    /// Serve an index built in-process (no artifact file, no reload).
+    pub fn start_with_index(
+        config: ServeConfig,
+        index: FrozenIndex,
+        obs: Observer,
+    ) -> Result<Daemon, ServedError> {
+        Self::start_inner(config, index, 0, None, obs)
+    }
+
+    fn start_inner(
+        config: ServeConfig,
+        index: FrozenIndex,
+        artifact_bytes: u64,
+        artifact: Option<(PathBuf, Option<reload::Fingerprint>)>,
+        obs: Observer,
+    ) -> Result<Daemon, ServedError> {
+        if config.reload_watch && artifact.is_none() {
+            return Err(ServedError::Config(
+                "reload_watch requires an artifact path to watch".into(),
+            ));
+        }
+        let store = Arc::new(GenerationStore::new(index, artifact_bytes, obs.clone()));
+        let queue = Arc::new(BatchQueue::new(config.queue_depth, config.max_linger));
+        let ctx = Arc::new(Ctx {
+            store: Arc::clone(&store),
+            queue: Arc::clone(&queue),
+            obs: obs.clone(),
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let workers = config.workers.max(1);
+        obs.gauge("served.workers").set(workers as u64);
+        let mut threads = Vec::new();
+
+        for i in 0..workers {
+            let ctx = Arc::clone(&ctx);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("served-worker-{i}"))
+                    .spawn(move || worker_loop(&ctx))?,
+            );
+        }
+
+        let http_addr = match &config.http_listen {
+            Some(spec) => Some(Self::spawn_listener(
+                spec,
+                Endpoint::Http,
+                &ctx,
+                &shutdown,
+                &mut threads,
+            )?),
+            None => None,
+        };
+        let tcp_addr = match &config.tcp_listen {
+            Some(spec) => Some(Self::spawn_listener(
+                spec,
+                Endpoint::Tcp,
+                &ctx,
+                &shutdown,
+                &mut threads,
+            )?),
+            None => None,
+        };
+
+        let artifact_path = artifact.as_ref().map(|(p, _)| p.clone());
+        if config.reload_watch {
+            let (path, initial) = artifact.expect("checked above");
+            threads.push(reload::spawn_watcher(
+                path,
+                config.reload_poll,
+                initial,
+                Arc::clone(&store),
+                Arc::clone(&shutdown),
+            )?);
+        }
+
+        Ok(Daemon {
+            store,
+            queue,
+            obs,
+            shutdown,
+            threads,
+            http_addr,
+            tcp_addr,
+            artifact_path,
+        })
+    }
+
+    fn spawn_listener(
+        spec: &str,
+        endpoint: Endpoint,
+        ctx: &Arc<Ctx>,
+        shutdown: &Arc<AtomicBool>,
+        threads: &mut Vec<JoinHandle<()>>,
+    ) -> Result<SocketAddr, ServedError> {
+        let listener = TcpListener::bind(spec)?;
+        let addr = listener.local_addr()?;
+        let ctx = Arc::clone(ctx);
+        let shutdown = Arc::clone(shutdown);
+        let name = match endpoint {
+            Endpoint::Http => "served-http",
+            Endpoint::Tcp => "served-tcp",
+        };
+        threads.push(std::thread::Builder::new().name(name.into()).spawn(move || {
+            for conn in listener.incoming() {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let ctx = Arc::clone(&ctx);
+                // Handlers are detached: they finish their one
+                // connection on their own; accepted queries are still
+                // drained by the workers at shutdown.
+                let _ = std::thread::Builder::new()
+                    .name("served-conn".into())
+                    .spawn(move || match endpoint {
+                        Endpoint::Http => crate::http::handle(stream, &ctx),
+                        Endpoint::Tcp => crate::tcp::handle(stream, &ctx),
+                    });
+            }
+        })?);
+        Ok(addr)
+    }
+
+    /// Where the HTTP endpoint actually listens (resolves port 0).
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http_addr
+    }
+
+    /// Where the framed TCP endpoint actually listens.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The current artifact generation number.
+    pub fn generation(&self) -> u64 {
+        self.store.generation()
+    }
+
+    /// The daemon's observer (shared; snapshot any time).
+    pub fn observer(&self) -> &Observer {
+        &self.obs
+    }
+
+    /// Re-read the artifact path right now and swap if it validates.
+    /// Independent of the watcher — works whether or not `reload_watch`
+    /// is on, as long as the daemon was started from a file.
+    pub fn reload_now(&self) -> Result<u64, ServedError> {
+        let path = self.artifact_path.as_ref().ok_or_else(|| {
+            ServedError::Config("daemon was not started from an artifact file".into())
+        })?;
+        self.store.try_swap_path(path)
+    }
+
+    /// Graceful shutdown: stop accepting, drain every queued query,
+    /// join all threads, refresh the latency-quantile gauges, and hand
+    /// back the final metrics snapshot.
+    pub fn shutdown(mut self) -> ObsSnapshot {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Accept loops block in `accept`; a throwaway connection makes
+        // each one re-check the flag and exit.
+        for addr in [self.http_addr, self.tcp_addr].into_iter().flatten() {
+            let _ = TcpStream::connect(addr);
+        }
+        self.queue.shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        crate::refresh_latency_gauges(&self.obs);
+        self.obs.snapshot()
+    }
+}
+
+fn worker_loop(ctx: &Ctx) {
+    while let Some(batch) = ctx.queue.next_batch(QUERY_CHUNK) {
+        if batch.is_empty() {
+            continue;
+        }
+        ctx.obs.counter("served.batches").inc();
+        ctx.obs
+            .histogram("served.batch.fill")
+            .record(batch.len() as u64);
+        // Pin this batch to one generation; a concurrent swap only
+        // affects later batches.
+        let generation = ctx.store.current();
+        let engine = QueryEngine::new(&generation.index).with_observer(ctx.obs.clone());
+        let ips: Vec<IpKey> = batch.iter().map(|p| p.ip).collect();
+        let (answers, _) = engine.run(&ips);
+        let wait = ctx.obs.histogram("served.lookup.wait.ns");
+        for (p, answer) in batch.into_iter().zip(answers) {
+            wait.record(p.enqueued.elapsed().as_nanos() as u64);
+            // A handler that gave up (connection error) dropped its
+            // receiver; its answer is simply discarded.
+            let _ = p.tx.send((p.slot, answer));
+        }
+    }
+}

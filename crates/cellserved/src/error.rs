@@ -1,0 +1,75 @@
+//! Error type for the serving daemon.
+
+use std::fmt;
+
+use cellserve::ServeError;
+
+/// Why a daemon operation failed.
+#[derive(Debug)]
+pub enum ServedError {
+    /// A socket or file operation failed.
+    Io(std::io::Error),
+    /// An artifact failed validation (seal, structure, or version); see
+    /// [`cellserve::ServeError`] for the taxonomy.
+    Artifact(ServeError),
+    /// A peer sent bytes that do not follow the framing protocol.
+    Protocol(String),
+    /// The daemon is shutting down and no longer accepts new queries.
+    ShuttingDown,
+    /// The daemon configuration is inconsistent (e.g. `reload_watch`
+    /// without an artifact path to watch).
+    Config(String),
+}
+
+impl fmt::Display for ServedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServedError::Io(e) => write!(f, "i/o: {e}"),
+            ServedError::Artifact(e) => write!(f, "artifact: {e}"),
+            ServedError::Protocol(why) => write!(f, "protocol: {why}"),
+            ServedError::ShuttingDown => f.write_str("daemon is shutting down"),
+            ServedError::Config(why) => write!(f, "config: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ServedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServedError::Io(e) => Some(e),
+            ServedError::Artifact(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServedError {
+    fn from(e: std::io::Error) -> Self {
+        ServedError::Io(e)
+    }
+}
+
+impl From<ServeError> for ServedError {
+    fn from(e: ServeError) -> Self {
+        ServedError::Artifact(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        assert!(ServedError::Protocol("bad frame".into())
+            .to_string()
+            .contains("bad frame"));
+        assert!(ServedError::Artifact(ServeError::UnsupportedVersion(9))
+            .to_string()
+            .contains('9'));
+        assert!(ServedError::ShuttingDown
+            .to_string()
+            .contains("shutting down"));
+        assert!(ServedError::Config("x".into()).to_string().contains("x"));
+    }
+}

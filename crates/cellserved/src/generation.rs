@@ -1,0 +1,186 @@
+//! Artifact generations and the atomic swap that makes reloads
+//! zero-downtime.
+//!
+//! The daemon never mutates a served index. Instead it holds an
+//! [`Arc<Generation>`] behind an `RwLock`: lookups take a read lock just
+//! long enough to clone the `Arc` (nanoseconds), then run entirely on
+//! the immutable [`FrozenIndex`] snapshot they hold. A reload decodes
+//! and fully validates the candidate artifact *outside* any lock — seal,
+//! structure, and version, exactly the checks [`cellserve::from_bytes`]
+//! performs — and only then takes the write lock for a pointer swap.
+//! A corrupt, truncated, or newer-version candidate is rejected before
+//! the swap point, so the old generation keeps serving untouched;
+//! in-flight batches that cloned the old `Arc` finish on it and drop it
+//! when done.
+
+use std::path::Path;
+use std::sync::{Arc, RwLock};
+
+use cellobs::Observer;
+use cellserve::{FrozenIndex, ServeError};
+
+use crate::error::ServedError;
+
+/// One immutable, validated artifact generation.
+pub struct Generation {
+    /// The decoded index this generation serves.
+    pub index: Arc<FrozenIndex>,
+    /// Monotonic generation number, starting at 1 for the boot artifact.
+    pub number: u64,
+    /// Size of the sealed artifact this generation was decoded from
+    /// (0 when built in-process without serialization).
+    pub artifact_bytes: u64,
+}
+
+/// The daemon's current generation, swappable under live traffic.
+pub struct GenerationStore {
+    current: RwLock<Arc<Generation>>,
+    obs: Observer,
+}
+
+impl GenerationStore {
+    /// A store serving `index` as generation 1.
+    pub fn new(index: FrozenIndex, artifact_bytes: u64, obs: Observer) -> Self {
+        obs.gauge("served.generation").set(1);
+        GenerationStore {
+            current: RwLock::new(Arc::new(Generation {
+                index: Arc::new(index),
+                number: 1,
+                artifact_bytes,
+            })),
+            obs,
+        }
+    }
+
+    /// Read and validate a sealed artifact file into generation 1.
+    pub fn load(path: &Path, obs: Observer) -> Result<Self, ServedError> {
+        let bytes = std::fs::read(path)?;
+        let index = cellserve::from_bytes(&bytes)?;
+        Ok(Self::new(index, bytes.len() as u64, obs))
+    }
+
+    /// The generation serving right now. Callers keep the returned
+    /// `Arc` for the duration of one batch; a concurrent swap never
+    /// invalidates it.
+    pub fn current(&self) -> Arc<Generation> {
+        Arc::clone(&self.current.read().expect("generation lock poisoned"))
+    }
+
+    /// The current generation number.
+    pub fn generation(&self) -> u64 {
+        self.current().number
+    }
+
+    /// Validate candidate artifact bytes and, on success, atomically
+    /// swap them in as the next generation; returns its number. On any
+    /// validation failure (broken seal, structural violation past a
+    /// forged seal, unsupported version) the old generation keeps
+    /// serving and the `served.reload.rejected` counter is bumped.
+    pub fn try_swap_bytes(&self, bytes: &[u8]) -> Result<u64, ServeError> {
+        // Decode outside the lock: validation cost never stalls readers.
+        let index = match cellserve::from_bytes(bytes) {
+            Ok(index) => index,
+            Err(e) => {
+                self.obs.counter("served.reload.rejected").inc();
+                return Err(e);
+            }
+        };
+        let number = {
+            let mut cur = self.current.write().expect("generation lock poisoned");
+            let number = cur.number + 1;
+            *cur = Arc::new(Generation {
+                index: Arc::new(index),
+                number,
+                artifact_bytes: bytes.len() as u64,
+            });
+            number
+        };
+        self.obs.counter("served.reload.ok").inc();
+        self.obs.gauge("served.generation").set(number);
+        Ok(number)
+    }
+
+    /// [`try_swap_bytes`](Self::try_swap_bytes) from a file; an
+    /// unreadable candidate also counts as a rejected reload.
+    pub fn try_swap_path(&self, path: &Path) -> Result<u64, ServedError> {
+        let bytes = std::fs::read(path).map_err(|e| {
+            self.obs.counter("served.reload.rejected").inc();
+            ServedError::Io(e)
+        })?;
+        self.try_swap_bytes(&bytes).map_err(ServedError::Artifact)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellserve::{AsClass, ServeLabel};
+    use netaddr::Asn;
+
+    fn index(asn: u32) -> FrozenIndex {
+        let mut b = FrozenIndex::builder();
+        b.insert_v4(
+            "10.0.0.0/8".parse().expect("cidr"),
+            ServeLabel {
+                asn: Asn(asn),
+                class: AsClass::Dedicated,
+            },
+        );
+        b.build()
+    }
+
+    #[test]
+    fn swap_replaces_the_generation_and_counts() {
+        let obs = Observer::enabled();
+        let store = GenerationStore::new(index(1), 0, obs.clone());
+        assert_eq!(store.generation(), 1);
+        let held = store.current();
+
+        let n = store
+            .try_swap_bytes(&cellserve::to_bytes(&index(2)))
+            .expect("valid candidate swaps");
+        assert_eq!(n, 2);
+        assert_eq!(store.generation(), 2);
+        // The generation held across the swap still answers, unchanged.
+        let (_, label) = held.index.lookup_v4(0x0A000001).expect("old gen serves");
+        assert_eq!(label.asn, Asn(1));
+        let (_, label) = store
+            .current()
+            .index
+            .lookup_v4(0x0A000001)
+            .expect("new gen serves");
+        assert_eq!(label.asn, Asn(2));
+        assert_eq!(obs.snapshot().counters["served.reload.ok"], 1);
+    }
+
+    #[test]
+    fn rejected_candidates_leave_the_old_generation() {
+        let obs = Observer::enabled();
+        let store = GenerationStore::new(index(1), 0, obs.clone());
+
+        let mut corrupt = cellserve::to_bytes(&index(2));
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x40;
+        assert!(store.try_swap_bytes(&corrupt).is_err());
+
+        // Version-bumped candidate, re-sealed so only the version check
+        // can reject it.
+        let mut newer = cellserve::to_bytes(&index(2));
+        let v = cellserve::ARTIFACT_VERSION + 1;
+        newer[8..12].copy_from_slice(&v.to_le_bytes());
+        let body_len = newer.len() - 16;
+        let crc = cellstream::crc32(&newer[..body_len]);
+        newer[body_len + 8..body_len + 12].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            store.try_swap_bytes(&newer),
+            Err(ServeError::UnsupportedVersion(v))
+        );
+
+        assert_eq!(store.generation(), 1, "both rejections left gen 1");
+        let (_, label) = store.current().index.lookup_v4(0x0A000001).expect("serves");
+        assert_eq!(label.asn, Asn(1));
+        let snap = obs.snapshot();
+        assert_eq!(snap.counters["served.reload.rejected"], 2);
+        assert!(!snap.counters.contains_key("served.reload.ok"));
+    }
+}

@@ -1,0 +1,197 @@
+//! Dependency-light HTTP/1.1 endpoint.
+//!
+//! One request per connection (`Connection: close`), which keeps the
+//! parser to a request line, a header scan for `Content-Length`, and an
+//! optional body — no keep-alive state machine. Endpoints:
+//!
+//! - `GET /lookup?ip=ADDR` — one address, JSON answer.
+//! - `POST /lookup` — newline-separated addresses in the body, CSV
+//!   answer in the CLI's `ip,prefix,asn,class` format (`-` for misses).
+//! - `GET /metrics` — Prometheus text, with `*.p50/.p99/.p999` latency
+//!   gauges refreshed from the live histograms.
+//! - `GET /healthz`, `GET /generation` — JSON daemon status.
+//!
+//! Query strings are matched literally (no percent-decoding): IPv4
+//! dotted quads and IPv6 colon-hex are URL-safe as-is.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use cellserve::IpKey;
+
+use crate::daemon::{lookup_via_batcher, Ctx};
+use crate::error::ServedError;
+
+/// Largest accepted `POST /lookup` body.
+const MAX_BODY: usize = 1 << 26;
+
+pub(crate) fn handle(stream: TcpStream, ctx: &Ctx) {
+    ctx.obs.counter("served.http.requests").inc();
+    if handle_inner(stream, ctx).is_err() {
+        ctx.obs.counter("served.http.errors").inc();
+    }
+}
+
+fn handle_inner(stream: TcpStream, ctx: &Ctx) -> Result<(), ServedError> {
+    let t0 = Instant::now();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut w = BufWriter::new(stream);
+
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("").to_string();
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            break;
+        }
+        let header = header.trim();
+        if header.is_empty() {
+            break;
+        }
+        let lower = header.to_ascii_lowercase();
+        if let Some(v) = lower.strip_prefix("content-length:") {
+            content_length = v.trim().parse().unwrap_or(0);
+        }
+    }
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target.as_str(), None),
+    };
+
+    match (method.as_str(), path) {
+        ("GET", "/lookup") => {
+            let raw = query.and_then(|q| q.split('&').find_map(|kv| kv.strip_prefix("ip=")));
+            let Some(raw) = raw else {
+                ctx.obs.counter("served.http.bad_request").inc();
+                respond(&mut w, 400, "Bad Request", TEXT, "missing ip= query parameter\n")?;
+                return Ok(());
+            };
+            match IpKey::parse(raw) {
+                Err(e) => {
+                    ctx.obs.counter("served.http.bad_request").inc();
+                    respond(&mut w, 400, "Bad Request", TEXT, &format!("{e}\n"))?;
+                }
+                Ok(ip) => {
+                    ctx.obs.counter("served.http.lookup").inc();
+                    let answers = lookup_via_batcher(ctx, vec![ip])?;
+                    let generation = ctx.store.generation();
+                    let body = match &answers[0] {
+                        Some(m) => format!(
+                            "{{\"ip\":\"{ip}\",\"matched\":true,\"prefix\":\"{}\",\"asn\":{},\"class\":\"{}\",\"generation\":{generation}}}\n",
+                            m.prefix,
+                            m.label.asn.value(),
+                            m.label.class,
+                        ),
+                        None => format!(
+                            "{{\"ip\":\"{ip}\",\"matched\":false,\"generation\":{generation}}}\n"
+                        ),
+                    };
+                    respond(&mut w, 200, "OK", JSON, &body)?;
+                }
+            }
+        }
+        ("POST", "/lookup") => {
+            if content_length > MAX_BODY {
+                ctx.obs.counter("served.http.bad_request").inc();
+                respond(&mut w, 413, "Payload Too Large", TEXT, "body too large\n")?;
+                return Ok(());
+            }
+            let mut body = vec![0u8; content_length];
+            reader.read_exact(&mut body)?;
+            let text = String::from_utf8_lossy(&body);
+            let mut ips = Vec::new();
+            let mut bad = None;
+            for line in text.lines() {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                match IpKey::parse(line) {
+                    Ok(ip) => ips.push(ip),
+                    Err(e) => {
+                        bad = Some(e);
+                        break;
+                    }
+                }
+            }
+            if let Some(e) = bad {
+                ctx.obs.counter("served.http.bad_request").inc();
+                respond(&mut w, 400, "Bad Request", TEXT, &format!("{e}\n"))?;
+                return Ok(());
+            }
+            ctx.obs.counter("served.http.lookup_batch").inc();
+            let answers = lookup_via_batcher(ctx, ips.clone())?;
+            let mut csv = String::from("ip,prefix,asn,class\n");
+            for (ip, res) in ips.iter().zip(&answers) {
+                match res {
+                    Some(m) => {
+                        csv.push_str(&format!(
+                            "{ip},{},{},{}\n",
+                            m.prefix,
+                            m.label.asn.value(),
+                            m.label.class
+                        ));
+                    }
+                    None => csv.push_str(&format!("{ip},-,-,-\n")),
+                }
+            }
+            respond(&mut w, 200, "OK", CSV, &csv)?;
+        }
+        ("GET", "/metrics") => {
+            ctx.obs.counter("served.http.metrics").inc();
+            crate::refresh_latency_gauges(&ctx.obs);
+            let body = cellobs::ExportFormat::Prometheus.render(&ctx.obs.snapshot());
+            respond(&mut w, 200, "OK", "text/plain; version=0.0.4", &body)?;
+        }
+        ("GET", "/healthz") => {
+            ctx.obs.counter("served.http.healthz").inc();
+            let current = ctx.store.current();
+            let body = format!(
+                "{{\"status\":\"ok\",\"generation\":{},\"prefixes\":{},\"labels\":{}}}\n",
+                current.number,
+                current.index.len(),
+                current.index.label_count(),
+            );
+            respond(&mut w, 200, "OK", JSON, &body)?;
+        }
+        ("GET", "/generation") => {
+            let body = format!("{{\"generation\":{}}}\n", ctx.store.generation());
+            respond(&mut w, 200, "OK", JSON, &body)?;
+        }
+        _ => {
+            ctx.obs.counter("served.http.not_found").inc();
+            respond(&mut w, 404, "Not Found", TEXT, "unknown endpoint\n")?;
+        }
+    }
+    ctx.obs
+        .histogram("served.http.request.ns")
+        .record(t0.elapsed().as_nanos() as u64);
+    Ok(())
+}
+
+const TEXT: &str = "text/plain";
+const JSON: &str = "application/json";
+const CSV: &str = "text/csv";
+
+fn respond(
+    w: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}

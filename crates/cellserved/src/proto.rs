@@ -1,0 +1,350 @@
+//! The compact length-prefixed TCP lookup protocol.
+//!
+//! Every frame, in both directions, is a `u32` little-endian payload
+//! length followed by exactly that many payload bytes. A connection
+//! carries any number of request/response frame pairs, strictly in
+//! order, until the client closes it.
+//!
+//! Request payload:
+//!
+//! ```text
+//! count    u32 LE
+//! queries  count × { family: u8 (4 | 6), addr: 4 or 16 bytes, big-endian }
+//! ```
+//!
+//! Response payload:
+//!
+//! ```text
+//! count    u32 LE — always equal to the request count
+//! answers  count × { status: u8 (0 = miss, 1 = hit),
+//!                    on hit: prefix_len u8, asn u32 LE, class u8 }
+//! ```
+//!
+//! The class byte uses the sealed artifact's encoding (0 = unknown,
+//! 1 = dedicated, 2 = mixed), so a wire answer round-trips to the same
+//! label the artifact stores. Frames above [`MAX_FRAME`] bytes are
+//! rejected before allocation on both sides.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use cellserve::{AsClass, IpKey, LookupMatch, MatchedPrefix};
+
+use crate::error::ServedError;
+
+/// Hard cap on a frame payload, both directions (16 MiB — far above any
+/// sane batch, small enough to reject garbage length prefixes cheaply).
+pub const MAX_FRAME: usize = 1 << 24;
+
+/// Read one length-prefixed frame. `Ok(None)` means the peer closed the
+/// connection cleanly at a frame boundary; EOF mid-frame is an error.
+pub(crate) fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let n = r.read(&mut len_buf[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed inside a frame length prefix",
+            ));
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame payload of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Write one length-prefixed frame and flush it.
+pub(crate) fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Encode a request payload for `ips`.
+pub(crate) fn encode_queries(ips: &[IpKey]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + ips.len() * 17);
+    out.extend_from_slice(&(ips.len() as u32).to_le_bytes());
+    for ip in ips {
+        match *ip {
+            IpKey::V4(a) => {
+                out.push(4);
+                out.extend_from_slice(&a.to_be_bytes());
+            }
+            IpKey::V6(a) => {
+                out.push(6);
+                out.extend_from_slice(&a.to_be_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Decode a request payload. Rejects unknown families, truncated
+/// addresses, and trailing bytes.
+pub(crate) fn decode_queries(payload: &[u8]) -> Result<Vec<IpKey>, ServedError> {
+    let mut pos = 0usize;
+    let count = take(payload, &mut pos, 4, "query count")?;
+    let count = u32::from_le_bytes(count.try_into().expect("4 bytes")) as usize;
+    let mut ips = Vec::with_capacity(count.min(MAX_FRAME / 5));
+    for i in 0..count {
+        let family = take(payload, &mut pos, 1, "address family")?[0];
+        match family {
+            4 => {
+                let raw = take(payload, &mut pos, 4, "IPv4 address")?;
+                ips.push(IpKey::V4(u32::from_be_bytes(
+                    raw.try_into().expect("4 bytes"),
+                )));
+            }
+            6 => {
+                let raw = take(payload, &mut pos, 16, "IPv6 address")?;
+                ips.push(IpKey::V6(u128::from_be_bytes(
+                    raw.try_into().expect("16 bytes"),
+                )));
+            }
+            other => {
+                return Err(ServedError::Protocol(format!(
+                    "query {i}: unknown address family {other} (expected 4 or 6)"
+                )))
+            }
+        }
+    }
+    if pos != payload.len() {
+        return Err(ServedError::Protocol(format!(
+            "{} trailing bytes after {count} queries",
+            payload.len() - pos
+        )));
+    }
+    Ok(ips)
+}
+
+/// Encode a response payload for the answers of one batch.
+pub(crate) fn encode_answers(results: &[Option<LookupMatch>]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + results.len() * 8);
+    out.extend_from_slice(&(results.len() as u32).to_le_bytes());
+    for r in results {
+        match r {
+            None => out.push(0),
+            Some(m) => {
+                out.push(1);
+                let len = match m.prefix {
+                    MatchedPrefix::V4(net) => net.len(),
+                    MatchedPrefix::V6(net) => net.len(),
+                };
+                out.push(len);
+                out.extend_from_slice(&m.label.asn.value().to_le_bytes());
+                out.push(class_byte(m.label.class));
+            }
+        }
+    }
+    out
+}
+
+/// Decode a response payload into per-query answers.
+pub(crate) fn decode_answers(payload: &[u8]) -> Result<Vec<Option<WireAnswer>>, ServedError> {
+    let mut pos = 0usize;
+    let count = take(payload, &mut pos, 4, "answer count")?;
+    let count = u32::from_le_bytes(count.try_into().expect("4 bytes")) as usize;
+    let mut answers = Vec::with_capacity(count.min(MAX_FRAME / 2));
+    for i in 0..count {
+        let status = take(payload, &mut pos, 1, "answer status")?[0];
+        match status {
+            0 => answers.push(None),
+            1 => {
+                let body = take(payload, &mut pos, 6, "hit body")?;
+                let class = match body[5] {
+                    0 => AsClass::Unknown,
+                    1 => AsClass::Dedicated,
+                    2 => AsClass::Mixed,
+                    other => {
+                        return Err(ServedError::Protocol(format!(
+                            "answer {i}: unknown class byte {other}"
+                        )))
+                    }
+                };
+                answers.push(Some(WireAnswer {
+                    prefix_len: body[0],
+                    asn: u32::from_le_bytes(body[1..5].try_into().expect("4 bytes")),
+                    class,
+                }));
+            }
+            other => {
+                return Err(ServedError::Protocol(format!(
+                    "answer {i}: unknown status byte {other}"
+                )))
+            }
+        }
+    }
+    if pos != payload.len() {
+        return Err(ServedError::Protocol(format!(
+            "{} trailing bytes after {count} answers",
+            payload.len() - pos
+        )));
+    }
+    Ok(answers)
+}
+
+fn take<'a>(
+    payload: &'a [u8],
+    pos: &mut usize,
+    n: usize,
+    what: &str,
+) -> Result<&'a [u8], ServedError> {
+    let end = pos
+        .checked_add(n)
+        .filter(|&e| e <= payload.len())
+        .ok_or_else(|| ServedError::Protocol(format!("truncated {what}")))?;
+    let raw = &payload[*pos..end];
+    *pos = end;
+    Ok(raw)
+}
+
+fn class_byte(class: AsClass) -> u8 {
+    // Same encoding as the sealed artifact's label table.
+    match class {
+        AsClass::Unknown => 0,
+        AsClass::Dedicated => 1,
+        AsClass::Mixed => 2,
+    }
+}
+
+/// One hit as seen on the wire: enough to identify the matched prefix
+/// length and its AS label without shipping the whole prefix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireAnswer {
+    /// Length of the matched prefix.
+    pub prefix_len: u8,
+    /// Origin AS of the matched prefix.
+    pub asn: u32,
+    /// Mixed/dedicated verdict for that AS.
+    pub class: AsClass,
+}
+
+/// Blocking client for the framed TCP protocol. One instance per
+/// connection; requests are serialized in call order.
+pub struct FramedClient {
+    stream: TcpStream,
+}
+
+impl FramedClient {
+    /// Connect to a daemon's TCP listener.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<FramedClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(FramedClient { stream })
+    }
+
+    /// Look up a batch of addresses; answers come back in query order.
+    pub fn lookup(&mut self, ips: &[IpKey]) -> Result<Vec<Option<WireAnswer>>, ServedError> {
+        write_frame(&mut self.stream, &encode_queries(ips))?;
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            ServedError::Protocol("server closed the connection before answering".into())
+        })?;
+        let answers = decode_answers(&payload)?;
+        if answers.len() != ips.len() {
+            return Err(ServedError::Protocol(format!(
+                "{} answers for {} queries",
+                answers.len(),
+                ips.len()
+            )));
+        }
+        Ok(answers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellserve::ServeLabel;
+    use netaddr::{Asn, Ipv4Net};
+
+    #[test]
+    fn queries_round_trip() {
+        let ips = vec![
+            IpKey::V4(0x0A010203),
+            IpKey::V6(0x2001_0db8_0000_0000_0000_0000_0000_0001),
+            IpKey::V4(0),
+        ];
+        let payload = encode_queries(&ips);
+        assert_eq!(decode_queries(&payload).expect("round trip"), ips);
+    }
+
+    #[test]
+    fn answers_round_trip() {
+        let hit = LookupMatch {
+            prefix: MatchedPrefix::V4(Ipv4Net::new(0x0A000000, 8).expect("net")),
+            label: ServeLabel {
+                asn: Asn(64500),
+                class: AsClass::Mixed,
+            },
+        };
+        let payload = encode_answers(&[Some(hit), None]);
+        let answers = decode_answers(&payload).expect("round trip");
+        assert_eq!(
+            answers,
+            vec![
+                Some(WireAnswer {
+                    prefix_len: 8,
+                    asn: 64500,
+                    class: AsClass::Mixed,
+                }),
+                None,
+            ]
+        );
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected() {
+        // Truncated count.
+        assert!(decode_queries(&[1, 0]).is_err());
+        // Family byte nobody speaks.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&1u32.to_le_bytes());
+        bad.push(5);
+        bad.extend_from_slice(&[0; 4]);
+        assert!(decode_queries(&bad).is_err());
+        // Trailing garbage after a complete request.
+        let mut trailing = encode_queries(&[IpKey::V4(1)]);
+        trailing.push(0xFF);
+        assert!(decode_queries(&trailing).is_err());
+        // Truncated hit body in a response.
+        let mut resp = Vec::new();
+        resp.extend_from_slice(&1u32.to_le_bytes());
+        resp.push(1);
+        resp.push(24);
+        assert!(decode_answers(&resp).is_err());
+    }
+
+    #[test]
+    fn frames_carry_length_prefixes() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abc").expect("write to vec");
+        assert_eq!(&buf[..4], &3u32.to_le_bytes());
+        let mut cursor = &buf[..];
+        assert_eq!(
+            read_frame(&mut cursor).expect("read back"),
+            Some(b"abc".to_vec())
+        );
+        // Clean EOF at a frame boundary is "no more frames".
+        assert_eq!(read_frame(&mut cursor).expect("eof"), None);
+        // EOF inside a length prefix is an error.
+        let mut partial = &buf[..2];
+        assert!(read_frame(&mut partial).is_err());
+        // Oversized length prefixes are rejected without allocating.
+        let huge = ((MAX_FRAME + 1) as u32).to_le_bytes();
+        let mut cursor = &huge[..];
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

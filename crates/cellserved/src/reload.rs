@@ -1,0 +1,66 @@
+//! Artifact-path watcher for zero-downtime reload.
+//!
+//! A dedicated thread polls the watched path's `(mtime, size)`
+//! fingerprint. When it changes — the publisher is expected to use
+//! `cellstream::write_atomic_bytes`, so a change is a whole new file,
+//! never a partial write — the candidate is read and offered to the
+//! [`GenerationStore`](crate::GenerationStore), which validates it fully
+//! before swapping. The fingerprint is remembered after *every* attempt,
+//! successful or rejected, so a corrupt candidate is tried once instead
+//! of on every poll; the old generation keeps serving either way.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant, SystemTime};
+
+use crate::generation::GenerationStore;
+
+/// Cheap change detector for the watched file.
+pub(crate) type Fingerprint = (SystemTime, u64);
+
+pub(crate) fn fingerprint(path: &std::path::Path) -> Option<Fingerprint> {
+    let meta = std::fs::metadata(path).ok()?;
+    Some((meta.modified().ok()?, meta.len()))
+}
+
+pub(crate) fn spawn_watcher(
+    path: PathBuf,
+    poll: Duration,
+    initial: Option<Fingerprint>,
+    store: Arc<GenerationStore>,
+    shutdown: Arc<AtomicBool>,
+) -> std::io::Result<JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name("served-reload".into())
+        .spawn(move || {
+            let mut last = initial;
+            while !shutdown.load(Ordering::SeqCst) {
+                sleep_with_cancel(poll, &shutdown);
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let now = fingerprint(&path);
+                if now.is_some() && now != last {
+                    last = now;
+                    // Rejections already count via the store; a vanished
+                    // or unreadable file likewise leaves the old
+                    // generation serving.
+                    let _ = store.try_swap_path(&path);
+                }
+            }
+        })
+}
+
+/// Sleep `total`, waking early (within ~20 ms) if `shutdown` is set.
+fn sleep_with_cancel(total: Duration, shutdown: &AtomicBool) {
+    let deadline = Instant::now() + total;
+    while !shutdown.load(Ordering::SeqCst) {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            break;
+        }
+        std::thread::sleep(left.min(Duration::from_millis(20)));
+    }
+}

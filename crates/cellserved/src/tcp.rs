@@ -1,0 +1,39 @@
+//! Framed TCP connection handler: decode query frames, answer through
+//! the shared batcher, encode answer frames. See [`crate::proto`] for
+//! the wire format.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::time::Instant;
+
+use crate::daemon::{lookup_via_batcher, Ctx};
+use crate::error::ServedError;
+use crate::proto::{decode_queries, encode_answers, read_frame, write_frame};
+
+pub(crate) fn handle(stream: TcpStream, ctx: &Ctx) {
+    ctx.obs.counter("served.tcp.connections").inc();
+    if serve_frames(stream, ctx).is_err() {
+        ctx.obs.counter("served.tcp.errors").inc();
+    }
+}
+
+fn serve_frames(stream: TcpStream, ctx: &Ctx) -> Result<(), ServedError> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        let Some(payload) = read_frame(&mut reader)? else {
+            // Clean close at a frame boundary: the client is done.
+            return Ok(());
+        };
+        let t0 = Instant::now();
+        let ips = decode_queries(&payload)?;
+        ctx.obs.counter("served.tcp.requests").inc();
+        ctx.obs.counter("served.tcp.queries").add(ips.len() as u64);
+        let answers = lookup_via_batcher(ctx, ips)?;
+        write_frame(&mut writer, &encode_answers(&answers))?;
+        ctx.obs
+            .histogram("served.tcp.request.ns")
+            .record(t0.elapsed().as_nanos() as u64);
+    }
+}

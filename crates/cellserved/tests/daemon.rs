@@ -1,0 +1,320 @@
+//! End-to-end daemon tests: both listeners, batching accounting, and —
+//! the load-bearing ones — zero-downtime reload under live traffic and
+//! rejected candidates leaving the old generation serving.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cellobs::Observer;
+use cellserve::{AsClass, FrozenIndex, IpKey, ServeLabel};
+use cellserved::{Daemon, FramedClient, ServeConfig, WireAnswer};
+use cellstream::write_atomic_bytes;
+use netaddr::Asn;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cellserved-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// A sealed artifact serving 10.0.0.0/8 under `asn`/`class`, plus an
+/// extra prefix when `extra` (so generations are distinguishable).
+fn artifact(asn: u32, class: AsClass, extra: bool) -> Vec<u8> {
+    let mut b = FrozenIndex::builder();
+    b.insert_v4(
+        "10.0.0.0/8".parse().expect("cidr"),
+        ServeLabel {
+            asn: Asn(asn),
+            class,
+        },
+    );
+    if extra {
+        b.insert_v4(
+            "192.168.0.0/16".parse().expect("cidr"),
+            ServeLabel {
+                asn: Asn(asn + 1),
+                class: AsClass::Dedicated,
+            },
+        );
+    }
+    cellserve::to_bytes(&b.build())
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        http_listen: Some("127.0.0.1:0".into()),
+        tcp_listen: Some("127.0.0.1:0".into()),
+        workers: 2,
+        queue_depth: 4096,
+        max_linger: Duration::from_millis(1),
+        reload_watch: false,
+        reload_poll: Duration::from_millis(10),
+    }
+}
+
+fn http_request(addr: SocketAddr, method: &str, target: &str, body: Option<&str>) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect http");
+    let body = body.unwrap_or("");
+    write!(
+        s,
+        "{method} {target} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut out = String::new();
+    s.read_to_string(&mut out).expect("read response");
+    out
+}
+
+fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    cond()
+}
+
+/// Re-seal artifact bytes after mutating the body, the same way the
+/// writer does, so only post-seal (structural/version) checks can
+/// reject them.
+fn reseal(bytes: &mut [u8]) {
+    let body_len = bytes.len() - 16;
+    let crc = cellstream::crc32(&bytes[..body_len]);
+    bytes[body_len + 8..body_len + 12].copy_from_slice(&crc.to_le_bytes());
+}
+
+#[test]
+fn both_endpoints_answer_and_every_lookup_is_sampled() {
+    let path = tmpdir("endpoints").join("index.cellserv");
+    write_atomic_bytes(&path, &artifact(64500, AsClass::Dedicated, false)).expect("write artifact");
+    let obs = Observer::enabled();
+    let daemon = Daemon::start(config(), &path, obs.clone()).expect("daemon starts");
+    let http = daemon.http_addr().expect("http listener");
+
+    let hit = http_request(http, "GET", "/lookup?ip=10.1.2.3", None);
+    assert!(hit.starts_with("HTTP/1.1 200"), "{hit}");
+    assert!(hit.contains("\"matched\":true"), "{hit}");
+    assert!(hit.contains("\"prefix\":\"10.0.0.0/8\""), "{hit}");
+    assert!(hit.contains("\"asn\":64500"), "{hit}");
+    assert!(hit.contains("\"class\":\"dedicated\""), "{hit}");
+
+    let miss = http_request(http, "GET", "/lookup?ip=11.1.2.3", None);
+    assert!(miss.contains("\"matched\":false"), "{miss}");
+
+    let batch = http_request(http, "POST", "/lookup", Some("10.0.0.1\n11.0.0.1\n"));
+    assert!(batch.contains("ip,prefix,asn,class"), "{batch}");
+    assert!(batch.contains("10.0.0.1,10.0.0.0/8,64500,dedicated"), "{batch}");
+    assert!(batch.contains("11.0.0.1,-,-,-"), "{batch}");
+
+    let health = http_request(http, "GET", "/healthz", None);
+    assert!(health.contains("\"generation\":1"), "{health}");
+    assert!(health.contains("\"prefixes\":1"), "{health}");
+
+    let bad = http_request(http, "GET", "/lookup?ip=not-an-ip", None);
+    assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+    let missing = http_request(http, "GET", "/nope", None);
+    assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+    // The framed TCP protocol answers the same index.
+    let mut client = FramedClient::connect(daemon.tcp_addr().expect("tcp listener")).expect("connect");
+    let answers = client
+        .lookup(&[IpKey::V4(0x0A00_0001), IpKey::V4(0x0B00_0001)])
+        .expect("framed lookup");
+    assert_eq!(
+        answers[0],
+        Some(WireAnswer {
+            prefix_len: 8,
+            asn: 64500,
+            class: AsClass::Dedicated,
+        })
+    );
+    assert_eq!(answers[1], None);
+    drop(client);
+
+    // /metrics exports Prometheus text with quantile gauges.
+    let metrics = http_request(http, "GET", "/metrics", None);
+    assert!(metrics.contains("serve_lookups"), "{metrics}");
+    assert!(metrics.contains("serve_lookup_ns_p50"), "{metrics}");
+    assert!(metrics.contains("serve_lookup_ns_p999"), "{metrics}");
+
+    let snap = daemon.shutdown();
+    // 2 GET lookups + 2 POSTed + 2 framed queries went through the
+    // engine; the per-lookup histogram must have exactly that many
+    // samples (the bug this PR fixes recorded one per chunk).
+    let lookups = snap.counters["serve.lookups"];
+    assert_eq!(lookups, 6);
+    assert_eq!(snap.histograms["serve.lookup.ns"].count, lookups);
+    assert_eq!(snap.counters["served.tcp.requests"], 1);
+    assert_eq!(snap.counters["served.tcp.queries"], 2);
+    assert!(snap.counters["served.http.requests"] >= 7);
+    assert_eq!(snap.counters["served.http.lookup"], 2);
+    assert_eq!(snap.counters["served.http.lookup_batch"], 1);
+    assert!(snap.counters["served.batches"] >= 1);
+    assert_eq!(snap.gauges["served.generation"], 1);
+    assert!(snap.gauges.contains_key("serve.lookup.ns.p99"));
+    assert!(snap.gauges.contains_key("served.lookup.wait.ns.p999"));
+}
+
+#[test]
+fn reload_swaps_generations_without_dropping_traffic() {
+    let path = tmpdir("reload").join("index.cellserv");
+    write_atomic_bytes(&path, &artifact(1, AsClass::Dedicated, false)).expect("write artifact");
+    let obs = Observer::enabled();
+    let mut cfg = config();
+    cfg.reload_watch = true;
+    let daemon = Daemon::start(cfg, &path, obs.clone()).expect("daemon starts");
+    let tcp = daemon.tcp_addr().expect("tcp listener");
+
+    // Hammer the daemon from a client thread for the whole test; every
+    // single request must get a valid answer, across the swap.
+    let stop = Arc::new(AtomicBool::new(false));
+    let saw_new_gen = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let saw2 = Arc::clone(&saw_new_gen);
+    let client_thread = std::thread::spawn(move || -> Vec<u32> {
+        let mut client = FramedClient::connect(tcp).expect("connect");
+        let mut seen = Vec::new();
+        while !stop2.load(Ordering::SeqCst) {
+            let answers = client
+                .lookup(&[IpKey::V4(0x0A00_0001)])
+                .expect("no request ever fails during a reload");
+            let asn = answers[0].expect("prefix served by every generation").asn;
+            if asn == 2 {
+                saw2.store(true, Ordering::SeqCst);
+            }
+            seen.push(asn);
+        }
+        seen
+    });
+
+    std::thread::sleep(Duration::from_millis(50));
+    write_atomic_bytes(&path, &artifact(2, AsClass::Mixed, true)).expect("publish generation 2");
+    assert!(
+        wait_until(Duration::from_secs(5), || daemon.generation() == 2),
+        "watcher picks up an atomically published artifact"
+    );
+    // Keep traffic flowing until an answer from the new generation has
+    // actually been observed, so the tail of `seen` is post-swap.
+    assert!(
+        wait_until(Duration::from_secs(5), || saw_new_gen.load(Ordering::SeqCst)),
+        "live traffic reaches the swapped-in generation"
+    );
+    stop.store(true, Ordering::SeqCst);
+    let seen = client_thread.join().expect("client thread");
+
+    assert!(!seen.is_empty());
+    assert!(
+        seen.iter().all(|&asn| asn == 1 || asn == 2),
+        "answers only ever come from a fully validated generation"
+    );
+    assert_eq!(*seen.last().expect("nonempty"), 2, "post-swap traffic sees the new index");
+    // For a serialized client the transition is monotonic: once a batch
+    // runs on generation 2, no later batch can see generation 1.
+    let first_new = seen.iter().position(|&a| a == 2).expect("swap observed under load");
+    assert!(seen[first_new..].iter().all(|&a| a == 2));
+
+    let snap = daemon.shutdown();
+    assert_eq!(snap.counters["served.reload.ok"], 1);
+    assert!(!snap.counters.contains_key("served.reload.rejected"));
+    assert_eq!(snap.gauges["served.generation"], 2);
+    assert_eq!(
+        snap.histograms["serve.lookup.ns"].count,
+        snap.counters["serve.lookups"],
+        "one latency sample per lookup holds under daemon load too"
+    );
+}
+
+#[test]
+fn rejected_candidates_leave_the_old_generation_serving() {
+    let path = tmpdir("reject").join("index.cellserv");
+    write_atomic_bytes(&path, &artifact(7, AsClass::Dedicated, false)).expect("write artifact");
+    let obs = Observer::enabled();
+    let mut cfg = config();
+    cfg.reload_watch = true;
+    let daemon = Daemon::start(cfg, &path, obs.clone()).expect("daemon starts");
+
+    let probes = [
+        IpKey::V4(0x0A00_0001),
+        IpKey::V4(0x0AFF_FFFE),
+        IpKey::V4(0x7F00_0001),
+        IpKey::V6(1),
+    ];
+    let mut client = FramedClient::connect(daemon.tcp_addr().expect("tcp")).expect("connect");
+    let before = client.lookup(&probes).expect("baseline lookup");
+    let rejected_count = || {
+        obs.snapshot()
+            .counters
+            .get("served.reload.rejected")
+            .copied()
+            .unwrap_or(0)
+    };
+
+    // Candidate 1: flipped body byte — the seal check rejects it.
+    let mut corrupt = artifact(8, AsClass::Mixed, true);
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x01;
+    write_atomic_bytes(&path, &corrupt).expect("publish corrupt candidate");
+    assert!(wait_until(Duration::from_secs(5), || rejected_count() >= 1));
+
+    // Candidate 2: newer format version behind a valid seal —
+    // `ServeError::UnsupportedVersion` through the reload path.
+    let mut newer = artifact(8, AsClass::Mixed, true);
+    newer[8..12].copy_from_slice(&(cellserve::ARTIFACT_VERSION + 1).to_le_bytes());
+    reseal(&mut newer);
+    write_atomic_bytes(&path, &newer).expect("publish newer-version candidate");
+    assert!(wait_until(Duration::from_secs(5), || rejected_count() >= 2));
+
+    // Candidate 3: structural corruption behind a forged (recomputed)
+    // seal — an invalid class byte in the label table. Structural
+    // re-validation must catch what the CRC no longer can.
+    let mut forged = artifact(8, AsClass::Mixed, true);
+    forged[8 + 4 + 4 + 4] = 9; // first label's class byte
+    reseal(&mut forged);
+    write_atomic_bytes(&path, &forged).expect("publish forged candidate");
+    assert!(wait_until(Duration::from_secs(5), || rejected_count() >= 3));
+
+    // Three rejected swaps later the daemon still serves generation 1,
+    // and the probe answers are identical (the wire encoding is
+    // canonical, so equal answers mean byte-identical responses).
+    assert_eq!(daemon.generation(), 1);
+    let after = client.lookup(&probes).expect("probes after rejected swaps");
+    assert_eq!(after, before);
+
+    // A valid candidate still swaps — rejections don't wedge reloads.
+    write_atomic_bytes(&path, &artifact(9, AsClass::Mixed, false)).expect("publish valid candidate");
+    assert!(wait_until(Duration::from_secs(5), || daemon.generation() == 2));
+    let swapped = client.lookup(&probes).expect("probes after swap");
+    assert_eq!(swapped[0].expect("still served").asn, 9);
+    assert_eq!(swapped[0].expect("still served").class, AsClass::Mixed);
+
+    let snap = daemon.shutdown();
+    assert_eq!(snap.counters["served.reload.rejected"], 3);
+    assert_eq!(snap.counters["served.reload.ok"], 1);
+}
+
+#[test]
+fn graceful_shutdown_refuses_new_work_but_answers_accepted_work() {
+    let path = tmpdir("shutdown").join("index.cellserv");
+    write_atomic_bytes(&path, &artifact(5, AsClass::Dedicated, false)).expect("write artifact");
+    let daemon = Daemon::start(config(), &path, Observer::enabled()).expect("daemon starts");
+    let tcp = daemon.tcp_addr().expect("tcp listener");
+
+    let mut client = FramedClient::connect(tcp).expect("connect");
+    let answers = client.lookup(&[IpKey::V4(0x0A00_0001)]).expect("lookup");
+    assert!(answers[0].is_some());
+
+    let snap = daemon.shutdown();
+    assert_eq!(snap.counters["serve.lookups"], 1);
+    // After shutdown the port no longer accepts lookups: either the
+    // connection fails outright or the request gets no answer.
+    if let Ok(mut late) = FramedClient::connect(tcp) {
+        assert!(late.lookup(&[IpKey::V4(0x0A00_0001)]).is_err());
+    }
+}

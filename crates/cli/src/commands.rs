@@ -145,34 +145,42 @@ pub fn index_build(
 
 /// `lookup`: answer a batch of IPs against a loaded [`FrozenIndex`].
 ///
-/// Returns the result CSV (`ip,prefix,asn,class`, with `-` columns for
-/// misses, one row per query in input order) and a stderr summary line
-/// with the match rate and cache counters.
+/// Streams the result CSV (`ip,prefix,asn,class`, with `-` columns for
+/// misses, one row per query in input order) straight to `out` — the
+/// batch is never materialized as one string, so output size is bounded
+/// by the writer, not by memory. Returns the stderr summary line with
+/// the match rate and cache counters; an empty batch says so instead of
+/// reporting a fake 0% match rate.
 pub fn lookup_batch(
     index: &FrozenIndex,
     queries: &[IpKey],
     obs: &cellobs::Observer,
-) -> (String, String) {
+    out: &mut dyn std::io::Write,
+) -> std::io::Result<String> {
     let engine = QueryEngine::new(index).with_observer(obs.clone());
     let (results, stats) = engine.run(queries);
-    let mut csv = String::from("ip,prefix,asn,class\n");
+    out.write_all(b"ip,prefix,asn,class\n")?;
     for (ip, res) in queries.iter().zip(&results) {
         match res {
-            Some(m) => csv.push_str(&format!(
-                "{ip},{},{},{}\n",
+            Some(m) => writeln!(
+                out,
+                "{ip},{},{},{}",
                 m.prefix,
                 m.label.asn.value(),
                 m.label.class
-            )),
-            None => csv.push_str(&format!("{ip},-,-,-\n")),
+            )?,
+            None => writeln!(out, "{ip},-,-,-")?,
         }
     }
-    let pct = 100.0 * stats.matched as f64 / (stats.lookups.max(1)) as f64;
-    let summary = format!(
-        "{} lookups: {} matched ({pct:.1}%), cache {} hit(s) / {} miss(es)\n",
-        stats.lookups, stats.matched, stats.cache_hits, stats.cache_misses,
-    );
-    (csv, summary)
+    out.flush()?;
+    if stats.lookups == 0 {
+        return Ok("0 lookups\n".to_string());
+    }
+    let pct = 100.0 * stats.matched as f64 / stats.lookups as f64;
+    Ok(format!(
+        "{} lookups: {} matched ({pct:.1}%), cache {} hit(s) / {} miss(es) / {} uncached\n",
+        stats.lookups, stats.matched, stats.cache_hits, stats.cache_misses, stats.uncached,
+    ))
 }
 
 /// `stream`: summarize a finalized streaming ingest run — dataset sizes,
@@ -411,7 +419,9 @@ mod tests {
             cellserve::IpKey::V4(net.first()), // repeat → a cache hit
             cellserve::IpKey::parse("192.0.2.1").expect("valid"),
         ];
-        let (csv, summary) = lookup_batch(&frozen, &queries, &obs);
+        let mut sink = Vec::new();
+        let summary = lookup_batch(&frozen, &queries, &obs, &mut sink).expect("vec write");
+        let csv = String::from_utf8(sink).expect("utf-8 csv");
         assert_eq!(csv.lines().count(), 4, "header + one row per query");
         assert!(csv.starts_with("ip,prefix,asn,class\n"));
         assert!(
@@ -420,6 +430,19 @@ mod tests {
         );
         assert!(csv.contains("192.0.2.1,-,-,-"), "miss renders dashes");
         assert!(summary.contains("3 lookups: 2 matched"), "{summary}");
+        assert!(summary.contains("uncached"), "{summary}");
+    }
+
+    #[test]
+    fn lookup_batch_with_no_queries_says_so() {
+        let (_, b, d) = setup();
+        let obs = cellobs::Observer::disabled();
+        let (bytes, _) = index_build(&b, &d, None, &obs).expect("consistent datasets");
+        let frozen = cellserve::from_bytes(&bytes).expect("artifact loads");
+        let mut sink = Vec::new();
+        let summary = lookup_batch(&frozen, &[], &obs, &mut sink).expect("vec write");
+        assert_eq!(summary, "0 lookups\n", "no fabricated match rate");
+        assert_eq!(String::from_utf8(sink).expect("utf-8"), "ip,prefix,asn,class\n");
     }
 
     #[test]

@@ -29,6 +29,7 @@ fn main() {
         "stats" => stats(rest),
         "index" => index(rest),
         "lookup" => lookup(rest),
+        "serve" => serve(rest),
         "--help" | "-h" | "help" => {
             usage("");
         }
@@ -512,17 +513,129 @@ fn lookup(args: &[String]) -> CmdResult {
         .map_err(|e| CliError::Data(format!("{ips_path}: {e}")))?;
     let metrics = parse_metrics(args)?;
     let obs = observer_for(&metrics);
-    let (csv, summary) = commands::lookup_batch(&frozen, &queries, &obs);
-    match flag_value(args, "--out") {
+    // Rows stream to the destination as they are produced; the result
+    // set is never held in memory as one string.
+    let summary = match flag_value(args, "--out") {
         Some(path) => {
-            write(&PathBuf::from(&path), &csv)?;
-            eprintln!("lookup results → {path}");
+            let path = PathBuf::from(&path);
+            if let Some(parent) = path.parent() {
+                fs::create_dir_all(parent)
+                    .map_err(|e| CliError::Io(format!("{}: {e}", parent.display())))?;
+            }
+            let file = fs::File::create(&path)
+                .map_err(|e| CliError::Io(format!("{}: {e}", path.display())))?;
+            let mut out = std::io::BufWriter::new(file);
+            let summary = commands::lookup_batch(&frozen, &queries, &obs, &mut out)
+                .map_err(|e| CliError::Io(format!("{}: {e}", path.display())))?;
+            eprintln!("lookup results → {}", path.display());
+            summary
         }
-        None => print!("{csv}"),
-    }
+        None => {
+            let stdout = std::io::stdout();
+            let mut out = std::io::BufWriter::new(stdout.lock());
+            commands::lookup_batch(&frozen, &queries, &obs, &mut out)
+                .map_err(|e| CliError::Io(format!("stdout: {e}")))?
+        }
+    };
     eprint!("{summary}");
     write_metrics(&metrics, &obs)?;
     Ok(())
+}
+
+/// `serve`: run the long-lived lookup daemon over a sealed artifact.
+/// Shuts down on stdin EOF, a `quit` line, or after `--shutdown-after-ms`
+/// — whichever the caller wired up. A corrupt or truncated artifact is
+/// bad data (exit 4), matching `lookup`.
+fn serve(args: &[String]) -> CmdResult {
+    setup_threads(args)?;
+    let index_path = required(args, "--index")?;
+    let metrics = parse_metrics(args)?;
+    let parse_ms = |flag: &str, default: u64| -> Result<u64, CliError> {
+        flag_value(args, flag)
+            .map(|v| v.parse())
+            .transpose()
+            .map_err(|_| CliError::Usage(format!("bad {flag} (expected milliseconds)")))
+            .map(|v| v.unwrap_or(default))
+    };
+    let workers: usize = flag_value(args, "--workers")
+        .map(|v| v.parse())
+        .transpose()
+        .map_err(|_| CliError::Usage("bad --workers (expected a positive integer)".into()))?
+        .unwrap_or(2);
+    let queue_depth: usize = flag_value(args, "--queue-depth")
+        .map(|v| v.parse())
+        .transpose()
+        .map_err(|_| CliError::Usage("bad --queue-depth (expected a positive integer)".into()))?
+        .unwrap_or(64 * cellserve::QUERY_CHUNK);
+    if workers == 0 || queue_depth == 0 {
+        return Err(CliError::Usage(
+            "--workers and --queue-depth must be at least 1".into(),
+        ));
+    }
+    let config = cellserved::ServeConfig {
+        http_listen: Some(flag_value(args, "--listen").unwrap_or_else(|| "127.0.0.1:7077".into())),
+        tcp_listen: flag_value(args, "--tcp"),
+        workers,
+        queue_depth,
+        max_linger: std::time::Duration::from_micros(
+            flag_value(args, "--max-linger-us")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| CliError::Usage("bad --max-linger-us (expected microseconds)".into()))?
+                .unwrap_or(200),
+        ),
+        reload_watch: args.iter().any(|a| a == "--reload-watch"),
+        reload_poll: std::time::Duration::from_millis(parse_ms("--reload-poll-ms", 250)?),
+    };
+    let shutdown_after = flag_value(args, "--shutdown-after-ms")
+        .map(|v| v.parse::<u64>())
+        .transpose()
+        .map_err(|_| CliError::Usage("bad --shutdown-after-ms (expected milliseconds)".into()))?;
+
+    // The daemon always observes itself: /metrics serves live quantiles
+    // whether or not a --metrics export file was requested.
+    let obs = Observer::enabled();
+    let daemon = cellserved::Daemon::start(config, Path::new(&index_path), obs.clone())
+        .map_err(|e| served_error(&index_path, e))?;
+    if let Some(addr) = daemon.http_addr() {
+        eprintln!("http endpoint on {addr} (/lookup /metrics /healthz /generation)");
+    }
+    if let Some(addr) = daemon.tcp_addr() {
+        eprintln!("framed tcp endpoint on {addr}");
+    }
+
+    match shutdown_after {
+        Some(ms) => std::thread::sleep(std::time::Duration::from_millis(ms)),
+        None => {
+            eprintln!("serving; stdin EOF or a 'quit' line shuts down gracefully");
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match std::io::stdin().read_line(&mut line) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) if matches!(line.trim(), "quit" | "shutdown") => break,
+                    Ok(_) => {}
+                }
+            }
+        }
+    }
+
+    let snap = daemon.shutdown();
+    let lookups = snap.counters.get("serve.lookups").copied().unwrap_or(0);
+    let generation = snap.gauges.get("served.generation").copied().unwrap_or(1);
+    let p99 = snap.gauges.get("serve.lookup.ns.p99").copied().unwrap_or(0);
+    eprintln!("shutdown: {lookups} lookup(s) served, final generation {generation}, p99 ≤ {p99} ns");
+    write_metrics(&metrics, &obs)?;
+    Ok(())
+}
+
+/// Map daemon start-up failures onto the CLI's exit-code taxonomy.
+fn served_error(index_path: &str, e: cellserved::ServedError) -> CliError {
+    match e {
+        cellserved::ServedError::Artifact(a) => CliError::Data(format!("{index_path}: {a}")),
+        cellserved::ServedError::Io(io) => CliError::Io(format!("{index_path}: {io}")),
+        other => CliError::Usage(other.to_string()),
+    }
 }
 
 fn usage(err: &str) -> ! {
@@ -543,6 +656,9 @@ fn usage(err: &str) -> ! {
            stats       --beacons F --demand F --asdb F\n\
            index build --beacons F --demand F [--threshold T] --out ARTIFACT\n\
            lookup      --index ARTIFACT --ips F [--out F]\n\
+           serve       --index ARTIFACT [--listen ADDR] [--tcp ADDR] [--workers N]\n\
+                       [--queue-depth N] [--max-linger-us N] [--reload-watch]\n\
+                       [--reload-poll-ms N] [--shutdown-after-ms N]\n\
          \n\
          global flags:\n\
            --threads N                 pin the rayon pool (flag > CELLSPOT_THREADS > auto)\n\

@@ -1,6 +1,6 @@
 //! End-to-end tests of the `cellspot` binary: synth → classify →
 //! identify-as → validate → stats, via real process invocations, plus
-//! the serving path (index build → lookup, corrupted-artifact
+//! the serving path (index build → lookup → serve, corrupted-artifact
 //! rejection) and error-path behaviour (bad flags, malformed CSV).
 
 use std::path::PathBuf;
@@ -528,6 +528,78 @@ fn corrupt_artifacts_are_rejected_as_bad_data() {
     assert_eq!(out.status.code(), Some(2), "{out:?}");
     let out = run(&["lookup", "--ips", ips_s]);
     assert_eq!(out.status.code(), Some(2), "{out:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_runs_shuts_down_and_exports_metrics() {
+    let dir = tmpdir("serve");
+    let data = dir.join("data");
+    assert!(run(&[
+        "synth",
+        "--scale",
+        "mini",
+        "--out",
+        data.to_str().expect("utf8")
+    ])
+    .status
+    .success());
+    let artifact = dir.join("cells.idx");
+    let art_s = artifact.to_str().expect("utf8");
+    assert!(run(&[
+        "index",
+        "build",
+        "--beacons",
+        data.join("beacons.csv").to_str().expect("utf8"),
+        "--demand",
+        data.join("demand.csv").to_str().expect("utf8"),
+        "--out",
+        art_s,
+    ])
+    .status
+    .success());
+
+    // Boot the daemon on ephemeral ports, let it idle briefly, shut
+    // down on the timer, and export the final metrics snapshot.
+    let metrics = dir.join("serve-metrics.json");
+    let out = run(&[
+        "serve",
+        "--index",
+        art_s,
+        "--listen",
+        "127.0.0.1:0",
+        "--tcp",
+        "127.0.0.1:0",
+        "--shutdown-after-ms",
+        "200",
+        "--metrics",
+        metrics.to_str().expect("utf8"),
+    ]);
+    assert!(out.status.success(), "serve failed: {out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("http endpoint on 127.0.0.1:"), "{stderr}");
+    assert!(stderr.contains("framed tcp endpoint on 127.0.0.1:"), "{stderr}");
+    assert!(stderr.contains("shutdown:"), "{stderr}");
+    let exported = std::fs::read_to_string(&metrics).expect("metrics written");
+    assert!(exported.contains("served.generation"), "{exported}");
+
+    // A corrupt artifact refuses to serve: exit 4, like `lookup`.
+    let sealed = std::fs::read(&artifact).expect("artifact");
+    let mut torn = sealed.clone();
+    let mid = torn.len() / 2;
+    torn[mid] ^= 0x40;
+    std::fs::write(&artifact, &torn).expect("rewrite");
+    let out = run(&[
+        "serve",
+        "--index",
+        art_s,
+        "--listen",
+        "127.0.0.1:0",
+        "--shutdown-after-ms",
+        "50",
+    ]);
+    assert_eq!(out.status.code(), Some(4), "corrupt artifact: {out:?}");
 
     std::fs::remove_dir_all(&dir).ok();
 }
