@@ -1,0 +1,188 @@
+//! `bench_delta` — incremental refresh vs full rebuild, summarized as
+//! `BENCH_delta.json`.
+//!
+//! ```text
+//! bench_delta [--seed N] [--epochs N] [--blocks N] [--ases N]
+//!             [--churn-per-mille N] [--out FILE]
+//! ```
+//!
+//! Runs a seeded [`celldelta::ChurnWorld`] for `--epochs` epochs and
+//! measures, per epoch, the three costs that matter to a label-refresh
+//! deployment:
+//!
+//! * `full_rebuild` — classify every block from scratch and seal the
+//!   full `CELLSERV` artifact (what `cellspot index build` does);
+//! * `delta_build` — the memoized incremental classification plus
+//!   sealing only the changed labels as a `CELLDELT` delta (what
+//!   `cellspot delta build` / `stream --emit-deltas` do);
+//! * `delta_apply` — patching the previous artifact with that delta
+//!   (what the serving daemon's `--delta-watch` does).
+//!
+//! Every epoch also asserts `apply(base, delta)` is byte-identical to
+//! the full rebuild, so a bench run doubles as an end-to-end soundness
+//! check. The record carries wall-clock totals, the byte sizes of
+//! deltas vs full artifacts, and the memoization hit/miss counts.
+//!
+//! CI's bench-smoke step runs this at the demo preset and validates the
+//! keys.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use celldelta::{apply_delta, build_delta, classify_epoch, ChurnWorld, IncrementalClassifier};
+use cellobs::Observer;
+use cellspot::DEFAULT_THRESHOLD;
+
+fn main() {
+    let mut world = ChurnWorld::demo(42);
+    let mut epochs: u64 = 8;
+    let mut out = PathBuf::from("BENCH_delta.json");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut num = |name: &str| -> u64 {
+            args.next()
+                .unwrap_or_else(|| usage(&format!("missing {name} value")))
+                .parse()
+                .unwrap_or_else(|_| usage(&format!("bad {name} value")))
+        };
+        match arg.as_str() {
+            "--seed" => world.seed = num("--seed"),
+            "--epochs" => epochs = num("--epochs"),
+            "--blocks" => {
+                // Keep the demo world's 5:1 v4:v6 split at any size.
+                let n = num("--blocks").clamp(6, u32::MAX as u64) as u32;
+                world.v4_blocks = n - n / 6;
+                world.v6_blocks = n / 6;
+            }
+            "--ases" => world.ases = num("--ases").clamp(1, u32::MAX as u64) as u32,
+            "--churn-per-mille" => {
+                world.churn_per_mille = num("--churn-per-mille").clamp(1, 1000) as u32
+            }
+            "--out" => {
+                out = PathBuf::from(args.next().unwrap_or_else(|| usage("missing --out value")))
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    if epochs < 2 {
+        usage("--epochs must be at least 2 (epoch 1 is the base)");
+    }
+
+    eprintln!(
+        "churn world: {} blocks over {} ASes, {}‰ churn/epoch, seed {:#x}, {epochs} epochs …",
+        world.total_blocks(),
+        world.ases,
+        world.churn_per_mille,
+        world.seed
+    );
+
+    let obs = Observer::enabled();
+    let mut incremental = IncrementalClassifier::new(DEFAULT_THRESHOLD, obs.clone());
+
+    // Epoch 1 is the base generation: both paths start from the same
+    // sealed artifact, unmeasured.
+    let base_counters = world.epoch_counters(1);
+    let mut live = cellserve::to_bytes(&incremental.classify(&base_counters));
+    assert_eq!(
+        live,
+        cellserve::to_bytes(&classify_epoch(&base_counters, DEFAULT_THRESHOLD)),
+        "incremental and one-shot classification must agree on the base epoch"
+    );
+    let mut live_epoch = 1u64;
+
+    let mut full_time = Duration::ZERO;
+    let mut build_time = Duration::ZERO;
+    let mut apply_time = Duration::ZERO;
+    let mut full_bytes = 0u64;
+    let mut delta_bytes = 0u64;
+    let mut delta_ops = 0u64;
+
+    for epoch in 2..=epochs {
+        let counters = world.epoch_counters(epoch);
+
+        let t = Instant::now();
+        let full = cellserve::to_bytes(&classify_epoch(&counters, DEFAULT_THRESHOLD));
+        full_time += t.elapsed();
+
+        let t = Instant::now();
+        let target = cellserve::to_bytes(&incremental.classify(&counters));
+        let delta = build_delta(&live, &target, live_epoch, epoch)
+            .expect("consecutive epochs produce a valid delta");
+        build_time += t.elapsed();
+
+        let t = Instant::now();
+        let patched = apply_delta(&live, &delta).expect("a fresh delta applies to its base");
+        apply_time += t.elapsed();
+
+        assert_eq!(
+            patched, full,
+            "epoch {epoch}: apply(base, delta) must equal the full rebuild byte for byte"
+        );
+        full_bytes += full.len() as u64;
+        delta_bytes += delta.len() as u64;
+        delta_ops += celldelta::Delta::from_bytes(&delta)
+            .expect("sealed delta re-parses")
+            .op_count() as u64;
+        live = patched;
+        live_epoch = epoch;
+    }
+
+    let snapshot = obs.snapshot();
+    let memo_hits = snapshot
+        .counters
+        .get("delta.memo.hits")
+        .copied()
+        .unwrap_or(0);
+    let memo_misses = snapshot
+        .counters
+        .get("delta.memo.misses")
+        .copied()
+        .unwrap_or(0);
+    let measured = epochs - 1;
+    let ratio = delta_bytes as f64 / full_bytes.max(1) as f64;
+    let speedup = full_time.as_secs_f64() / (build_time + apply_time).as_secs_f64().max(1e-9);
+
+    let record = serde_json::json!({
+        "seed": world.seed,
+        "epochs": epochs,
+        "blocks": world.total_blocks(),
+        "ases": world.ases,
+        "churn_per_mille": world.churn_per_mille,
+        "full_rebuild_millis": full_time.as_secs_f64() * 1e3,
+        "delta_build_millis": build_time.as_secs_f64() * 1e3,
+        "delta_apply_millis": apply_time.as_secs_f64() * 1e3,
+        "speedup_vs_full": speedup,
+        "full_bytes_total": full_bytes,
+        "delta_bytes_total": delta_bytes,
+        "delta_ops_total": delta_ops,
+        "delta_size_ratio": ratio,
+        "memo": { "hits": memo_hits, "misses": memo_misses },
+        "byte_identical_epochs": measured,
+    });
+    fs::write(
+        &out,
+        serde_json::to_string_pretty(&record).expect("serialize benchmark record"),
+    )
+    .expect("write benchmark record");
+    eprintln!(
+        "{measured} epoch(s): deltas {delta_bytes} B vs full {full_bytes} B ({:.1}%), \
+         {speedup:.1}x vs rebuild, memo {memo_hits}/{} reused → {}",
+        ratio * 100.0,
+        memo_hits + memo_misses,
+        out.display()
+    );
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: bench_delta [--seed N] [--epochs N] [--blocks N] [--ases N]\n\
+         \x20                  [--churn-per-mille N] [--out FILE]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -69,7 +69,9 @@ fn main() {
                 clients = v.parse().unwrap_or_else(|_| usage("bad --clients value"));
             }
             "--batch" => {
-                let v = args.next().unwrap_or_else(|| usage("missing --batch value"));
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing --batch value"));
                 batch = v.parse().unwrap_or_else(|_| usage("bad --batch value"));
             }
             "--workers" => {
@@ -139,8 +141,7 @@ fn main() {
                 s.spawn(move || {
                     let lo = (c * per_client).min(queries.len());
                     let hi = ((c + 1) * per_client).min(queries.len());
-                    let mut client =
-                        FramedClient::connect(addr).expect("connect to the daemon");
+                    let mut client = FramedClient::connect(addr).expect("connect to the daemon");
                     let (mut reqs, mut hits) = (0u64, 0u64);
                     for frame in queries[lo..hi].chunks(batch) {
                         let answers = client.lookup(frame).expect("framed lookup");
@@ -151,7 +152,10 @@ fn main() {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
     });
     let wall_secs = t.elapsed().as_secs_f64();
     for (r, h) in results {

@@ -1,0 +1,218 @@
+//! Building and applying deltas against sealed CELLSERV artifacts.
+//!
+//! Both directions run on *bytes*, because bytes are what the hashes
+//! chain on: [`build_delta`] decodes base and target artifacts, diffs
+//! their entry sets, and seals the sorted patch with both content
+//! hashes embedded; [`apply_delta`] verifies the base hash, applies
+//! the patch strictly, re-freezes through the canonical
+//! [`cellserve::FrozenIndexBuilder`], re-encodes, and verifies the
+//! result hashes to the delta's target. Because the CELLSERV encoding
+//! is canonical, the patched bytes are *byte-identical* to what a full
+//! rebuild at the delta's epoch would have produced — the equivalence
+//! the crate's property suite pins down.
+
+use cellserve::{content_hash, AsClass, FrozenIndex, FrozenIndexBuilder, ServeLabel};
+use netaddr::{Asn, Ipv4Net, Ipv6Net};
+
+use crate::wire::{apply_family, diff_family, Delta, DeltaError, EntryMap};
+
+fn artifact_err(e: impl std::fmt::Display) -> DeltaError {
+    DeltaError::Artifact(e.to_string())
+}
+
+/// The entry maps of a frozen index, keyed `(len, key) → (asn, class
+/// byte)` — the representation the patch algebra works on.
+pub(crate) fn entry_maps(index: &FrozenIndex) -> (EntryMap<u32>, EntryMap<u128>) {
+    let v4 = index
+        .entries_v4()
+        .map(|(net, l)| ((net.len(), net.addr()), (l.asn.value(), l.class.to_byte())))
+        .collect();
+    let v6 = index
+        .entries_v6()
+        .map(|(net, l)| ((net.len(), net.addr()), (l.asn.value(), l.class.to_byte())))
+        .collect();
+    (v4, v6)
+}
+
+fn index_from_maps(v4: &EntryMap<u32>, v6: &EntryMap<u128>) -> Result<FrozenIndex, DeltaError> {
+    let mut builder = FrozenIndexBuilder::new();
+    for (&(len, key), &(asn, class)) in v4 {
+        let net = Ipv4Net::new(key, len).map_err(artifact_err)?;
+        let class = AsClass::from_byte(class)
+            .ok_or_else(|| DeltaError::Artifact(format!("invalid class byte {class}")))?;
+        builder.insert_v4(
+            net,
+            ServeLabel {
+                asn: Asn(asn),
+                class,
+            },
+        );
+    }
+    for (&(len, key), &(asn, class)) in v6 {
+        let net = Ipv6Net::new(key, len).map_err(artifact_err)?;
+        let class = AsClass::from_byte(class)
+            .ok_or_else(|| DeltaError::Artifact(format!("invalid class byte {class}")))?;
+        builder.insert_v6(
+            net,
+            ServeLabel {
+                asn: Asn(asn),
+                class,
+            },
+        );
+    }
+    Ok(builder.build())
+}
+
+/// Build a sealed delta advancing `base_bytes` (built at `base_epoch`)
+/// to `target_bytes` (built at `epoch`). Both inputs must be valid
+/// sealed CELLSERV artifacts, and `epoch` must advance past
+/// `base_epoch`.
+pub fn build_delta(
+    base_bytes: &[u8],
+    target_bytes: &[u8],
+    base_epoch: u64,
+    epoch: u64,
+) -> Result<Vec<u8>, DeltaError> {
+    if epoch <= base_epoch {
+        return Err(DeltaError::StaleEpoch {
+            current: base_epoch,
+            delta: epoch,
+        });
+    }
+    let base = cellserve::from_bytes(base_bytes).map_err(artifact_err)?;
+    let target = cellserve::from_bytes(target_bytes).map_err(artifact_err)?;
+    let (b4, b6) = entry_maps(&base);
+    let (t4, t6) = entry_maps(&target);
+    let delta = Delta {
+        base_hash: content_hash(base_bytes),
+        target_hash: content_hash(target_bytes),
+        base_epoch,
+        epoch,
+        v4: diff_family(&b4, &t4),
+        v6: diff_family(&b6, &t6),
+    };
+    Ok(delta.to_bytes())
+}
+
+/// Apply an already-decoded delta to base artifact bytes. Verifies the
+/// base hash before touching anything and the target hash after
+/// re-encoding; on success the returned bytes are byte-identical to
+/// the artifact the delta was built from.
+pub fn apply_parsed(base_bytes: &[u8], delta: &Delta) -> Result<Vec<u8>, DeltaError> {
+    let artifact = content_hash(base_bytes);
+    if artifact != delta.base_hash {
+        return Err(DeltaError::BaseMismatch {
+            delta_base: delta.base_hash,
+            artifact,
+        });
+    }
+    let base = cellserve::from_bytes(base_bytes).map_err(artifact_err)?;
+    let (b4, b6) = entry_maps(&base);
+    let p4 = apply_family(&b4, &delta.v4)?;
+    let p6 = apply_family(&b6, &delta.v6)?;
+    let patched = index_from_maps(&p4, &p6)?;
+    let bytes = cellserve::to_bytes(&patched);
+    let actual = content_hash(&bytes);
+    if actual != delta.target_hash {
+        return Err(DeltaError::TargetMismatch {
+            expected: delta.target_hash,
+            actual,
+        });
+    }
+    Ok(bytes)
+}
+
+/// Decode a sealed delta and apply it to base artifact bytes — the
+/// full validation path: seal, structure, base hash, strict patch,
+/// target hash.
+pub fn apply_delta(base_bytes: &[u8], delta_bytes: &[u8]) -> Result<Vec<u8>, DeltaError> {
+    let delta = Delta::from_bytes(delta_bytes)?;
+    apply_parsed(base_bytes, &delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellserve::FrozenIndex;
+
+    fn artifact(entries: &[(&str, u32, AsClass)]) -> Vec<u8> {
+        let mut b = FrozenIndex::builder();
+        for &(cidr, asn, class) in entries {
+            b.insert_v4(
+                cidr.parse().expect("cidr"),
+                ServeLabel {
+                    asn: Asn(asn),
+                    class,
+                },
+            );
+        }
+        cellserve::to_bytes(&b.build())
+    }
+
+    #[test]
+    fn build_then_apply_is_byte_identical() {
+        let base = artifact(&[
+            ("10.0.0.0/24", 1, AsClass::Dedicated),
+            ("10.0.1.0/24", 1, AsClass::Dedicated),
+            ("192.0.2.0/24", 2, AsClass::Mixed),
+        ]);
+        let target = artifact(&[
+            ("10.0.0.0/24", 1, AsClass::Mixed), // label update
+            ("10.0.1.0/24", 1, AsClass::Mixed),
+            ("198.51.100.0/24", 3, AsClass::Dedicated), // added; 192.0.2.0/24 removed
+        ]);
+        let delta_bytes = build_delta(&base, &target, 1, 2).expect("build");
+        let delta = Delta::from_bytes(&delta_bytes).expect("decode");
+        assert_eq!(delta.op_count(), 4);
+        assert_eq!(delta.base_epoch, 1);
+        assert_eq!(delta.epoch, 2);
+        let patched = apply_delta(&base, &delta_bytes).expect("apply");
+        assert_eq!(patched, target, "apply reproduces the target bytes exactly");
+    }
+
+    #[test]
+    fn identical_artifacts_diff_to_an_empty_patch() {
+        let base = artifact(&[("10.0.0.0/24", 1, AsClass::Dedicated)]);
+        let delta_bytes = build_delta(&base, &base, 1, 2).expect("build");
+        let delta = Delta::from_bytes(&delta_bytes).expect("decode");
+        assert_eq!(delta.op_count(), 0);
+        assert_eq!(apply_delta(&base, &delta_bytes).expect("apply"), base);
+    }
+
+    #[test]
+    fn wrong_base_is_rejected_before_any_patching() {
+        let base = artifact(&[("10.0.0.0/24", 1, AsClass::Dedicated)]);
+        let target = artifact(&[("10.0.0.0/24", 1, AsClass::Mixed)]);
+        let other = artifact(&[("192.0.2.0/24", 9, AsClass::Mixed)]);
+        let delta_bytes = build_delta(&base, &target, 1, 2).expect("build");
+        let err = apply_delta(&other, &delta_bytes).expect_err("wrong base");
+        assert!(matches!(err, DeltaError::BaseMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn non_advancing_epoch_is_rejected_at_build_time() {
+        let base = artifact(&[("10.0.0.0/24", 1, AsClass::Dedicated)]);
+        let err = build_delta(&base, &base, 2, 2).expect_err("same epoch");
+        assert!(matches!(err, DeltaError::StaleEpoch { .. }), "{err}");
+    }
+
+    #[test]
+    fn garbage_base_bytes_are_an_artifact_error() {
+        let base = artifact(&[("10.0.0.0/24", 1, AsClass::Dedicated)]);
+        let target = artifact(&[("10.0.0.0/24", 1, AsClass::Mixed)]);
+        let delta_bytes = build_delta(&base, &target, 1, 2).expect("build");
+        // Hash the delta actually chains on, but with corrupted body:
+        // impossible in practice (hash would move), so forge the hash.
+        let mut garbage = base.clone();
+        let mid = garbage.len() / 2;
+        garbage[mid] ^= 0x40;
+        let err = apply_delta(&garbage, &delta_bytes).expect_err("corrupt base");
+        // The hash moved, so this surfaces as a base mismatch — the
+        // delta never chains onto corrupted bytes.
+        assert!(matches!(err, DeltaError::BaseMismatch { .. }), "{err}");
+        assert!(
+            build_delta(&garbage, &target, 1, 2).is_err(),
+            "corrupt base fails decode"
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! The classifier's input: raw per-block counters at an epoch boundary.
+//!
+//! [`EpochCounters`] is the common currency between the three counter
+//! sources — a batch [`cellspot::BlockIndex`], a live
+//! [`cellstream::IngestEngine`], and the seeded churn worlds the test
+//! suites use — and the [`crate::IncrementalClassifier`]. Whatever the
+//! source, the contract is the same: blocks sorted ascending, one entry
+//! per block, and counters that are *bit-identical across epochs for
+//! untouched blocks* (which is why the streaming source feeds raw
+//! accumulator counters, not globally renormalized datasets).
+
+use cellspot::BlockIndex;
+use cellstream::IngestEngine;
+use netaddr::{Asn, BlockId};
+
+/// One block's raw counters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BlockCounters {
+    /// The /24 or /48 block.
+    pub block: BlockId,
+    /// Origin AS of the block.
+    pub asn: Asn,
+    /// NETINFO beacon samples.
+    pub netinfo_hits: u64,
+    /// Cellular NETINFO samples.
+    pub cellular_hits: u64,
+    /// Demand units attributed to the block.
+    pub du: f64,
+}
+
+/// All block counters at one epoch boundary, sorted by block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EpochCounters {
+    /// The epoch these counters are complete through.
+    pub epoch: u64,
+    blocks: Vec<BlockCounters>,
+}
+
+impl EpochCounters {
+    /// Build from an arbitrary counter list; sorts by block and rejects
+    /// duplicate blocks (two sources claiming the same block would make
+    /// the classification order-dependent).
+    ///
+    /// # Panics
+    /// Panics when the same block appears twice.
+    pub fn new(epoch: u64, mut blocks: Vec<BlockCounters>) -> EpochCounters {
+        blocks.sort_unstable_by_key(|c| c.block);
+        assert!(
+            blocks.windows(2).all(|w| w[0].block != w[1].block),
+            "duplicate block in epoch counters"
+        );
+        EpochCounters { epoch, blocks }
+    }
+
+    /// Counters from a batch-joined [`BlockIndex`], e.g. the datasets a
+    /// full `index build` runs on.
+    pub fn from_index(epoch: u64, index: &BlockIndex) -> EpochCounters {
+        let blocks = index
+            .iter()
+            .map(|o| BlockCounters {
+                block: o.block,
+                asn: o.asn,
+                netinfo_hits: o.netinfo_hits,
+                cellular_hits: o.cellular_hits,
+                du: o.du,
+            })
+            .collect();
+        // BlockIndex is already sorted by block with no duplicates.
+        EpochCounters { epoch, blocks }
+    }
+
+    /// Counters from a live ingest engine at its current epoch
+    /// boundary, via [`IngestEngine::raw_counters`] — raw accumulator
+    /// values, so untouched blocks are bit-identical across epochs.
+    pub fn from_engine(epoch: u64, engine: &IngestEngine) -> EpochCounters {
+        let blocks = engine
+            .raw_counters()
+            .into_iter()
+            .map(|c| BlockCounters {
+                block: c.block,
+                asn: c.asn,
+                netinfo_hits: c.netinfo_hits,
+                cellular_hits: c.cellular_hits,
+                du: c.du,
+            })
+            .collect();
+        EpochCounters { epoch, blocks }
+    }
+
+    /// The counters, sorted ascending by block.
+    pub fn blocks(&self) -> &[BlockCounters] {
+        &self.blocks
+    }
+
+    /// Number of blocks with counters this epoch.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when no block has counters.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+/// How many blocks differ between two epochs' counters: changed
+/// counters, plus blocks present in only one of the two. This is the
+/// churn the incremental classifier's memoization amortizes — and the
+/// quantity the "<10% of blocks change" acceptance scenarios pin down.
+pub fn changed_blocks(a: &EpochCounters, b: &EpochCounters) -> usize {
+    let mut changed = 0;
+    let mut ai = a.blocks().iter().peekable();
+    let mut bi = b.blocks().iter().peekable();
+    loop {
+        let cmp = match (ai.peek(), bi.peek()) {
+            (None, None) => break,
+            (Some(_), None) => std::cmp::Ordering::Less,
+            (None, Some(_)) => std::cmp::Ordering::Greater,
+            (Some(x), Some(y)) => x.block.cmp(&y.block),
+        };
+        match cmp {
+            std::cmp::Ordering::Less => {
+                changed += 1;
+                ai.next();
+            }
+            std::cmp::Ordering::Greater => {
+                changed += 1;
+                bi.next();
+            }
+            std::cmp::Ordering::Equal => {
+                let (x, y) = (ai.next().expect("peeked"), bi.next().expect("peeked"));
+                if x != y {
+                    changed += 1;
+                }
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netaddr::Block24;
+
+    fn counters(i: u32, cellular: u64, du: f64) -> BlockCounters {
+        BlockCounters {
+            block: BlockId::V4(Block24::from_index(i)),
+            asn: Asn(1),
+            netinfo_hits: 10,
+            cellular_hits: cellular,
+            du,
+        }
+    }
+
+    #[test]
+    fn new_sorts_by_block() {
+        let e = EpochCounters::new(1, vec![counters(5, 1, 1.0), counters(2, 2, 2.0)]);
+        assert_eq!(e.len(), 2);
+        assert!(e.blocks()[0].block < e.blocks()[1].block);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate block")]
+    fn duplicate_blocks_panic() {
+        EpochCounters::new(1, vec![counters(5, 1, 1.0), counters(5, 2, 2.0)]);
+    }
+
+    #[test]
+    fn changed_blocks_counts_diffs_and_presence() {
+        let a = EpochCounters::new(1, vec![counters(1, 1, 1.0), counters(2, 2, 2.0)]);
+        assert_eq!(changed_blocks(&a, &a), 0);
+        // One counter change, one removal, one addition.
+        let b = EpochCounters::new(2, vec![counters(1, 9, 1.0), counters(3, 3, 3.0)]);
+        assert_eq!(changed_blocks(&a, &b), 3);
+    }
+}

@@ -1,0 +1,764 @@
+//! The sealed CELLDELT delta format and the patch algebra it carries.
+//!
+//! A delta is a *sorted patch set* chained onto a base CELLSERV
+//! artifact by content hash:
+//!
+//! ```text
+//! body:
+//!   magic         8 bytes  "CELLDELT"
+//!   version       u32      DELTA_VERSION (1)
+//!   base_hash     u64      FNV-1a 64 of the base artifact bytes
+//!   target_hash   u64      FNV-1a 64 of the patched artifact bytes
+//!   base_epoch    u64      epoch the base artifact was built at
+//!   epoch         u64      epoch this delta advances to (> base_epoch)
+//!   v4 patch:
+//!     op_count    u32
+//!     ops         op_count × {
+//!       op        u8       0 = remove, 1 = add, 2 = update
+//!       len       u8       prefix length ≤ 32
+//!       key       u32      masked network address, little-endian
+//!       value              add/update only: { asn: u32, class: u8 }
+//!     }                    sorted strictly ascending by (len, key)
+//!   v6 patch:              same shape with u128 keys
+//! trailer:
+//!   body_len      u64
+//!   crc32         u32      cellstream CRC-32 of the body
+//!   magic         4 bytes  "CDLT"
+//! ```
+//!
+//! The discipline matches `cellserve::artifact` exactly: little-endian
+//! fixed-width fields, canonical encoding (`to_bytes(from_bytes(b)) ==
+//! b`), a length + CRC-32 seal that rejects any single-byte corruption
+//! or truncation, and structural re-validation (sortedness, masked
+//! keys, op/class byte ranges) past the seal.
+//!
+//! This module is deliberately std-only — its only tie to the rest of
+//! the workspace is `crate::crc32` — so the codec can be compiled and
+//! exercised by a bare `rustc` harness, independent of cargo.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Leading bytes of every delta artifact.
+pub const DELTA_MAGIC: [u8; 8] = *b"CELLDELT";
+/// Format version this build reads and writes.
+pub const DELTA_VERSION: u32 = 1;
+
+const TRAILER_MAGIC: [u8; 4] = *b"CDLT";
+const TRAILER_LEN: usize = 16;
+
+/// Everything that can go wrong building, decoding, or applying a
+/// delta.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The delta bytes fail the seal or structural validation.
+    Corrupt(String),
+    /// The delta was written by a newer format version.
+    UnsupportedVersion(u32),
+    /// The delta chains on a different base artifact.
+    BaseMismatch {
+        /// Base hash embedded in the delta.
+        delta_base: u64,
+        /// Hash of the artifact the apply was attempted against.
+        artifact: u64,
+    },
+    /// The delta's epoch does not advance past the current one.
+    StaleEpoch {
+        /// Epoch of the generation currently live.
+        current: u64,
+        /// Epoch the delta claims to advance to.
+        delta: u64,
+    },
+    /// The base (or patched) CELLSERV artifact is itself unusable.
+    Artifact(String),
+    /// A patch op contradicts the base entry set (add of a present
+    /// prefix, update/remove of an absent one).
+    PatchConflict(String),
+    /// The patched artifact does not hash to the delta's target — the
+    /// delta was built against different contents than it claims.
+    TargetMismatch {
+        /// Target hash embedded in the delta.
+        expected: u64,
+        /// Hash of the artifact the patch actually produced.
+        actual: u64,
+    },
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::Corrupt(why) => write!(f, "corrupt delta: {why}"),
+            DeltaError::UnsupportedVersion(v) => write!(f, "unsupported delta version {v}"),
+            DeltaError::BaseMismatch {
+                delta_base,
+                artifact,
+            } => write!(
+                f,
+                "delta chains on base {delta_base:016x} but the artifact hashes to {artifact:016x}"
+            ),
+            DeltaError::StaleEpoch { current, delta } => write!(
+                f,
+                "stale delta: epoch {delta} does not advance past the current epoch {current}"
+            ),
+            DeltaError::Artifact(why) => write!(f, "artifact error: {why}"),
+            DeltaError::PatchConflict(why) => write!(f, "patch conflict: {why}"),
+            DeltaError::TargetMismatch { expected, actual } => write!(
+                f,
+                "patched artifact hashes to {actual:016x}, delta promised {expected:016x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+fn corrupt(why: impl Into<String>) -> DeltaError {
+    DeltaError::Corrupt(why.into())
+}
+
+/// A prefix key: the integer address type of one family. Mirrors
+/// `cellserve`'s internal `PrefixKey` but is defined locally so this
+/// module stays std-only.
+pub trait DeltaKey: Copy + Ord {
+    /// Family bit width (32 or 128).
+    const BITS: u8;
+    /// Serialized size in bytes (4 or 16).
+    const SIZE: usize;
+    /// Network mask for a prefix length.
+    fn mask(len: u8) -> Self;
+    /// Bitwise AND.
+    fn and(self, other: Self) -> Self;
+    /// Append the key in little-endian byte order.
+    fn write_le(self, out: &mut Vec<u8>);
+    /// Read a key from exactly [`DeltaKey::SIZE`] little-endian bytes.
+    fn read_le(bytes: &[u8]) -> Self;
+    /// Widen for diagnostics.
+    fn to_u128(self) -> u128;
+}
+
+impl DeltaKey for u32 {
+    const BITS: u8 = 32;
+    const SIZE: usize = 4;
+
+    fn mask(len: u8) -> u32 {
+        debug_assert!(len <= 32);
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    fn and(self, other: u32) -> u32 {
+        self & other
+    }
+
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn read_le(bytes: &[u8]) -> u32 {
+        u32::from_le_bytes(bytes.try_into().expect("caller passes SIZE bytes"))
+    }
+
+    fn to_u128(self) -> u128 {
+        self as u128
+    }
+}
+
+impl DeltaKey for u128 {
+    const BITS: u8 = 128;
+    const SIZE: usize = 16;
+
+    fn mask(len: u8) -> u128 {
+        debug_assert!(len <= 128);
+        if len == 0 {
+            0
+        } else {
+            u128::MAX << (128 - len)
+        }
+    }
+
+    fn and(self, other: u128) -> u128 {
+        self & other
+    }
+
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn read_le(bytes: &[u8]) -> u128 {
+        u128::from_le_bytes(bytes.try_into().expect("caller passes SIZE bytes"))
+    }
+
+    fn to_u128(self) -> u128 {
+        self
+    }
+}
+
+/// One family's entry set, keyed exactly like
+/// `cellserve::FrozenIndexBuilder`'s internal maps: `(prefix_len,
+/// masked_key) → (asn, class_byte)`. BTreeMap iteration order — length
+/// ascending, key ascending within a length — is the canonical op
+/// order on the wire.
+pub type EntryMap<K> = BTreeMap<(u8, K), (u32, u8)>;
+
+/// What a patch op does to its prefix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PatchChange {
+    /// The prefix leaves the served set.
+    Remove,
+    /// The prefix joins the served set with this label.
+    Add {
+        /// Origin AS number.
+        asn: u32,
+        /// Class byte (`cellserve::AsClass::to_byte`).
+        class: u8,
+    },
+    /// The prefix stays served but its label changes.
+    Update {
+        /// Origin AS number.
+        asn: u32,
+        /// Class byte (`cellserve::AsClass::to_byte`).
+        class: u8,
+    },
+}
+
+impl PatchChange {
+    fn op_byte(self) -> u8 {
+        match self {
+            PatchChange::Remove => 0,
+            PatchChange::Add { .. } => 1,
+            PatchChange::Update { .. } => 2,
+        }
+    }
+}
+
+/// One prefix's change.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PatchOp<K> {
+    /// Prefix length.
+    pub len: u8,
+    /// Masked network address.
+    pub key: K,
+    /// What happens to it.
+    pub change: PatchChange,
+}
+
+/// A decoded delta artifact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delta {
+    /// Content hash of the base artifact this delta chains on.
+    pub base_hash: u64,
+    /// Content hash the patched artifact must have.
+    pub target_hash: u64,
+    /// Epoch the base artifact was built at.
+    pub base_epoch: u64,
+    /// Epoch this delta advances to; always `> base_epoch`.
+    pub epoch: u64,
+    /// IPv4 patch ops, sorted strictly ascending by `(len, key)`.
+    pub v4: Vec<PatchOp<u32>>,
+    /// IPv6 patch ops, same order.
+    pub v6: Vec<PatchOp<u128>>,
+}
+
+impl Delta {
+    /// Total patch ops across both families.
+    pub fn op_count(&self) -> usize {
+        self.v4.len() + self.v6.len()
+    }
+
+    /// Serialize into a sealed delta artifact.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&DELTA_MAGIC);
+        out.extend_from_slice(&DELTA_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.base_hash.to_le_bytes());
+        out.extend_from_slice(&self.target_hash.to_le_bytes());
+        out.extend_from_slice(&self.base_epoch.to_le_bytes());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        encode_ops(&mut out, &self.v4);
+        encode_ops(&mut out, &self.v6);
+        let body_len = out.len() as u64;
+        let crc = crate::crc32(&out);
+        out.extend_from_slice(&body_len.to_le_bytes());
+        out.extend_from_slice(&crc.to_le_bytes());
+        out.extend_from_slice(&TRAILER_MAGIC);
+        out
+    }
+
+    /// Decode and fully validate a sealed delta: seal first (length,
+    /// CRC, trailer magic), then structure (header magic, version,
+    /// epoch ordering, op sortedness, masked keys, op/class byte
+    /// ranges, no trailing bytes).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Delta, DeltaError> {
+        if bytes.len() < TRAILER_LEN + DELTA_MAGIC.len() {
+            return Err(corrupt("shorter than seal + magic"));
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - TRAILER_LEN);
+        if trailer[12..16] != TRAILER_MAGIC {
+            return Err(corrupt("trailer magic mismatch"));
+        }
+        let sealed_len = u64::from_le_bytes(trailer[0..8].try_into().expect("8 bytes"));
+        if sealed_len != body.len() as u64 {
+            return Err(corrupt(format!(
+                "sealed length {sealed_len} != body length {}",
+                body.len()
+            )));
+        }
+        let sealed_crc = u32::from_le_bytes(trailer[8..12].try_into().expect("4 bytes"));
+        let crc = crate::crc32(body);
+        if sealed_crc != crc {
+            return Err(corrupt(format!(
+                "crc mismatch: sealed {sealed_crc:08x}, body {crc:08x}"
+            )));
+        }
+
+        let mut r = Reader { body, pos: 0 };
+        if r.take(DELTA_MAGIC.len(), "header magic")? != DELTA_MAGIC {
+            return Err(corrupt("header magic mismatch"));
+        }
+        let version = r.u32("version")?;
+        if version != DELTA_VERSION {
+            return Err(DeltaError::UnsupportedVersion(version));
+        }
+        let base_hash = r.u64("base hash")?;
+        let target_hash = r.u64("target hash")?;
+        let base_epoch = r.u64("base epoch")?;
+        let epoch = r.u64("epoch")?;
+        if epoch <= base_epoch {
+            return Err(corrupt(format!(
+                "delta epoch {epoch} does not advance past base epoch {base_epoch}"
+            )));
+        }
+        let v4 = decode_ops::<u32>(&mut r)?;
+        let v6 = decode_ops::<u128>(&mut r)?;
+        if r.pos != body.len() {
+            return Err(corrupt(format!(
+                "{} trailing bytes after the last op",
+                body.len() - r.pos
+            )));
+        }
+        Ok(Delta {
+            base_hash,
+            target_hash,
+            base_epoch,
+            epoch,
+            v4,
+            v6,
+        })
+    }
+}
+
+fn encode_ops<K: DeltaKey>(out: &mut Vec<u8>, ops: &[PatchOp<K>]) {
+    out.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+    for op in ops {
+        out.push(op.change.op_byte());
+        out.push(op.len);
+        op.key.write_le(out);
+        match op.change {
+            PatchChange::Remove => {}
+            PatchChange::Add { asn, class } | PatchChange::Update { asn, class } => {
+                out.extend_from_slice(&asn.to_le_bytes());
+                out.push(class);
+            }
+        }
+    }
+}
+
+fn decode_ops<K: DeltaKey>(r: &mut Reader<'_>) -> Result<Vec<PatchOp<K>>, DeltaError> {
+    let count = r.u32("op count")? as usize;
+    let mut ops = Vec::with_capacity(count.min(1 << 20));
+    let mut prev: Option<(u8, K)> = None;
+    for i in 0..count {
+        let op_byte = r.u8("op byte")?;
+        let len = r.u8("prefix length")?;
+        if len > K::BITS {
+            return Err(corrupt(format!(
+                "prefix length {len} exceeds family width {} in op {i}",
+                K::BITS
+            )));
+        }
+        let key = K::read_le(r.take(K::SIZE, "prefix key")?);
+        if key.and(K::mask(len)) != key {
+            return Err(corrupt(format!("non-canonical key in op {i}")));
+        }
+        if let Some(p) = prev {
+            if (len, key) <= p {
+                return Err(corrupt(format!("ops out of order at op {i}")));
+            }
+        }
+        prev = Some((len, key));
+        let change = match op_byte {
+            0 => PatchChange::Remove,
+            1 | 2 => {
+                let asn = r.u32("op asn")?;
+                let class = r.u8("op class")?;
+                if class > 2 {
+                    return Err(corrupt(format!("invalid class byte {class} in op {i}")));
+                }
+                if op_byte == 1 {
+                    PatchChange::Add { asn, class }
+                } else {
+                    PatchChange::Update { asn, class }
+                }
+            }
+            other => return Err(corrupt(format!("invalid op byte {other} in op {i}"))),
+        };
+        ops.push(PatchOp { len, key, change });
+    }
+    Ok(ops)
+}
+
+struct Reader<'a> {
+    body: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], DeltaError> {
+        if self.body.len() - self.pos < n {
+            return Err(corrupt(format!("truncated {what}")));
+        }
+        let s = &self.body[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, DeltaError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, DeltaError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, DeltaError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+}
+
+fn fmt_prefix<K: DeltaKey>(len: u8, key: K) -> String {
+    format!("{:x}/{len}", key.to_u128())
+}
+
+/// The minimal patch turning `base` into `target`: a sorted merge-join
+/// over the two entry maps emitting one op per differing prefix, in
+/// exactly the `(len, key)`-ascending order the wire format requires.
+pub fn diff_family<K: DeltaKey>(base: &EntryMap<K>, target: &EntryMap<K>) -> Vec<PatchOp<K>> {
+    let mut ops = Vec::new();
+    let mut b = base.iter().peekable();
+    let mut t = target.iter().peekable();
+    loop {
+        let cmp = match (b.peek(), t.peek()) {
+            (None, None) => break,
+            (Some(_), None) => std::cmp::Ordering::Less,
+            (None, Some(_)) => std::cmp::Ordering::Greater,
+            (Some((bk, _)), Some((tk, _))) => bk.cmp(tk),
+        };
+        match cmp {
+            std::cmp::Ordering::Less => {
+                let (&(len, key), _) = b.next().expect("peeked");
+                ops.push(PatchOp {
+                    len,
+                    key,
+                    change: PatchChange::Remove,
+                });
+            }
+            std::cmp::Ordering::Greater => {
+                let (&(len, key), &(asn, class)) = t.next().expect("peeked");
+                ops.push(PatchOp {
+                    len,
+                    key,
+                    change: PatchChange::Add { asn, class },
+                });
+            }
+            std::cmp::Ordering::Equal => {
+                let (&(len, key), bv) = b.next().expect("peeked");
+                let (_, tv) = t.next().expect("peeked");
+                if bv != tv {
+                    let &(asn, class) = tv;
+                    ops.push(PatchOp {
+                        len,
+                        key,
+                        change: PatchChange::Update { asn, class },
+                    });
+                }
+            }
+        }
+    }
+    ops
+}
+
+/// Apply a family's patch ops to a base entry map, strictly: an add of
+/// a present prefix, or an update/remove of an absent one, is a
+/// [`DeltaError::PatchConflict`] — the delta was built against a
+/// different base than it is being applied to.
+pub fn apply_family<K: DeltaKey>(
+    base: &EntryMap<K>,
+    ops: &[PatchOp<K>],
+) -> Result<EntryMap<K>, DeltaError> {
+    let mut out = base.clone();
+    for op in ops {
+        let at = (op.len, op.key);
+        match op.change {
+            PatchChange::Remove => {
+                if out.remove(&at).is_none() {
+                    return Err(DeltaError::PatchConflict(format!(
+                        "remove of absent prefix {}",
+                        fmt_prefix(op.len, op.key)
+                    )));
+                }
+            }
+            PatchChange::Add { asn, class } => {
+                if out.insert(at, (asn, class)).is_some() {
+                    return Err(DeltaError::PatchConflict(format!(
+                        "add of already-present prefix {}",
+                        fmt_prefix(op.len, op.key)
+                    )));
+                }
+            }
+            PatchChange::Update { asn, class } => {
+                if out.insert(at, (asn, class)).is_none() {
+                    return Err(DeltaError::PatchConflict(format!(
+                        "update of absent prefix {}",
+                        fmt_prefix(op.len, op.key)
+                    )));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Delta {
+        Delta {
+            base_hash: 0x1111_2222_3333_4444,
+            target_hash: 0x5555_6666_7777_8888,
+            base_epoch: 3,
+            epoch: 4,
+            v4: vec![
+                PatchOp {
+                    len: 8,
+                    key: 0x0A00_0000,
+                    change: PatchChange::Add {
+                        asn: 64500,
+                        class: 1,
+                    },
+                },
+                PatchOp {
+                    len: 24,
+                    key: 0xC000_0200,
+                    change: PatchChange::Update {
+                        asn: 64501,
+                        class: 2,
+                    },
+                },
+                PatchOp {
+                    len: 24,
+                    key: 0xC633_6400,
+                    change: PatchChange::Remove,
+                },
+            ],
+            v6: vec![PatchOp {
+                len: 48,
+                key: 0x2001_0db8_0000_0000_0000_0000_0000_0000,
+                change: PatchChange::Add {
+                    asn: 64502,
+                    class: 2,
+                },
+            }],
+        }
+    }
+
+    fn reseal(bytes: &mut [u8]) {
+        let body_len = bytes.len() - TRAILER_LEN;
+        let crc = crate::crc32(&bytes[..body_len]);
+        bytes[body_len + 8..body_len + 12].copy_from_slice(&crc.to_le_bytes());
+    }
+
+    #[test]
+    fn roundtrip_is_canonical() {
+        let delta = sample();
+        let bytes = delta.to_bytes();
+        let decoded = Delta::from_bytes(&bytes).expect("valid delta");
+        assert_eq!(decoded, delta);
+        assert_eq!(decoded.to_bytes(), bytes, "canonical encoding");
+        assert_eq!(decoded.op_count(), 4);
+    }
+
+    #[test]
+    fn empty_patch_roundtrips() {
+        let delta = Delta {
+            base_hash: 1,
+            target_hash: 1,
+            base_epoch: 0,
+            epoch: 1,
+            v4: Vec::new(),
+            v6: Vec::new(),
+        };
+        let bytes = delta.to_bytes();
+        let decoded = Delta::from_bytes(&bytes).expect("valid empty delta");
+        assert_eq!(decoded, delta);
+        assert_eq!(decoded.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_rejected() {
+        let bytes = sample().to_bytes();
+        for i in 0..bytes.len() {
+            for flip in [0x01u8, 0x80] {
+                let mut bad = bytes.clone();
+                bad[i] ^= flip;
+                assert!(
+                    Delta::from_bytes(&bad).is_err(),
+                    "flip {flip:#x} at byte {i} must be rejected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let bytes = sample().to_bytes();
+        for keep in 0..bytes.len() {
+            assert!(
+                Delta::from_bytes(&bytes[..keep]).is_err(),
+                "truncation to {keep} bytes must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn newer_version_behind_a_valid_seal_is_unsupported() {
+        let mut bytes = sample().to_bytes();
+        bytes[8..12].copy_from_slice(&(DELTA_VERSION + 1).to_le_bytes());
+        reseal(&mut bytes);
+        assert_eq!(
+            Delta::from_bytes(&bytes),
+            Err(DeltaError::UnsupportedVersion(DELTA_VERSION + 1))
+        );
+    }
+
+    #[test]
+    fn epoch_must_advance_past_base_epoch() {
+        let mut delta = sample();
+        delta.epoch = delta.base_epoch;
+        let err = Delta::from_bytes(&delta.to_bytes()).expect_err("non-advancing epoch");
+        assert!(err.to_string().contains("does not advance"), "{err}");
+    }
+
+    #[test]
+    fn out_of_order_and_duplicate_ops_are_rejected() {
+        let mut delta = sample();
+        delta.v4.swap(0, 1);
+        let err = Delta::from_bytes(&delta.to_bytes()).expect_err("unsorted ops");
+        assert!(err.to_string().contains("out of order"), "{err}");
+
+        let mut dup = sample();
+        let first = dup.v4[0];
+        dup.v4.insert(1, first);
+        let err = Delta::from_bytes(&dup.to_bytes()).expect_err("duplicate op key");
+        assert!(err.to_string().contains("out of order"), "{err}");
+    }
+
+    #[test]
+    fn forged_op_and_class_bytes_are_rejected() {
+        // Body offset of the first v4 op: 8 magic + 4 version + 32
+        // hashes/epochs + 4 op count.
+        let op_at = 8 + 4 + 32 + 4;
+        let mut bad_op = sample().to_bytes();
+        bad_op[op_at] = 7;
+        reseal(&mut bad_op);
+        let err = Delta::from_bytes(&bad_op).expect_err("invalid op byte");
+        assert!(err.to_string().contains("op byte"), "{err}");
+
+        // The first op is an Add: op, len, 4-byte key, 4-byte asn, class.
+        let class_at = op_at + 1 + 1 + 4 + 4;
+        let mut bad_class = sample().to_bytes();
+        bad_class[class_at] = 9;
+        reseal(&mut bad_class);
+        let err = Delta::from_bytes(&bad_class).expect_err("invalid class byte");
+        assert!(err.to_string().contains("class byte"), "{err}");
+    }
+
+    #[test]
+    fn non_canonical_keys_are_rejected() {
+        let mut delta = sample();
+        delta.v4[0].key |= 1; // bits below the /8 mask
+        let err = Delta::from_bytes(&delta.to_bytes()).expect_err("unmasked key");
+        assert!(err.to_string().contains("non-canonical"), "{err}");
+    }
+
+    fn v4_map(entries: &[(u8, u32, u32, u8)]) -> EntryMap<u32> {
+        entries
+            .iter()
+            .map(|&(len, key, asn, class)| ((len, key), (asn, class)))
+            .collect()
+    }
+
+    #[test]
+    fn diff_then_apply_reproduces_the_target() {
+        let base = v4_map(&[
+            (8, 0x0A00_0000, 1, 1),
+            (24, 0xC000_0200, 2, 2),
+            (24, 0xC633_6400, 3, 1),
+        ]);
+        let target = v4_map(&[
+            (8, 0x0A00_0000, 1, 1),  // unchanged
+            (24, 0xC000_0200, 2, 1), // label update
+            (24, 0xCB00_7100, 4, 2), // added
+        ]);
+        let ops = diff_family(&base, &target);
+        assert_eq!(ops.len(), 3, "one op per differing prefix: {ops:?}");
+        assert!(ops
+            .windows(2)
+            .all(|w| (w[0].len, w[0].key) < (w[1].len, w[1].key)));
+        let patched = apply_family(&base, &ops).expect("clean apply");
+        assert_eq!(patched, target);
+
+        // Diffing a map against itself is empty.
+        assert!(diff_family(&base, &base).is_empty());
+        assert_eq!(apply_family(&base, &[]).expect("empty apply"), base);
+    }
+
+    #[test]
+    fn apply_conflicts_are_rejected() {
+        let base = v4_map(&[(24, 0xC000_0200, 2, 2)]);
+        let absent = PatchOp {
+            len: 24,
+            key: 0x0A00_0000,
+            change: PatchChange::Remove,
+        };
+        assert!(matches!(
+            apply_family(&base, &[absent]),
+            Err(DeltaError::PatchConflict(_))
+        ));
+        let present = PatchOp {
+            len: 24,
+            key: 0xC000_0200,
+            change: PatchChange::Add { asn: 9, class: 1 },
+        };
+        assert!(matches!(
+            apply_family(&base, &[present]),
+            Err(DeltaError::PatchConflict(_))
+        ));
+        let update_absent = PatchOp {
+            len: 24,
+            key: 0x0A00_0000,
+            change: PatchChange::Update { asn: 9, class: 1 },
+        };
+        assert!(matches!(
+            apply_family(&base, &[update_absent]),
+            Err(DeltaError::PatchConflict(_))
+        ));
+    }
+}

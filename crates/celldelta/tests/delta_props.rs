@@ -1,0 +1,86 @@
+//! Property suite for the delta machinery: across random epoch-churn
+//! worlds, `apply(base, delta)` is byte-identical to a full rebuild,
+//! the incremental classifier matches the one-shot classifier, and
+//! decoded deltas re-encode canonically.
+
+use celldelta::{
+    apply_delta, build_delta, classify_epoch, ChurnWorld, Delta, DeltaError, EpochCounters,
+    IncrementalClassifier,
+};
+use cellobs::Observer;
+use cellspot::DEFAULT_THRESHOLD;
+use proptest::prelude::*;
+
+fn world_strategy() -> impl Strategy<Value = ChurnWorld> {
+    (any::<u64>(), 40u32..120, 0u32..30, 5u32..20, 10u32..80).prop_map(
+        |(seed, v4_blocks, v6_blocks, ases, churn_per_mille)| ChurnWorld {
+            seed,
+            v4_blocks,
+            v6_blocks,
+            ases,
+            churn_per_mille,
+        },
+    )
+}
+
+fn full_build(counters: &EpochCounters) -> Vec<u8> {
+    cellserve::to_bytes(&classify_epoch(counters, DEFAULT_THRESHOLD))
+}
+
+proptest! {
+    #[test]
+    fn apply_equals_full_rebuild_across_churn_worlds(
+        world in world_strategy(),
+        epochs in 1u64..4,
+    ) {
+        for epoch in 0..epochs {
+            let base = full_build(&world.epoch_counters(epoch));
+            let target = full_build(&world.epoch_counters(epoch + 1));
+            let delta = build_delta(&base, &target, epoch, epoch + 1).expect("build delta");
+            let patched = apply_delta(&base, &delta).expect("apply delta");
+            prop_assert_eq!(
+                &patched,
+                &target,
+                "apply(base, delta) must be byte-identical to the full rebuild"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_classifier_matches_one_shot(
+        world in world_strategy(),
+        epochs in 1u64..4,
+    ) {
+        let mut inc = IncrementalClassifier::new(DEFAULT_THRESHOLD, Observer::disabled());
+        for epoch in 0..=epochs {
+            let counters = world.epoch_counters(epoch);
+            let incremental = inc.classify(&counters);
+            let one_shot = classify_epoch(&counters, DEFAULT_THRESHOLD);
+            prop_assert_eq!(incremental, one_shot, "epoch {}", epoch);
+        }
+    }
+
+    #[test]
+    fn deltas_reencode_canonically(world in world_strategy()) {
+        let base = full_build(&world.epoch_counters(0));
+        let target = full_build(&world.epoch_counters(1));
+        let bytes = build_delta(&base, &target, 0, 1).expect("build delta");
+        let decoded = Delta::from_bytes(&bytes).expect("decode delta");
+        prop_assert_eq!(decoded.to_bytes(), bytes, "to_bytes(from_bytes(b)) == b");
+    }
+
+    #[test]
+    fn wrong_base_is_always_rejected(world in world_strategy()) {
+        let base = full_build(&world.epoch_counters(0));
+        let target = full_build(&world.epoch_counters(1));
+        let other = full_build(&world.epoch_counters(2));
+        let delta = build_delta(&base, &target, 0, 1).expect("build delta");
+        // Counter churn without label churn can leave consecutive
+        // artifacts identical; rejection is only required when the
+        // bytes actually differ.
+        if other != base {
+            let err = apply_delta(&other, &delta).expect_err("wrong base must be rejected");
+            prop_assert!(matches!(err, DeltaError::BaseMismatch { .. }), "{}", err);
+        }
+    }
+}

@@ -54,21 +54,8 @@ fn corrupt(why: impl Into<String>) -> ServeError {
     ServeError::Corrupt(why.into())
 }
 
-fn encode_class(class: AsClass) -> u8 {
-    match class {
-        AsClass::Unknown => 0,
-        AsClass::Dedicated => 1,
-        AsClass::Mixed => 2,
-    }
-}
-
 fn decode_class(byte: u8) -> Result<AsClass, ServeError> {
-    match byte {
-        0 => Ok(AsClass::Unknown),
-        1 => Ok(AsClass::Dedicated),
-        2 => Ok(AsClass::Mixed),
-        other => Err(corrupt(format!("invalid label class byte {other}"))),
-    }
+    AsClass::from_byte(byte).ok_or_else(|| corrupt(format!("invalid label class byte {byte}")))
 }
 
 /// Serialize an index into a sealed artifact.
@@ -79,7 +66,7 @@ pub fn to_bytes(index: &FrozenIndex) -> Vec<u8> {
     out.extend_from_slice(&(index.labels.len() as u32).to_le_bytes());
     for label in &index.labels {
         out.extend_from_slice(&label.asn.value().to_le_bytes());
-        out.push(encode_class(label.class));
+        out.push(label.class.to_byte());
     }
     encode_family(&mut out, &index.v4);
     encode_family(&mut out, &index.v6);

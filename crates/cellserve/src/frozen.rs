@@ -34,6 +34,29 @@ pub enum AsClass {
     Unknown,
 }
 
+impl AsClass {
+    /// The single-byte wire encoding shared by the CELLSERV artifact
+    /// and the CELLDELT delta format: the mapping is part of both
+    /// formats' v1 contracts and must never change.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            AsClass::Unknown => 0,
+            AsClass::Dedicated => 1,
+            AsClass::Mixed => 2,
+        }
+    }
+
+    /// Decode the wire byte; anything above 2 is not a class.
+    pub fn from_byte(byte: u8) -> Option<AsClass> {
+        match byte {
+            0 => Some(AsClass::Unknown),
+            1 => Some(AsClass::Dedicated),
+            2 => Some(AsClass::Mixed),
+            _ => None,
+        }
+    }
+}
+
 impl std::fmt::Display for AsClass {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(match self {
@@ -293,6 +316,54 @@ impl FrozenIndex {
         self.labels.len()
     }
 
+    /// Number of distinct origin ASes across the label table.
+    pub fn as_count(&self) -> usize {
+        // Labels are sorted by (asn, class), so equal ASes are adjacent.
+        let mut count = 0;
+        let mut last: Option<Asn> = None;
+        for l in &self.labels {
+            if last != Some(l.asn) {
+                count += 1;
+                last = Some(l.asn);
+            }
+        }
+        count
+    }
+
+    /// Every served IPv4 prefix with its label, in canonical artifact
+    /// order: shortest prefix length first, keys ascending within a
+    /// length — the iteration order [`FrozenIndexBuilder`] would
+    /// reproduce, so `collect → rebuild` round-trips byte-identically.
+    pub fn entries_v4(&self) -> impl Iterator<Item = (Ipv4Net, ServeLabel)> + '_ {
+        self.v4.levels.iter().rev().flat_map(move |level| {
+            level
+                .keys
+                .iter()
+                .zip(&level.labels)
+                .map(move |(&key, &idx)| {
+                    let net =
+                        Ipv4Net::new(key, level.len).expect("level length ≤ 32 by construction");
+                    (net, self.labels[idx as usize])
+                })
+        })
+    }
+
+    /// Every served IPv6 prefix with its label, in canonical order (see
+    /// [`FrozenIndex::entries_v4`]).
+    pub fn entries_v6(&self) -> impl Iterator<Item = (Ipv6Net, ServeLabel)> + '_ {
+        self.v6.levels.iter().rev().flat_map(move |level| {
+            level
+                .keys
+                .iter()
+                .zip(&level.labels)
+                .map(move |(&key, &idx)| {
+                    let net =
+                        Ipv6Net::new(key, level.len).expect("level length ≤ 128 by construction");
+                    (net, self.labels[idx as usize])
+                })
+        })
+    }
+
     /// The label at a validated table index (decoder and engine
     /// internals only — indexes come from the index itself).
     pub(crate) fn label(&self, idx: u32) -> ServeLabel {
@@ -508,6 +579,44 @@ mod tests {
             rev.insert_v4(*n, *l);
         }
         assert_eq!(fwd.build(), rev.build());
+    }
+
+    #[test]
+    fn class_bytes_round_trip_and_reject_garbage() {
+        for class in [AsClass::Unknown, AsClass::Dedicated, AsClass::Mixed] {
+            assert_eq!(AsClass::from_byte(class.to_byte()), Some(class));
+        }
+        for bad in 3u8..=255 {
+            assert_eq!(AsClass::from_byte(bad), None);
+        }
+    }
+
+    #[test]
+    fn entries_round_trip_through_a_fresh_builder() {
+        let mut b = FrozenIndex::builder();
+        b.insert_v4(v4("10.0.0.0/8"), label(1, AsClass::Mixed));
+        b.insert_v4(v4("10.1.0.0/16"), label(2, AsClass::Dedicated));
+        b.insert_v4(v4("10.1.2.0/24"), label(1, AsClass::Mixed));
+        b.insert_v6(v6("2001:db8::/48"), label(3, AsClass::Unknown));
+        let idx = b.build();
+
+        let v4_entries: Vec<_> = idx.entries_v4().collect();
+        assert_eq!(v4_entries.len(), 3);
+        // Canonical order: shortest length first, keys ascending.
+        assert_eq!(v4_entries[0].0, v4("10.0.0.0/8"));
+        assert_eq!(v4_entries[1].0, v4("10.1.0.0/16"));
+        assert_eq!(v4_entries[2].0, v4("10.1.2.0/24"));
+        assert_eq!(idx.entries_v6().count(), 1);
+        assert_eq!(idx.as_count(), 3);
+
+        let mut rebuilt = FrozenIndex::builder();
+        for (net, l) in idx.entries_v4() {
+            rebuilt.insert_v4(net, l);
+        }
+        for (net, l) in idx.entries_v6() {
+            rebuilt.insert_v6(net, l);
+        }
+        assert_eq!(rebuilt.build(), idx, "entries fully describe the index");
     }
 
     #[test]

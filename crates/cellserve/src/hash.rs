@@ -1,0 +1,59 @@
+//! Content hashing for sealed artifacts.
+//!
+//! A generation's identity is the FNV-1a 64 hash of its sealed artifact
+//! bytes. Because the CELLSERV encoding is canonical
+//! (`to_bytes(from_bytes(b)) == b`), two artifacts hash equal iff they
+//! serve byte-identical answers — which is what lets the CELLDELT delta
+//! format chain on a base generation by hash alone, and lets operators
+//! correlate an `index build` summary line with what a running daemon
+//! reports at `/generation`.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64 over the full sealed artifact bytes.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The canonical 16-hex-digit rendering of a content hash, as printed
+/// by `index build` and reported by the daemon's `/generation`.
+pub fn hash_hex(hash: u64) -> String {
+    format!("{hash:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fnv1a_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(content_hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(content_hash(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(content_hash(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hex_rendering_is_fixed_width() {
+        assert_eq!(hash_hex(0), "0000000000000000");
+        assert_eq!(hash_hex(0xdead_beef), "00000000deadbeef");
+        assert_eq!(hash_hex(u64::MAX), "ffffffffffffffff");
+    }
+
+    #[test]
+    fn single_byte_changes_change_the_hash() {
+        let base = b"CELLSERV-something".to_vec();
+        let h = content_hash(&base);
+        for i in 0..base.len() {
+            let mut flipped = base.clone();
+            flipped[i] ^= 0x01;
+            assert_ne!(content_hash(&flipped), h, "flip at {i}");
+        }
+    }
+}

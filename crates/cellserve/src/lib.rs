@@ -53,8 +53,10 @@ mod artifact;
 mod engine;
 mod error;
 mod frozen;
+mod hash;
 
 pub use artifact::{from_bytes, to_bytes, ARTIFACT_MAGIC, ARTIFACT_VERSION};
 pub use engine::{BatchStats, IpKey, LookupMatch, MatchedPrefix, QueryEngine, QUERY_CHUNK};
 pub use error::ServeError;
 pub use frozen::{AsClass, FrozenIndex, FrozenIndexBuilder, ServeLabel};
+pub use hash::{content_hash, hash_hex};

@@ -68,10 +68,7 @@ impl BatchQueue {
     pub fn push(&self, p: Pending) -> Result<(), ServedError> {
         let mut state = self.state.lock().expect("batch queue poisoned");
         while state.pending.len() >= self.capacity && !state.shutdown {
-            state = self
-                .not_full
-                .wait(state)
-                .expect("batch queue poisoned");
+            state = self.not_full.wait(state).expect("batch queue poisoned");
         }
         if state.shutdown {
             return Err(ServedError::ShuttingDown);
@@ -92,10 +89,7 @@ impl BatchQueue {
             if state.shutdown {
                 return None;
             }
-            state = self
-                .not_empty
-                .wait(state)
-                .expect("batch queue poisoned");
+            state = self.not_empty.wait(state).expect("batch queue poisoned");
         }
         // Linger: give concurrent requests a bounded window to join
         // this batch. Skipped entirely once shutdown begins.

@@ -34,7 +34,13 @@ pub struct ServeConfig {
     pub max_linger: Duration,
     /// Watch the artifact path and hot-swap validated replacements.
     pub reload_watch: bool,
-    /// Poll interval for the reload watcher.
+    /// Watch this path for sealed CELLDELT deltas and hot-patch the
+    /// live generation with any that chain on it (base hash matches,
+    /// epoch advances). The file need not exist at startup; the watcher
+    /// fires when it is first published. Independent of `reload_watch`
+    /// — both watchers can run side by side.
+    pub delta_watch: Option<PathBuf>,
+    /// Poll interval for the reload and delta watchers.
     pub reload_poll: Duration,
 }
 
@@ -47,6 +53,7 @@ impl Default for ServeConfig {
             queue_depth: 64 * QUERY_CHUNK,
             max_linger: Duration::from_micros(200),
             reload_watch: false,
+            delta_watch: None,
             reload_poll: Duration::from_millis(250),
         }
     }
@@ -112,7 +119,11 @@ pub struct Daemon {
 
 impl Daemon {
     /// Read, validate, and serve a sealed artifact file.
-    pub fn start(config: ServeConfig, artifact: &Path, obs: Observer) -> Result<Daemon, ServedError> {
+    pub fn start(
+        config: ServeConfig,
+        artifact: &Path,
+        obs: Observer,
+    ) -> Result<Daemon, ServedError> {
         // Fingerprint before reading: if the file is replaced between
         // the read and the watcher's first poll, the change is seen.
         let initial = reload::fingerprint(artifact);
@@ -193,11 +204,29 @@ impl Daemon {
         let artifact_path = artifact.as_ref().map(|(p, _)| p.clone());
         if config.reload_watch {
             let (path, initial) = artifact.expect("checked above");
+            let watch_store = Arc::clone(&store);
             threads.push(reload::spawn_watcher(
+                "served-reload",
                 path,
                 config.reload_poll,
                 initial,
-                Arc::clone(&store),
+                move |p| {
+                    let _ = watch_store.try_swap_path(p);
+                },
+                Arc::clone(&shutdown),
+            )?);
+        }
+        if let Some(path) = config.delta_watch.clone() {
+            let initial = reload::fingerprint(&path);
+            let delta_store = Arc::clone(&store);
+            threads.push(reload::spawn_watcher(
+                "served-delta",
+                path,
+                config.reload_poll,
+                initial,
+                move |p| {
+                    let _ = delta_store.try_apply_delta_path(p);
+                },
                 Arc::clone(&shutdown),
             )?);
         }
@@ -229,24 +258,28 @@ impl Daemon {
             Endpoint::Http => "served-http",
             Endpoint::Tcp => "served-tcp",
         };
-        threads.push(std::thread::Builder::new().name(name.into()).spawn(move || {
-            for conn in listener.incoming() {
-                if shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = conn else { continue };
-                let ctx = Arc::clone(&ctx);
-                // Handlers are detached: they finish their one
-                // connection on their own; accepted queries are still
-                // drained by the workers at shutdown.
-                let _ = std::thread::Builder::new()
-                    .name("served-conn".into())
-                    .spawn(move || match endpoint {
-                        Endpoint::Http => crate::http::handle(stream, &ctx),
-                        Endpoint::Tcp => crate::tcp::handle(stream, &ctx),
-                    });
-            }
-        })?);
+        threads.push(
+            std::thread::Builder::new()
+                .name(name.into())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = conn else { continue };
+                        let ctx = Arc::clone(&ctx);
+                        // Handlers are detached: they finish their one
+                        // connection on their own; accepted queries are still
+                        // drained by the workers at shutdown.
+                        let _ = std::thread::Builder::new()
+                            .name("served-conn".into())
+                            .spawn(move || match endpoint {
+                                Endpoint::Http => crate::http::handle(stream, &ctx),
+                                Endpoint::Tcp => crate::tcp::handle(stream, &ctx),
+                            });
+                    }
+                })?,
+        );
         Ok(addr)
     }
 
@@ -278,6 +311,15 @@ impl Daemon {
             ServedError::Config("daemon was not started from an artifact file".into())
         })?;
         self.store.try_swap_path(path)
+    }
+
+    /// Apply sealed delta bytes to the live generation right now,
+    /// independent of any watcher; returns the new generation number.
+    /// The delta must chain on the serving generation (base hash
+    /// matches, epoch advances) — see
+    /// [`GenerationStore::try_apply_delta_bytes`].
+    pub fn apply_delta_now(&self, delta_bytes: &[u8]) -> Result<u64, ServedError> {
+        self.store.try_apply_delta_bytes(delta_bytes)
     }
 
     /// Graceful shutdown: stop accepting, drain every queued query,

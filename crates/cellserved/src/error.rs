@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use celldelta::DeltaError;
 use cellserve::ServeError;
 
 /// Why a daemon operation failed.
@@ -12,6 +13,10 @@ pub enum ServedError {
     /// An artifact failed validation (seal, structure, or version); see
     /// [`cellserve::ServeError`] for the taxonomy.
     Artifact(ServeError),
+    /// A delta artifact failed validation or did not chain on the live
+    /// generation (wrong base hash, stale epoch, broken seal, patch
+    /// conflict); see [`celldelta::DeltaError`] for the taxonomy.
+    Delta(DeltaError),
     /// A peer sent bytes that do not follow the framing protocol.
     Protocol(String),
     /// The daemon is shutting down and no longer accepts new queries.
@@ -26,6 +31,7 @@ impl fmt::Display for ServedError {
         match self {
             ServedError::Io(e) => write!(f, "i/o: {e}"),
             ServedError::Artifact(e) => write!(f, "artifact: {e}"),
+            ServedError::Delta(e) => write!(f, "delta: {e}"),
             ServedError::Protocol(why) => write!(f, "protocol: {why}"),
             ServedError::ShuttingDown => f.write_str("daemon is shutting down"),
             ServedError::Config(why) => write!(f, "config: {why}"),
@@ -38,6 +44,7 @@ impl std::error::Error for ServedError {
         match self {
             ServedError::Io(e) => Some(e),
             ServedError::Artifact(e) => Some(e),
+            ServedError::Delta(e) => Some(e),
             _ => None,
         }
     }
@@ -52,6 +59,12 @@ impl From<std::io::Error> for ServedError {
 impl From<ServeError> for ServedError {
     fn from(e: ServeError) -> Self {
         ServedError::Artifact(e)
+    }
+}
+
+impl From<DeltaError> for ServedError {
+    fn from(e: DeltaError) -> Self {
+        ServedError::Delta(e)
     }
 }
 
@@ -70,6 +83,12 @@ mod tests {
         assert!(ServedError::ShuttingDown
             .to_string()
             .contains("shutting down"));
+        assert!(ServedError::Delta(DeltaError::StaleEpoch {
+            current: 5,
+            delta: 3
+        })
+        .to_string()
+        .contains("stale"));
         assert!(ServedError::Config("x".into()).to_string().contains("x"));
     }
 }

@@ -12,14 +12,31 @@
 //! the swap point, so the old generation keeps serving untouched;
 //! in-flight batches that cloned the old `Arc` finish on it and drop it
 //! when done.
+//!
+//! Generations also carry the content hash of their canonical encoding
+//! and an epoch, which together let sealed [`celldelta`] deltas patch
+//! the live index in place of a full reload: a delta is accepted only
+//! if its base hash matches the serving generation and its epoch
+//! advances past the generation's. The same validate-outside-the-lock
+//! discipline applies — a wrong-base, stale, or corrupt delta never
+//! reaches the swap point.
 
 use std::path::Path;
 use std::sync::{Arc, RwLock};
 
+use celldelta::{Delta, DeltaError};
 use cellobs::Observer;
 use cellserve::{FrozenIndex, ServeError};
 
 use crate::error::ServedError;
+
+/// Hash of the canonical encoding of `index` — the identity the delta
+/// chain checks against ([`celldelta::Delta::base_hash`]). Artifact
+/// encoding is canonical, so for a generation decoded from a sealed
+/// file this equals the hash of the file bytes.
+fn canonical_hash(index: &FrozenIndex) -> u64 {
+    cellserve::content_hash(&cellserve::to_bytes(index))
+}
 
 /// One immutable, validated artifact generation.
 pub struct Generation {
@@ -30,6 +47,12 @@ pub struct Generation {
     /// Size of the sealed artifact this generation was decoded from
     /// (0 when built in-process without serialization).
     pub artifact_bytes: u64,
+    /// FNV-1a 64 content hash of this generation's canonical encoding;
+    /// a delta applies only if its base hash equals this value.
+    pub artifact_hash: u64,
+    /// Epoch of the delta that produced this generation; 0 for a
+    /// generation born from a full artifact (boot or full reload).
+    pub epoch: u64,
 }
 
 /// The daemon's current generation, swappable under live traffic.
@@ -39,14 +62,19 @@ pub struct GenerationStore {
 }
 
 impl GenerationStore {
-    /// A store serving `index` as generation 1.
+    /// A store serving `index` as generation 1 at epoch 0.
     pub fn new(index: FrozenIndex, artifact_bytes: u64, obs: Observer) -> Self {
+        let artifact_hash = canonical_hash(&index);
         obs.gauge("served.generation").set(1);
+        obs.gauge("served.artifact.hash").set(artifact_hash);
+        obs.gauge("served.epoch").set(0);
         GenerationStore {
             current: RwLock::new(Arc::new(Generation {
                 index: Arc::new(index),
                 number: 1,
                 artifact_bytes,
+                artifact_hash,
+                epoch: 0,
             })),
             obs,
         }
@@ -85,6 +113,7 @@ impl GenerationStore {
                 return Err(e);
             }
         };
+        let artifact_hash = canonical_hash(&index);
         let number = {
             let mut cur = self.current.write().expect("generation lock poisoned");
             let number = cur.number + 1;
@@ -92,11 +121,15 @@ impl GenerationStore {
                 index: Arc::new(index),
                 number,
                 artifact_bytes: bytes.len() as u64,
+                artifact_hash,
+                epoch: 0,
             });
             number
         };
         self.obs.counter("served.reload.ok").inc();
         self.obs.gauge("served.generation").set(number);
+        self.obs.gauge("served.artifact.hash").set(artifact_hash);
+        self.obs.gauge("served.epoch").set(0);
         Ok(number)
     }
 
@@ -108,6 +141,84 @@ impl GenerationStore {
             ServedError::Io(e)
         })?;
         self.try_swap_bytes(&bytes).map_err(ServedError::Artifact)
+    }
+
+    /// Validate sealed delta bytes against the live generation and, on
+    /// success, swap in the patched artifact as the next generation;
+    /// returns its number. A delta is accepted only if its base hash
+    /// matches the serving generation's content hash and its epoch
+    /// advances past the generation's (a generation born from a full
+    /// artifact sits at epoch 0 and accepts any delta that chains on
+    /// it). Every failure — broken seal, wrong base, stale epoch, patch
+    /// conflict, target-hash mismatch — bumps `served.delta.rejected`
+    /// and leaves the old generation serving untouched.
+    pub fn try_apply_delta_bytes(&self, delta_bytes: &[u8]) -> Result<u64, ServedError> {
+        let reject = |e: ServedError| {
+            self.obs.counter("served.delta.rejected").inc();
+            e
+        };
+        let delta = match Delta::from_bytes(delta_bytes) {
+            Ok(d) => d,
+            Err(e) => return Err(reject(ServedError::Delta(e))),
+        };
+        let cur = self.current();
+        if cur.epoch > 0 && delta.epoch <= cur.epoch {
+            return Err(reject(ServedError::Delta(DeltaError::StaleEpoch {
+                current: cur.epoch,
+                delta: delta.epoch,
+            })));
+        }
+        // Patch the canonical re-encoding of the live index, outside
+        // any lock; `apply_parsed` verifies the base hash before
+        // touching anything and the target hash after.
+        let base_bytes = cellserve::to_bytes(&cur.index);
+        let patched = match celldelta::apply_parsed(&base_bytes, &delta) {
+            Ok(b) => b,
+            Err(e) => return Err(reject(ServedError::Delta(e))),
+        };
+        let index = match cellserve::from_bytes(&patched) {
+            Ok(i) => i,
+            Err(e) => return Err(reject(ServedError::Artifact(e))),
+        };
+        let number = {
+            let mut w = self.current.write().expect("generation lock poisoned");
+            // A concurrent reload may have swapped underneath; the
+            // chain rule holds against whatever serves *now*.
+            if w.artifact_hash != delta.base_hash {
+                let artifact = w.artifact_hash;
+                drop(w);
+                return Err(reject(ServedError::Delta(DeltaError::BaseMismatch {
+                    delta_base: delta.base_hash,
+                    artifact,
+                })));
+            }
+            let number = w.number + 1;
+            *w = Arc::new(Generation {
+                index: Arc::new(index),
+                number,
+                artifact_bytes: patched.len() as u64,
+                artifact_hash: delta.target_hash,
+                epoch: delta.epoch,
+            });
+            number
+        };
+        self.obs.counter("served.delta.ok").inc();
+        self.obs.gauge("served.generation").set(number);
+        self.obs
+            .gauge("served.artifact.hash")
+            .set(delta.target_hash);
+        self.obs.gauge("served.epoch").set(delta.epoch);
+        Ok(number)
+    }
+
+    /// [`try_apply_delta_bytes`](Self::try_apply_delta_bytes) from a
+    /// file; an unreadable candidate also counts as a rejected delta.
+    pub fn try_apply_delta_path(&self, path: &Path) -> Result<u64, ServedError> {
+        let bytes = std::fs::read(path).map_err(|e| {
+            self.obs.counter("served.delta.rejected").inc();
+            ServedError::Io(e)
+        })?;
+        self.try_apply_delta_bytes(&bytes)
     }
 }
 
@@ -182,5 +293,64 @@ mod tests {
         let snap = obs.snapshot();
         assert_eq!(snap.counters["served.reload.rejected"], 2);
         assert!(!snap.counters.contains_key("served.reload.ok"));
+    }
+
+    #[test]
+    fn deltas_patch_the_live_generation() {
+        let obs = Observer::enabled();
+        let store = GenerationStore::new(index(1), 0, obs.clone());
+        let base = cellserve::to_bytes(&index(1));
+        let target = cellserve::to_bytes(&index(2));
+        let delta = celldelta::build_delta(&base, &target, 0, 1).expect("build");
+
+        let n = store
+            .try_apply_delta_bytes(&delta)
+            .expect("chained delta applies");
+        assert_eq!(n, 2);
+        let cur = store.current();
+        assert_eq!(cur.epoch, 1);
+        assert_eq!(cur.artifact_hash, cellserve::content_hash(&target));
+        let (_, label) = cur.index.lookup_v4(0x0A000001).expect("patched gen serves");
+        assert_eq!(label.asn, Asn(2));
+        let snap = obs.snapshot();
+        assert_eq!(snap.counters["served.delta.ok"], 1);
+        assert_eq!(snap.gauges["served.epoch"], 1);
+
+        // Replaying the same delta is stale: epoch 1 does not advance
+        // past the live epoch 1, and its base no longer chains anyway.
+        assert!(matches!(
+            store.try_apply_delta_bytes(&delta),
+            Err(ServedError::Delta(DeltaError::StaleEpoch { .. }))
+        ));
+        assert_eq!(store.generation(), 2);
+    }
+
+    #[test]
+    fn wrong_base_and_corrupt_deltas_are_rejected() {
+        let obs = Observer::enabled();
+        let store = GenerationStore::new(index(1), 0, obs.clone());
+        let base = cellserve::to_bytes(&index(1));
+        let other = cellserve::to_bytes(&index(7));
+        let target = cellserve::to_bytes(&index(2));
+
+        // Chains on index(7), not the serving index(1).
+        let wrong_base = celldelta::build_delta(&other, &target, 0, 1).expect("build");
+        assert!(matches!(
+            store.try_apply_delta_bytes(&wrong_base),
+            Err(ServedError::Delta(DeltaError::BaseMismatch { .. }))
+        ));
+
+        // A bit flip anywhere breaks the seal or the chain.
+        let mut corrupt = celldelta::build_delta(&base, &target, 0, 1).expect("build");
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x20;
+        assert!(store.try_apply_delta_bytes(&corrupt).is_err());
+
+        assert_eq!(store.generation(), 1, "all rejections left gen 1");
+        let (_, label) = store.current().index.lookup_v4(0x0A000001).expect("serves");
+        assert_eq!(label.asn, Asn(1));
+        let snap = obs.snapshot();
+        assert_eq!(snap.counters["served.delta.rejected"], 2);
+        assert!(!snap.counters.contains_key("served.delta.ok"));
     }
 }

@@ -9,7 +9,10 @@
 //!   answer in the CLI's `ip,prefix,asn,class` format (`-` for misses).
 //! - `GET /metrics` — Prometheus text, with `*.p50/.p99/.p999` latency
 //!   gauges refreshed from the live histograms.
-//! - `GET /healthz`, `GET /generation` — JSON daemon status.
+//! - `GET /healthz`, `GET /generation` — JSON daemon status, including
+//!   the serving generation's artifact content hash and delta epoch
+//!   (for correlating with `cellspot index build` / `delta build`
+//!   output).
 //!
 //! Query strings are matched literally (no percent-decoding): IPv4
 //! dotted quads and IPv6 colon-hex are URL-safe as-is.
@@ -70,7 +73,13 @@ fn handle_inner(stream: TcpStream, ctx: &Ctx) -> Result<(), ServedError> {
             let raw = query.and_then(|q| q.split('&').find_map(|kv| kv.strip_prefix("ip=")));
             let Some(raw) = raw else {
                 ctx.obs.counter("served.http.bad_request").inc();
-                respond(&mut w, 400, "Bad Request", TEXT, "missing ip= query parameter\n")?;
+                respond(
+                    &mut w,
+                    400,
+                    "Bad Request",
+                    TEXT,
+                    "missing ip= query parameter\n",
+                )?;
                 return Ok(());
             };
             match IpKey::parse(raw) {
@@ -154,15 +163,23 @@ fn handle_inner(stream: TcpStream, ctx: &Ctx) -> Result<(), ServedError> {
             ctx.obs.counter("served.http.healthz").inc();
             let current = ctx.store.current();
             let body = format!(
-                "{{\"status\":\"ok\",\"generation\":{},\"prefixes\":{},\"labels\":{}}}\n",
+                "{{\"status\":\"ok\",\"generation\":{},\"prefixes\":{},\"labels\":{},\"artifact_hash\":\"{}\",\"epoch\":{}}}\n",
                 current.number,
                 current.index.len(),
                 current.index.label_count(),
+                cellserve::hash_hex(current.artifact_hash),
+                current.epoch,
             );
             respond(&mut w, 200, "OK", JSON, &body)?;
         }
         ("GET", "/generation") => {
-            let body = format!("{{\"generation\":{}}}\n", ctx.store.generation());
+            let current = ctx.store.current();
+            let body = format!(
+                "{{\"generation\":{},\"artifact_hash\":\"{}\",\"epoch\":{}}}\n",
+                current.number,
+                cellserve::hash_hex(current.artifact_hash),
+                current.epoch,
+            );
             respond(&mut w, 200, "OK", JSON, &body)?;
         }
         _ => {

@@ -18,7 +18,11 @@
 //!    completely (seal, structure, version) before the swap, and a bad
 //!    candidate leaves the old generation serving — zero downtime
 //!    either way. A polling watcher ([`ServeConfig::reload_watch`])
-//!    picks up atomically-published artifact files.
+//!    picks up atomically-published artifact files, and a second
+//!    watcher ([`ServeConfig::delta_watch`]) hot-patches the live
+//!    generation with sealed [`celldelta`] deltas that chain on it
+//!    (base content hash matches, epoch advances); wrong-base, stale,
+//!    or corrupt deltas are rejected with the old generation untouched.
 //! 4. **Shutdown.** [`Daemon::shutdown`] stops accepting, drains every
 //!    queued query, joins all threads, refreshes the latency-quantile
 //!    gauges, and returns the final metrics snapshot.

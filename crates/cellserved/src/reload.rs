@@ -1,39 +1,43 @@
-//! Artifact-path watcher for zero-downtime reload.
+//! File-path watchers for zero-downtime reload and delta hot-patching.
 //!
 //! A dedicated thread polls the watched path's `(mtime, size)`
 //! fingerprint. When it changes — the publisher is expected to use
 //! `cellstream::write_atomic_bytes`, so a change is a whole new file,
-//! never a partial write — the candidate is read and offered to the
+//! never a partial write — the candidate is offered to the
 //! [`GenerationStore`](crate::GenerationStore), which validates it fully
-//! before swapping. The fingerprint is remembered after *every* attempt,
-//! successful or rejected, so a corrupt candidate is tried once instead
-//! of on every poll; the old generation keeps serving either way.
+//! (full-artifact swap for the reload watcher, base-hash-chained delta
+//! apply for the delta watcher) before touching the live generation.
+//! The fingerprint is remembered after *every* attempt, successful or
+//! rejected, so a corrupt candidate is tried once instead of on every
+//! poll; the old generation keeps serving either way.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant, SystemTime};
 
-use crate::generation::GenerationStore;
-
 /// Cheap change detector for the watched file.
 pub(crate) type Fingerprint = (SystemTime, u64);
 
-pub(crate) fn fingerprint(path: &std::path::Path) -> Option<Fingerprint> {
+pub(crate) fn fingerprint(path: &Path) -> Option<Fingerprint> {
     let meta = std::fs::metadata(path).ok()?;
     Some((meta.modified().ok()?, meta.len()))
 }
 
-pub(crate) fn spawn_watcher(
+pub(crate) fn spawn_watcher<F>(
+    name: &str,
     path: PathBuf,
     poll: Duration,
     initial: Option<Fingerprint>,
-    store: Arc<GenerationStore>,
+    on_change: F,
     shutdown: Arc<AtomicBool>,
-) -> std::io::Result<JoinHandle<()>> {
+) -> std::io::Result<JoinHandle<()>>
+where
+    F: Fn(&Path) + Send + 'static,
+{
     std::thread::Builder::new()
-        .name("served-reload".into())
+        .name(name.into())
         .spawn(move || {
             let mut last = initial;
             while !shutdown.load(Ordering::SeqCst) {
@@ -47,7 +51,7 @@ pub(crate) fn spawn_watcher(
                     // Rejections already count via the store; a vanished
                     // or unreadable file likewise leaves the old
                     // generation serving.
-                    let _ = store.try_swap_path(&path);
+                    on_change(&path);
                 }
             }
         })

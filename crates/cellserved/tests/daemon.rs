@@ -1,6 +1,7 @@
 //! End-to-end daemon tests: both listeners, batching accounting, and —
-//! the load-bearing ones — zero-downtime reload under live traffic and
-//! rejected candidates leaving the old generation serving.
+//! the load-bearing ones — zero-downtime reload and delta hot-patching
+//! under live traffic, with rejected candidates leaving the old
+//! generation serving.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -52,6 +53,7 @@ fn config() -> ServeConfig {
         queue_depth: 4096,
         max_linger: Duration::from_millis(1),
         reload_watch: false,
+        delta_watch: None,
         reload_poll: Duration::from_millis(10),
     }
 }
@@ -110,7 +112,10 @@ fn both_endpoints_answer_and_every_lookup_is_sampled() {
 
     let batch = http_request(http, "POST", "/lookup", Some("10.0.0.1\n11.0.0.1\n"));
     assert!(batch.contains("ip,prefix,asn,class"), "{batch}");
-    assert!(batch.contains("10.0.0.1,10.0.0.0/8,64500,dedicated"), "{batch}");
+    assert!(
+        batch.contains("10.0.0.1,10.0.0.0/8,64500,dedicated"),
+        "{batch}"
+    );
     assert!(batch.contains("11.0.0.1,-,-,-"), "{batch}");
 
     let health = http_request(http, "GET", "/healthz", None);
@@ -123,7 +128,8 @@ fn both_endpoints_answer_and_every_lookup_is_sampled() {
     assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
 
     // The framed TCP protocol answers the same index.
-    let mut client = FramedClient::connect(daemon.tcp_addr().expect("tcp listener")).expect("connect");
+    let mut client =
+        FramedClient::connect(daemon.tcp_addr().expect("tcp listener")).expect("connect");
     let answers = client
         .lookup(&[IpKey::V4(0x0A00_0001), IpKey::V4(0x0B00_0001)])
         .expect("framed lookup");
@@ -203,7 +209,8 @@ fn reload_swaps_generations_without_dropping_traffic() {
     // Keep traffic flowing until an answer from the new generation has
     // actually been observed, so the tail of `seen` is post-swap.
     assert!(
-        wait_until(Duration::from_secs(5), || saw_new_gen.load(Ordering::SeqCst)),
+        wait_until(Duration::from_secs(5), || saw_new_gen
+            .load(Ordering::SeqCst)),
         "live traffic reaches the swapped-in generation"
     );
     stop.store(true, Ordering::SeqCst);
@@ -214,10 +221,17 @@ fn reload_swaps_generations_without_dropping_traffic() {
         seen.iter().all(|&asn| asn == 1 || asn == 2),
         "answers only ever come from a fully validated generation"
     );
-    assert_eq!(*seen.last().expect("nonempty"), 2, "post-swap traffic sees the new index");
+    assert_eq!(
+        *seen.last().expect("nonempty"),
+        2,
+        "post-swap traffic sees the new index"
+    );
     // For a serialized client the transition is monotonic: once a batch
     // runs on generation 2, no later batch can see generation 1.
-    let first_new = seen.iter().position(|&a| a == 2).expect("swap observed under load");
+    let first_new = seen
+        .iter()
+        .position(|&a| a == 2)
+        .expect("swap observed under load");
     assert!(seen[first_new..].iter().all(|&a| a == 2));
 
     let snap = daemon.shutdown();
@@ -225,8 +239,7 @@ fn reload_swaps_generations_without_dropping_traffic() {
     assert!(!snap.counters.contains_key("served.reload.rejected"));
     assert_eq!(snap.gauges["served.generation"], 2);
     assert_eq!(
-        snap.histograms["serve.lookup.ns"].count,
-        snap.counters["serve.lookups"],
+        snap.histograms["serve.lookup.ns"].count, snap.counters["serve.lookups"],
         "one latency sample per lookup holds under daemon load too"
     );
 }
@@ -288,7 +301,8 @@ fn rejected_candidates_leave_the_old_generation_serving() {
     assert_eq!(after, before);
 
     // A valid candidate still swaps — rejections don't wedge reloads.
-    write_atomic_bytes(&path, &artifact(9, AsClass::Mixed, false)).expect("publish valid candidate");
+    write_atomic_bytes(&path, &artifact(9, AsClass::Mixed, false))
+        .expect("publish valid candidate");
     assert!(wait_until(Duration::from_secs(5), || daemon.generation() == 2));
     let swapped = client.lookup(&probes).expect("probes after swap");
     assert_eq!(swapped[0].expect("still served").asn, 9);
@@ -297,6 +311,200 @@ fn rejected_candidates_leave_the_old_generation_serving() {
     let snap = daemon.shutdown();
     assert_eq!(snap.counters["served.reload.rejected"], 3);
     assert_eq!(snap.counters["served.reload.ok"], 1);
+}
+
+#[test]
+fn deltas_hot_patch_the_live_generation_under_traffic() {
+    let dir = tmpdir("delta");
+    let path = dir.join("index.cellserv");
+    let delta_path = dir.join("latest.cdlt");
+    let base = artifact(1, AsClass::Dedicated, false);
+    write_atomic_bytes(&path, &base).expect("write artifact");
+    let obs = Observer::enabled();
+    let mut cfg = config();
+    cfg.delta_watch = Some(delta_path.clone());
+    let daemon = Daemon::start(cfg, &path, obs.clone()).expect("daemon starts");
+    let tcp = daemon.tcp_addr().expect("tcp listener");
+    let http = daemon.http_addr().expect("http listener");
+
+    // Continuous queries across the patch; no request may ever fail.
+    let stop = Arc::new(AtomicBool::new(false));
+    let saw_new_gen = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let saw2 = Arc::clone(&saw_new_gen);
+    let client_thread = std::thread::spawn(move || -> Vec<u32> {
+        let mut client = FramedClient::connect(tcp).expect("connect");
+        let mut seen = Vec::new();
+        while !stop2.load(Ordering::SeqCst) {
+            let answers = client
+                .lookup(&[IpKey::V4(0x0A00_0001)])
+                .expect("no request ever fails during a delta patch");
+            let asn = answers[0].expect("prefix served by every generation").asn;
+            if asn == 2 {
+                saw2.store(true, Ordering::SeqCst);
+            }
+            seen.push(asn);
+        }
+        seen
+    });
+
+    std::thread::sleep(Duration::from_millis(50));
+    let target = artifact(2, AsClass::Mixed, true);
+    let delta = celldelta::build_delta(&base, &target, 0, 1).expect("build delta");
+    write_atomic_bytes(&delta_path, &delta).expect("publish delta");
+    assert!(
+        wait_until(Duration::from_secs(5), || daemon.generation() == 2),
+        "watcher picks up a chained delta"
+    );
+    assert!(
+        wait_until(Duration::from_secs(5), || saw_new_gen
+            .load(Ordering::SeqCst)),
+        "live traffic reaches the patched-in generation"
+    );
+    stop.store(true, Ordering::SeqCst);
+    let seen = client_thread.join().expect("client thread");
+    assert!(!seen.is_empty());
+    assert!(
+        seen.iter().all(|&asn| asn == 1 || asn == 2),
+        "answers only ever come from a fully validated generation"
+    );
+    let first_new = seen
+        .iter()
+        .position(|&a| a == 2)
+        .expect("patch observed under load");
+    assert!(seen[first_new..].iter().all(|&a| a == 2));
+
+    // A second delta chains on the patched-in generation.
+    let target2 = artifact(3, AsClass::Dedicated, true);
+    let delta2 = celldelta::build_delta(&target, &target2, 1, 2).expect("build delta 2");
+    write_atomic_bytes(&delta_path, &delta2).expect("publish delta 2");
+    assert!(wait_until(Duration::from_secs(5), || daemon.generation() == 3));
+
+    // /generation correlates hash and epoch with what was published.
+    let gen = http_request(http, "GET", "/generation", None);
+    assert!(gen.contains("\"generation\":3"), "{gen}");
+    assert!(
+        gen.contains(&cellserve::hash_hex(cellserve::content_hash(&target2))),
+        "{gen}"
+    );
+    assert!(gen.contains("\"epoch\":2"), "{gen}");
+
+    let snap = daemon.shutdown();
+    assert_eq!(snap.counters["served.delta.ok"], 2);
+    assert!(!snap.counters.contains_key("served.delta.rejected"));
+    assert_eq!(snap.gauges["served.generation"], 3);
+    assert_eq!(snap.gauges["served.epoch"], 2);
+    assert_eq!(
+        snap.gauges["served.artifact.hash"],
+        cellserve::content_hash(&target2)
+    );
+}
+
+#[test]
+fn rejected_deltas_leave_the_old_generation_serving() {
+    let dir = tmpdir("delta-reject");
+    let path = dir.join("index.cellserv");
+    let delta_path = dir.join("latest.cdlt");
+    let base = artifact(7, AsClass::Dedicated, false);
+    write_atomic_bytes(&path, &base).expect("write artifact");
+    let obs = Observer::enabled();
+    let mut cfg = config();
+    cfg.delta_watch = Some(delta_path.clone());
+    let daemon = Daemon::start(cfg, &path, obs.clone()).expect("daemon starts");
+
+    let probes = [IpKey::V4(0x0A00_0001), IpKey::V4(0x7F00_0001), IpKey::V6(1)];
+    let mut client = FramedClient::connect(daemon.tcp_addr().expect("tcp")).expect("connect");
+    let before = client.lookup(&probes).expect("baseline lookup");
+    let rejected_count = || {
+        obs.snapshot()
+            .counters
+            .get("served.delta.rejected")
+            .copied()
+            .unwrap_or(0)
+    };
+
+    let target = artifact(8, AsClass::Mixed, true);
+
+    // Candidate 1: chains on a base the daemon never served.
+    let other = artifact(9, AsClass::Dedicated, false);
+    let wrong_base = celldelta::build_delta(&other, &target, 0, 1).expect("build");
+    write_atomic_bytes(&delta_path, &wrong_base).expect("publish wrong-base delta");
+    assert!(wait_until(Duration::from_secs(5), || rejected_count() >= 1));
+
+    // Candidate 2: right base, flipped byte — the seal rejects it.
+    let good = celldelta::build_delta(&base, &target, 0, 1).expect("build");
+    let mut corrupt = good.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x01;
+    write_atomic_bytes(&delta_path, &corrupt).expect("publish corrupt delta");
+    assert!(wait_until(Duration::from_secs(5), || rejected_count() >= 2));
+
+    // Candidate 3: truncated mid-body.
+    write_atomic_bytes(&delta_path, &good[..good.len() / 2]).expect("publish truncated delta");
+    assert!(wait_until(Duration::from_secs(5), || rejected_count() >= 3));
+
+    // Three rejections later: still generation 1, answers untouched.
+    assert_eq!(daemon.generation(), 1);
+    let after = client
+        .lookup(&probes)
+        .expect("probes after rejected deltas");
+    assert_eq!(after, before);
+
+    // The intact delta still applies — rejections don't wedge the chain.
+    write_atomic_bytes(&delta_path, &good).expect("publish valid delta");
+    assert!(wait_until(Duration::from_secs(5), || daemon.generation() == 2));
+    let swapped = client.lookup(&probes).expect("probes after patch");
+    assert_eq!(swapped[0].expect("still served").asn, 8);
+
+    // Candidate 4: an out-of-order delta — its epoch does not advance
+    // past the live epoch 1, so it is stale regardless of its base.
+    let stale = celldelta::build_delta(&base, &artifact(9, AsClass::Mixed, false), 0, 1)
+        .expect("build stale delta");
+    write_atomic_bytes(&delta_path, &stale).expect("publish stale delta");
+    assert!(wait_until(Duration::from_secs(5), || rejected_count() >= 4));
+    assert_eq!(daemon.generation(), 2, "stale delta rejected");
+
+    let snap = daemon.shutdown();
+    assert_eq!(snap.counters["served.delta.rejected"], 4);
+    assert_eq!(snap.counters["served.delta.ok"], 1);
+}
+
+#[test]
+fn a_full_reload_resets_the_delta_chain() {
+    let dir = tmpdir("delta-interop");
+    let path = dir.join("index.cellserv");
+    let delta_path = dir.join("latest.cdlt");
+    let base = artifact(1, AsClass::Dedicated, false);
+    write_atomic_bytes(&path, &base).expect("write artifact");
+    let obs = Observer::enabled();
+    let mut cfg = config();
+    cfg.reload_watch = true;
+    cfg.delta_watch = Some(delta_path.clone());
+    let daemon = Daemon::start(cfg, &path, obs.clone()).expect("daemon starts");
+
+    // Delta to epoch 1.
+    let target = artifact(2, AsClass::Mixed, false);
+    let d1 = celldelta::build_delta(&base, &target, 0, 1).expect("build");
+    write_atomic_bytes(&delta_path, &d1).expect("publish delta");
+    assert!(wait_until(Duration::from_secs(5), || daemon.generation() == 2));
+
+    // A full artifact published at the artifact path swaps in at
+    // epoch 0...
+    let full = artifact(3, AsClass::Dedicated, true);
+    write_atomic_bytes(&path, &full).expect("publish full artifact");
+    assert!(wait_until(Duration::from_secs(5), || daemon.generation() == 3));
+
+    // ...so a low-epoch delta chaining on *it* is accepted again.
+    let target2 = artifact(4, AsClass::Mixed, true);
+    let d2 = celldelta::build_delta(&full, &target2, 0, 1).expect("build");
+    write_atomic_bytes(&delta_path, &d2).expect("publish delta on the reloaded base");
+    assert!(wait_until(Duration::from_secs(5), || daemon.generation() == 4));
+
+    let snap = daemon.shutdown();
+    assert_eq!(snap.counters["served.delta.ok"], 2);
+    assert_eq!(snap.counters["served.reload.ok"], 1);
+    assert!(!snap.counters.contains_key("served.delta.rejected"));
+    assert_eq!(snap.gauges["served.epoch"], 1);
 }
 
 #[test]

@@ -11,7 +11,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use netaddr::BlockId;
+use netaddr::{Asn, BlockId};
 use serde::{Deserialize, Serialize};
 
 use cdnsim::{
@@ -247,6 +247,25 @@ pub struct StreamOutputs {
     pub demand: DemandDataset,
     /// Sketch estimates with their error bounds.
     pub sketches: SketchReport,
+}
+
+/// Raw per-block counters at an epoch boundary, as accumulated by the
+/// shards — no dataset-level normalization applied. Produced by
+/// [`IngestEngine::raw_counters`] for the incremental classifier.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RawBlockCounters {
+    /// The /24 or /48 block.
+    pub block: BlockId,
+    /// Origin AS (demand-side ASN wins when the datasets disagree,
+    /// matching `cellspot::BlockIndex::build`).
+    pub asn: Asn,
+    /// NETINFO beacon samples seen so far.
+    pub netinfo_hits: u64,
+    /// Cellular NETINFO samples seen so far.
+    pub cellular_hits: u64,
+    /// Smoothed raw demand (`acc / smoothing_days`), *not* globally
+    /// normalized.
+    pub du: f64,
 }
 
 /// The sharded streaming ingest engine.
@@ -617,6 +636,56 @@ impl IngestEngine {
             self.smoothing_days,
             &self.shards,
         )
+    }
+
+    /// Merge all shards down to the raw per-block counters accumulated
+    /// so far, sorted by block, without any dataset-level normalization.
+    ///
+    /// This is the feed for the incremental classifier (`celldelta`):
+    /// unlike [`IngestEngine::finalize`], which routes demand through
+    /// [`cdnsim::DemandDataset::from_raw`] (a *global* renormalization
+    /// that changes every block's `du` whenever any block changes), the
+    /// raw counters of an untouched block are bit-identical across
+    /// epochs — exactly the stability the per-AS memoization keys on.
+    /// Demand smoothing (`acc / smoothing_days`) is still applied; it is
+    /// a per-block operation. When a block appears in both the beacon
+    /// and demand accumulators the demand-side ASN wins, matching
+    /// `cellspot::BlockIndex::build`'s lenient join.
+    pub fn raw_counters(&self) -> Vec<RawBlockCounters> {
+        let days = self.smoothing_days.max(1) as f64;
+        // Blocks are partitioned across shards, so concatenating the
+        // per-shard (sorted) maps yields no duplicates; one sort puts
+        // the merged view in global block order.
+        let mut blocks: std::collections::BTreeMap<BlockId, RawBlockCounters> =
+            std::collections::BTreeMap::new();
+        for shard in &self.shards {
+            for (&block, a) in &shard.beacons {
+                blocks.insert(
+                    block,
+                    RawBlockCounters {
+                        block,
+                        asn: a.asn,
+                        netinfo_hits: a.netinfo_hits,
+                        cellular_hits: a.cellular_hits,
+                        du: 0.0,
+                    },
+                );
+            }
+        }
+        for shard in &self.shards {
+            for (&block, a) in &shard.demand {
+                let entry = blocks.entry(block).or_insert(RawBlockCounters {
+                    block,
+                    asn: a.asn,
+                    netinfo_hits: 0,
+                    cellular_hits: 0,
+                    du: 0.0,
+                });
+                entry.asn = a.asn;
+                entry.du = a.acc / days;
+            }
+        }
+        blocks.into_values().collect()
     }
 
     /// Merge all shards down to the datasets and sketch report.

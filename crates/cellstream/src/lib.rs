@@ -51,8 +51,8 @@ mod snapshot;
 mod spacesaving;
 
 pub use engine::{
-    FoldAction, IngestEngine, IngestError, IngestObserver, ResolverClients, ResolverMap,
-    SketchReport, StreamConfig, StreamOutputs,
+    FoldAction, IngestEngine, IngestError, IngestObserver, RawBlockCounters, ResolverClients,
+    ResolverMap, SketchReport, StreamConfig, StreamOutputs,
 };
 pub use error::StreamError;
 pub use faultsim::{

@@ -4,13 +4,14 @@
 
 use asdb::{AsDatabase, CarrierGroundTruth};
 use cdnsim::{BeaconDataset, DemandDataset};
+use celldelta::{Delta, DeltaError, EpochCounters};
 use cellserve::{FrozenIndex, IpKey, QueryEngine};
 use cellspot::{
     aggregate_by_as, identify_cellular_ases, threshold_sweep, validate_carrier, BlockIndex,
     CellspotError, Classification, FilterConfig, MixedAnalysis, Pipeline, WorldView, DEDICATED_CFD,
     DEFAULT_THRESHOLD,
 };
-use netaddr::{Asn, CONTINENTS};
+use netaddr::CONTINENTS;
 
 use crate::io::block_to_string;
 
@@ -106,12 +107,17 @@ pub fn identify_as(
 
 /// `index build`: run the classification and freeze it into a sealed
 /// serving artifact. Returns the artifact bytes (the caller writes them
-/// atomically) plus a one-line human summary.
+/// atomically) plus a one-line human summary carrying the artifact's
+/// content hash, for correlating with the daemon's `/generation`.
 ///
 /// Every AS holding at least one cellular block gets a mixed/dedicated
 /// verdict here — the §5 demand/hits funnel filters *which ASes count as
 /// cellular operators*, but the serving artifact must label every prefix
 /// it ships, so the funnel is deliberately not applied.
+///
+/// Routed through [`celldelta::classify_epoch`], the same canonical
+/// classifier the delta pipeline uses, so `delta apply` on an artifact
+/// built here is byte-identical to rebuilding from scratch.
 pub fn index_build(
     beacons: &BeaconDataset,
     demand: &DemandDataset,
@@ -119,28 +125,75 @@ pub fn index_build(
     obs: &cellobs::Observer,
 ) -> Result<(Vec<u8>, String), CellspotError> {
     let t = threshold.unwrap_or(DEFAULT_THRESHOLD);
-    let (index, class) = Pipeline::new(beacons, demand)
-        .threshold(t)
-        .observer(obs.clone())
-        .classify()?;
-    let aggs = aggregate_by_as(&index, &class);
-    let mut candidates: Vec<Asn> = aggs
-        .iter()
-        .filter(|(_, a)| a.cell_blocks() > 0)
-        .map(|(&asn, _)| asn)
-        .collect();
-    candidates.sort_unstable();
-    let mixed = MixedAnalysis::build(&candidates, &aggs, DEDICATED_CFD);
-    let frozen = FrozenIndex::from_classification(&class, Some(&mixed));
+    let index = BlockIndex::build(beacons, demand);
+    let counters = EpochCounters::from_index(0, &index);
+    let frozen = celldelta::classify_epoch(&counters, t);
     let bytes = cellserve::to_bytes(&frozen);
+    let hash = cellserve::content_hash(&bytes);
+    obs.counter("index.blocks").add(counters.len() as u64);
+    obs.counter("index.ases").add(frozen.as_count() as u64);
+    obs.gauge("index.artifact.hash").set(hash);
     let (v4, v6) = frozen.prefix_counts();
     let summary = format!(
-        "frozen {v4} IPv4 + {v6} IPv6 prefixes, {} labels, {} bytes (format v{})\n",
+        "frozen {v4} IPv4 + {v6} IPv6 prefixes, {} labels over {} ASes from {} blocks, \
+         {} bytes (format v{}), content hash {}\n",
         frozen.label_count(),
+        frozen.as_count(),
+        counters.len(),
         bytes.len(),
         cellserve::ARTIFACT_VERSION,
+        cellserve::hash_hex(hash),
     );
     Ok((bytes, summary))
+}
+
+/// `delta build`: classify the given datasets at `epoch` and seal the
+/// changes against `base_bytes` as a CELLDELT delta chained on the
+/// base's content hash. Returns the delta bytes (the caller writes them
+/// atomically) plus a one-line summary.
+pub fn delta_build(
+    base_bytes: &[u8],
+    beacons: &BeaconDataset,
+    demand: &DemandDataset,
+    threshold: Option<f64>,
+    base_epoch: u64,
+    epoch: u64,
+    obs: &cellobs::Observer,
+) -> Result<(Vec<u8>, String), DeltaError> {
+    let t = threshold.unwrap_or(DEFAULT_THRESHOLD);
+    let index = BlockIndex::build(beacons, demand);
+    let counters = EpochCounters::from_index(epoch, &index);
+    let target = cellserve::to_bytes(&celldelta::classify_epoch(&counters, t));
+    let bytes = celldelta::build_delta(base_bytes, &target, base_epoch, epoch)?;
+    let delta = Delta::from_bytes(&bytes)?;
+    obs.counter("delta.ops").add(delta.op_count() as u64);
+    obs.gauge("delta.bytes").set(bytes.len() as u64);
+    let summary = format!(
+        "delta {} op(s), {} bytes ({:.1}% of the {}-byte full artifact), \
+         epoch {} -> {}, base {} -> target {}\n",
+        delta.op_count(),
+        bytes.len(),
+        100.0 * bytes.len() as f64 / target.len() as f64,
+        target.len(),
+        base_epoch,
+        epoch,
+        cellserve::hash_hex(delta.base_hash),
+        cellserve::hash_hex(delta.target_hash),
+    );
+    Ok((bytes, summary))
+}
+
+/// `delta apply`: patch a base artifact with a sealed delta, verifying
+/// the base-hash chain before patching and the promised target hash
+/// after. Returns the patched artifact bytes plus a one-line summary.
+pub fn delta_apply(base_bytes: &[u8], delta_bytes: &[u8]) -> Result<(Vec<u8>, String), DeltaError> {
+    let patched = celldelta::apply_delta(base_bytes, delta_bytes)?;
+    let summary = format!(
+        "patched artifact {} bytes, content hash {}\n",
+        patched.len(),
+        cellserve::hash_hex(cellserve::content_hash(&patched)),
+    );
+    Ok((patched, summary))
 }
 
 /// `lookup`: answer a batch of IPs against a loaded [`FrozenIndex`].
@@ -400,6 +453,52 @@ mod tests {
     }
 
     #[test]
+    fn index_build_reports_hash_and_counts() {
+        let (_, b, d) = setup();
+        let obs = cellobs::Observer::enabled();
+        let (bytes, summary) = index_build(&b, &d, None, &obs).expect("consistent datasets");
+        let hash = cellserve::content_hash(&bytes);
+        assert!(summary.contains(&cellserve::hash_hex(hash)), "{summary}");
+        assert!(summary.contains("ASes"), "{summary}");
+        let snap = obs.snapshot();
+        assert_eq!(snap.gauges["index.artifact.hash"], hash);
+        assert!(snap.counters["index.blocks"] > 0);
+        assert!(snap.counters["index.ases"] > 0);
+    }
+
+    #[test]
+    fn delta_build_then_apply_matches_a_full_index_build() {
+        let (_, b, d) = setup();
+        let obs = cellobs::Observer::enabled();
+        let (base, _) = index_build(&b, &d, None, &obs).expect("base build");
+        // A different threshold guarantees label churn between "epochs".
+        let (delta, summary) =
+            delta_build(&base, &b, &d, Some(0.95), 0, 1, &obs).expect("delta build");
+        assert!(summary.contains("op(s)"), "{summary}");
+        assert!(summary.contains("epoch 0 -> 1"), "{summary}");
+
+        let (patched, apply_summary) = delta_apply(&base, &delta).expect("delta apply");
+        let (full, _) = index_build(&b, &d, Some(0.95), &obs).expect("full build");
+        assert_eq!(patched, full, "apply(base, delta) == full rebuild");
+        assert!(
+            apply_summary.contains(&cellserve::hash_hex(cellserve::content_hash(&full))),
+            "{apply_summary}"
+        );
+        assert!(obs.snapshot().counters["delta.ops"] > 0);
+
+        // A flipped delta byte never applies; the base is untouched.
+        let mut bad = delta.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x04;
+        assert!(delta_apply(&base, &bad).is_err());
+        // Wrong base: the patched artifact is not the delta's base.
+        assert!(matches!(
+            delta_apply(&patched, &delta),
+            Err(DeltaError::BaseMismatch { .. })
+        ));
+    }
+
+    #[test]
     fn lookup_batch_reports_rows_and_match_rate() {
         let (_, b, d) = setup();
         let obs = cellobs::Observer::disabled();
@@ -442,7 +541,10 @@ mod tests {
         let mut sink = Vec::new();
         let summary = lookup_batch(&frozen, &[], &obs, &mut sink).expect("vec write");
         assert_eq!(summary, "0 lookups\n", "no fabricated match rate");
-        assert_eq!(String::from_utf8(sink).expect("utf-8"), "ip,prefix,asn,class\n");
+        assert_eq!(
+            String::from_utf8(sink).expect("utf-8"),
+            "ip,prefix,asn,class\n"
+        );
     }
 
     #[test]

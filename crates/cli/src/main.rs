@@ -14,6 +14,50 @@ use std::sync::Arc;
 use cellobs::{ExportFormat, Observer};
 use cli::{commands, io, CliError};
 
+/// Minimal signal handling without a dependency: `signal(2)` handlers
+/// that set a flag, installed for SIGINT and SIGTERM so `serve` drains
+/// gracefully under process supervisors as well as on stdin EOF.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work here: a single atomic store.
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    /// Install the handlers; call once, before serving.
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    /// Whether SIGINT or SIGTERM has been received.
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+
+    pub fn requested() -> bool {
+        false
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -28,6 +72,7 @@ fn main() {
         "validate" => validate(rest),
         "stats" => stats(rest),
         "index" => index(rest),
+        "delta" => delta(rest),
         "lookup" => lookup(rest),
         "serve" => serve(rest),
         "--help" | "-h" | "help" => {
@@ -245,6 +290,12 @@ fn stream(args: &[String]) -> CmdResult {
     let fault_plan = flag_value(args, "--fault-plan");
     let resume = args.iter().any(|a| a == "--resume");
     let out_dir = flag_value(args, "--out").map(PathBuf::from);
+    let emit_dir = flag_value(args, "--emit-deltas").map(PathBuf::from);
+    if emit_dir.is_some() && fault_plan.is_some() {
+        return Err(CliError::Usage(
+            "--emit-deltas needs the plain epoch loop; drop --fault-plan".into(),
+        ));
+    }
 
     eprintln!("generating {scale} world (seed {:#x}) …", config.seed);
     let world = worldgen::World::generate_with(config, &obs);
@@ -341,6 +392,10 @@ fn stream(args: &[String]) -> CmdResult {
         Some(k) => done < k,
         None => true,
     };
+    let mut delta_emitter = match emit_dir {
+        Some(dir) => Some(DeltaEmitter::new(dir, threshold, &obs)?),
+        None => None,
+    };
     let mut span = obs.span("ingest");
     while !engine.finished() && wants_more(engine.epochs_done()) {
         let e = engine
@@ -357,9 +412,15 @@ fn stream(args: &[String]) -> CmdResult {
                 .save(&engine.snapshot())
                 .map_err(|e| CliError::Io(format!("{}: {e}", store.dir().display())))?;
         }
+        if let Some(em) = &mut delta_emitter {
+            em.emit_epoch(&engine)?;
+        }
     }
     span.set_items(engine.events_seen());
     drop(span);
+    if let Some(em) = &delta_emitter {
+        em.finish();
+    }
     if !engine.finished() {
         eprintln!(
             "stopped after epoch {} of {epochs}; continue with --resume --checkpoint DIR",
@@ -499,6 +560,160 @@ fn index(args: &[String]) -> CmdResult {
     Ok(())
 }
 
+/// `delta build` / `delta apply`: incremental refresh of a sealed
+/// artifact. `build` classifies the given datasets as a new epoch and
+/// seals only the labels that changed relative to a base artifact,
+/// chained on the base's content hash; `apply` patches a base artifact
+/// with such a delta, reproducing the full rebuild byte for byte.
+fn delta(args: &[String]) -> CmdResult {
+    match args.first().map(String::as_str) {
+        Some("build") => delta_build(&args[1..]),
+        Some("apply") => delta_apply(&args[1..]),
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown delta subcommand {other:?} (expected build or apply)"
+        ))),
+        None => Err(CliError::Usage(
+            "missing delta subcommand (expected build or apply)".into(),
+        )),
+    }
+}
+
+fn delta_build(args: &[String]) -> CmdResult {
+    setup_threads(args)?;
+    let base_path = required(args, "--base")?;
+    let base = fs::read(&base_path).map_err(|e| CliError::Io(format!("{base_path}: {e}")))?;
+    let (beacons, demand) = load_datasets(args)?;
+    let threshold = parse_threshold(args)?;
+    let parse_epoch = |flag: &str, default: u64| -> Result<u64, CliError> {
+        flag_value(args, flag)
+            .map(|v| v.parse())
+            .transpose()
+            .map_err(|_| CliError::Usage(format!("bad {flag} (expected an integer epoch)")))
+            .map(|v| v.unwrap_or(default))
+    };
+    let base_epoch = parse_epoch("--base-epoch", 0)?;
+    let epoch = parse_epoch("--epoch", base_epoch + 1)?;
+    let out = PathBuf::from(required(args, "--out")?);
+    let metrics = parse_metrics(args)?;
+    let obs = observer_for(&metrics);
+    // A malformed base or an epoch that does not advance is bad data
+    // (exit 4), matching how `lookup` treats a corrupt artifact.
+    let (bytes, summary) =
+        commands::delta_build(&base, &beacons, &demand, threshold, base_epoch, epoch, &obs)
+            .map_err(|e| CliError::Data(format!("{base_path}: {e}")))?;
+    cellstream::write_atomic_bytes(&out, &bytes)
+        .map_err(|e| CliError::Io(format!("{}: {e}", out.display())))?;
+    eprint!("{summary}");
+    eprintln!("delta → {}", out.display());
+    write_metrics(&metrics, &obs)?;
+    Ok(())
+}
+
+fn delta_apply(args: &[String]) -> CmdResult {
+    setup_threads(args)?;
+    let base_path = required(args, "--base")?;
+    let base = fs::read(&base_path).map_err(|e| CliError::Io(format!("{base_path}: {e}")))?;
+    let delta_path = required(args, "--delta")?;
+    let delta = fs::read(&delta_path).map_err(|e| CliError::Io(format!("{delta_path}: {e}")))?;
+    let out = PathBuf::from(required(args, "--out")?);
+    let (bytes, summary) = commands::delta_apply(&base, &delta)
+        .map_err(|e| CliError::Data(format!("{delta_path}: {e}")))?;
+    cellstream::write_atomic_bytes(&out, &bytes)
+        .map_err(|e| CliError::Io(format!("{}: {e}", out.display())))?;
+    eprint!("{summary}");
+    eprintln!("patched artifact → {}", out.display());
+    Ok(())
+}
+
+/// Per-epoch delta emitter behind `stream --emit-deltas DIR`: the first
+/// ingested epoch seals the full base artifact (`base.cellserv`); every
+/// later epoch re-classifies with per-AS memoization and seals only the
+/// changed labels as a `CELLDELT` delta chained on the previous
+/// artifact's content hash. Each delta lands both under its epoch name
+/// and as an atomically-replaced `latest.cdlt` — the file a serving
+/// daemon's `--delta-watch` follows.
+struct DeltaEmitter {
+    dir: PathBuf,
+    classifier: celldelta::IncrementalClassifier,
+    obs: Observer,
+    /// Last sealed artifact bytes and the epoch they labeled.
+    live: Option<(Vec<u8>, u64)>,
+}
+
+impl DeltaEmitter {
+    fn new(
+        dir: PathBuf,
+        threshold: Option<f64>,
+        export_obs: &Observer,
+    ) -> Result<DeltaEmitter, CliError> {
+        fs::create_dir_all(&dir).map_err(|e| CliError::Io(format!("{}: {e}", dir.display())))?;
+        // Memo-hit accounting should be real even without --metrics, so
+        // the classifier always gets an enabled observer; with --metrics
+        // it shares the export observer and the counters ship in the
+        // export too.
+        let obs = if export_obs.is_enabled() {
+            export_obs.clone()
+        } else {
+            Observer::enabled()
+        };
+        Ok(DeltaEmitter {
+            dir,
+            classifier: celldelta::IncrementalClassifier::new(
+                threshold.unwrap_or(cellspot::DEFAULT_THRESHOLD),
+                obs.clone(),
+            ),
+            obs,
+            live: None,
+        })
+    }
+
+    fn write_file(&self, name: &str, bytes: &[u8]) -> CmdResult {
+        let path = self.dir.join(name);
+        cellstream::write_atomic_bytes(&path, bytes)
+            .map_err(|e| CliError::Io(format!("{}: {e}", path.display())))
+    }
+
+    fn emit_epoch(&mut self, engine: &cellstream::IngestEngine) -> CmdResult {
+        let epoch = u64::from(engine.epochs_done());
+        let counters = celldelta::EpochCounters::from_engine(epoch, engine);
+        let target = cellserve::to_bytes(&self.classifier.classify(&counters));
+        match self.live.take() {
+            None => {
+                self.write_file("base.cellserv", &target)?;
+                eprintln!(
+                    "epoch {epoch}: base artifact {} bytes (hash {}) → base.cellserv",
+                    target.len(),
+                    cellserve::hash_hex(cellserve::content_hash(&target)),
+                );
+            }
+            Some((live, live_epoch)) => {
+                let delta = celldelta::build_delta(&live, &target, live_epoch, epoch)
+                    .map_err(|e| CliError::Data(format!("epoch {epoch} delta: {e}")))?;
+                let name = format!("delta-ep{epoch:06}.cdlt");
+                self.write_file(&name, &delta)?;
+                self.write_file("latest.cdlt", &delta)?;
+                eprintln!(
+                    "epoch {epoch}: delta {} bytes vs {} full → {name} (+ latest.cdlt)",
+                    delta.len(),
+                    target.len(),
+                );
+            }
+        }
+        self.live = Some((target, epoch));
+        Ok(())
+    }
+
+    fn finish(&self) {
+        let snap = self.obs.snapshot();
+        let hits = snap.counters.get("delta.memo.hits").copied().unwrap_or(0);
+        let misses = snap.counters.get("delta.memo.misses").copied().unwrap_or(0);
+        eprintln!(
+            "delta series → {} ({hits} memoized AS classification(s) reused, {misses} recomputed)",
+            self.dir.display()
+        );
+    }
+}
+
 /// `lookup`: batch longest-prefix-match queries against a sealed
 /// artifact. A corrupt or truncated artifact is bad data (exit 4), not
 /// an I/O failure.
@@ -543,11 +758,13 @@ fn lookup(args: &[String]) -> CmdResult {
 }
 
 /// `serve`: run the long-lived lookup daemon over a sealed artifact.
-/// Shuts down on stdin EOF, a `quit` line, or after `--shutdown-after-ms`
-/// — whichever the caller wired up. A corrupt or truncated artifact is
-/// bad data (exit 4), matching `lookup`.
+/// Shuts down on SIGTERM/SIGINT, stdin EOF, a `quit` line, or after
+/// `--shutdown-after-ms` — whichever the caller wired up; every path
+/// drains in-flight queries before exiting. A corrupt or truncated
+/// artifact is bad data (exit 4), matching `lookup`.
 fn serve(args: &[String]) -> CmdResult {
     setup_threads(args)?;
+    sig::install();
     let index_path = required(args, "--index")?;
     let metrics = parse_metrics(args)?;
     let parse_ms = |flag: &str, default: u64| -> Result<u64, CliError> {
@@ -586,6 +803,7 @@ fn serve(args: &[String]) -> CmdResult {
         ),
         reload_watch: args.iter().any(|a| a == "--reload-watch"),
         reload_poll: std::time::Duration::from_millis(parse_ms("--reload-poll-ms", 250)?),
+        delta_watch: flag_value(args, "--delta-watch").map(PathBuf::from),
     };
     let shutdown_after = flag_value(args, "--shutdown-after-ms")
         .map(|v| v.parse::<u64>())
@@ -605,26 +823,54 @@ fn serve(args: &[String]) -> CmdResult {
     }
 
     match shutdown_after {
-        Some(ms) => std::thread::sleep(std::time::Duration::from_millis(ms)),
+        Some(ms) => {
+            // Bounded run (tests, smoke checks): sleep in short slices so
+            // a signal still ends it early.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_millis(ms);
+            while !sig::requested() {
+                let left = deadline.saturating_duration_since(std::time::Instant::now());
+                if left.is_zero() {
+                    break;
+                }
+                std::thread::sleep(left.min(std::time::Duration::from_millis(50)));
+            }
+        }
         None => {
-            eprintln!("serving; stdin EOF or a 'quit' line shuts down gracefully");
-            let mut line = String::new();
-            loop {
-                line.clear();
-                match std::io::stdin().read_line(&mut line) {
-                    Ok(0) | Err(_) => break,
-                    Ok(_) if matches!(line.trim(), "quit" | "shutdown") => break,
-                    Ok(_) => {}
+            eprintln!("serving; stdin EOF, a 'quit' line, or SIGTERM shuts down gracefully");
+            // stdin blocks, so it gets its own thread; the main thread
+            // polls the signal flag between channel timeouts.
+            let (tx, rx) = std::sync::mpsc::channel();
+            std::thread::spawn(move || {
+                let mut line = String::new();
+                loop {
+                    line.clear();
+                    match std::io::stdin().read_line(&mut line) {
+                        Ok(0) | Err(_) => break,
+                        Ok(_) if matches!(line.trim(), "quit" | "shutdown") => break,
+                        Ok(_) => {}
+                    }
+                }
+                let _ = tx.send(());
+            });
+            while !sig::requested() {
+                match rx.recv_timeout(std::time::Duration::from_millis(50)) {
+                    Ok(()) | Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+                    Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
                 }
             }
         }
+    }
+    if sig::requested() {
+        eprintln!("signal received; shutting down gracefully");
     }
 
     let snap = daemon.shutdown();
     let lookups = snap.counters.get("serve.lookups").copied().unwrap_or(0);
     let generation = snap.gauges.get("served.generation").copied().unwrap_or(1);
     let p99 = snap.gauges.get("serve.lookup.ns.p99").copied().unwrap_or(0);
-    eprintln!("shutdown: {lookups} lookup(s) served, final generation {generation}, p99 ≤ {p99} ns");
+    eprintln!(
+        "shutdown: {lookups} lookup(s) served, final generation {generation}, p99 ≤ {p99} ns"
+    );
     write_metrics(&metrics, &obs)?;
     Ok(())
 }
@@ -633,6 +879,7 @@ fn serve(args: &[String]) -> CmdResult {
 fn served_error(index_path: &str, e: cellserved::ServedError) -> CliError {
     match e {
         cellserved::ServedError::Artifact(a) => CliError::Data(format!("{index_path}: {a}")),
+        cellserved::ServedError::Delta(d) => CliError::Data(format!("{index_path}: {d}")),
         cellserved::ServedError::Io(io) => CliError::Io(format!("{index_path}: {io}")),
         other => CliError::Usage(other.to_string()),
     }
@@ -649,21 +896,24 @@ fn usage(err: &str) -> ! {
            synth       --scale mini|demo|paper [--seed N] [--out DIR]\n\
            stream      --scale mini|demo|paper [--seed N] [--epochs E] [--shards N]\n\
                        [--checkpoint DIR] [--retain N] [--resume] [--stop-after-epoch K]\n\
-                       [--fault-plan FILE] [--threshold T] [--out DIR]\n\
+                       [--fault-plan FILE] [--threshold T] [--out DIR] [--emit-deltas DIR]\n\
            classify    --beacons F --demand F [--threshold T] [--out F]\n\
            identify-as --beacons F --demand F --asdb F [--min-du X] [--min-hits N] [--out F]\n\
            validate    --beacons F --demand F --ground-truth F [--sweep]\n\
            stats       --beacons F --demand F --asdb F\n\
            index build --beacons F --demand F [--threshold T] --out ARTIFACT\n\
+           delta build --base ARTIFACT --beacons F --demand F [--threshold T]\n\
+                       [--base-epoch N] [--epoch N] --out DELTA\n\
+           delta apply --base ARTIFACT --delta DELTA --out ARTIFACT\n\
            lookup      --index ARTIFACT --ips F [--out F]\n\
            serve       --index ARTIFACT [--listen ADDR] [--tcp ADDR] [--workers N]\n\
                        [--queue-depth N] [--max-linger-us N] [--reload-watch]\n\
-                       [--reload-poll-ms N] [--shutdown-after-ms N]\n\
+                       [--reload-poll-ms N] [--delta-watch FILE] [--shutdown-after-ms N]\n\
          \n\
          global flags:\n\
            --threads N                 pin the rayon pool (flag > CELLSPOT_THREADS > auto)\n\
            --metrics FILE              export observability metrics (classify, stream,\n\
-                                       index build, lookup)\n\
+                                       index build, delta build, lookup)\n\
            --metrics-format json|prometheus   export format (default json)\n\
          \n\
          exit codes: 2 usage, 3 I/O, 4 bad data, 5 pipeline, 6 streaming\n\

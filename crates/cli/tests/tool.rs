@@ -579,7 +579,10 @@ fn serve_runs_shuts_down_and_exports_metrics() {
     assert!(out.status.success(), "serve failed: {out:?}");
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("http endpoint on 127.0.0.1:"), "{stderr}");
-    assert!(stderr.contains("framed tcp endpoint on 127.0.0.1:"), "{stderr}");
+    assert!(
+        stderr.contains("framed tcp endpoint on 127.0.0.1:"),
+        "{stderr}"
+    );
     assert!(stderr.contains("shutdown:"), "{stderr}");
     let exported = std::fs::read_to_string(&metrics).expect("metrics written");
     assert!(exported.contains("served.generation"), "{exported}");
@@ -600,6 +603,383 @@ fn serve_runs_shuts_down_and_exports_metrics() {
         "50",
     ]);
     assert_eq!(out.status.code(), Some(4), "corrupt artifact: {out:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `delta build` against a base artifact, then `delta apply`, must
+/// reproduce a from-scratch `index build` at the new settings byte for
+/// byte; corrupt deltas and bogus subcommands fail with the right exit
+/// codes.
+#[test]
+fn delta_build_apply_matches_full_rebuild() {
+    let dir = tmpdir("delta_cli");
+    let data = dir.join("data");
+    assert!(run(&[
+        "synth",
+        "--scale",
+        "mini",
+        "--out",
+        data.to_str().expect("utf8")
+    ])
+    .status
+    .success());
+    let b = data.join("beacons.csv");
+    let d = data.join("demand.csv");
+    let (b, d) = (b.to_str().expect("utf8"), d.to_str().expect("utf8"));
+
+    // Base artifact at the default threshold, reference artifact at a
+    // stricter one — the delta carries exactly the label churn between
+    // the two classifications.
+    let base = dir.join("base.idx");
+    let base_s = base.to_str().expect("utf8");
+    assert!(run(&[
+        "index",
+        "build",
+        "--beacons",
+        b,
+        "--demand",
+        d,
+        "--out",
+        base_s
+    ])
+    .status
+    .success());
+    let reference = dir.join("reference.idx");
+    let out = run(&[
+        "index",
+        "build",
+        "--beacons",
+        b,
+        "--demand",
+        d,
+        "--threshold",
+        "0.95",
+        "--out",
+        reference.to_str().expect("utf8"),
+    ]);
+    assert!(out.status.success(), "reference build failed: {out:?}");
+
+    let delta = dir.join("step.cdlt");
+    let delta_s = delta.to_str().expect("utf8");
+    let out = run(&[
+        "delta",
+        "build",
+        "--base",
+        base_s,
+        "--beacons",
+        b,
+        "--demand",
+        d,
+        "--threshold",
+        "0.95",
+        "--out",
+        delta_s,
+    ]);
+    assert!(out.status.success(), "delta build failed: {out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("op(s)"), "delta summary: {stderr}");
+    assert!(stderr.contains("epoch 0 -> 1"), "epoch chain: {stderr}");
+    let delta_bytes = std::fs::read(&delta).expect("delta written");
+    let reference_bytes = std::fs::read(&reference).expect("reference written");
+
+    let patched = dir.join("patched.idx");
+    let out = run(&[
+        "delta",
+        "apply",
+        "--base",
+        base_s,
+        "--delta",
+        delta_s,
+        "--out",
+        patched.to_str().expect("utf8"),
+    ]);
+    assert!(out.status.success(), "delta apply failed: {out:?}");
+    assert_eq!(
+        std::fs::read(&patched).expect("patched written"),
+        reference_bytes,
+        "apply(base, delta) must equal the full rebuild byte for byte"
+    );
+
+    // A bit-flipped delta is bad data (exit 4), and applying a delta to
+    // the wrong base is too.
+    let mut torn = delta_bytes.clone();
+    let mid = torn.len() / 2;
+    torn[mid] ^= 0x20;
+    std::fs::write(&delta, &torn).expect("rewrite");
+    let out = run(&[
+        "delta",
+        "apply",
+        "--base",
+        base_s,
+        "--delta",
+        delta_s,
+        "--out",
+        patched.to_str().expect("utf8"),
+    ]);
+    assert_eq!(out.status.code(), Some(4), "corrupt delta: {out:?}");
+    std::fs::write(&delta, &delta_bytes).expect("restore");
+    let out = run(&[
+        "delta",
+        "apply",
+        "--base",
+        reference.to_str().expect("utf8"),
+        "--delta",
+        delta_s,
+        "--out",
+        patched.to_str().expect("utf8"),
+    ]);
+    assert_eq!(out.status.code(), Some(4), "wrong base: {out:?}");
+
+    // Usage errors stay exit 2.
+    let out = run(&["delta", "frobnicate"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `stream --emit-deltas DIR` seals a base artifact at the first epoch
+/// and a chained delta per later epoch; replaying the chain with
+/// `delta apply` must stay consistent, and `latest.cdlt` must always be
+/// the newest delta.
+#[test]
+fn stream_emits_a_replayable_delta_chain() {
+    let dir = tmpdir("emit_deltas");
+    let deltas = dir.join("deltas");
+    let deltas_s = deltas.to_str().expect("utf8");
+    let out = run(&[
+        "stream",
+        "--scale",
+        "mini",
+        "--epochs",
+        "3",
+        "--emit-deltas",
+        deltas_s,
+    ]);
+    assert!(out.status.success(), "stream failed: {out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("base artifact"), "{stderr}");
+    assert!(stderr.contains("delta series →"), "{stderr}");
+
+    let base = std::fs::read(deltas.join("base.cellserv")).expect("base sealed");
+    let step2 = deltas.join("delta-ep000002.cdlt");
+    let step3 = deltas.join("delta-ep000003.cdlt");
+    assert_eq!(
+        std::fs::read(&step3).expect("epoch-3 delta"),
+        std::fs::read(deltas.join("latest.cdlt")).expect("latest delta"),
+        "latest.cdlt tracks the newest delta"
+    );
+
+    // Replay the chain through the CLI: base —ep2→ —ep3→.
+    let a2 = dir.join("a2.idx");
+    let a3 = dir.join("a3.idx");
+    let base_path = deltas.join("base.cellserv");
+    let out = run(&[
+        "delta",
+        "apply",
+        "--base",
+        base_path.to_str().expect("utf8"),
+        "--delta",
+        step2.to_str().expect("utf8"),
+        "--out",
+        a2.to_str().expect("utf8"),
+    ]);
+    assert!(out.status.success(), "epoch-2 apply failed: {out:?}");
+    let out = run(&[
+        "delta",
+        "apply",
+        "--base",
+        a2.to_str().expect("utf8"),
+        "--delta",
+        step3.to_str().expect("utf8"),
+        "--out",
+        a3.to_str().expect("utf8"),
+    ]);
+    assert!(out.status.success(), "epoch-3 apply failed: {out:?}");
+    // The epoch-3 delta chains on epoch 2's output, never on the base.
+    let out = run(&[
+        "delta",
+        "apply",
+        "--base",
+        base_path.to_str().expect("utf8"),
+        "--delta",
+        step3.to_str().expect("utf8"),
+        "--out",
+        a3.to_str().expect("utf8"),
+    ]);
+    if std::fs::read(&a2).expect("a2") != base {
+        assert_eq!(out.status.code(), Some(4), "skipping an epoch: {out:?}");
+    }
+
+    // Chaos mode cannot emit per-epoch deltas; that's a usage error.
+    let out = run(&[
+        "stream",
+        "--scale",
+        "mini",
+        "--emit-deltas",
+        deltas_s,
+        "--fault-plan",
+        "plan.json",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The content hash `index build` prints is the same value the daemon
+/// exports as the `served.artifact.hash` gauge, so operators can check
+/// what a running daemon serves against what they built.
+#[test]
+fn index_build_hash_correlates_with_served_generation() {
+    let dir = tmpdir("hash_corr");
+    let data = dir.join("data");
+    assert!(run(&[
+        "synth",
+        "--scale",
+        "mini",
+        "--out",
+        data.to_str().expect("utf8")
+    ])
+    .status
+    .success());
+    let artifact = dir.join("cells.idx");
+    let art_s = artifact.to_str().expect("utf8");
+    let out = run(&[
+        "index",
+        "build",
+        "--beacons",
+        data.join("beacons.csv").to_str().expect("utf8"),
+        "--demand",
+        data.join("demand.csv").to_str().expect("utf8"),
+        "--out",
+        art_s,
+    ]);
+    assert!(out.status.success(), "index build failed: {out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let hex = stderr
+        .split("content hash ")
+        .nth(1)
+        .map(|rest| &rest[..16])
+        .expect("build summary names the content hash");
+    let built_hash = u64::from_str_radix(hex, 16).expect("16 hex digits");
+
+    let metrics = dir.join("metrics.json");
+    let out = run(&[
+        "serve",
+        "--index",
+        art_s,
+        "--listen",
+        "127.0.0.1:0",
+        "--shutdown-after-ms",
+        "100",
+        "--metrics",
+        metrics.to_str().expect("utf8"),
+    ]);
+    assert!(out.status.success(), "serve failed: {out:?}");
+    let exported = std::fs::read_to_string(&metrics).expect("metrics written");
+    let served_hash: u64 = exported
+        .split("\"served.artifact.hash\"")
+        .nth(1)
+        .map(|rest| {
+            rest.chars()
+                .skip_while(|c| !c.is_ascii_digit())
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+        })
+        .expect("gauge exported")
+        .parse()
+        .expect("decimal gauge value");
+    assert_eq!(
+        served_hash, built_hash,
+        "daemon must serve exactly the artifact the build reported"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// SIGTERM must drain in-flight work and exit cleanly, exactly like
+/// stdin EOF: the daemon answers a lookup, takes the signal, and still
+/// reports that lookup in its shutdown line.
+#[cfg(unix)]
+#[test]
+fn sigterm_shuts_the_daemon_down_gracefully() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let dir = tmpdir("sigterm");
+    let data = dir.join("data");
+    assert!(run(&[
+        "synth",
+        "--scale",
+        "mini",
+        "--out",
+        data.to_str().expect("utf8")
+    ])
+    .status
+    .success());
+    let artifact = dir.join("cells.idx");
+    let art_s = artifact.to_str().expect("utf8");
+    assert!(run(&[
+        "index",
+        "build",
+        "--beacons",
+        data.join("beacons.csv").to_str().expect("utf8"),
+        "--demand",
+        data.join("demand.csv").to_str().expect("utf8"),
+        "--out",
+        art_s,
+    ])
+    .status
+    .success());
+
+    // No --shutdown-after-ms and a held-open stdin: only the signal can
+    // end this process.
+    let mut child = Command::new(bin())
+        .args(["serve", "--index", art_s, "--listen", "127.0.0.1:0"])
+        .stdin(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
+    let addr = loop {
+        let mut line = String::new();
+        assert!(
+            stderr.read_line(&mut line).expect("daemon stderr") > 0,
+            "daemon exited before announcing its endpoint"
+        );
+        if let Some(rest) = line.trim().strip_prefix("http endpoint on ") {
+            break rest
+                .split_whitespace()
+                .next()
+                .expect("addr token")
+                .to_string();
+        }
+    };
+
+    // One real query in flight before the signal.
+    let mut conn = std::net::TcpStream::connect(&addr).expect("daemon accepts");
+    conn.write_all(b"GET /lookup?ip=192.0.2.1 HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .expect("request sent");
+    let mut resp = String::new();
+    conn.read_to_string(&mut resp).expect("response read");
+    assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+
+    assert!(Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill runs")
+        .success());
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "graceful exit on SIGTERM: {status:?}");
+    let mut rest = String::new();
+    stderr.read_to_string(&mut rest).expect("stderr drained");
+    assert!(
+        rest.contains("signal received; shutting down gracefully"),
+        "{rest}"
+    );
+    assert!(
+        rest.contains("shutdown: 1 lookup(s) served"),
+        "the drained lookup shows up in the final accounting: {rest}"
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }
