@@ -3,12 +3,12 @@
 //!
 //! ```text
 //! bench_lookup [--scale mini|demo|paper|<float>] [--seed N] [--lookups N]
-//!              [--threads N] [--out FILE]
+//!              [--preset steady|diurnal|flashcrowd|scan] [--threads N] [--out FILE]
 //! ```
 //!
 //! Builds a world, classifies it, freezes the classification into the
-//! sealed serving artifact, then replays a deterministic query mix
-//! (cellular hits at varied depths plus TEST-NET misses) through the
+//! sealed serving artifact, then replays a seeded `cellload` preset
+//! (default `steady`, the historical query mix) through the
 //! [`cellserve::QueryEngine`] at one thread and at N threads — each in
 //! its own private rayon pool, so the two measurements run in one
 //! process without fighting over the global pool. The record carries:
@@ -25,7 +25,8 @@ use std::fs;
 use std::path::PathBuf;
 use std::time::Instant;
 
-use bench::{config_for_scale, query_mix};
+use bench::config_for_scale;
+use cellload::{Preset, TraceSpec, Universe};
 use cellserve::{BatchStats, FrozenIndex, IpKey, QueryEngine};
 use cellspot::{aggregate_by_as, MixedAnalysis, Pipeline, DEDICATED_CFD};
 use netaddr::Asn;
@@ -35,6 +36,7 @@ fn main() {
     let mut seed: Option<u64> = None;
     let mut lookups: usize = 200_000;
     let mut threads: Option<usize> = None;
+    let mut preset = Preset::Steady;
     let mut out = PathBuf::from("BENCH_lookup.json");
 
     let mut args = std::env::args().skip(1);
@@ -60,6 +62,16 @@ fn main() {
                     .next()
                     .unwrap_or_else(|| usage("missing --threads value"));
                 threads = Some(v.parse().unwrap_or_else(|_| usage("bad --threads value")));
+            }
+            "--preset" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing --preset value"));
+                preset =
+                    Preset::parse(&v).unwrap_or_else(|| usage(&format!("unknown preset {v:?}")));
+                if preset == Preset::Churn {
+                    usage("the churn preset needs the replay driver; use `cellspot replay --preset churn`");
+                }
             }
             "--out" => {
                 out = PathBuf::from(args.next().unwrap_or_else(|| usage("missing --out value")))
@@ -101,11 +113,26 @@ fn main() {
     let artifact_bytes = cellserve::to_bytes(&frozen).len();
     let (v4_prefixes, v6_prefixes) = frozen.prefix_counts();
 
-    let queries = query_mix(&class, lookups, seed);
+    let universe = Universe::from_classification(&class);
+    let trace = TraceSpec {
+        preset,
+        seed,
+        queries: lookups,
+        epochs: 1,
+    }
+    .generate(std::slice::from_ref(&universe));
+    let trace_digest = cellserve::hash_hex(trace.digest());
+    let queries = trace
+        .segments
+        .into_iter()
+        .next()
+        .expect("single-segment preset")
+        .queries;
     eprintln!(
         "artifact: {v4_prefixes} v4 + {v6_prefixes} v6 prefixes, {artifact_bytes} bytes; \
-         replaying {} queries …",
-        queries.len()
+         replaying {} `{}` queries …",
+        queries.len(),
+        preset.name()
     );
 
     let engine = QueryEngine::new(&frozen);
@@ -122,6 +149,8 @@ fn main() {
     let record = serde_json::json!({
         "scale": scale,
         "seed": seed,
+        "preset": preset.name(),
+        "trace_digest": trace_digest,
         "lookups": queries.len(),
         "artifact_bytes": artifact_bytes,
         "prefixes": { "v4": v4_prefixes, "v6": v6_prefixes },
@@ -176,7 +205,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: bench_lookup [--scale mini|demo|paper|<float>] [--seed N] [--lookups N]\n\
-         \x20                   [--threads N] [--out FILE]"
+         \x20                   [--preset steady|diurnal|flashcrowd|scan] [--threads N] [--out FILE]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

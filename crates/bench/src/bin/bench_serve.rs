@@ -3,13 +3,15 @@
 //!
 //! ```text
 //! bench_serve [--scale mini|demo|paper|<float>] [--seed N] [--lookups N]
+//!             [--preset steady|diurnal|flashcrowd|scan]
 //!             [--clients N] [--batch N] [--workers N] [--out FILE]
 //! ```
 //!
 //! Builds a world, classifies it, freezes the classification, and boots
-//! an in-process [`cellserved::Daemon`] on an ephemeral TCP port. The
-//! shared [`bench::query_mix`] (the same mix `bench_lookup` replays
-//! in-process) is split across N closed-loop clients, each sending
+//! an in-process [`cellserved::Daemon`] on an ephemeral TCP port. A
+//! seeded `cellload` preset trace (default `steady` — the same stream
+//! `bench_lookup` replays in-process) is driven through
+//! [`cellload::replay_framed`]: N closed-loop clients, each sending
 //! `--batch` queries per framed request, so the measurement covers the
 //! full serving path: framing, the coalescing batch queue, and the
 //! chunked query engine. The record carries:
@@ -26,13 +28,12 @@
 
 use std::fs;
 use std::path::PathBuf;
-use std::sync::Arc;
-use std::time::Instant;
 
-use bench::{config_for_scale, query_mix};
+use bench::config_for_scale;
+use cellload::{replay_framed, Preset, ReplayConfig, TraceSpec, Universe};
 use cellobs::Observer;
 use cellserve::FrozenIndex;
-use cellserved::{Daemon, FramedClient, ServeConfig};
+use cellserved::{Daemon, ServeConfig};
 use cellspot::Pipeline;
 
 fn main() {
@@ -42,6 +43,7 @@ fn main() {
     let mut clients: usize = 4;
     let mut batch: usize = 64;
     let mut workers: usize = 2;
+    let mut preset = Preset::Steady;
     let mut out = PathBuf::from("BENCH_serve.json");
 
     let mut args = std::env::args().skip(1);
@@ -80,6 +82,16 @@ fn main() {
                     .unwrap_or_else(|| usage("missing --workers value"));
                 workers = v.parse().unwrap_or_else(|_| usage("bad --workers value"));
             }
+            "--preset" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing --preset value"));
+                preset =
+                    Preset::parse(&v).unwrap_or_else(|| usage(&format!("unknown preset {v:?}")));
+                if preset == Preset::Churn {
+                    usage("the churn preset needs delta hot-patching; use `cellspot replay --preset churn`");
+                }
+            }
             "--out" => {
                 out = PathBuf::from(args.next().unwrap_or_else(|| usage("missing --out value")))
             }
@@ -108,11 +120,20 @@ fn main() {
     let artifact_bytes = cellserve::to_bytes(&frozen).len();
     let (v4_prefixes, v6_prefixes) = frozen.prefix_counts();
 
-    let queries = Arc::new(query_mix(&class, lookups, seed));
+    let universe = Universe::from_classification(&class);
+    let trace = TraceSpec {
+        preset,
+        seed,
+        queries: lookups,
+        epochs: 1,
+    }
+    .generate(std::slice::from_ref(&universe));
+    let trace_digest = cellserve::hash_hex(trace.digest());
     eprintln!(
         "artifact: {v4_prefixes} v4 + {v6_prefixes} v6 prefixes, {artifact_bytes} bytes; \
-         {clients} client(s) × {batch}-query frames over {} queries …",
-        queries.len()
+         {clients} client(s) × {batch}-query frames over {} `{}` queries …",
+        trace.total_queries(),
+        preset.name()
     );
 
     let obs = Observer::enabled();
@@ -128,46 +149,34 @@ fn main() {
     .expect("boot the daemon on an ephemeral port");
     let addr = daemon.tcp_addr().expect("tcp endpoint is configured");
 
-    // Closed loop: each client owns a contiguous slice of the mix and
-    // sends it one frame at a time, waiting for each answer.
-    let t = Instant::now();
-    let per_client = queries.len().div_ceil(clients);
-    let mut requests = 0u64;
-    let mut matched = 0u64;
-    let results: Vec<(u64, u64)> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..clients)
-            .map(|c| {
-                let queries = Arc::clone(&queries);
-                s.spawn(move || {
-                    let lo = (c * per_client).min(queries.len());
-                    let hi = ((c + 1) * per_client).min(queries.len());
-                    let mut client = FramedClient::connect(addr).expect("connect to the daemon");
-                    let (mut reqs, mut hits) = (0u64, 0u64);
-                    for frame in queries[lo..hi].chunks(batch) {
-                        let answers = client.lookup(frame).expect("framed lookup");
-                        reqs += 1;
-                        hits += answers.iter().filter(|a| a.is_some()).count() as u64;
-                    }
-                    (reqs, hits)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("client thread"))
-            .collect()
-    });
-    let wall_secs = t.elapsed().as_secs_f64();
-    for (r, h) in results {
-        requests += r;
-        matched += h;
-    }
+    // Closed loop via the shared replay driver: each client owns a
+    // contiguous slice of the trace and sends it one frame at a time,
+    // waiting for each answer.
+    let outcome = replay_framed(
+        addr,
+        &trace,
+        &ReplayConfig {
+            clients,
+            frame: batch,
+        },
+        &obs,
+        |_| Ok(()),
+    )
+    .expect("replay the trace against the daemon");
+    assert_eq!(outcome.dropped, 0, "the daemon must answer every query");
+    let wall_secs = outcome.wall_secs;
+    let matched = outcome.matched;
 
     let snapshot = daemon.shutdown();
+    let requests = snapshot
+        .histograms
+        .get("replay.frame.ns")
+        .map(|h| h.count)
+        .unwrap_or(0);
     let served = snapshot.counters.get("serve.lookups").copied().unwrap_or(0);
     assert_eq!(
         served,
-        queries.len() as u64,
+        trace.total_queries() as u64,
         "daemon-side lookup count must equal the client-side query count"
     );
     let lookup_ns = snapshot.histograms.get("serve.lookup.ns");
@@ -183,13 +192,16 @@ fn main() {
         .and_then(|h| h.quantile(0.50))
         .unwrap_or(0);
 
-    let n = queries.len() as f64;
+    let n = trace.total_queries() as f64;
     let lookup_rate = n / wall_secs.max(1e-9);
     let request_rate = requests as f64 / wall_secs.max(1e-9);
     let record = serde_json::json!({
         "scale": scale,
         "seed": seed,
-        "lookups": queries.len(),
+        "preset": preset.name(),
+        "trace_digest": trace_digest,
+        "answer_digest": cellserve::hash_hex(outcome.answer_digest),
+        "lookups": trace.total_queries(),
         "clients": clients,
         "batch": batch,
         "workers": workers,
@@ -229,6 +241,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: bench_serve [--scale mini|demo|paper|<float>] [--seed N] [--lookups N]\n\
+         \x20                  [--preset steady|diurnal|flashcrowd|scan]\n\
          \x20                  [--clients N] [--batch N] [--workers N] [--out FILE]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

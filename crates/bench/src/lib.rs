@@ -1,16 +1,14 @@
 //! Shared setup for the `repro` harness and the Criterion benches: build
 //! a world, sample its datasets, and run the full study in one call.
-//! Also home to [`query_mix`], the deterministic serving workload shared
-//! by `bench_lookup` and `bench_serve`.
+//! The serving workloads themselves live in `cellload`; [`query_mix`]
+//! is kept as a thin shim over its `steady` preset.
 
 use cdnsim::{generate_datasets_observed, BeaconDataset, DemandDataset};
+use cellload::Universe;
 use cellobs::Observer;
 use cellserve::IpKey;
 use cellspot::{Classification, Pipeline, Study, StudyConfig, TimingReport};
 use dnssim::DnsSim;
-use netaddr::BlockId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use worldgen::{World, WorldConfig};
 
 /// Everything a harness needs, bundled.
@@ -101,39 +99,15 @@ pub fn config_for_scale(scale: &str) -> Result<WorldConfig, String> {
     }
 }
 
-/// A deterministic query mix for serving benchmarks: ~70% addresses
-/// inside classified cellular blocks (varied host offsets, so repeated
-/// blocks still exercise the per-chunk cache) and ~30% TEST-NET /
-/// random misses, shuffled by a seeded RNG so every run of the same
-/// scale+seed replays byte-identical queries. Shared by `bench_lookup`
-/// (in-process engine) and `bench_serve` (daemon over the wire).
+/// The historical serving-benchmark query mix: ~70% addresses inside
+/// classified cellular blocks and ~30% TEST-NET / random misses, from
+/// a single seeded RNG stream. Now a shim over `cellload`'s `steady`
+/// preset, which reproduces this stream byte for byte (pinned by
+/// `tests/steady_mix.rs`) so pre-cellload BENCH trajectory points stay
+/// comparable. New callers should build a [`cellload::TraceSpec`]
+/// instead.
 pub fn query_mix(class: &Classification, lookups: usize, seed: u64) -> Vec<IpKey> {
-    let mut v4_blocks = Vec::new();
-    let mut v6_blocks = Vec::new();
-    for (block, _) in class.iter() {
-        match block {
-            BlockId::V4(b) => v4_blocks.push(b),
-            BlockId::V6(b) => v6_blocks.push(b),
-        }
-    }
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xB37C_5E11);
-    let mut queries = Vec::with_capacity(lookups);
-    for _ in 0..lookups {
-        let roll: f64 = rng.gen();
-        if roll < 0.55 && !v4_blocks.is_empty() {
-            let b = v4_blocks[rng.gen_range(0..v4_blocks.len())];
-            queries.push(IpKey::V4(b.addr(rng.gen())));
-        } else if roll < 0.70 && !v6_blocks.is_empty() {
-            let b = v6_blocks[rng.gen_range(0..v6_blocks.len())];
-            queries.push(IpKey::V6(b.addr(rng.gen(), rng.gen())));
-        } else if roll < 0.85 {
-            // TEST-NET-1: never generated, guaranteed miss.
-            queries.push(IpKey::V4(0xC000_0200 | rng.gen_range(0u32..256)));
-        } else {
-            queries.push(IpKey::V4(rng.gen()));
-        }
-    }
-    queries
+    cellload::steady_queries(&Universe::from_classification(class), lookups, seed)
 }
 
 #[cfg(test)]

@@ -1,0 +1,89 @@
+//! Zipf popularity sampling by inverse CDF.
+
+/// A precomputed Zipf(s) distribution over ranks `0..n`: rank `r` has
+/// weight `1 / (r + 1)^s`.
+///
+/// Sampling is inverse-CDF over the cumulative weight table, so a
+/// uniform `u ∈ [0, 1)` maps to exactly one rank — the sampler itself
+/// is a pure function, and determinism reduces to determinism of the
+/// `u` stream.
+#[derive(Clone, Debug)]
+pub struct ZipfTable {
+    /// `cum[r]` = P(rank ≤ r); strictly increasing, last entry 1.0.
+    cum: Vec<f64>,
+}
+
+impl ZipfTable {
+    /// Build the table for `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// When `n == 0` — an empty popularity distribution cannot be
+    /// sampled; callers gate on [`crate::Universe::is_empty`] first.
+    pub fn new(n: usize, s: f64) -> ZipfTable {
+        assert!(n > 0, "Zipf over zero ranks");
+        let mut cum = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for r in 0..n {
+            total += 1.0 / ((r + 1) as f64).powf(s);
+            cum.push(total);
+        }
+        for c in &mut cum {
+            *c /= total;
+        }
+        *cum.last_mut().expect("n > 0") = 1.0;
+        ZipfTable { cum }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cum.len()
+    }
+
+    /// True only for the (unconstructible) empty table; kept for API
+    /// symmetry with `len`.
+    pub fn is_empty(&self) -> bool {
+        self.cum.is_empty()
+    }
+
+    /// Map a uniform draw `u ∈ [0, 1)` to a rank.
+    pub fn sample(&self, u: f64) -> usize {
+        let u = u.clamp(0.0, 1.0);
+        self.cum
+            .partition_point(|&c| c <= u)
+            .min(self.cum.len() - 1)
+    }
+
+    /// The exact probability mass of `rank` — the pin for the
+    /// rank-frequency property tests.
+    pub fn expected_share(&self, rank: usize) -> f64 {
+        let hi = self.cum[rank];
+        let lo = if rank == 0 { 0.0 } else { self.cum[rank - 1] };
+        hi - lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_covers_all_ranks_and_respects_boundaries() {
+        let z = ZipfTable::new(4, 1.0);
+        assert_eq!(z.len(), 4);
+        assert!(!z.is_empty());
+        assert_eq!(z.sample(0.0), 0);
+        // The head rank holds 1/H_4 ≈ 0.48 of the mass.
+        assert_eq!(z.sample(0.47), 0);
+        assert_eq!(z.sample(0.9999), 3);
+        // Out-of-range draws clamp instead of indexing out of bounds.
+        assert_eq!(z.sample(1.5), 3);
+        assert_eq!(z.sample(-0.5), 0);
+    }
+
+    #[test]
+    fn expected_shares_sum_to_one() {
+        let z = ZipfTable::new(100, 1.2);
+        let total: f64 = (0..100).map(|r| z.expected_share(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

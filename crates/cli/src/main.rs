@@ -75,6 +75,7 @@ fn main() {
         "delta" => delta(rest),
         "lookup" => lookup(rest),
         "serve" => serve(rest),
+        "replay" => replay(rest),
         "--help" | "-h" | "help" => {
             usage("");
         }
@@ -875,6 +876,235 @@ fn serve(args: &[String]) -> CmdResult {
     Ok(())
 }
 
+/// `replay`: generate (or load) a sealed seeded query trace for a named
+/// workload preset and replay it closed-loop — directly through the
+/// query engine, or against an in-process daemon over framed TCP or
+/// bulk HTTP — writing a `BENCH_replay.json` record. The `workload`
+/// half of the record is a pure function of `(preset, seed, queries,
+/// epochs, universe)` and is byte-identical at any `--threads`; the
+/// `replay` half carries the measured numbers. The `churn` preset
+/// crosses delta epochs: each segment boundary seals a `CELLDELT` delta
+/// and hot-patches the daemon before that epoch's traffic flows.
+fn replay(args: &[String]) -> CmdResult {
+    setup_threads(args)?;
+    let metrics = parse_metrics(args)?;
+    let threshold = parse_threshold(args)?.unwrap_or(cellspot::DEFAULT_THRESHOLD);
+    let mode = flag_value(args, "--mode").unwrap_or_else(|| "engine".into());
+    if !matches!(mode.as_str(), "engine" | "tcp" | "http") {
+        return Err(CliError::Usage(format!(
+            "unknown mode {mode:?} (expected engine, tcp, or http)"
+        )));
+    }
+    let parse_count = |flag: &str, default: usize| -> Result<usize, CliError> {
+        flag_value(args, flag)
+            .map(|v| v.parse())
+            .transpose()
+            .map_err(|_| CliError::Usage(format!("bad {flag} (expected a positive integer)")))
+            .map(|v| v.unwrap_or(default))
+            .and_then(|n| {
+                if n == 0 {
+                    Err(CliError::Usage(format!("{flag} must be at least 1")))
+                } else {
+                    Ok(n)
+                }
+            })
+    };
+    let clients = parse_count("--clients", 4)?;
+    let frame = parse_count("--frame", 256)?;
+    let workers = parse_count("--workers", 2)?;
+    let queries = parse_count("--queries", 100_000)?;
+    let epochs_flag = parse_count("--epochs", 4)? as u64;
+    let out =
+        PathBuf::from(flag_value(args, "--out").unwrap_or_else(|| "BENCH_replay.json".into()));
+
+    // Trace source: a sealed CELLLOAD file replays verbatim; otherwise
+    // the preset generates one (deterministically, at any --threads).
+    let trace_in = match flag_value(args, "--trace-in") {
+        Some(path) => {
+            let bytes = fs::read(&path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+            Some(
+                cellload::Trace::from_bytes(&bytes)
+                    .map_err(|e| CliError::Data(format!("{path}: {e}")))?,
+            )
+        }
+        None => None,
+    };
+    let preset = match (&trace_in, flag_value(args, "--preset")) {
+        (Some(t), flag) => {
+            let p = cellload::Preset::parse(&t.preset).ok_or_else(|| {
+                CliError::Data(format!("trace carries unknown preset {:?}", t.preset))
+            })?;
+            if flag.is_some_and(|f| f != t.preset) {
+                return Err(CliError::Usage(format!(
+                    "--preset conflicts with the trace's preset {:?}",
+                    t.preset
+                )));
+            }
+            p
+        }
+        (None, Some(f)) => cellload::Preset::parse(&f).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown preset {f:?} (steady|diurnal|flashcrowd|scan|churn)"
+            ))
+        })?,
+        (None, None) => {
+            return Err(CliError::Usage(
+                "missing --preset (steady|diurnal|flashcrowd|scan|churn)".into(),
+            ))
+        }
+    };
+    let epochs = match &trace_in {
+        Some(t) => t.segments.iter().map(|s| s.epoch).max().unwrap_or(0) + 1,
+        None if preset == cellload::Preset::Churn => epochs_flag.max(2),
+        None => 1,
+    };
+
+    // Per-epoch serving indexes and their prefix universes. Non-churn
+    // presets serve one frozen classification; churn classifies every
+    // epoch of the built-in churn world so segment boundaries have real
+    // label deltas to cross.
+    let mut arcs: Vec<Arc<cellserve::FrozenIndex>> = Vec::new();
+    let mut artifacts: Vec<Vec<u8>> = Vec::new();
+    let mut universes: Vec<cellload::Universe> = Vec::new();
+    let seed;
+    if preset == cellload::Preset::Churn {
+        seed = flag_value(args, "--seed")
+            .map(|v| v.parse())
+            .transpose()
+            .map_err(|_| CliError::Usage("bad --seed value".into()))?
+            .unwrap_or(42);
+        eprintln!("churn world (seed {seed:#x}): classifying {epochs} epoch(s) …");
+        let world = celldelta::ChurnWorld::demo(seed);
+        for e in 0..epochs {
+            let frozen = celldelta::classify_epoch(&world.epoch_counters(e), threshold);
+            universes.push(cellload::Universe::from_frozen(&frozen));
+            artifacts.push(cellserve::to_bytes(&frozen));
+            arcs.push(Arc::new(frozen));
+        }
+    } else {
+        let (scale, config) = world_config(args)?;
+        seed = config.seed;
+        eprintln!("generating {scale} world (seed {seed:#x}) and freezing its classification …");
+        let world = worldgen::World::generate(config);
+        let (beacons, demand) = cdnsim::generate_datasets(&world);
+        let (_, class) = cellspot::Pipeline::new(&beacons, &demand)
+            .threshold(threshold)
+            .classify()?;
+        let frozen = cellserve::FrozenIndex::from_classification(&class, None);
+        universes.push(cellload::Universe::from_classification(&class));
+        artifacts.push(cellserve::to_bytes(&frozen));
+        arcs.push(Arc::new(frozen));
+    }
+
+    let trace = match trace_in {
+        Some(t) => t,
+        None => cellload::TraceSpec {
+            preset,
+            seed,
+            queries,
+            epochs,
+        }
+        .generate(&universes),
+    };
+    if let Some(path) = flag_value(args, "--trace-out") {
+        let path = PathBuf::from(path);
+        cellstream::write_atomic_bytes(&path, &trace.to_bytes())
+            .map_err(|e| CliError::Io(format!("{}: {e}", path.display())))?;
+        eprintln!(
+            "sealed trace ({} queries, digest {}) → {}",
+            trace.total_queries(),
+            cellserve::hash_hex(trace.digest()),
+            path.display()
+        );
+    }
+
+    // The record always carries latency and cache numbers, so the
+    // replay observer is enabled even without a --metrics export.
+    let obs = Observer::enabled();
+    let last = arcs.len() - 1;
+    let outcome = match mode.as_str() {
+        "engine" => cellload::replay_engine(&trace, &obs, |e| arcs[(e as usize).min(last)].clone()),
+        _ => {
+            // Seal consecutive-epoch deltas up front; the segment hook
+            // hot-patches the daemon right before each epoch's traffic.
+            let mut deltas: Vec<Vec<u8>> = Vec::new();
+            for (i, pair) in artifacts.windows(2).enumerate() {
+                let e = i as u64;
+                deltas.push(
+                    celldelta::build_delta(&pair[0], &pair[1], e, e + 1)
+                        .map_err(|err| CliError::Data(format!("epoch {} delta: {err}", e + 1)))?,
+                );
+            }
+            let listen = Some("127.0.0.1:0".to_string());
+            let config = cellserved::ServeConfig {
+                http_listen: if mode == "http" { listen.clone() } else { None },
+                tcp_listen: if mode == "tcp" { listen } else { None },
+                workers,
+                ..cellserved::ServeConfig::default()
+            };
+            let base = cellserve::from_bytes(&artifacts[0])
+                .map_err(|e| CliError::Data(format!("base artifact: {e}")))?;
+            let daemon = cellserved::Daemon::start_with_index(config, base, obs.clone())
+                .map_err(|e| served_error("in-process daemon", e))?;
+            let hook = |epoch: u64| -> Result<(), cellload::ReplayError> {
+                if epoch == 0 {
+                    return Ok(());
+                }
+                let delta = deltas.get(epoch as usize - 1).ok_or_else(|| {
+                    cellload::ReplayError::Hook(format!("no delta sealed for epoch {epoch}"))
+                })?;
+                daemon.apply_delta_now(delta).map_err(|e| {
+                    cellload::ReplayError::Hook(format!("epoch {epoch} hot-patch: {e}"))
+                })?;
+                Ok(())
+            };
+            let cfg = cellload::ReplayConfig { clients, frame };
+            let result = match mode.as_str() {
+                "tcp" => {
+                    let addr = daemon.tcp_addr().expect("tcp endpoint configured");
+                    cellload::replay_framed(addr, &trace, &cfg, &obs, hook)
+                }
+                _ => {
+                    let addr = daemon.http_addr().expect("http endpoint configured");
+                    cellload::replay_http(addr, &trace, &cfg, &obs, hook)
+                }
+            };
+            let outcome = result.map_err(|e| CliError::Io(format!("replay ({mode}): {e}")))?;
+            daemon.shutdown();
+            outcome
+        }
+    };
+    if outcome.dropped > 0 {
+        return Err(CliError::Data(format!(
+            "replay dropped {} of {} queries",
+            outcome.dropped,
+            trace.total_queries()
+        )));
+    }
+
+    let record = cellload::bench_replay_record(
+        rayon::current_num_threads(),
+        cellload::workload_json(&trace, &universes[0]),
+        cellload::replay_json(&outcome, &obs),
+    );
+    write(
+        &out,
+        &serde_json::to_string_pretty(&record).expect("serialize replay record"),
+    )?;
+    eprintln!(
+        "{} `{}` queries replayed ({mode}): {:.0} lookups/s, {} matched, \
+         answer digest {} → {}",
+        outcome.lookups,
+        preset.name(),
+        outcome.lookups_per_sec(),
+        outcome.matched,
+        cellserve::hash_hex(outcome.answer_digest),
+        out.display()
+    );
+    write_metrics(&metrics, &obs)?;
+    Ok(())
+}
+
 /// Map daemon start-up failures onto the CLI's exit-code taxonomy.
 fn served_error(index_path: &str, e: cellserved::ServedError) -> CliError {
     match e {
@@ -909,6 +1139,10 @@ fn usage(err: &str) -> ! {
            serve       --index ARTIFACT [--listen ADDR] [--tcp ADDR] [--workers N]\n\
                        [--queue-depth N] [--max-linger-us N] [--reload-watch]\n\
                        [--reload-poll-ms N] [--delta-watch FILE] [--shutdown-after-ms N]\n\
+           replay      --preset steady|diurnal|flashcrowd|scan|churn [--seed N]\n\
+                       [--queries N] [--epochs E] [--scale mini|demo|paper]\n\
+                       [--mode engine|tcp|http] [--clients N] [--frame N] [--workers N]\n\
+                       [--trace-out FILE] [--trace-in FILE] [--out BENCH_replay.json]\n\
          \n\
          global flags:\n\
            --threads N                 pin the rayon pool (flag > CELLSPOT_THREADS > auto)\n\

@@ -984,6 +984,159 @@ fn sigterm_shuts_the_daemon_down_gracefully() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The replay acceptance contract: for a fixed preset + seed, the
+/// sealed trace file and the record's `workload` section are
+/// byte-identical at any `--threads`, and the tcp-mode replay — which
+/// hot-patches the daemon with a CELLDELT delta at every segment
+/// boundary — answers exactly like the cold engine-mode replay.
+#[test]
+fn replay_is_thread_invariant_and_mode_agnostic() {
+    let dir = tmpdir("replay");
+    let record_for = |threads: &str, mode: &str, tag: &str| -> serde_json::Value {
+        let trace = dir.join(format!("trace-{tag}.cload"));
+        let out_path = dir.join(format!("replay-{tag}.json"));
+        let out = run(&[
+            "replay",
+            "--preset",
+            "churn",
+            "--seed",
+            "9",
+            "--queries",
+            "6000",
+            "--epochs",
+            "3",
+            "--threads",
+            threads,
+            "--mode",
+            mode,
+            "--trace-out",
+            trace.to_str().expect("utf8"),
+            "--out",
+            out_path.to_str().expect("utf8"),
+        ]);
+        assert!(out.status.success(), "replay {tag} failed: {out:?}");
+        serde_json::from_str(&std::fs::read_to_string(&out_path).expect("record written"))
+            .expect("valid JSON record")
+    };
+
+    let one = record_for("1", "engine", "t1");
+    let two = record_for("2", "engine", "t2");
+    let tcp = record_for("2", "tcp", "tcp");
+
+    let t1 = std::fs::read(dir.join("trace-t1.cload")).expect("trace 1");
+    let t2 = std::fs::read(dir.join("trace-t2.cload")).expect("trace 2");
+    assert_eq!(t1, t2, "sealed traces must not depend on --threads");
+    assert_eq!(
+        one["workload"], two["workload"],
+        "workload sections must not depend on --threads"
+    );
+
+    assert_eq!(one["bench"], "replay");
+    assert_eq!(one["workload"]["preset"], "churn");
+    assert_eq!(one["workload"]["queries"], 6000);
+    assert_eq!(
+        one["workload"]["segments"]
+            .as_array()
+            .expect("segments array")
+            .len(),
+        3
+    );
+    assert!(one["replay"]["answer_digest"].is_string());
+    assert!(one["replay"]["lookups_per_sec"].as_f64().expect("rate") > 0.0);
+
+    // Same trace, same answers — across two live hot-patches.
+    assert_eq!(
+        one["workload"]["trace_digest"],
+        tcp["workload"]["trace_digest"]
+    );
+    assert_eq!(
+        one["replay"]["answer_digest"], tcp["replay"]["answer_digest"],
+        "daemon answers diverge from the engine replay"
+    );
+    assert_eq!(tcp["replay"]["dropped"], 0);
+    assert_eq!(tcp["replay"]["lookups"], 6000);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Sealed traces replay verbatim through `--trace-in`; a corrupted
+/// trace is bad data (exit 4) and a bogus preset is a usage error
+/// (exit 2).
+#[test]
+fn replay_traces_reload_verbatim_and_reject_corruption() {
+    let dir = tmpdir("replay_trace");
+    let trace = dir.join("scan.cload");
+    let trace_s = trace.to_str().expect("utf8");
+    let first = dir.join("first.json");
+    let second = dir.join("second.json");
+
+    let out = run(&[
+        "replay",
+        "--preset",
+        "scan",
+        "--scale",
+        "mini",
+        "--queries",
+        "4000",
+        "--trace-out",
+        trace_s,
+        "--out",
+        first.to_str().expect("utf8"),
+    ]);
+    assert!(out.status.success(), "scan replay failed: {out:?}");
+
+    // Replay the sealed file — no --preset, no --seed: everything the
+    // generator knew is in the trace.
+    let out = run(&[
+        "replay",
+        "--scale",
+        "mini",
+        "--trace-in",
+        trace_s,
+        "--out",
+        second.to_str().expect("utf8"),
+    ]);
+    assert!(out.status.success(), "trace-in replay failed: {out:?}");
+    let a: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&first).expect("first record"))
+            .expect("valid JSON");
+    let b: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&second).expect("second record"))
+            .expect("valid JSON");
+    assert_eq!(
+        a["workload"], b["workload"],
+        "a reloaded trace must describe the identical workload"
+    );
+    assert_eq!(a["replay"]["answer_digest"], b["replay"]["answer_digest"]);
+
+    // One flipped byte must be rejected as bad data, not replayed.
+    let mut bytes = std::fs::read(&trace).expect("trace bytes");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&trace, &bytes).expect("corrupt trace");
+    let out = run(&["replay", "--scale", "mini", "--trace-in", trace_s]);
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "corrupt trace must exit 4: {out:?}"
+    );
+
+    let out = run(&["replay", "--preset", "nope"]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "unknown preset must exit 2: {out:?}"
+    );
+    let out = run(&["replay", "--preset", "steady", "--mode", "carrier-pigeon"]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "unknown mode must exit 2: {out:?}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn threshold_flag_is_validated() {
     let dir = tmpdir("threshold");
