@@ -34,6 +34,11 @@ use celldelta::{apply_delta, build_delta, classify_epoch, ChurnWorld, Incrementa
 use cellobs::Observer;
 use cellspot::DEFAULT_THRESHOLD;
 
+/// Seal an index in the v2 format — the default the delta chain runs on.
+fn seal(index: &cellserve::FrozenIndex) -> Vec<u8> {
+    cellserve::Artifact::encode(index, cellserve::ArtifactFormat::V2)
+}
+
 fn main() {
     let mut world = ChurnWorld::demo(42);
     let mut epochs: u64 = 8;
@@ -85,10 +90,10 @@ fn main() {
     // Epoch 1 is the base generation: both paths start from the same
     // sealed artifact, unmeasured.
     let base_counters = world.epoch_counters(1);
-    let mut live = cellserve::to_bytes(&incremental.classify(&base_counters));
+    let mut live = seal(&incremental.classify(&base_counters));
     assert_eq!(
         live,
-        cellserve::to_bytes(&classify_epoch(&base_counters, DEFAULT_THRESHOLD)),
+        seal(&classify_epoch(&base_counters, DEFAULT_THRESHOLD)),
         "incremental and one-shot classification must agree on the base epoch"
     );
     let mut live_epoch = 1u64;
@@ -104,11 +109,11 @@ fn main() {
         let counters = world.epoch_counters(epoch);
 
         let t = Instant::now();
-        let full = cellserve::to_bytes(&classify_epoch(&counters, DEFAULT_THRESHOLD));
+        let full = seal(&classify_epoch(&counters, DEFAULT_THRESHOLD));
         full_time += t.elapsed();
 
         let t = Instant::now();
-        let target = cellserve::to_bytes(&incremental.classify(&counters));
+        let target = seal(&incremental.classify(&counters));
         let delta = build_delta(&live, &target, live_epoch, epoch)
             .expect("consecutive epochs produce a valid delta");
         build_time += t.elapsed();

@@ -13,13 +13,20 @@
 //! its own private rayon pool, so the two measurements run in one
 //! process without fighting over the global pool. The record carries:
 //!
-//! * `artifact_bytes` — size of the sealed artifact;
+//! * `artifact_bytes` — size of the sealed (v2, the default) artifact;
 //! * `single` / `multi` — wall clock and lookups/sec at each width;
 //! * `speedup` — multi ÷ single throughput;
 //! * `stats` — match/cache counters, asserted identical across widths
-//!   (the engine's determinism contract, checked on every bench run).
+//!   (the engine's determinism contract, checked on every bench run);
+//! * `formats.v1` / `formats.v2` — same-run per-format legs: sealed
+//!   size, a cold start from disk through [`cellserve::Artifact::open`]
+//!   (wall time plus `bytes_copied`, the handle's own accounting of
+//!   every byte it copied to become servable — the number the v2 mmap
+//!   path exists to shrink), and single-thread lookups/sec over the
+//!   opened handle. Answers are asserted identical across formats.
 //!
-//! CI's bench-smoke step runs this at mini scale and validates the keys.
+//! CI's bench-smoke step runs this at mini scale, validates the keys,
+//! and holds the v2 leg to a no-regression bound against v1.
 
 use std::fs;
 use std::path::PathBuf;
@@ -27,7 +34,10 @@ use std::time::Instant;
 
 use bench::config_for_scale;
 use cellload::{Preset, TraceSpec, Universe};
-use cellserve::{BatchStats, FrozenIndex, IpKey, QueryEngine};
+use cellserve::{
+    Artifact, ArtifactFormat, ArtifactHandle, BatchStats, FrozenIndex, IndexView, IpKey,
+    QueryEngine,
+};
 use cellspot::{aggregate_by_as, MixedAnalysis, Pipeline, DEDICATED_CFD};
 use netaddr::Asn;
 
@@ -110,7 +120,9 @@ fn main() {
     candidates.sort_unstable();
     let mixed = MixedAnalysis::build(&candidates, &aggs, DEDICATED_CFD);
     let frozen = FrozenIndex::from_classification(&class, Some(&mixed));
-    let artifact_bytes = cellserve::to_bytes(&frozen).len();
+    let v1_bytes = Artifact::encode(&frozen, ArtifactFormat::V1);
+    let v2_bytes = Artifact::encode(&frozen, ArtifactFormat::V2);
+    let artifact_bytes = v2_bytes.len();
     let (v4_prefixes, v6_prefixes) = frozen.prefix_counts();
 
     let universe = Universe::from_classification(&class);
@@ -143,9 +155,27 @@ fn main() {
         "lookup stats must not depend on thread count"
     );
 
+    // Per-format legs: open each sealed artifact from disk the way a
+    // serving process boots, then run the same trace single-threaded
+    // over the opened handle. The two formats must answer identically.
+    let (v1_handle, v1_open_secs) = cold_start(&v1_bytes, "v1");
+    let (v2_handle, v2_open_secs) = cold_start(&v2_bytes, "v2");
+    let (v1_secs, v1_stats) = measure(&QueryEngine::new(&v1_handle), &queries, 1);
+    let (v2_secs, v2_stats) = measure(&QueryEngine::new(&v2_handle), &queries, 1);
+    assert_eq!(
+        single_stats, v1_stats,
+        "v1 handle answers must match the owned index"
+    );
+    assert_eq!(
+        single_stats, v2_stats,
+        "v2 handle answers must match the owned index"
+    );
+
     let n = queries.len() as f64;
     let single_rate = n / single_secs.max(1e-9);
     let multi_rate = n / multi_secs.max(1e-9);
+    let v1_rate = n / v1_secs.max(1e-9);
+    let v2_rate = n / v2_secs.max(1e-9);
     let record = serde_json::json!({
         "scale": scale,
         "seed": seed,
@@ -171,6 +201,26 @@ fn main() {
             "cache_misses": single_stats.cache_misses,
             "uncached": single_stats.uncached,
         },
+        "formats": {
+            "v1": {
+                "artifact_bytes": v1_bytes.len(),
+                "cold_start": {
+                    "bytes_copied": v1_handle.copied_bytes(),
+                    "open_millis": v1_open_secs * 1e3,
+                    "mapped": v1_handle.is_mapped(),
+                },
+                "lookups_per_sec": v1_rate,
+            },
+            "v2": {
+                "artifact_bytes": v2_bytes.len(),
+                "cold_start": {
+                    "bytes_copied": v2_handle.copied_bytes(),
+                    "open_millis": v2_open_secs * 1e3,
+                    "mapped": v2_handle.is_mapped(),
+                },
+                "lookups_per_sec": v2_rate,
+            },
+        },
     });
     fs::write(
         &out,
@@ -178,17 +228,44 @@ fn main() {
     )
     .expect("write benchmark record");
     eprintln!(
-        "single {:.0}/s, {multi_threads}-thread {:.0}/s ({:.2}x) → {}",
+        "single {:.0}/s, {multi_threads}-thread {:.0}/s ({:.2}x); \
+         v1 {:.0}/s ({} bytes copied), v2 {:.0}/s ({} bytes copied, mapped={}) → {}",
         single_rate,
         multi_rate,
         multi_rate / single_rate.max(1e-9),
+        v1_rate,
+        v1_handle.copied_bytes(),
+        v2_rate,
+        v2_handle.copied_bytes(),
+        v2_handle.is_mapped(),
         out.display()
     );
 }
 
+/// Seal `bytes` to a scratch file and boot a handle from it the way a
+/// serving process does, returning the handle and the open wall time.
+fn cold_start(bytes: &[u8], name: &str) -> (ArtifactHandle, f64) {
+    let path = std::env::temp_dir().join(format!(
+        "bench-lookup-{}-{name}.cellserv",
+        std::process::id()
+    ));
+    fs::write(&path, bytes).expect("write sealed artifact to scratch file");
+    let t = Instant::now();
+    let handle = Artifact::open(&path).expect("open sealed artifact");
+    let secs = t.elapsed().as_secs_f64();
+    // Unlinking while mapped is fine on unix; the mapping keeps the
+    // pages alive for the handle's lifetime.
+    fs::remove_file(&path).ok();
+    (handle, secs)
+}
+
 /// Run the batch once to warm up, then time it in a private pool pinned
 /// to `threads`, returning wall seconds and the (deterministic) stats.
-fn measure(engine: &QueryEngine<'_>, queries: &[IpKey], threads: usize) -> (f64, BatchStats) {
+fn measure<V: IndexView + ?Sized>(
+    engine: &QueryEngine<'_, V>,
+    queries: &[IpKey],
+    threads: usize,
+) -> (f64, BatchStats) {
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
         .build()

@@ -1,17 +1,23 @@
 //! Building and applying deltas against sealed CELLSERV artifacts.
 //!
 //! Both directions run on *bytes*, because bytes are what the hashes
-//! chain on: [`build_delta`] decodes base and target artifacts, diffs
-//! their entry sets, and seals the sorted patch with both content
-//! hashes embedded; [`apply_delta`] verifies the base hash, applies
-//! the patch strictly, re-freezes through the canonical
-//! [`cellserve::FrozenIndexBuilder`], re-encodes, and verifies the
-//! result hashes to the delta's target. Because the CELLSERV encoding
-//! is canonical, the patched bytes are *byte-identical* to what a full
-//! rebuild at the delta's epoch would have produced — the equivalence
-//! the crate's property suite pins down.
+//! chain on: [`build_delta`] decodes base and target artifacts (either
+//! CELLSERV format, sniffed), diffs their entry sets, and seals the
+//! sorted patch with both content hashes embedded; [`apply_delta`]
+//! verifies the base hash, applies the patch strictly, re-freezes
+//! through the canonical [`cellserve::FrozenIndexBuilder`], re-encodes
+//! *in the base's format*, and verifies the result hashes to the
+//! delta's target. Because each CELLSERV encoding is canonical, the
+//! patched bytes are *byte-identical* to what a full rebuild at the
+//! delta's epoch would have produced — the equivalence the crate's
+//! property suite pins down.
+//!
+//! A delta chains within one format: base and target must sniff to the
+//! same version, so the apply side can reproduce the target bytes
+//! without the delta carrying format metadata. Cross-format moves are
+//! full-artifact operations (`cellspot index migrate`), not deltas.
 
-use cellserve::{content_hash, AsClass, FrozenIndex, FrozenIndexBuilder, ServeLabel};
+use cellserve::{content_hash, Artifact, AsClass, FrozenIndex, FrozenIndexBuilder, ServeLabel};
 use netaddr::{Asn, Ipv4Net, Ipv6Net};
 
 use crate::wire::{apply_family, diff_family, Delta, DeltaError, EntryMap};
@@ -79,8 +85,17 @@ pub fn build_delta(
             delta: epoch,
         });
     }
-    let base = cellserve::from_bytes(base_bytes).map_err(artifact_err)?;
-    let target = cellserve::from_bytes(target_bytes).map_err(artifact_err)?;
+    let base_format = Artifact::sniff_format(base_bytes);
+    let target_format = Artifact::sniff_format(target_bytes);
+    if base_format.is_some() && target_format.is_some() && base_format != target_format {
+        return Err(DeltaError::Artifact(format!(
+            "base ({}) and target ({}) artifact formats differ; migrate first",
+            base_format.expect("checked"),
+            target_format.expect("checked"),
+        )));
+    }
+    let base = Artifact::decode(base_bytes).map_err(artifact_err)?;
+    let target = Artifact::decode(target_bytes).map_err(artifact_err)?;
     let (b4, b6) = entry_maps(&base);
     let (t4, t6) = entry_maps(&target);
     let delta = Delta {
@@ -106,12 +121,14 @@ pub fn apply_parsed(base_bytes: &[u8], delta: &Delta) -> Result<Vec<u8>, DeltaEr
             artifact,
         });
     }
-    let base = cellserve::from_bytes(base_bytes).map_err(artifact_err)?;
+    let format = Artifact::sniff_format(base_bytes)
+        .ok_or_else(|| DeltaError::Artifact("unrecognized base artifact format".into()))?;
+    let base = Artifact::decode(base_bytes).map_err(artifact_err)?;
     let (b4, b6) = entry_maps(&base);
     let p4 = apply_family(&b4, &delta.v4)?;
     let p6 = apply_family(&b6, &delta.v6)?;
     let patched = index_from_maps(&p4, &p6)?;
-    let bytes = cellserve::to_bytes(&patched);
+    let bytes = Artifact::encode(&patched, format);
     let actual = content_hash(&bytes);
     if actual != delta.target_hash {
         return Err(DeltaError::TargetMismatch {
@@ -133,9 +150,9 @@ pub fn apply_delta(base_bytes: &[u8], delta_bytes: &[u8]) -> Result<Vec<u8>, Del
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cellserve::FrozenIndex;
+    use cellserve::{ArtifactFormat, FrozenIndex};
 
-    fn artifact(entries: &[(&str, u32, AsClass)]) -> Vec<u8> {
+    fn index(entries: &[(&str, u32, AsClass)]) -> FrozenIndex {
         let mut b = FrozenIndex::builder();
         for &(cidr, asn, class) in entries {
             b.insert_v4(
@@ -146,7 +163,11 @@ mod tests {
                 },
             );
         }
-        cellserve::to_bytes(&b.build())
+        b.build()
+    }
+
+    fn artifact(entries: &[(&str, u32, AsClass)]) -> Vec<u8> {
+        Artifact::encode(&index(entries), ArtifactFormat::V2)
     }
 
     #[test]
@@ -187,6 +208,31 @@ mod tests {
         let delta_bytes = build_delta(&base, &target, 1, 2).expect("build");
         let err = apply_delta(&other, &delta_bytes).expect_err("wrong base");
         assert!(matches!(err, DeltaError::BaseMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn deltas_chain_within_the_v1_format_too() {
+        let base = Artifact::encode(
+            &index(&[("10.0.0.0/24", 1, AsClass::Dedicated)]),
+            ArtifactFormat::V1,
+        );
+        let target = Artifact::encode(
+            &index(&[("10.0.0.0/24", 1, AsClass::Mixed)]),
+            ArtifactFormat::V1,
+        );
+        let delta_bytes = build_delta(&base, &target, 1, 2).expect("build");
+        let patched = apply_delta(&base, &delta_bytes).expect("apply");
+        assert_eq!(patched, target, "v1 apply reproduces v1 target bytes");
+    }
+
+    #[test]
+    fn mixed_format_endpoints_are_rejected_at_build_time() {
+        let idx = index(&[("10.0.0.0/24", 1, AsClass::Dedicated)]);
+        let v1 = Artifact::encode(&idx, ArtifactFormat::V1);
+        let v2 = Artifact::encode(&idx, ArtifactFormat::V2);
+        let err = build_delta(&v1, &v2, 1, 2).expect_err("mixed formats");
+        assert!(matches!(err, DeltaError::Artifact(_)), "{err}");
+        assert!(err.to_string().contains("formats differ"), "{err}");
     }
 
     #[test]

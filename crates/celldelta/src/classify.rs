@@ -222,8 +222,15 @@ impl IncrementalClassifier {
             next.insert(asn, MemoEntry { input_hash, result });
         }
         self.memo = next;
-        self.obs.counter("delta.memo.hits").add(hits);
-        self.obs.counter("delta.memo.misses").add(misses);
+        // Only touch a counter that actually moved: `Observer::counter`
+        // registers the name at 0, and a cold classifier should not
+        // export a `hits` counter it never earned.
+        if hits > 0 {
+            self.obs.counter("delta.memo.hits").add(hits);
+        }
+        if misses > 0 {
+            self.obs.counter("delta.memo.misses").add(misses);
+        }
         freeze(labeled.into_iter())
     }
 }
@@ -339,7 +346,9 @@ mod tests {
         let a = vec![block(1, 1, 10, 10, 5.0)];
         let refs: Vec<&BlockCounters> = a.iter().collect();
         let h = as_input_hash(&refs, 0.5);
-        let b = vec![block(1, 1, 10, 10, 5.0 + f64::EPSILON)];
+        // One ulp away from 5.0 (`5.0 + f64::EPSILON` would round back
+        // to exactly 5.0 — epsilon is below the ulp at that magnitude).
+        let b = vec![block(1, 1, 10, 10, f64::from_bits(5.0f64.to_bits() + 1))];
         let refs_b: Vec<&BlockCounters> = b.iter().collect();
         assert_ne!(as_input_hash(&refs_b, 0.5), h, "du bits are in the key");
         assert_ne!(as_input_hash(&refs, 0.25), h, "threshold is in the key");
@@ -358,9 +367,12 @@ mod tests {
             (1, 0),
             "departed AS is no longer served"
         );
-        // AS 2 returns unchanged — but it was evicted, so it's a miss.
+        // AS 2 returns unchanged — but it was evicted, so it's a miss,
+        // while the continuously present AS 1 hits in both later epochs.
         let back = EpochCounters::new(3, both.blocks().to_vec());
         inc.classify(&back);
-        assert_eq!(obs.snapshot().counters["delta.memo.misses"], 2 + 1 + 1);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counters["delta.memo.misses"], 2 + 0 + 1);
+        assert_eq!(snap.counters["delta.memo.hits"], 1 + 1);
     }
 }

@@ -13,7 +13,10 @@ use cellspot::DEFAULT_THRESHOLD;
 const EPOCHS: u64 = 6;
 
 fn full_build(counters: &EpochCounters) -> Vec<u8> {
-    cellserve::to_bytes(&classify_epoch(counters, DEFAULT_THRESHOLD))
+    cellserve::Artifact::encode(
+        &classify_epoch(counters, DEFAULT_THRESHOLD),
+        cellserve::ArtifactFormat::V2,
+    )
 }
 
 #[test]
@@ -22,7 +25,10 @@ fn chained_deltas_track_full_rebuilds_byte_for_byte() {
     let obs = Observer::enabled();
     let mut inc = IncrementalClassifier::new(DEFAULT_THRESHOLD, obs.clone());
 
-    let mut live = cellserve::to_bytes(&inc.classify(&world.epoch_counters(0)));
+    let mut live = cellserve::Artifact::encode(
+        &inc.classify(&world.epoch_counters(0)),
+        cellserve::ArtifactFormat::V2,
+    );
     assert_eq!(live, full_build(&world.epoch_counters(0)));
 
     let mut prev_counters = world.epoch_counters(0);
@@ -38,7 +44,8 @@ fn chained_deltas_track_full_rebuilds_byte_for_byte() {
         );
 
         // Incremental classification + delta against the live bytes.
-        let target = cellserve::to_bytes(&inc.classify(&counters));
+        let target =
+            cellserve::Artifact::encode(&inc.classify(&counters), cellserve::ArtifactFormat::V2);
         let delta_bytes = build_delta(&live, &target, epoch - 1, epoch).expect("build delta");
 
         // The delta is a small fraction of the full artifact.

@@ -24,7 +24,10 @@ fn world_strategy() -> impl Strategy<Value = ChurnWorld> {
 }
 
 fn full_build(counters: &EpochCounters) -> Vec<u8> {
-    cellserve::to_bytes(&classify_epoch(counters, DEFAULT_THRESHOLD))
+    cellserve::Artifact::encode(
+        &classify_epoch(counters, DEFAULT_THRESHOLD),
+        cellserve::ArtifactFormat::V2,
+    )
 }
 
 proptest! {

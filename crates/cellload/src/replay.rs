@@ -25,7 +25,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use cellobs::Observer;
-use cellserve::{FrozenIndex, IpKey, LookupMatch, MatchedPrefix, QueryEngine};
+use cellserve::{IpKey, LookupMatch, MatchedPrefix, QueryEngine};
 use cellserved::{FramedClient, WireAnswer};
 
 use crate::trace::Trace;
@@ -218,12 +218,16 @@ impl ReplayOutcome {
 /// Replay directly against [`QueryEngine`], resolving the index for
 /// each segment's epoch through `index_for` (a constant function for
 /// single-segment presets; an epoch → artifact map for `churn`).
+/// Generic over the served representation: any
+/// [`cellserve::IndexView`] — an owned [`FrozenIndex`], a zero-copy
+/// [`cellserve::ArtifactHandle`] — replays identically.
 ///
 /// The engine cannot drop queries, so `dropped` is always 0 here; the
 /// field exists so all three modes share one outcome shape.
-pub fn replay_engine<F>(trace: &Trace, obs: &Observer, mut index_for: F) -> ReplayOutcome
+pub fn replay_engine<V, F>(trace: &Trace, obs: &Observer, mut index_for: F) -> ReplayOutcome
 where
-    F: FnMut(u64) -> Arc<FrozenIndex>,
+    V: cellserve::IndexView + Send + Sync,
+    F: FnMut(u64) -> Arc<V>,
 {
     let mut segments = Vec::with_capacity(trace.segments.len());
     let mut total = AnswerDigest::new();

@@ -1,6 +1,6 @@
 //! The prefix universe traces are generated over.
 
-use cellserve::FrozenIndex;
+use cellserve::{FrozenIndex, IndexView};
 use cellspot::Classification;
 use netaddr::{Block24, Block48, BlockId};
 
@@ -43,22 +43,26 @@ impl Universe {
         Universe { v4, v6 }
     }
 
-    /// The universe of a loaded artifact: one block per served prefix,
+    /// The universe of any loaded artifact view — owned
+    /// [`FrozenIndex`], zero-copy [`cellserve::MappedIndex`], or
+    /// [`cellserve::ArtifactHandle`]: one block per served prefix,
     /// deduplicated.
-    pub fn from_frozen(index: &FrozenIndex) -> Universe {
-        let mut v4: Vec<Block24> = index
-            .entries_v4()
-            .map(|(net, _)| Block24::of_net(&net))
-            .collect();
+    pub fn from_view<V: IndexView + ?Sized>(index: &V) -> Universe {
+        let mut v4: Vec<Block24> = Vec::new();
+        index.for_each_v4(&mut |net, _| v4.push(Block24::of_net(&net)));
         v4.sort_by_key(|b| b.index());
         v4.dedup();
-        let mut v6: Vec<Block48> = index
-            .entries_v6()
-            .map(|(net, _)| Block48::of_net(&net))
-            .collect();
+        let mut v6: Vec<Block48> = Vec::new();
+        index.for_each_v6(&mut |net, _| v6.push(Block48::of_net(&net)));
         v6.sort_by_key(|b| b.index());
         v6.dedup();
         Universe { v4, v6 }
+    }
+
+    /// [`Universe::from_view`] for an owned [`FrozenIndex`] — kept for
+    /// call sites that predate the view API.
+    pub fn from_frozen(index: &FrozenIndex) -> Universe {
+        Self::from_view(index)
     }
 
     /// Total number of blocks across both families.

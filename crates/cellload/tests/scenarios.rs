@@ -54,8 +54,11 @@ fn single_artifact_presets_answer_identically_on_all_three_targets() {
     let world = ChurnWorld::demo(21);
     let frozen = frozen_for_epoch(&world, 0);
     let universe = Universe::from_frozen(&frozen);
-    let bytes = cellserve::to_bytes(&frozen);
-    let arc = Arc::new(frozen);
+    let bytes = cellserve::Artifact::encode(&frozen, cellserve::ArtifactFormat::V2);
+    // The cold engine leg runs over the zero-copy v2 handle while the
+    // daemon serves a decoded index — answers must still be identical.
+    let arc = Arc::new(cellserve::Artifact::from_bytes(&bytes).expect("sealed artifact loads"));
+    assert!(arc.format() == cellserve::ArtifactFormat::V2);
     for preset in Preset::ALL {
         if preset == Preset::Churn {
             continue; // crosses epochs; covered by the hot-patch test
@@ -74,7 +77,7 @@ fn single_artifact_presets_answer_identically_on_all_three_targets() {
         let obs = Observer::enabled();
         let daemon = Daemon::start_with_index(
             config(),
-            cellserve::from_bytes(&bytes).expect("reload artifact"),
+            cellserve::Artifact::decode(&bytes).expect("reload artifact"),
             obs.clone(),
         )
         .expect("daemon starts");
@@ -173,7 +176,10 @@ fn churn_replay_across_delta_watch_hot_patch_matches_cold_engine_replay() {
     for e in 0..EPOCHS {
         let frozen = frozen_for_epoch(&world, e);
         universes.push(Universe::from_frozen(&frozen));
-        artifacts.push(cellserve::to_bytes(&frozen));
+        artifacts.push(cellserve::Artifact::encode(
+            &frozen,
+            cellserve::ArtifactFormat::V2,
+        ));
         arcs.push(Arc::new(frozen));
     }
     // The labels must actually churn, or the hot-patch proves nothing.
@@ -205,7 +211,7 @@ fn churn_replay_across_delta_watch_hot_patch_matches_cold_engine_replay() {
     let obs = Observer::enabled();
     let daemon = Daemon::start_with_index(
         cfg,
-        cellserve::from_bytes(&artifacts[0]).expect("base artifact"),
+        cellserve::Artifact::decode(&artifacts[0]).expect("base artifact"),
         obs.clone(),
     )
     .expect("daemon starts");

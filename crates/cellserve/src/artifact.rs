@@ -58,8 +58,42 @@ fn decode_class(byte: u8) -> Result<AsClass, ServeError> {
     AsClass::from_byte(byte).ok_or_else(|| corrupt(format!("invalid label class byte {byte}")))
 }
 
-/// Serialize an index into a sealed artifact.
+/// Serialize an index into a sealed **v1** artifact.
+///
+/// Deprecated entry point: new code should go through
+/// [`Artifact::encode`](crate::Artifact::encode) (which also writes the
+/// mappable v2 format) or [`Artifact::open`](crate::Artifact::open) to
+/// load. Kept for one release as a shim.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Artifact::encode(index, ArtifactFormat::V1)` or, preferably, the v2 format"
+)]
 pub fn to_bytes(index: &FrozenIndex) -> Vec<u8> {
+    encode_v1(index)
+}
+
+/// Verify the seal and decode a **v1** artifact into a [`FrozenIndex`].
+///
+/// Deprecated entry point: new code should use
+/// [`Artifact::open`](crate::Artifact::open) /
+/// [`Artifact::from_bytes`](crate::Artifact::from_bytes), which sniff
+/// v1/v2 and return a unified [`IndexView`](crate::IndexView), or
+/// [`Artifact::decode`](crate::Artifact::decode) for the owned form.
+///
+/// # Errors
+/// As [`decode_v1`]: [`ServeError::Corrupt`] or
+/// [`ServeError::UnsupportedVersion`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Artifact::open`/`Artifact::from_bytes` (v1/v2 sniffing) or `Artifact::decode`"
+)]
+pub fn from_bytes(bytes: &[u8]) -> Result<FrozenIndex, ServeError> {
+    decode_v1(bytes)
+}
+
+/// Serialize an index into a sealed v1 artifact (crate-internal name;
+/// the public surface is [`Artifact::encode`](crate::Artifact::encode)).
+pub(crate) fn encode_v1(index: &FrozenIndex) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(&ARTIFACT_MAGIC);
     out.extend_from_slice(&ARTIFACT_VERSION.to_le_bytes());
@@ -92,14 +126,16 @@ fn encode_family<K: PrefixKey>(out: &mut Vec<u8>, fam: &FamilyIndex<K>) {
     }
 }
 
-/// Verify the seal and decode an artifact back into a [`FrozenIndex`].
+/// Verify the seal and decode a v1 artifact back into a
+/// [`FrozenIndex`].
 ///
 /// # Errors
 ///
 /// [`ServeError::Corrupt`] on any integrity or structural failure,
 /// [`ServeError::UnsupportedVersion`] when the (intact) artifact was
-/// written by a newer format revision.
-pub fn from_bytes(bytes: &[u8]) -> Result<FrozenIndex, ServeError> {
+/// written by a different format revision (including v2 — route
+/// mixed-version loads through [`Artifact::open`](crate::Artifact::open)).
+pub(crate) fn decode_v1(bytes: &[u8]) -> Result<FrozenIndex, ServeError> {
     let min = ARTIFACT_MAGIC.len() + 4 + TRAILER_LEN;
     if bytes.len() < min {
         return Err(corrupt(format!(
@@ -281,29 +317,29 @@ mod tests {
     #[test]
     fn roundtrip_preserves_the_index_and_is_canonical() {
         let index = sample_index();
-        let bytes = to_bytes(&index);
-        let back = from_bytes(&bytes).expect("intact artifact loads");
+        let bytes = encode_v1(&index);
+        let back = decode_v1(&bytes).expect("intact artifact loads");
         assert_eq!(back, index);
-        assert_eq!(to_bytes(&back), bytes, "re-encoding is byte-identical");
+        assert_eq!(encode_v1(&back), bytes, "re-encoding is byte-identical");
     }
 
     #[test]
     fn empty_index_roundtrips() {
         let index = FrozenIndex::builder().build();
-        let back = from_bytes(&to_bytes(&index)).expect("empty artifact loads");
+        let back = decode_v1(&encode_v1(&index)).expect("empty artifact loads");
         assert!(back.is_empty());
         assert_eq!(back.lookup_v4(0x0A000001), None);
     }
 
     #[test]
     fn every_single_byte_corruption_is_rejected() {
-        let bytes = to_bytes(&sample_index());
+        let bytes = encode_v1(&sample_index());
         for i in 0..bytes.len() {
             for flip in [0x01u8, 0x80] {
                 let mut bad = bytes.clone();
                 bad[i] ^= flip;
                 assert!(
-                    from_bytes(&bad).is_err(),
+                    decode_v1(&bad).is_err(),
                     "flip {flip:#04x} at byte {i}/{} accepted",
                     bytes.len()
                 );
@@ -313,10 +349,10 @@ mod tests {
 
     #[test]
     fn truncation_is_rejected_at_every_length() {
-        let bytes = to_bytes(&sample_index());
+        let bytes = encode_v1(&sample_index());
         for keep in 0..bytes.len() {
             assert!(
-                from_bytes(&bytes[..keep]).is_err(),
+                decode_v1(&bytes[..keep]).is_err(),
                 "truncation to {keep}/{} bytes accepted",
                 bytes.len()
             );
@@ -326,14 +362,14 @@ mod tests {
     #[test]
     fn future_versions_are_rejected_as_unsupported() {
         let index = sample_index();
-        let mut bytes = to_bytes(&index);
+        let mut bytes = encode_v1(&index);
         // Bump the version field and re-seal so only the version differs.
         let v = ARTIFACT_VERSION + 1;
         bytes[8..12].copy_from_slice(&v.to_le_bytes());
         let body_len = bytes.len() - 16;
         let crc = cellstream::crc32(&bytes[..body_len]);
         bytes[body_len + 8..body_len + 12].copy_from_slice(&crc.to_le_bytes());
-        assert_eq!(from_bytes(&bytes), Err(ServeError::UnsupportedVersion(v)));
+        assert_eq!(decode_v1(&bytes), Err(ServeError::UnsupportedVersion(v)));
     }
 
     #[test]
@@ -341,13 +377,13 @@ mod tests {
         // A writer bug (or corruption plus a recomputed seal) passes the
         // CRC check; the structural validators must still refuse the
         // body. Corrupt the first label's class byte and re-seal.
-        let mut bytes = to_bytes(&sample_index());
+        let mut bytes = encode_v1(&sample_index());
         let class_at = 8 + 4 + 4 + 4; // first label's class byte
         bytes[class_at] = 9;
         let body_len = bytes.len() - 16;
         let crc = cellstream::crc32(&bytes[..body_len]);
         bytes[body_len + 8..body_len + 12].copy_from_slice(&crc.to_le_bytes());
-        let err = from_bytes(&bytes).expect_err("invalid class byte");
+        let err = decode_v1(&bytes).expect_err("invalid class byte");
         assert!(err.to_string().contains("class byte"), "{err}");
     }
 }

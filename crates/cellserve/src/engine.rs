@@ -30,7 +30,8 @@ use netaddr::{fmt_ipv4, fmt_ipv6, Ipv4Net, Ipv6Net};
 use rayon::prelude::*;
 
 use crate::error::ServeError;
-use crate::frozen::{FamilyIndex, FrozenIndex, PrefixKey, ServeLabel};
+use crate::frozen::{FrozenIndex, PrefixKey, ServeLabel};
+use crate::view::IndexView;
 
 /// Queries per work unit. Fixed — never derived from the thread count —
 /// so cache resets, and with them the hit/miss counters, depend only on
@@ -140,15 +141,19 @@ impl BatchStats {
 /// result (`None` result = cached miss).
 type CacheSlot<K> = Option<(K, Option<(u8, u32)>)>;
 
-/// High-throughput lookups over a [`FrozenIndex`].
-pub struct QueryEngine<'a> {
-    index: &'a FrozenIndex,
+/// High-throughput lookups over any [`IndexView`] — the owned
+/// [`FrozenIndex`] (the default, so existing `QueryEngine<'_>`
+/// annotations keep compiling), the zero-copy
+/// [`MappedIndex`](crate::MappedIndex), or an
+/// [`ArtifactHandle`](crate::ArtifactHandle).
+pub struct QueryEngine<'a, V: IndexView + ?Sized = FrozenIndex> {
+    index: &'a V,
     obs: Observer,
 }
 
-impl<'a> QueryEngine<'a> {
+impl<'a, V: IndexView + ?Sized> QueryEngine<'a, V> {
     /// An engine over a loaded index, with a disabled observer.
-    pub fn new(index: &'a FrozenIndex) -> Self {
+    pub fn new(index: &'a V) -> Self {
         QueryEngine {
             index,
             obs: Observer::disabled(),
@@ -207,30 +212,53 @@ impl<'a> QueryEngine<'a> {
         // unobserved hot path branch-predictable and clock-free.
         let timed = self.obs.is_enabled();
         let latency = self.obs.histogram("serve.lookup.ns");
+        // The family masks are chunk-invariant: read them once, not per
+        // lookup, so the hot loop never re-walks the level directory.
+        let top_v4 = self.index.longest_len_v4();
+        let top_v6 = self.index.longest_len_v6();
         let mut stats = BatchStats::default();
         let mut v4_cache: Vec<CacheSlot<u32>> = vec![None; CACHE_SLOTS];
         let mut v6_cache: Vec<CacheSlot<u128>> = vec![None; CACHE_SLOTS];
         let mut out = Vec::with_capacity(chunk.len());
-        for &ip in chunk {
+        for (i, &ip) in chunk.iter().enumerate() {
+            // Overlap the next query's first probe with this lookup:
+            // zero-copy views issue software prefetches, owned views
+            // no-op.
+            match chunk.get(i + 1) {
+                Some(IpKey::V4(a)) => self.index.prefetch_v4(*a),
+                Some(IpKey::V6(a)) => self.index.prefetch_v6(*a),
+                None => {}
+            }
             stats.lookups += 1;
             let start = timed.then(Instant::now);
-            let hit =
-                match ip {
-                    IpKey::V4(a) => cached_lookup(&self.index.v4, &mut v4_cache, a, &mut stats)
-                        .map(|(len, idx)| LookupMatch {
-                            prefix: MatchedPrefix::V4(
-                                Ipv4Net::new(a, len).expect("level length ≤ 32 by construction"),
-                            ),
-                            label: self.index.label(idx),
-                        }),
-                    IpKey::V6(a) => cached_lookup(&self.index.v6, &mut v6_cache, a, &mut stats)
-                        .map(|(len, idx)| LookupMatch {
-                            prefix: MatchedPrefix::V6(
-                                Ipv6Net::new(a, len).expect("level length ≤ 128 by construction"),
-                            ),
-                            label: self.index.label(idx),
-                        }),
-                };
+            let hit = match ip {
+                IpKey::V4(a) => cached_lookup(
+                    top_v4,
+                    |addr| self.index.lpm_v4(addr),
+                    &mut v4_cache,
+                    a,
+                    &mut stats,
+                )
+                .map(|(len, idx)| LookupMatch {
+                    prefix: MatchedPrefix::V4(
+                        Ipv4Net::new(a, len).expect("level length ≤ 32 by construction"),
+                    ),
+                    label: self.index.label_at(idx),
+                }),
+                IpKey::V6(a) => cached_lookup(
+                    top_v6,
+                    |addr| self.index.lpm_v6(addr),
+                    &mut v6_cache,
+                    a,
+                    &mut stats,
+                )
+                .map(|(len, idx)| LookupMatch {
+                    prefix: MatchedPrefix::V6(
+                        Ipv6Net::new(a, len).expect("level length ≤ 128 by construction"),
+                    ),
+                    label: self.index.label_at(idx),
+                }),
+            };
             if let Some(t0) = start {
                 latency.record(t0.elapsed().as_nanos() as u64);
             }
@@ -245,12 +273,13 @@ impl<'a> QueryEngine<'a> {
 /// callers rebuild the matched net by re-masking the address, so the
 /// cache never stores per-address data.
 fn cached_lookup<K: PrefixKey>(
-    fam: &FamilyIndex<K>,
+    top_len: Option<u8>,
+    lpm: impl Fn(K) -> Option<(u8, u32)>,
     cache: &mut [CacheSlot<K>],
     addr: K,
     stats: &mut BatchStats,
 ) -> Option<(u8, u32)> {
-    let Some(top_len) = fam.longest_len() else {
+    let Some(top_len) = top_len else {
         // No served prefixes in this family: the cache is never
         // consulted (there is nothing it could answer), so account the
         // lookup as `uncached` rather than inflating the miss counter
@@ -267,7 +296,7 @@ fn cached_lookup<K: PrefixKey>(
         }
     }
     stats.cache_misses += 1;
-    let result = fam.lookup(addr).map(|(_, len, idx)| (len, idx));
+    let result = lpm(addr);
     cache[slot] = Some((key, result));
     result
 }
@@ -330,6 +359,29 @@ mod tests {
         );
         assert_eq!(stats.uncached, 0, "both families serve prefixes here");
         assert!(stats.matched > 0);
+    }
+
+    #[test]
+    fn engine_over_a_mapped_view_matches_the_frozen_engine() {
+        let index = engine_index();
+        let bytes = crate::v2::encode(&index);
+        let mapped = crate::v2::MappedIndex::new(&bytes).expect("valid v2 artifact");
+        let queries: Vec<IpKey> = (0..(2 * QUERY_CHUNK as u32))
+            .map(|i| {
+                if i % 5 == 0 {
+                    IpKey::V6(0x2001_0db8_0000_0000_0000_0000_0000_0000 + i as u128)
+                } else {
+                    IpKey::V4(i.wrapping_mul(0x0101_0101))
+                }
+            })
+            .collect();
+        let (frozen_results, frozen_stats) = QueryEngine::new(&index).run(&queries);
+        let (mapped_results, mapped_stats) = QueryEngine::new(&mapped).run(&queries);
+        assert_eq!(frozen_results, mapped_results);
+        assert_eq!(
+            frozen_stats, mapped_stats,
+            "cache accounting must not depend on the representation"
+        );
     }
 
     #[test]

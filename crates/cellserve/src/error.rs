@@ -16,6 +16,9 @@ pub enum ServeError {
     UnsupportedVersion(u32),
     /// A query address failed to parse as IPv4 or IPv6.
     BadAddress(String),
+    /// Opening or reading an artifact file failed before any bytes
+    /// could be validated. The string carries the OS error text.
+    Io(String),
 }
 
 impl fmt::Display for ServeError {
@@ -26,6 +29,7 @@ impl fmt::Display for ServeError {
                 write!(f, "unsupported artifact version {v}")
             }
             ServeError::BadAddress(s) => write!(f, "bad IP address {s:?}"),
+            ServeError::Io(why) => write!(f, "artifact I/O error: {why}"),
         }
     }
 }

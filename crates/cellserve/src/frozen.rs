@@ -97,6 +97,9 @@ pub(crate) trait PrefixKey: Copy + Ord {
     fn read_le(bytes: &[u8]) -> Self;
     /// A well-mixed 64-bit hash, used to pick a hot-cache slot.
     fn cache_hash(self) -> u64;
+    /// The low 32 bits of the key — the v2 root table buckets IPv4
+    /// keys by `low32() >> 16` (lossy for IPv6, which never uses it).
+    fn low32(self) -> u32;
 }
 
 /// Fibonacci-hashing multiplier (2^64 / φ): mixes the high bits well
@@ -135,6 +138,11 @@ impl PrefixKey for u32 {
     fn cache_hash(self) -> u64 {
         (self as u64).wrapping_mul(HASH_MUL)
     }
+
+    #[inline]
+    fn low32(self) -> u32 {
+        self
+    }
 }
 
 impl PrefixKey for u128 {
@@ -167,6 +175,11 @@ impl PrefixKey for u128 {
     #[inline]
     fn cache_hash(self) -> u64 {
         (((self >> 64) as u64) ^ (self as u64)).wrapping_mul(HASH_MUL)
+    }
+
+    #[inline]
+    fn low32(self) -> u32 {
+        self as u32
     }
 }
 
@@ -368,6 +381,48 @@ impl FrozenIndex {
     /// internals only — indexes come from the index itself).
     pub(crate) fn label(&self, idx: u32) -> ServeLabel {
         self.labels[idx as usize]
+    }
+}
+
+impl crate::view::IndexView for FrozenIndex {
+    fn lpm_v4(&self, addr: u32) -> Option<(u8, u32)> {
+        self.v4.lookup(addr).map(|(_, len, idx)| (len, idx))
+    }
+
+    fn lpm_v6(&self, addr: u128) -> Option<(u8, u32)> {
+        self.v6.lookup(addr).map(|(_, len, idx)| (len, idx))
+    }
+
+    fn label_at(&self, idx: u32) -> ServeLabel {
+        self.labels[idx as usize]
+    }
+
+    fn longest_len_v4(&self) -> Option<u8> {
+        self.v4.longest_len()
+    }
+
+    fn longest_len_v6(&self) -> Option<u8> {
+        self.v6.longest_len()
+    }
+
+    fn prefix_counts(&self) -> (usize, usize) {
+        FrozenIndex::prefix_counts(self)
+    }
+
+    fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    fn for_each_v4(&self, f: &mut dyn FnMut(Ipv4Net, ServeLabel)) {
+        for (net, label) in self.entries_v4() {
+            f(net, label);
+        }
+    }
+
+    fn for_each_v6(&self, f: &mut dyn FnMut(Ipv6Net, ServeLabel)) {
+        for (net, label) in self.entries_v6() {
+            f(net, label);
+        }
     }
 }
 

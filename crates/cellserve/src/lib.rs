@@ -7,31 +7,36 @@
 //! *given an IP address, is it cellular, and under which operator?*
 //! This crate is that serving layer:
 //!
-//! * **Sealed artifact** — [`to_bytes`]/[`from_bytes`] snapshot a
-//!   classification into a compact, versioned binary format sealed
-//!   with the same CRC-32 the streaming checkpoints use
+//! * **Sealed artifact** — [`Artifact::encode`]/[`Artifact::open`]
+//!   snapshot a classification into a compact, versioned binary format
+//!   sealed with the same CRC-32 the streaming checkpoints use
 //!   ([`cellstream::crc32`]); any single-byte corruption is rejected
-//!   at load, never served.
-//! * **[`FrozenIndex`]** — the artifact loads into an immutable
-//!   longest-prefix-match structure: per family, per prefix length,
-//!   flat sorted key arrays probed with a branch-free binary search.
-//!   No pointer chasing, no allocation per lookup, and provably the
-//!   same answers as [`netaddr::PrefixTrie`] (pinned by the
-//!   equivalence property suite in `tests/frozen_props.rs`).
-//! * **[`QueryEngine`]** — batch lookups fan out over rayon in
-//!   fixed-size chunks, each fronted by a small hot-block cache whose
-//!   hit/miss counters are deterministic at any thread count; an
-//!   attached [`Observer`](cellobs::Observer) collects `serve.*`
-//!   counters and a lookup-latency histogram.
+//!   at load, never served. Two formats coexist: the original
+//!   interleaved **v1**, and the 8-byte-aligned flat-array **v2**
+//!   (default) whose body validates *in place*, so a v2 file is
+//!   `mmap`ed and served with near-zero cold-start copies.
+//! * **[`IndexView`]** — the borrowed read API every consumer programs
+//!   against. The owned [`FrozenIndex`] (decoded v1, still what the
+//!   build and delta paths manipulate), the zero-copy [`MappedIndex`]
+//!   over v2 bytes, and the owning [`ArtifactHandle`] all implement
+//!   it, provably answer-identical (pinned by the equivalence property
+//!   suites in `tests/frozen_props.rs` and `tests/format_props.rs`)
+//!   and the same answers as [`netaddr::PrefixTrie`].
+//! * **[`QueryEngine`]** — batch lookups over any [`IndexView`] fan
+//!   out over rayon in fixed-size chunks, each fronted by a small
+//!   hot-block cache whose hit/miss counters are deterministic at any
+//!   thread count; an attached [`Observer`](cellobs::Observer)
+//!   collects `serve.*` counters and a lookup-latency histogram.
 //!
-//! The `cellspot index build` and `cellspot lookup` CLI subcommands
-//! wrap this crate, and `bench_lookup` measures its single- vs
-//! multi-threaded throughput.
+//! The `cellspot index build --format {v1,v2}`, `cellspot index
+//! migrate`, and `cellspot lookup` CLI subcommands wrap this crate,
+//! and `bench_lookup` measures v1-vs-v2 cold-start copies and lookup
+//! throughput in the same run.
 //!
 //! ## Quick tour
 //!
 //! ```
-//! use cellserve::{AsClass, FrozenIndex, ServeLabel};
+//! use cellserve::{Artifact, ArtifactFormat, AsClass, FrozenIndex, ServeLabel};
 //! use netaddr::{Asn, Ipv4Net};
 //!
 //! let mut builder = FrozenIndex::builder();
@@ -42,8 +47,8 @@
 //! let index = builder.build();
 //!
 //! // Seal to bytes; loading verifies the seal before serving anything.
-//! let bytes = cellserve::to_bytes(&index);
-//! let loaded = cellserve::from_bytes(&bytes).unwrap();
+//! let bytes = Artifact::encode(&index, ArtifactFormat::V2);
+//! let loaded = Artifact::from_bytes(&bytes).unwrap();
 //! let (net, label) = loaded.lookup_v4(0xCB007105).unwrap(); // 203.0.113.5
 //! assert_eq!(net.to_string(), "203.0.113.0/24");
 //! assert_eq!(label.asn, Asn(7));
@@ -53,10 +58,27 @@ mod artifact;
 mod engine;
 mod error;
 mod frozen;
+mod handle;
 mod hash;
+mod v2;
+mod view;
 
-pub use artifact::{from_bytes, to_bytes, ARTIFACT_MAGIC, ARTIFACT_VERSION};
+#[allow(deprecated)]
+pub use artifact::{from_bytes, to_bytes};
+pub use artifact::{ARTIFACT_MAGIC, ARTIFACT_VERSION};
 pub use engine::{BatchStats, IpKey, LookupMatch, MatchedPrefix, QueryEngine, QUERY_CHUNK};
 pub use error::ServeError;
 pub use frozen::{AsClass, FrozenIndex, FrozenIndexBuilder, ServeLabel};
+pub use handle::{Artifact, ArtifactFormat, ArtifactHandle};
 pub use hash::{content_hash, hash_hex};
+pub use v2::{MappedIndex, ARTIFACT_V2_VERSION};
+pub use view::IndexView;
+
+/// The serving surface in one import: everything needed to load an
+/// artifact and answer lookups, without the build-side types.
+pub mod prelude {
+    pub use crate::engine::{IpKey, LookupMatch, QueryEngine};
+    pub use crate::frozen::{AsClass, ServeLabel};
+    pub use crate::handle::{Artifact, ArtifactFormat, ArtifactHandle};
+    pub use crate::view::IndexView;
+}

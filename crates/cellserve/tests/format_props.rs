@@ -1,0 +1,206 @@
+//! Property suite for the v2 artifact format and the format-generic
+//! load path.
+//!
+//! The tentpole properties of the CELLSERV v2 redesign:
+//!
+//! * **Format equivalence** — for any index, the zero-copy
+//!   [`cellserve::MappedIndex`] over the v2 bytes, the
+//!   [`cellserve::ArtifactHandle`]s opened from v1 and from v2 bytes,
+//!   and the owned [`cellserve::FrozenIndex`] all answer every lookup
+//!   identically, in both families, hit or miss.
+//! * **Corruption rejection** — any single-byte corruption of a sealed
+//!   v2 artifact, at any position with any nonzero XOR pattern, is
+//!   rejected at load, as is truncation to any shorter length. (The
+//!   unit suite in `v2.rs` additionally sweeps every byte position
+//!   exhaustively.)
+//! * **Migration determinism** — `index migrate`'s core
+//!   (decode + re-encode) is byte-deterministic: v1→v2 equals a direct
+//!   v2 seal, v1→v2→v1 is the identity, and re-encoding is stable.
+
+use proptest::prelude::*;
+
+use cellserve::{
+    Artifact, ArtifactFormat, AsClass, FrozenIndexBuilder, IndexView, MappedIndex, ServeLabel,
+};
+use netaddr::{Asn, Ipv4Net, Ipv6Net};
+
+fn arb_label() -> impl Strategy<Value = ServeLabel> {
+    (0u32..50, 0u8..3).prop_map(|(asn, c)| ServeLabel {
+        asn: Asn(asn),
+        class: match c {
+            0 => AsClass::Dedicated,
+            1 => AsClass::Mixed,
+            _ => AsClass::Unknown,
+        },
+    })
+}
+
+/// Arbitrary v4 prefix as raw parts; `Ipv4Net::new` masks host bits.
+fn arb_v4() -> impl Strategy<Value = (u32, u8, ServeLabel)> {
+    (any::<u32>(), 0u8..=32, arb_label())
+}
+
+/// Arbitrary v6 prefix as raw parts.
+fn arb_v6() -> impl Strategy<Value = (u128, u8, ServeLabel)> {
+    (any::<u128>(), 0u8..=128, arb_label())
+}
+
+fn build_index(
+    v4_entries: &[(u32, u8, ServeLabel)],
+    v6_entries: &[(u128, u8, ServeLabel)],
+) -> cellserve::FrozenIndex {
+    let mut builder = FrozenIndexBuilder::new();
+    for &(addr, len, label) in v4_entries {
+        builder.insert_v4(Ipv4Net::new(addr, len).expect("len ≤ 32"), label);
+    }
+    for &(addr, len, label) in v6_entries {
+        builder.insert_v6(Ipv6Net::new(addr, len).expect("len ≤ 128"), label);
+    }
+    builder.build()
+}
+
+/// Last address covered by a v6 prefix.
+fn v6_last(net: Ipv6Net) -> u128 {
+    let host_mask = if net.len() == 0 {
+        u128::MAX
+    } else {
+        !(u128::MAX << (128 - net.len()))
+    };
+    net.addr() | host_mask
+}
+
+proptest! {
+    /// One index, four read paths — the owned `FrozenIndex`, the
+    /// borrowed `MappedIndex` over the v2 bytes, and `ArtifactHandle`s
+    /// from v1 and v2 bytes — must agree on every probe: the entries'
+    /// first and last covered addresses (guaranteed hits at varied
+    /// depths) plus random addresses (mostly misses).
+    #[test]
+    fn all_views_answer_identically(
+        v4_entries in prop::collection::vec(arb_v4(), 0..32),
+        v6_entries in prop::collection::vec(arb_v6(), 0..32),
+        v4_probes in prop::collection::vec(any::<u32>(), 0..32),
+        v6_probes in prop::collection::vec(any::<u128>(), 0..32),
+    ) {
+        let frozen = build_index(&v4_entries, &v6_entries);
+        let v1_bytes = Artifact::encode(&frozen, ArtifactFormat::V1);
+        let v2_bytes = Artifact::encode(&frozen, ArtifactFormat::V2);
+        let mapped = MappedIndex::new(&v2_bytes).expect("freshly sealed v2 validates");
+        let v1_handle = Artifact::from_bytes(&v1_bytes).expect("freshly sealed v1 loads");
+        let v2_handle = Artifact::from_bytes(&v2_bytes).expect("freshly sealed v2 loads");
+        prop_assert_eq!(v1_handle.format(), ArtifactFormat::V1);
+        prop_assert_eq!(v2_handle.format(), ArtifactFormat::V2);
+
+        let mut v4_addrs = v4_probes;
+        for &(addr, len, _) in &v4_entries {
+            let net = Ipv4Net::new(addr, len).expect("len ≤ 32");
+            v4_addrs.push(net.first());
+            v4_addrs.push(net.last());
+        }
+        for a in v4_addrs {
+            let want = frozen.lookup_v4(a);
+            prop_assert_eq!(mapped.lookup_v4(a), want, "mapped v4 {:#010x}", a);
+            prop_assert_eq!(v1_handle.lookup_v4(a), want, "v1 handle v4 {:#010x}", a);
+            prop_assert_eq!(v2_handle.lookup_v4(a), want, "v2 handle v4 {:#010x}", a);
+        }
+
+        let mut v6_addrs = v6_probes;
+        for &(addr, len, _) in &v6_entries {
+            let net = Ipv6Net::new(addr, len).expect("len ≤ 128");
+            v6_addrs.push(net.addr());
+            v6_addrs.push(v6_last(net));
+        }
+        for a in v6_addrs {
+            let want = frozen.lookup_v6(a);
+            prop_assert_eq!(mapped.lookup_v6(a), want, "mapped v6 {:#034x}", a);
+            prop_assert_eq!(v1_handle.lookup_v6(a), want, "v1 handle v6 {:#034x}", a);
+            prop_assert_eq!(v2_handle.lookup_v6(a), want, "v2 handle v6 {:#034x}", a);
+        }
+
+        // Aggregates agree too, across the IndexView and inherent APIs.
+        prop_assert_eq!(mapped.prefix_counts(), frozen.prefix_counts());
+        prop_assert_eq!(v2_handle.prefix_counts(), frozen.prefix_counts());
+        prop_assert_eq!(mapped.len(), frozen.len());
+        prop_assert_eq!(v2_handle.len(), frozen.len());
+        prop_assert_eq!(
+            IndexView::label_count(&mapped),
+            IndexView::label_count(&frozen)
+        );
+    }
+
+    /// Any single-byte corruption of the v2 bytes, at any position with
+    /// any nonzero XOR pattern, is rejected — both by the borrowed view
+    /// and through the sniffing `Artifact::from_bytes` entry point.
+    #[test]
+    fn random_single_byte_corruption_of_v2_is_rejected(
+        v4_entries in prop::collection::vec(arb_v4(), 0..24),
+        v6_entries in prop::collection::vec(arb_v6(), 0..8),
+        pos_seed in any::<usize>(),
+        xor in 1u8..=255,
+    ) {
+        let frozen = build_index(&v4_entries, &v6_entries);
+        let mut bytes = Artifact::encode(&frozen, ArtifactFormat::V2);
+        let pos = pos_seed % bytes.len();
+        bytes[pos] ^= xor;
+        prop_assert!(
+            MappedIndex::new(&bytes).is_err(),
+            "mapped view accepted flip {:#04x} at byte {}", xor, pos
+        );
+        prop_assert!(
+            Artifact::from_bytes(&bytes).is_err(),
+            "from_bytes accepted flip {:#04x} at byte {}", xor, pos
+        );
+    }
+
+    /// Truncating the v2 bytes anywhere — including to an empty buffer —
+    /// is rejected at load.
+    #[test]
+    fn truncation_of_v2_is_rejected(
+        v4_entries in prop::collection::vec(arb_v4(), 0..24),
+        cut_seed in any::<usize>(),
+    ) {
+        let frozen = build_index(&v4_entries, &[]);
+        let bytes = Artifact::encode(&frozen, ArtifactFormat::V2);
+        let cut = cut_seed % bytes.len();
+        prop_assert!(
+            MappedIndex::new(&bytes[..cut]).is_err(),
+            "mapped view accepted truncation to {} of {} bytes", cut, bytes.len()
+        );
+        prop_assert!(
+            Artifact::from_bytes(&bytes[..cut]).is_err(),
+            "from_bytes accepted truncation to {} of {} bytes", cut, bytes.len()
+        );
+    }
+
+    /// Migration is byte-deterministic: decoding the v1 seal and
+    /// re-encoding as v2 equals sealing the index as v2 directly, the
+    /// round trip v1→v2→v1 is the identity, and repeating either
+    /// conversion changes nothing.
+    #[test]
+    fn migrate_roundtrip_is_byte_deterministic(
+        v4_entries in prop::collection::vec(arb_v4(), 0..24),
+        v6_entries in prop::collection::vec(arb_v6(), 0..8),
+    ) {
+        let frozen = build_index(&v4_entries, &v6_entries);
+        let v1_bytes = Artifact::encode(&frozen, ArtifactFormat::V1);
+        let v2_bytes = Artifact::encode(&frozen, ArtifactFormat::V2);
+
+        let migrated_up = Artifact::encode(
+            &Artifact::decode(&v1_bytes).expect("sealed v1 decodes"),
+            ArtifactFormat::V2,
+        );
+        prop_assert_eq!(&migrated_up, &v2_bytes, "v1→v2 must equal a direct v2 seal");
+
+        let migrated_down = Artifact::encode(
+            &Artifact::decode(&migrated_up).expect("migrated v2 decodes"),
+            ArtifactFormat::V1,
+        );
+        prop_assert_eq!(&migrated_down, &v1_bytes, "v1→v2→v1 must be the identity");
+
+        let again = Artifact::encode(
+            &Artifact::decode(&v1_bytes).expect("sealed v1 decodes"),
+            ArtifactFormat::V2,
+        );
+        prop_assert_eq!(again, migrated_up, "repeating the conversion must be stable");
+    }
+}

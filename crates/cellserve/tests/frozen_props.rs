@@ -15,7 +15,7 @@
 
 use proptest::prelude::*;
 
-use cellserve::{from_bytes, to_bytes, AsClass, FrozenIndex, FrozenIndexBuilder, ServeLabel};
+use cellserve::{Artifact, ArtifactFormat, AsClass, FrozenIndex, FrozenIndexBuilder, ServeLabel};
 use netaddr::{Asn, Ipv4Net, Ipv6Net, PrefixTrie};
 
 fn arb_label() -> impl Strategy<Value = ServeLabel> {
@@ -128,10 +128,13 @@ proptest! {
             builder.insert_v6(Ipv6Net::new(addr, len).expect("len ≤ 128"), label);
         }
         let index = builder.build();
-        let bytes = to_bytes(&index);
-        let decoded = from_bytes(&bytes);
+        let bytes = Artifact::encode(&index, ArtifactFormat::V1);
+        let decoded = Artifact::decode(&bytes);
         prop_assert_eq!(decoded.as_ref(), Ok(&index));
-        prop_assert_eq!(to_bytes(&decoded.expect("just matched")), bytes);
+        prop_assert_eq!(
+            Artifact::encode(&decoded.expect("just matched"), ArtifactFormat::V1),
+            bytes
+        );
     }
 
     /// Any single-byte corruption, at any position, with any nonzero
@@ -144,11 +147,11 @@ proptest! {
         xor in 1u8..=255,
     ) {
         let (_, frozen) = v4_index(&entries);
-        let mut bytes = to_bytes(&frozen);
+        let mut bytes = Artifact::encode(&frozen, ArtifactFormat::V1);
         let pos = pos_seed % bytes.len();
         bytes[pos] ^= xor;
         prop_assert!(
-            from_bytes(&bytes).is_err(),
+            Artifact::decode(&bytes).is_err(),
             "flip {:#04x} at byte {} accepted", xor, pos
         );
     }

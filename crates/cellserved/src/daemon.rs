@@ -10,7 +10,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use cellobs::{ObsSnapshot, Observer};
-use cellserve::{FrozenIndex, IpKey, LookupMatch, QueryEngine, QUERY_CHUNK};
+use cellserve::{Artifact, FrozenIndex, IpKey, LookupMatch, QueryEngine, QUERY_CHUNK};
 
 use crate::batcher::{BatchQueue, Pending};
 use crate::error::ServedError;
@@ -118,7 +118,10 @@ pub struct Daemon {
 }
 
 impl Daemon {
-    /// Read, validate, and serve a sealed artifact file.
+    /// Open, validate, and serve a sealed artifact file. A v2 artifact
+    /// is mmapped and served in place — near-zero bytes copied at boot;
+    /// a v1 artifact is decoded as before. Either way the daemon's
+    /// behavior is identical (see [`cellserve::IndexView`]).
     pub fn start(
         config: ServeConfig,
         artifact: &Path,
@@ -127,12 +130,11 @@ impl Daemon {
         // Fingerprint before reading: if the file is replaced between
         // the read and the watcher's first poll, the change is seen.
         let initial = reload::fingerprint(artifact);
-        let bytes = std::fs::read(artifact)?;
-        let index = cellserve::from_bytes(&bytes)?;
+        let handle = Artifact::open(artifact)?;
+        let store = GenerationStore::from_handle(handle, obs.clone());
         Self::start_inner(
             config,
-            index,
-            bytes.len() as u64,
+            store,
             Some((artifact.to_path_buf(), initial)),
             obs,
         )
@@ -144,13 +146,13 @@ impl Daemon {
         index: FrozenIndex,
         obs: Observer,
     ) -> Result<Daemon, ServedError> {
-        Self::start_inner(config, index, 0, None, obs)
+        let store = GenerationStore::new(index, obs.clone());
+        Self::start_inner(config, store, None, obs)
     }
 
     fn start_inner(
         config: ServeConfig,
-        index: FrozenIndex,
-        artifact_bytes: u64,
+        store: GenerationStore,
         artifact: Option<(PathBuf, Option<reload::Fingerprint>)>,
         obs: Observer,
     ) -> Result<Daemon, ServedError> {
@@ -159,7 +161,7 @@ impl Daemon {
                 "reload_watch requires an artifact path to watch".into(),
             ));
         }
-        let store = Arc::new(GenerationStore::new(index, artifact_bytes, obs.clone()));
+        let store = Arc::new(store);
         let queue = Arc::new(BatchQueue::new(config.queue_depth, config.max_linger));
         let ctx = Arc::new(Ctx {
             store: Arc::clone(&store),
@@ -207,9 +209,11 @@ impl Daemon {
             let watch_store = Arc::clone(&store);
             threads.push(reload::spawn_watcher(
                 "served-reload",
+                "served.reload",
                 path,
                 config.reload_poll,
                 initial,
+                obs.clone(),
                 move |p| {
                     let _ = watch_store.try_swap_path(p);
                 },
@@ -221,9 +225,11 @@ impl Daemon {
             let delta_store = Arc::clone(&store);
             threads.push(reload::spawn_watcher(
                 "served-delta",
+                "served.delta",
                 path,
                 config.reload_poll,
                 initial,
+                obs.clone(),
                 move |p| {
                     let _ = delta_store.try_apply_delta_path(p);
                 },

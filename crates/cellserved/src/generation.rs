@@ -4,51 +4,45 @@
 //! The daemon never mutates a served index. Instead it holds an
 //! [`Arc<Generation>`] behind an `RwLock`: lookups take a read lock just
 //! long enough to clone the `Arc` (nanoseconds), then run entirely on
-//! the immutable [`FrozenIndex`] snapshot they hold. A reload decodes
-//! and fully validates the candidate artifact *outside* any lock — seal,
-//! structure, and version, exactly the checks [`cellserve::from_bytes`]
+//! the immutable [`ArtifactHandle`] snapshot they hold — a zero-copy
+//! mmap view for v2 artifacts, a decoded [`FrozenIndex`] for v1. A
+//! reload validates the candidate artifact *outside* any lock — seal,
+//! structure, and version, exactly the checks [`cellserve::Artifact`]
 //! performs — and only then takes the write lock for a pointer swap.
 //! A corrupt, truncated, or newer-version candidate is rejected before
 //! the swap point, so the old generation keeps serving untouched;
 //! in-flight batches that cloned the old `Arc` finish on it and drop it
 //! when done.
 //!
-//! Generations also carry the content hash of their canonical encoding
-//! and an epoch, which together let sealed [`celldelta`] deltas patch
-//! the live index in place of a full reload: a delta is accepted only
-//! if its base hash matches the serving generation and its epoch
-//! advances past the generation's. The same validate-outside-the-lock
-//! discipline applies — a wrong-base, stale, or corrupt delta never
-//! reaches the swap point.
+//! Generations also carry the content hash of their sealed bytes and an
+//! epoch, which together let sealed [`celldelta`] deltas patch the live
+//! index in place of a full reload: a delta is accepted only if its
+//! base hash matches the serving generation and its epoch advances past
+//! the generation's. The same validate-outside-the-lock discipline
+//! applies — a wrong-base, stale, or corrupt delta never reaches the
+//! swap point.
 
 use std::path::Path;
 use std::sync::{Arc, RwLock};
 
 use celldelta::{Delta, DeltaError};
 use cellobs::Observer;
-use cellserve::{FrozenIndex, ServeError};
+use cellserve::{Artifact, ArtifactFormat, ArtifactHandle, FrozenIndex, ServeError};
 
 use crate::error::ServedError;
 
-/// Hash of the canonical encoding of `index` — the identity the delta
-/// chain checks against ([`celldelta::Delta::base_hash`]). Artifact
-/// encoding is canonical, so for a generation decoded from a sealed
-/// file this equals the hash of the file bytes.
-fn canonical_hash(index: &FrozenIndex) -> u64 {
-    cellserve::content_hash(&cellserve::to_bytes(index))
-}
-
 /// One immutable, validated artifact generation.
 pub struct Generation {
-    /// The decoded index this generation serves.
-    pub index: Arc<FrozenIndex>,
+    /// The loaded artifact this generation serves: answers through
+    /// [`cellserve::IndexView`] whichever format it holds, and keeps
+    /// its sealed bytes so deltas can chain on them.
+    pub index: Arc<ArtifactHandle>,
     /// Monotonic generation number, starting at 1 for the boot artifact.
     pub number: u64,
-    /// Size of the sealed artifact this generation was decoded from
-    /// (0 when built in-process without serialization).
+    /// Size of the sealed artifact this generation was loaded from.
     pub artifact_bytes: u64,
-    /// FNV-1a 64 content hash of this generation's canonical encoding;
-    /// a delta applies only if its base hash equals this value.
+    /// FNV-1a 64 content hash of this generation's sealed bytes; a
+    /// delta applies only if its base hash equals this value.
     pub artifact_hash: u64,
     /// Epoch of the delta that produced this generation; 0 for a
     /// generation born from a full artifact (boot or full reload).
@@ -62,29 +56,47 @@ pub struct GenerationStore {
 }
 
 impl GenerationStore {
-    /// A store serving `index` as generation 1 at epoch 0.
-    pub fn new(index: FrozenIndex, artifact_bytes: u64, obs: Observer) -> Self {
-        let artifact_hash = canonical_hash(&index);
+    /// A store serving an already-loaded artifact as generation 1 at
+    /// epoch 0.
+    pub fn from_handle(handle: ArtifactHandle, obs: Observer) -> Self {
+        let gen = Generation {
+            number: 1,
+            artifact_bytes: handle.source_len(),
+            artifact_hash: handle.content_hash(),
+            epoch: 0,
+            index: Arc::new(handle),
+        };
         obs.gauge("served.generation").set(1);
-        obs.gauge("served.artifact.hash").set(artifact_hash);
-        obs.gauge("served.epoch").set(0);
+        Self::set_artifact_gauges(&obs, &gen);
         GenerationStore {
-            current: RwLock::new(Arc::new(Generation {
-                index: Arc::new(index),
-                number: 1,
-                artifact_bytes,
-                artifact_hash,
-                epoch: 0,
-            })),
+            current: RwLock::new(Arc::new(gen)),
             obs,
         }
     }
 
-    /// Read and validate a sealed artifact file into generation 1.
+    /// A store serving an in-process `index` as generation 1 at epoch
+    /// 0. The index is sealed once (default v2 format) so the
+    /// generation has canonical bytes for the delta chain.
+    pub fn new(index: FrozenIndex, obs: Observer) -> Self {
+        let sealed = Artifact::encode(&index, ArtifactFormat::V2);
+        let handle = Artifact::from_bytes(&sealed).expect("just-encoded artifact validates");
+        Self::from_handle(handle, obs)
+    }
+
+    /// Open and validate a sealed artifact file into generation 1 —
+    /// mmap-backed and near-zero-copy when the file is v2.
     pub fn load(path: &Path, obs: Observer) -> Result<Self, ServedError> {
-        let bytes = std::fs::read(path)?;
-        let index = cellserve::from_bytes(&bytes)?;
-        Ok(Self::new(index, bytes.len() as u64, obs))
+        let handle = Artifact::open(path)?;
+        Ok(Self::from_handle(handle, obs))
+    }
+
+    fn set_artifact_gauges(obs: &Observer, gen: &Generation) {
+        obs.gauge("served.artifact.hash").set(gen.artifact_hash);
+        obs.gauge("served.epoch").set(gen.epoch);
+        obs.gauge("served.artifact.copied.bytes")
+            .set(gen.index.copied_bytes());
+        obs.gauge("served.artifact.mapped")
+            .set(u64::from(gen.index.is_mapped()));
     }
 
     /// The generation serving right now. Callers keep the returned
@@ -99,48 +111,63 @@ impl GenerationStore {
         self.current().number
     }
 
-    /// Validate candidate artifact bytes and, on success, atomically
-    /// swap them in as the next generation; returns its number. On any
-    /// validation failure (broken seal, structural violation past a
-    /// forged seal, unsupported version) the old generation keeps
-    /// serving and the `served.reload.rejected` counter is bumped.
+    /// Install a validated handle as the next generation (write lock
+    /// held only for the pointer swap) and refresh the gauges.
+    fn install(&self, handle: ArtifactHandle, epoch: u64) -> u64 {
+        let gen;
+        let number = {
+            let mut cur = self.current.write().expect("generation lock poisoned");
+            let number = cur.number + 1;
+            gen = Arc::new(Generation {
+                number,
+                artifact_bytes: handle.source_len(),
+                artifact_hash: handle.content_hash(),
+                epoch,
+                index: Arc::new(handle),
+            });
+            *cur = Arc::clone(&gen);
+            number
+        };
+        self.obs.gauge("served.generation").set(number);
+        Self::set_artifact_gauges(&self.obs, &gen);
+        number
+    }
+
+    /// Validate candidate artifact bytes (either format, sniffed) and,
+    /// on success, atomically swap them in as the next generation;
+    /// returns its number. On any validation failure (broken seal,
+    /// structural violation past a forged seal, unsupported version)
+    /// the old generation keeps serving and the
+    /// `served.reload.rejected` counter is bumped.
     pub fn try_swap_bytes(&self, bytes: &[u8]) -> Result<u64, ServeError> {
-        // Decode outside the lock: validation cost never stalls readers.
-        let index = match cellserve::from_bytes(bytes) {
-            Ok(index) => index,
+        // Validate outside the lock: candidate cost never stalls readers.
+        let handle = match Artifact::from_bytes(bytes) {
+            Ok(handle) => handle,
             Err(e) => {
                 self.obs.counter("served.reload.rejected").inc();
                 return Err(e);
             }
         };
-        let artifact_hash = canonical_hash(&index);
-        let number = {
-            let mut cur = self.current.write().expect("generation lock poisoned");
-            let number = cur.number + 1;
-            *cur = Arc::new(Generation {
-                index: Arc::new(index),
-                number,
-                artifact_bytes: bytes.len() as u64,
-                artifact_hash,
-                epoch: 0,
-            });
-            number
-        };
+        let number = self.install(handle, 0);
         self.obs.counter("served.reload.ok").inc();
-        self.obs.gauge("served.generation").set(number);
-        self.obs.gauge("served.artifact.hash").set(artifact_hash);
-        self.obs.gauge("served.epoch").set(0);
         Ok(number)
     }
 
-    /// [`try_swap_bytes`](Self::try_swap_bytes) from a file; an
-    /// unreadable candidate also counts as a rejected reload.
+    /// [`try_swap_bytes`](Self::try_swap_bytes) from a file, loading
+    /// through [`Artifact::open`] so a v2 candidate is mapped rather
+    /// than copied; an unreadable or invalid candidate counts as a
+    /// rejected reload.
     pub fn try_swap_path(&self, path: &Path) -> Result<u64, ServedError> {
-        let bytes = std::fs::read(path).map_err(|e| {
-            self.obs.counter("served.reload.rejected").inc();
-            ServedError::Io(e)
-        })?;
-        self.try_swap_bytes(&bytes).map_err(ServedError::Artifact)
+        let handle = match Artifact::open(path) {
+            Ok(handle) => handle,
+            Err(e) => {
+                self.obs.counter("served.reload.rejected").inc();
+                return Err(ServedError::Artifact(e));
+            }
+        };
+        let number = self.install(handle, 0);
+        self.obs.counter("served.reload.ok").inc();
+        Ok(number)
     }
 
     /// Validate sealed delta bytes against the live generation and, on
@@ -168,16 +195,16 @@ impl GenerationStore {
                 delta: delta.epoch,
             })));
         }
-        // Patch the canonical re-encoding of the live index, outside
-        // any lock; `apply_parsed` verifies the base hash before
-        // touching anything and the target hash after.
-        let base_bytes = cellserve::to_bytes(&cur.index);
-        let patched = match celldelta::apply_parsed(&base_bytes, &delta) {
+        // Patch the generation's sealed bytes, outside any lock;
+        // `apply_parsed` verifies the base hash before touching
+        // anything and the target hash after re-encoding in the base's
+        // format.
+        let patched = match celldelta::apply_parsed(cur.index.sealed_bytes(), &delta) {
             Ok(b) => b,
             Err(e) => return Err(reject(ServedError::Delta(e))),
         };
-        let index = match cellserve::from_bytes(&patched) {
-            Ok(i) => i,
+        let handle = match Artifact::from_bytes(&patched) {
+            Ok(h) => h,
             Err(e) => return Err(reject(ServedError::Artifact(e))),
         };
         let number = {
@@ -193,21 +220,19 @@ impl GenerationStore {
                 })));
             }
             let number = w.number + 1;
-            *w = Arc::new(Generation {
-                index: Arc::new(index),
+            let gen = Arc::new(Generation {
                 number,
                 artifact_bytes: patched.len() as u64,
                 artifact_hash: delta.target_hash,
                 epoch: delta.epoch,
+                index: Arc::new(handle),
             });
+            Self::set_artifact_gauges(&self.obs, &gen);
+            *w = gen;
             number
         };
         self.obs.counter("served.delta.ok").inc();
         self.obs.gauge("served.generation").set(number);
-        self.obs
-            .gauge("served.artifact.hash")
-            .set(delta.target_hash);
-        self.obs.gauge("served.epoch").set(delta.epoch);
         Ok(number)
     }
 
@@ -225,7 +250,7 @@ impl GenerationStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cellserve::{AsClass, ServeLabel};
+    use cellserve::{AsClass, ServeLabel, ARTIFACT_V2_VERSION};
     use netaddr::Asn;
 
     fn index(asn: u32) -> FrozenIndex {
@@ -240,15 +265,19 @@ mod tests {
         b.build()
     }
 
+    fn sealed(asn: u32) -> Vec<u8> {
+        Artifact::encode(&index(asn), ArtifactFormat::V2)
+    }
+
     #[test]
     fn swap_replaces_the_generation_and_counts() {
         let obs = Observer::enabled();
-        let store = GenerationStore::new(index(1), 0, obs.clone());
+        let store = GenerationStore::new(index(1), obs.clone());
         assert_eq!(store.generation(), 1);
         let held = store.current();
 
         let n = store
-            .try_swap_bytes(&cellserve::to_bytes(&index(2)))
+            .try_swap_bytes(&sealed(2))
             .expect("valid candidate swaps");
         assert_eq!(n, 2);
         assert_eq!(store.generation(), 2);
@@ -265,19 +294,33 @@ mod tests {
     }
 
     #[test]
+    fn v1_candidates_still_swap_in() {
+        let obs = Observer::enabled();
+        let store = GenerationStore::new(index(1), obs.clone());
+        let v1 = Artifact::encode(&index(3), ArtifactFormat::V1);
+        let n = store.try_swap_bytes(&v1).expect("v1 candidate swaps");
+        assert_eq!(n, 2);
+        let cur = store.current();
+        assert_eq!(cur.index.format(), ArtifactFormat::V1);
+        assert_eq!(cur.artifact_hash, cellserve::content_hash(&v1));
+        let (_, label) = cur.index.lookup_v4(0x0A000001).expect("v1 gen serves");
+        assert_eq!(label.asn, Asn(3));
+    }
+
+    #[test]
     fn rejected_candidates_leave_the_old_generation() {
         let obs = Observer::enabled();
-        let store = GenerationStore::new(index(1), 0, obs.clone());
+        let store = GenerationStore::new(index(1), obs.clone());
 
-        let mut corrupt = cellserve::to_bytes(&index(2));
+        let mut corrupt = sealed(2);
         let mid = corrupt.len() / 2;
         corrupt[mid] ^= 0x40;
         assert!(store.try_swap_bytes(&corrupt).is_err());
 
-        // Version-bumped candidate, re-sealed so only the version check
-        // can reject it.
-        let mut newer = cellserve::to_bytes(&index(2));
-        let v = cellserve::ARTIFACT_VERSION + 1;
+        // Candidate claiming a version newer than any this build can
+        // serve, re-sealed so only the version check can reject it.
+        let mut newer = Artifact::encode(&index(2), ArtifactFormat::V1);
+        let v = ARTIFACT_V2_VERSION + 1;
         newer[8..12].copy_from_slice(&v.to_le_bytes());
         let body_len = newer.len() - 16;
         let crc = cellstream::crc32(&newer[..body_len]);
@@ -298,9 +341,9 @@ mod tests {
     #[test]
     fn deltas_patch_the_live_generation() {
         let obs = Observer::enabled();
-        let store = GenerationStore::new(index(1), 0, obs.clone());
-        let base = cellserve::to_bytes(&index(1));
-        let target = cellserve::to_bytes(&index(2));
+        let store = GenerationStore::new(index(1), obs.clone());
+        let base = sealed(1);
+        let target = sealed(2);
         let delta = celldelta::build_delta(&base, &target, 0, 1).expect("build");
 
         let n = store
@@ -328,10 +371,10 @@ mod tests {
     #[test]
     fn wrong_base_and_corrupt_deltas_are_rejected() {
         let obs = Observer::enabled();
-        let store = GenerationStore::new(index(1), 0, obs.clone());
-        let base = cellserve::to_bytes(&index(1));
-        let other = cellserve::to_bytes(&index(7));
-        let target = cellserve::to_bytes(&index(2));
+        let store = GenerationStore::new(index(1), obs.clone());
+        let base = sealed(1);
+        let other = sealed(7);
+        let target = sealed(2);
 
         // Chains on index(7), not the serving index(1).
         let wrong_base = celldelta::build_delta(&other, &target, 0, 1).expect("build");

@@ -42,7 +42,7 @@ fn artifact(asn: u32, class: AsClass, extra: bool) -> Vec<u8> {
             },
         );
     }
-    cellserve::to_bytes(&b.build())
+    cellserve::Artifact::encode(&b.build(), cellserve::ArtifactFormat::V2)
 }
 
 fn config() -> ServeConfig {
@@ -83,11 +83,13 @@ fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
     cond()
 }
 
-/// Re-seal artifact bytes after mutating the body, the same way the
-/// writer does, so only post-seal (structural/version) checks can
-/// reject them.
+/// Re-seal v2 artifact bytes after mutating the body, the same way the
+/// writer does — trailer CRC *and* the header's quick-hash fingerprint —
+/// so only post-seal (structural/version) checks can reject them.
 fn reseal(bytes: &mut [u8]) {
     let body_len = bytes.len() - 16;
+    let quick = cellserve::content_hash(&bytes[64..body_len]);
+    bytes[16..24].copy_from_slice(&quick.to_le_bytes());
     let crc = cellstream::crc32(&bytes[..body_len]);
     bytes[body_len + 8..body_len + 12].copy_from_slice(&crc.to_le_bytes());
 }
@@ -244,6 +246,52 @@ fn reload_swaps_generations_without_dropping_traffic() {
     );
 }
 
+/// Republishing a byte-identical artifact (fresh mtime, same content)
+/// must not reload: the watcher's stage-two fingerprint short-circuits,
+/// the `served.reload.polls.skipped` counter records it, and a later
+/// real change still swaps normally.
+#[test]
+fn byte_identical_republish_skips_the_reload() {
+    let path = tmpdir("skip").join("index.cellserv");
+    let bytes = artifact(1, AsClass::Dedicated, false);
+    write_atomic_bytes(&path, &bytes).expect("write artifact");
+    let obs = Observer::enabled();
+    let mut cfg = config();
+    cfg.reload_watch = true;
+    let daemon = Daemon::start(cfg, &path, obs.clone()).expect("daemon starts");
+
+    // Republish the exact same bytes: new file, new mtime, same
+    // content fingerprint.
+    std::thread::sleep(Duration::from_millis(30));
+    write_atomic_bytes(&path, &bytes).expect("republish identical artifact");
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            obs.snapshot()
+                .counters
+                .get("served.reload.polls.skipped")
+                .copied()
+                .unwrap_or(0)
+                >= 1
+        }),
+        "the watcher notices the stat change and skips on the fingerprint"
+    );
+    assert_eq!(daemon.generation(), 1, "identical bytes must not reload");
+    assert!(
+        !obs.snapshot().counters.contains_key("served.reload.ok"),
+        "no reload may be attempted for identical bytes"
+    );
+
+    // A real change still swaps — the skip didn't wedge the watcher.
+    write_atomic_bytes(&path, &artifact(2, AsClass::Mixed, true)).expect("publish generation 2");
+    assert!(
+        wait_until(Duration::from_secs(5), || daemon.generation() == 2),
+        "a genuinely new artifact still reloads after skipped polls"
+    );
+    let snap = daemon.shutdown();
+    assert_eq!(snap.counters["served.reload.polls.skipped"], 1);
+    assert_eq!(snap.counters["served.reload.ok"], 1);
+}
+
 #[test]
 fn rejected_candidates_leave_the_old_generation_serving() {
     let path = tmpdir("reject").join("index.cellserv");
@@ -279,7 +327,7 @@ fn rejected_candidates_leave_the_old_generation_serving() {
     // Candidate 2: newer format version behind a valid seal —
     // `ServeError::UnsupportedVersion` through the reload path.
     let mut newer = artifact(8, AsClass::Mixed, true);
-    newer[8..12].copy_from_slice(&(cellserve::ARTIFACT_VERSION + 1).to_le_bytes());
+    newer[8..12].copy_from_slice(&(cellserve::ARTIFACT_V2_VERSION + 1).to_le_bytes());
     reseal(&mut newer);
     write_atomic_bytes(&path, &newer).expect("publish newer-version candidate");
     assert!(wait_until(Duration::from_secs(5), || rejected_count() >= 2));
@@ -288,7 +336,7 @@ fn rejected_candidates_leave_the_old_generation_serving() {
     // seal — an invalid class byte in the label table. Structural
     // re-validation must catch what the CRC no longer can.
     let mut forged = artifact(8, AsClass::Mixed, true);
-    forged[8 + 4 + 4 + 4] = 9; // first label's class byte
+    forged[64 + 4] = 9; // first label's class word (labels start at 64)
     reseal(&mut forged);
     write_atomic_bytes(&path, &forged).expect("publish forged candidate");
     assert!(wait_until(Duration::from_secs(5), || rejected_count() >= 3));

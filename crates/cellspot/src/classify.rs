@@ -74,28 +74,6 @@ impl Classification {
     }
 }
 
-/// Join a dataset pair and classify it in one call.
-///
-/// This was the entry point for consumers that materialize datasets
-/// outside the batch pipeline — notably the streaming ingest engine,
-/// whose finalized snapshots must flow through the exact same join and
-/// threshold rule as batch-generated data. Those callers now go through
-/// [`crate::Pipeline::classify`], which adds config validation, thread
-/// pinning, and observability on the same join + threshold rule.
-#[deprecated(
-    since = "0.1.0",
-    note = "use cellspot::Pipeline::new(beacons, demand).threshold(t).classify() instead"
-)]
-pub fn classify_datasets(
-    beacons: &cdnsim::BeaconDataset,
-    demand: &cdnsim::DemandDataset,
-    threshold: f64,
-) -> (BlockIndex, Classification) {
-    let index = BlockIndex::build(beacons, demand);
-    let classification = Classification::new(&index, threshold);
-    (index, classification)
-}
-
 /// Fig. 2's four distributions: cellular-ratio CDFs for IPv4 and IPv6
 /// blocks, by subnet count and weighted by demand.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -201,37 +179,6 @@ mod tests {
         assert!(c.is_cellular(b(4)));
         assert_eq!(c.len(), 2);
         assert_eq!(c.block_counts(), (2, 0));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn classify_datasets_matches_manual_join() {
-        let beacons = BeaconDataset::from_records(
-            "t",
-            vec![BeaconRecord {
-                block: b(1),
-                asn: Asn(1),
-                hits_total: 10,
-                netinfo_hits: 10,
-                cellular_hits: 8,
-                wifi_hits: 2,
-                other_hits: 0,
-            }],
-        );
-        let demand = DemandDataset::from_raw(
-            "t",
-            vec![DemandRecord {
-                block: b(1),
-                asn: Asn(1),
-                du: 5.0,
-            }],
-        );
-        let (index, class) = classify_datasets(&beacons, &demand, DEFAULT_THRESHOLD);
-        let manual_index = BlockIndex::build(&beacons, &demand);
-        let manual = Classification::with_default_threshold(&manual_index);
-        assert_eq!(index.len(), manual_index.len());
-        assert_eq!(class.len(), manual.len());
-        assert!(class.is_cellular(b(1)));
     }
 
     #[test]

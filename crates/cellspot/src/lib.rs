@@ -61,8 +61,6 @@ pub use ablation::{
 pub use asid::{
     aggregate_by_as, identify_cellular_ases, AsAggregate, AsFilterOutcome, FilterConfig,
 };
-#[allow(deprecated)]
-pub use classify::classify_datasets;
 pub use classify::{Classification, RatioDistributions, DEFAULT_THRESHOLD};
 pub use confidence::{
     classify_with_confidence, confident_label, wilson_interval, ConfidenceSummary, ConfidentLabel,
@@ -73,8 +71,6 @@ pub use error::CellspotError;
 pub use index::{BlockIndex, BlockObs};
 pub use metrics::{validate_carrier, CarrierValidation, Confusion};
 pub use mixed::{max_cfd_gap, AsRatioBreakdown, MixedAnalysis, MixedVerdict, DEDICATED_CFD};
-#[allow(deprecated)]
-pub use pipeline::run_study;
 pub use pipeline::{Pipeline, PipelineReport, Study, StudyConfig};
 pub use stats::{count_for_share, gini, top_k_share, Ecdf};
 pub use sweep::{threshold_sweep, SweepCurve, SweepPoint};

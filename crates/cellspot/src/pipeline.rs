@@ -388,9 +388,9 @@ fn record_classify_detail(obs: &Observer, index: &BlockIndex, classification: &C
     }
 }
 
-/// The instrumented study runner behind [`Pipeline::run`] and the
-/// deprecated [`run_study`] shim. Errors when the datasets disagree on
-/// a block's origin AS (see [`BlockIndex::try_build`]).
+/// The instrumented study runner behind [`Pipeline::run`]. Errors when
+/// the datasets disagree on a block's origin AS (see
+/// [`BlockIndex::try_build`]).
 pub(crate) fn run_study_observed(
     beacons: &BeaconDataset,
     demand: &DemandDataset,
@@ -529,42 +529,6 @@ pub(crate) fn run_study_observed(
         view,
         timing,
     })
-}
-
-/// Run the full pipeline.
-///
-/// Per-carrier validations and sweeps fan out across the rayon pool;
-/// results are collected in carrier order, and every parallel stage is
-/// bit-deterministic regardless of thread count (see each stage's docs).
-/// Wall-clock per stage lands in the returned study's `timing` field.
-///
-/// # Panics
-/// Panics when the datasets disagree on a block's origin AS — this shim
-/// predates error reporting; use [`Pipeline`] to handle
-/// [`CellspotError::InconsistentDatasets`] instead. (The pre-fix join
-/// silently took the beacon-side label, biasing every per-AS result.)
-#[deprecated(
-    since = "0.1.0",
-    note = "use cellspot::Pipeline::new(beacons, demand)…run() instead"
-)]
-pub fn run_study(
-    beacons: &BeaconDataset,
-    demand: &DemandDataset,
-    as_db: &AsDatabase,
-    carriers: &[CarrierGroundTruth],
-    dns: Option<&DnsSim>,
-    config: StudyConfig,
-) -> Study {
-    run_study_observed(
-        beacons,
-        demand,
-        as_db,
-        carriers,
-        dns,
-        config,
-        &Observer::disabled(),
-    )
-    .unwrap_or_else(|e| panic!("{e}; use cellspot::Pipeline to handle this error"))
 }
 
 #[cfg(test)]
@@ -740,23 +704,6 @@ mod tests {
             .expect("a BEACON/DEMAND ASN disagreement must be rejected");
         assert!(matches!(err, CellspotError::InconsistentDatasets(_)));
         assert!(Pipeline::new(&beacons, &demand).classify().is_err());
-    }
-
-    #[test]
-    fn deprecated_shim_still_runs() {
-        let wcfg = WorldConfig::mini();
-        let world = World::generate(wcfg);
-        let (beacons, demand) = generate_datasets(&world);
-        #[allow(deprecated)]
-        let study = run_study(
-            &beacons,
-            &demand,
-            &world.as_db,
-            &world.carriers,
-            None,
-            StudyConfig::default(),
-        );
-        assert!(study.classification.len() > 100);
     }
 
     #[test]

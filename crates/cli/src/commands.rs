@@ -5,7 +5,7 @@
 use asdb::{AsDatabase, CarrierGroundTruth};
 use cdnsim::{BeaconDataset, DemandDataset};
 use celldelta::{Delta, DeltaError, EpochCounters};
-use cellserve::{FrozenIndex, IpKey, QueryEngine};
+use cellserve::{Artifact, ArtifactFormat, IndexView, IpKey, QueryEngine, ServeError};
 use cellspot::{
     aggregate_by_as, identify_cellular_ases, threshold_sweep, validate_carrier, BlockIndex,
     CellspotError, Classification, FilterConfig, MixedAnalysis, Pipeline, WorldView, DEDICATED_CFD,
@@ -122,13 +122,14 @@ pub fn index_build(
     beacons: &BeaconDataset,
     demand: &DemandDataset,
     threshold: Option<f64>,
+    format: ArtifactFormat,
     obs: &cellobs::Observer,
 ) -> Result<(Vec<u8>, String), CellspotError> {
     let t = threshold.unwrap_or(DEFAULT_THRESHOLD);
     let index = BlockIndex::build(beacons, demand);
     let counters = EpochCounters::from_index(0, &index);
     let frozen = celldelta::classify_epoch(&counters, t);
-    let bytes = cellserve::to_bytes(&frozen);
+    let bytes = Artifact::encode(&frozen, format);
     let hash = cellserve::content_hash(&bytes);
     obs.counter("index.blocks").add(counters.len() as u64);
     obs.counter("index.ases").add(frozen.as_count() as u64);
@@ -141,10 +142,37 @@ pub fn index_build(
         frozen.as_count(),
         counters.len(),
         bytes.len(),
-        cellserve::ARTIFACT_VERSION,
+        format.version(),
         cellserve::hash_hex(hash),
     );
     Ok((bytes, summary))
+}
+
+/// `index migrate`: convert a sealed artifact between formats without
+/// reclassifying anything. The conversion is byte-deterministic — both
+/// encoders are canonical, so migrating the same input always yields the
+/// same output, and a v1→v2→v1 round trip reproduces the v1 bytes.
+/// Migrating to the format the artifact already has is an error (the
+/// output would be the input; copy the file instead).
+pub fn index_migrate(bytes: &[u8], to: ArtifactFormat) -> Result<(Vec<u8>, String), ServeError> {
+    let from = Artifact::sniff_format(bytes).ok_or_else(|| {
+        ServeError::Corrupt("unrecognized artifact (bad magic or unknown version)".into())
+    })?;
+    if from == to {
+        return Err(ServeError::Corrupt(format!(
+            "artifact is already {to}; nothing to migrate"
+        )));
+    }
+    let handle = Artifact::from_bytes(bytes)?;
+    let migrated = Artifact::encode(&handle.to_frozen(), to);
+    let summary = format!(
+        "migrated {from} ({} bytes, hash {}) -> {to} ({} bytes, hash {})\n",
+        bytes.len(),
+        cellserve::hash_hex(cellserve::content_hash(bytes)),
+        migrated.len(),
+        cellserve::hash_hex(cellserve::content_hash(&migrated)),
+    );
+    Ok((migrated, summary))
 }
 
 /// `delta build`: classify the given datasets at `epoch` and seal the
@@ -163,7 +191,12 @@ pub fn delta_build(
     let t = threshold.unwrap_or(DEFAULT_THRESHOLD);
     let index = BlockIndex::build(beacons, demand);
     let counters = EpochCounters::from_index(epoch, &index);
-    let target = cellserve::to_bytes(&celldelta::classify_epoch(&counters, t));
+    // Deltas chain within one format, so the freshly classified target
+    // is sealed in whatever format the supplied base already has.
+    let format = Artifact::sniff_format(base_bytes).ok_or_else(|| {
+        DeltaError::Artifact("unrecognized base artifact (bad magic or unknown version)".into())
+    })?;
+    let target = Artifact::encode(&celldelta::classify_epoch(&counters, t), format);
     let bytes = celldelta::build_delta(base_bytes, &target, base_epoch, epoch)?;
     let delta = Delta::from_bytes(&bytes)?;
     obs.counter("delta.ops").add(delta.op_count() as u64);
@@ -196,7 +229,9 @@ pub fn delta_apply(base_bytes: &[u8], delta_bytes: &[u8]) -> Result<(Vec<u8>, St
     Ok((patched, summary))
 }
 
-/// `lookup`: answer a batch of IPs against a loaded [`FrozenIndex`].
+/// `lookup`: answer a batch of IPs against any loaded artifact view —
+/// an owned [`cellserve::FrozenIndex`] or a zero-copy
+/// [`cellserve::ArtifactHandle`] straight off an mmap.
 ///
 /// Streams the result CSV (`ip,prefix,asn,class`, with `-` columns for
 /// misses, one row per query in input order) straight to `out` — the
@@ -204,8 +239,8 @@ pub fn delta_apply(base_bytes: &[u8], delta_bytes: &[u8]) -> Result<(Vec<u8>, St
 /// by the writer, not by memory. Returns the stderr summary line with
 /// the match rate and cache counters; an empty batch says so instead of
 /// reporting a fake 0% match rate.
-pub fn lookup_batch(
-    index: &FrozenIndex,
+pub fn lookup_batch<V: IndexView + ?Sized>(
+    index: &V,
     queries: &[IpKey],
     obs: &cellobs::Observer,
     out: &mut dyn std::io::Write,
@@ -433,9 +468,11 @@ mod tests {
     fn index_build_freezes_the_classification() {
         let (_, b, d) = setup();
         let obs = cellobs::Observer::disabled();
-        let (bytes, summary) = index_build(&b, &d, None, &obs).expect("consistent datasets");
+        let (bytes, summary) =
+            index_build(&b, &d, None, ArtifactFormat::V2, &obs).expect("consistent datasets");
         assert!(summary.contains("IPv4"), "{summary}");
-        let frozen = cellserve::from_bytes(&bytes).expect("sealed artifact loads");
+        assert!(summary.contains("format v2"), "{summary}");
+        let frozen = Artifact::from_bytes(&bytes).expect("sealed artifact loads");
         let (_, class) = Pipeline::new(&b, &d).classify().expect("default threshold");
         assert_eq!(frozen.len(), class.len());
         // Every classified block answers a lookup with its own AS, and
@@ -456,7 +493,8 @@ mod tests {
     fn index_build_reports_hash_and_counts() {
         let (_, b, d) = setup();
         let obs = cellobs::Observer::enabled();
-        let (bytes, summary) = index_build(&b, &d, None, &obs).expect("consistent datasets");
+        let (bytes, summary) =
+            index_build(&b, &d, None, ArtifactFormat::V2, &obs).expect("consistent datasets");
         let hash = cellserve::content_hash(&bytes);
         assert!(summary.contains(&cellserve::hash_hex(hash)), "{summary}");
         assert!(summary.contains("ASes"), "{summary}");
@@ -470,7 +508,7 @@ mod tests {
     fn delta_build_then_apply_matches_a_full_index_build() {
         let (_, b, d) = setup();
         let obs = cellobs::Observer::enabled();
-        let (base, _) = index_build(&b, &d, None, &obs).expect("base build");
+        let (base, _) = index_build(&b, &d, None, ArtifactFormat::V2, &obs).expect("base build");
         // A different threshold guarantees label churn between "epochs".
         let (delta, summary) =
             delta_build(&base, &b, &d, Some(0.95), 0, 1, &obs).expect("delta build");
@@ -478,7 +516,8 @@ mod tests {
         assert!(summary.contains("epoch 0 -> 1"), "{summary}");
 
         let (patched, apply_summary) = delta_apply(&base, &delta).expect("delta apply");
-        let (full, _) = index_build(&b, &d, Some(0.95), &obs).expect("full build");
+        let (full, _) =
+            index_build(&b, &d, Some(0.95), ArtifactFormat::V2, &obs).expect("full build");
         assert_eq!(patched, full, "apply(base, delta) == full rebuild");
         assert!(
             apply_summary.contains(&cellserve::hash_hex(cellserve::content_hash(&full))),
@@ -499,11 +538,34 @@ mod tests {
     }
 
     #[test]
+    fn index_migrate_is_deterministic_and_roundtrips() {
+        let (_, b, d) = setup();
+        let obs = cellobs::Observer::disabled();
+        let (v1, _) = index_build(&b, &d, None, ArtifactFormat::V1, &obs).expect("v1 build");
+        let (v2_direct, _) = index_build(&b, &d, None, ArtifactFormat::V2, &obs).expect("v2 build");
+
+        let (v2, summary) = index_migrate(&v1, ArtifactFormat::V2).expect("v1 -> v2");
+        assert!(summary.contains("migrated v1"), "{summary}");
+        assert_eq!(v2, v2_direct, "migration equals building v2 directly");
+        let (v2_again, _) = index_migrate(&v1, ArtifactFormat::V2).expect("repeat migrate");
+        assert_eq!(v2, v2_again, "byte-deterministic");
+
+        let (back, _) = index_migrate(&v2, ArtifactFormat::V1).expect("v2 -> v1");
+        assert_eq!(back, v1, "round trip reproduces the v1 bytes");
+
+        // Same-format migration is refused, as is garbage input.
+        assert!(index_migrate(&v2, ArtifactFormat::V2).is_err());
+        assert!(index_migrate(b"CELLJUNK", ArtifactFormat::V2).is_err());
+    }
+
+    #[test]
     fn lookup_batch_reports_rows_and_match_rate() {
         let (_, b, d) = setup();
         let obs = cellobs::Observer::disabled();
-        let (bytes, _) = index_build(&b, &d, None, &obs).expect("consistent datasets");
-        let frozen = cellserve::from_bytes(&bytes).expect("artifact loads");
+        let (bytes, _) =
+            index_build(&b, &d, None, ArtifactFormat::V2, &obs).expect("consistent datasets");
+        // The batch runs over the zero-copy handle, not a decoded copy.
+        let frozen = Artifact::from_bytes(&bytes).expect("artifact loads");
         let (_, class) = Pipeline::new(&b, &d).classify().expect("default threshold");
         let probe = class
             .iter()
@@ -536,8 +598,9 @@ mod tests {
     fn lookup_batch_with_no_queries_says_so() {
         let (_, b, d) = setup();
         let obs = cellobs::Observer::disabled();
-        let (bytes, _) = index_build(&b, &d, None, &obs).expect("consistent datasets");
-        let frozen = cellserve::from_bytes(&bytes).expect("artifact loads");
+        let (bytes, _) =
+            index_build(&b, &d, None, ArtifactFormat::V2, &obs).expect("consistent datasets");
+        let frozen = Artifact::from_bytes(&bytes).expect("artifact loads");
         let mut sink = Vec::new();
         let summary = lookup_batch(&frozen, &[], &obs, &mut sink).expect("vec write");
         assert_eq!(summary, "0 lookups\n", "no fabricated match rate");

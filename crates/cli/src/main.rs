@@ -526,30 +526,45 @@ fn stats(args: &[String]) -> CmdResult {
     Ok(())
 }
 
-/// `index build`: freeze the classification into a sealed serving
-/// artifact file.
+/// `index build` / `index migrate`: freeze the classification into a
+/// sealed serving artifact file, or convert an already-sealed artifact
+/// between formats without reclassifying.
 fn index(args: &[String]) -> CmdResult {
     match args.first().map(String::as_str) {
-        Some("build") => {}
-        Some(other) => {
-            return Err(CliError::Usage(format!(
-                "unknown index subcommand {other:?} (expected build)"
-            )))
-        }
-        None => {
-            return Err(CliError::Usage(
-                "missing index subcommand (expected build)".into(),
-            ))
-        }
+        Some("build") => index_build(&args[1..]),
+        Some("migrate") => index_migrate(&args[1..]),
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown index subcommand {other:?} (expected build or migrate)"
+        ))),
+        None => Err(CliError::Usage(
+            "missing index subcommand (expected build or migrate)".into(),
+        )),
     }
-    let args = &args[1..];
+}
+
+/// `--format v1|v2` style flag; `None` when absent so each command picks
+/// its own default (v2 everywhere today).
+fn parse_format(
+    args: &[String],
+    flag: &str,
+) -> Result<Option<cellserve::ArtifactFormat>, CliError> {
+    flag_value(args, flag)
+        .map(|v| {
+            cellserve::ArtifactFormat::parse(&v)
+                .ok_or_else(|| CliError::Usage(format!("bad {flag} {v:?} (expected v1 or v2)")))
+        })
+        .transpose()
+}
+
+fn index_build(args: &[String]) -> CmdResult {
     setup_threads(args)?;
     let (beacons, demand) = load_datasets(args)?;
     let threshold = parse_threshold(args)?;
+    let format = parse_format(args, "--format")?.unwrap_or(cellserve::ArtifactFormat::V2);
     let out = PathBuf::from(required(args, "--out")?);
     let metrics = parse_metrics(args)?;
     let obs = observer_for(&metrics);
-    let (bytes, summary) = commands::index_build(&beacons, &demand, threshold, &obs)?;
+    let (bytes, summary) = commands::index_build(&beacons, &demand, threshold, format, &obs)?;
     // Same crash-safe sequence the checkpoint store uses: temp file →
     // fsync → rename → parent-dir fsync. A serving artifact must never
     // be observable half-written.
@@ -558,6 +573,22 @@ fn index(args: &[String]) -> CmdResult {
     eprint!("{summary}");
     eprintln!("artifact → {}", out.display());
     write_metrics(&metrics, &obs)?;
+    Ok(())
+}
+
+fn index_migrate(args: &[String]) -> CmdResult {
+    let in_path = required(args, "--in")?;
+    let bytes = fs::read(&in_path).map_err(|e| CliError::Io(format!("{in_path}: {e}")))?;
+    let to = parse_format(args, "--to")?.unwrap_or(cellserve::ArtifactFormat::V2);
+    let out = PathBuf::from(required(args, "--out")?);
+    // A malformed or already-converted input is bad data (exit 4), the
+    // same contract as `lookup` on a corrupt artifact.
+    let (migrated, summary) = commands::index_migrate(&bytes, to)
+        .map_err(|e| CliError::Data(format!("{in_path}: {e}")))?;
+    cellstream::write_atomic_bytes(&out, &migrated)
+        .map_err(|e| CliError::Io(format!("{}: {e}", out.display())))?;
+    eprint!("{summary}");
+    eprintln!("artifact → {}", out.display());
     Ok(())
 }
 
@@ -677,7 +708,10 @@ impl DeltaEmitter {
     fn emit_epoch(&mut self, engine: &cellstream::IngestEngine) -> CmdResult {
         let epoch = u64::from(engine.epochs_done());
         let counters = celldelta::EpochCounters::from_engine(epoch, engine);
-        let target = cellserve::to_bytes(&self.classifier.classify(&counters));
+        let target = cellserve::Artifact::encode(
+            &self.classifier.classify(&counters),
+            cellserve::ArtifactFormat::V2,
+        );
         match self.live.take() {
             None => {
                 self.write_file("base.cellserv", &target)?;
@@ -716,14 +750,20 @@ impl DeltaEmitter {
 }
 
 /// `lookup`: batch longest-prefix-match queries against a sealed
-/// artifact. A corrupt or truncated artifact is bad data (exit 4), not
-/// an I/O failure.
+/// artifact. The artifact is opened through [`cellserve::Artifact`], so
+/// a v2 file is served zero-copy straight off an mmap while a v1 file
+/// decodes into the owned index — the batch below is generic over both.
+/// A corrupt or truncated artifact is bad data (exit 4), not an I/O
+/// failure.
 fn lookup(args: &[String]) -> CmdResult {
     setup_threads(args)?;
     let index_path = required(args, "--index")?;
-    let artifact = fs::read(&index_path).map_err(|e| CliError::Io(format!("{index_path}: {e}")))?;
-    let frozen = cellserve::from_bytes(&artifact)
-        .map_err(|e| CliError::Data(format!("{index_path}: {e}")))?;
+    let frozen = cellserve::Artifact::open(std::path::Path::new(&index_path)).map_err(
+        |e| match e {
+            cellserve::ServeError::Io(why) => CliError::Io(why),
+            other => CliError::Data(format!("{index_path}: {other}")),
+        },
+    )?;
     let ips_path = required(args, "--ips")?;
     let queries = io::parse_ip_list(&read(&ips_path)?)
         .map_err(|e| CliError::Data(format!("{ips_path}: {e}")))?;
@@ -978,7 +1018,10 @@ fn replay(args: &[String]) -> CmdResult {
         for e in 0..epochs {
             let frozen = celldelta::classify_epoch(&world.epoch_counters(e), threshold);
             universes.push(cellload::Universe::from_frozen(&frozen));
-            artifacts.push(cellserve::to_bytes(&frozen));
+            artifacts.push(cellserve::Artifact::encode(
+                &frozen,
+                cellserve::ArtifactFormat::V2,
+            ));
             arcs.push(Arc::new(frozen));
         }
     } else {
@@ -992,7 +1035,10 @@ fn replay(args: &[String]) -> CmdResult {
             .classify()?;
         let frozen = cellserve::FrozenIndex::from_classification(&class, None);
         universes.push(cellload::Universe::from_classification(&class));
-        artifacts.push(cellserve::to_bytes(&frozen));
+        artifacts.push(cellserve::Artifact::encode(
+            &frozen,
+            cellserve::ArtifactFormat::V2,
+        ));
         arcs.push(Arc::new(frozen));
     }
 
@@ -1042,7 +1088,7 @@ fn replay(args: &[String]) -> CmdResult {
                 workers,
                 ..cellserved::ServeConfig::default()
             };
-            let base = cellserve::from_bytes(&artifacts[0])
+            let base = cellserve::Artifact::decode(&artifacts[0])
                 .map_err(|e| CliError::Data(format!("base artifact: {e}")))?;
             let daemon = cellserved::Daemon::start_with_index(config, base, obs.clone())
                 .map_err(|e| served_error("in-process daemon", e))?;
@@ -1131,7 +1177,8 @@ fn usage(err: &str) -> ! {
            identify-as --beacons F --demand F --asdb F [--min-du X] [--min-hits N] [--out F]\n\
            validate    --beacons F --demand F --ground-truth F [--sweep]\n\
            stats       --beacons F --demand F --asdb F\n\
-           index build --beacons F --demand F [--threshold T] --out ARTIFACT\n\
+           index build --beacons F --demand F [--threshold T] [--format v1|v2] --out ARTIFACT\n\
+           index migrate --in ARTIFACT [--to v1|v2] --out ARTIFACT\n\
            delta build --base ARTIFACT --beacons F --demand F [--threshold T]\n\
                        [--base-epoch N] [--epoch N] --out DELTA\n\
            delta apply --base ARTIFACT --delta DELTA --out ARTIFACT\n\

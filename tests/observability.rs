@@ -265,43 +265,42 @@ fn disabled_observer_records_nothing() {
     assert!(snap.spans.is_empty());
 }
 
-/// The deprecated free-function entry points still work and agree with
-/// the builder they forward to.
+/// The builder entry points are bit-deterministic run to run — the
+/// property the removed `run_study`/`classify_datasets` shims used to
+/// cross-check against.
 #[test]
-#[allow(deprecated)]
-fn deprecated_shims_match_the_builder() {
+fn builder_runs_are_bit_deterministic() {
     let world = World::generate(WorldConfig::mini());
     let (beacons, demand) = cdnsim::generate_datasets(&world);
     let min_hits = world.config.scaled_min_beacon_hits();
     let cfg = StudyConfig::default().with_min_hits(min_hits);
 
-    let old = cellspotting::cellspot::run_study(
-        &beacons,
-        &demand,
-        &world.as_db,
-        &world.carriers,
-        None,
-        cfg.clone(),
-    );
-    let new = Pipeline::new(&beacons, &demand)
-        .as_db(&world.as_db)
-        .carriers(&world.carriers)
-        .study_config(cfg)
-        .run()
-        .expect("default study config is valid")
-        .into_study();
-    assert_eq!(old.classification.len(), new.classification.len());
-    assert_eq!(old.filter.table5_counts(), new.filter.table5_counts());
+    let study = |cfg: StudyConfig| {
+        Pipeline::new(&beacons, &demand)
+            .as_db(&world.as_db)
+            .carriers(&world.carriers)
+            .study_config(cfg)
+            .run()
+            .expect("default study config is valid")
+            .into_study()
+    };
+    let a = study(cfg.clone());
+    let b = study(cfg);
+    assert_eq!(a.classification.len(), b.classification.len());
+    assert_eq!(a.filter.table5_counts(), b.filter.table5_counts());
     assert_eq!(
-        old.view.global_cellular_pct().to_bits(),
-        new.view.global_cellular_pct().to_bits()
+        a.view.global_cellular_pct().to_bits(),
+        b.view.global_cellular_pct().to_bits()
     );
 
-    let (old_index, old_class) = cellspotting::cellspot::classify_datasets(&beacons, &demand, 0.5);
-    let (new_index, new_class) = Pipeline::new(&beacons, &demand)
-        .threshold(0.5)
-        .classify()
-        .expect("valid threshold");
-    assert_eq!(old_index.len(), new_index.len());
-    assert_eq!(old_class.len(), new_class.len());
+    let classify = || {
+        Pipeline::new(&beacons, &demand)
+            .threshold(0.5)
+            .classify()
+            .expect("valid threshold")
+    };
+    let (index1, class1) = classify();
+    let (index2, class2) = classify();
+    assert_eq!(index1.len(), index2.len());
+    assert_eq!(class1.len(), class2.len());
 }
