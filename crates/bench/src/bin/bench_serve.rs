@@ -21,6 +21,9 @@
 //! * `latency_ns` — engine-side p50/p99/p999 from the `serve.lookup.ns`
 //!   histogram (per-lookup samples, bucket upper bounds);
 //! * `batch_fill_p50` — how full coalesced batches ran;
+//! * `keepalive` — TCP connections opened, frames served on a reused
+//!   connection, and the resulting requests-per-connection ratio, so
+//!   connection churn regressions show up in the record;
 //! * `stats` — matched count plus the daemon-side lookup total, which
 //!   must equal the client-side query count (asserted every run).
 //!
@@ -159,6 +162,7 @@ fn main() {
         &ReplayConfig {
             clients,
             frame: batch,
+            ..ReplayConfig::default()
         },
         &obs,
         |_| Ok(()),
@@ -192,6 +196,16 @@ fn main() {
         .get("served.batch.fill")
         .and_then(|h| h.quantile(0.50))
         .unwrap_or(0);
+    let connections = snapshot
+        .counters
+        .get("served.tcp.connections")
+        .copied()
+        .unwrap_or(0);
+    let reuses = snapshot
+        .counters
+        .get("served.tcp.keepalive.reuses")
+        .copied()
+        .unwrap_or(0);
 
     let n = trace.total_queries() as f64;
     let lookup_rate = n / wall_secs.max(1e-9);
@@ -218,6 +232,15 @@ fn main() {
             "p999": quantile(0.999),
         },
         "batch_fill_p50": fill_p50,
+        "keepalive": {
+            "connections": connections,
+            "reuses": reuses,
+            "requests_per_conn": if connections > 0 {
+                requests as f64 / connections as f64
+            } else {
+                0.0
+            },
+        },
         "stats": {
             "matched": matched,
             "served_lookups": served,

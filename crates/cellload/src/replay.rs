@@ -20,13 +20,14 @@
 //! engine path records per-lookup latency via the engine's own
 //! `serve.lookup.ns`.
 
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::Instant;
 
 use cellobs::Observer;
 use cellserve::{IpKey, LookupMatch, MatchedPrefix, QueryEngine};
-use cellserved::{FramedClient, WireAnswer};
+use cellserved::{ClientPolicy, FramedClient, ServedError, WireAnswer};
 
 use crate::trace::Trace;
 
@@ -150,6 +151,13 @@ pub struct ReplayConfig {
     pub clients: usize,
     /// Queries per request frame.
     pub frame: usize,
+    /// Client resilience: timeouts, reconnect backoff, and the retry
+    /// budget both transports spend before a frame failure becomes
+    /// fatal. Retried frames re-send the whole batch (lookups are
+    /// idempotent), so the answer digest is transport-failure-proof:
+    /// a daemon restart mid-replay changes `replay.retries` and
+    /// `replay.reconnects`, never the digest.
+    pub policy: ClientPolicy,
 }
 
 impl Default for ReplayConfig {
@@ -157,6 +165,7 @@ impl Default for ReplayConfig {
         ReplayConfig {
             clients: 4,
             frame: 512,
+            policy: ClientPolicy::default(),
         }
     }
 }
@@ -277,6 +286,13 @@ where
 /// answers back.
 trait LoopClient {
     fn frame(&mut self, ips: &[IpKey]) -> Result<Vec<Answer>, ReplayError>;
+
+    /// `(retries, reconnects)` this client spent healing its transport;
+    /// the driver folds them into the `replay.retries` /
+    /// `replay.reconnects` counters.
+    fn resilience(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 struct TcpLoop(FramedClient);
@@ -285,19 +301,20 @@ impl LoopClient for TcpLoop {
     fn frame(&mut self, ips: &[IpKey]) -> Result<Vec<Answer>, ReplayError> {
         Ok(self.0.lookup(ips)?.iter().map(normalize_wire).collect())
     }
-}
 
-struct HttpLoop(SocketAddr);
-
-impl LoopClient for HttpLoop {
-    fn frame(&mut self, ips: &[IpKey]) -> Result<Vec<Answer>, ReplayError> {
-        http_bulk_lookup(self.0, ips)
+    fn resilience(&self) -> (u64, u64) {
+        (self.0.retries(), self.0.reconnects())
     }
 }
 
 /// Replay against a daemon's framed TCP port. `on_segment` runs before
 /// each segment's traffic (publish a delta, wait for the generation —
 /// whatever the harness needs); its failure aborts the replay.
+///
+/// Each worker's [`FramedClient`] is lazy and policy-bearing
+/// ([`ReplayConfig::policy`]): a daemon restart, a shed connection, or
+/// a per-connection request cap mid-replay heals by reconnect + whole-
+/// frame retry instead of failing the replay.
 ///
 /// # Errors
 /// [`ReplayError`] on connection, protocol, or hook failure.
@@ -311,13 +328,15 @@ pub fn replay_framed<H>(
 where
     H: FnMut(u64) -> Result<(), ReplayError>,
 {
-    run_closed_loop(trace, cfg, obs, "tcp", on_segment, &|| {
-        Ok(TcpLoop(FramedClient::connect(addr)?))
+    let policy = cfg.policy;
+    run_closed_loop(trace, cfg, obs, "tcp", on_segment, &move || {
+        Ok(TcpLoop(FramedClient::lazy(addr, policy)?))
     })
 }
 
 /// Replay against a daemon's HTTP endpoint via bulk `POST /lookup`
-/// (one connection per frame — the daemon closes after each request).
+/// over one keep-alive connection per worker, with the same
+/// reconnect/retry policy as the framed path ([`ReplayConfig::policy`]).
 ///
 /// # Errors
 /// [`ReplayError`] on connection, protocol, or hook failure.
@@ -331,7 +350,10 @@ pub fn replay_http<H>(
 where
     H: FnMut(u64) -> Result<(), ReplayError>,
 {
-    run_closed_loop(trace, cfg, obs, "http", on_segment, &|| Ok(HttpLoop(addr)))
+    let policy = cfg.policy;
+    run_closed_loop(trace, cfg, obs, "http", on_segment, &move || {
+        Ok(HttpLoop::new(addr, policy))
+    })
 }
 
 /// The shared closed-loop driver: split each segment across `clients`
@@ -376,14 +398,27 @@ where
                 .map(|slice| {
                     s.spawn(move || {
                         let mut client = connect()?;
-                        let mut answers = Vec::with_capacity(slice.len());
-                        for ips in slice.chunks(frame) {
-                            let sent = Instant::now();
-                            answers.extend(client.frame(ips)?);
-                            obs.histogram("replay.frame.ns")
-                                .record(sent.elapsed().as_nanos() as u64);
+                        let run = (|| {
+                            let mut answers = Vec::with_capacity(slice.len());
+                            for ips in slice.chunks(frame) {
+                                let sent = Instant::now();
+                                answers.extend(client.frame(ips)?);
+                                obs.histogram("replay.frame.ns")
+                                    .record(sent.elapsed().as_nanos() as u64);
+                            }
+                            Ok(answers)
+                        })();
+                        // Resilience accounting survives even a failed
+                        // slice: the counters say how hard the client
+                        // worked before giving up.
+                        let (retries, reconnects) = client.resilience();
+                        if retries > 0 {
+                            obs.counter("replay.retries").add(retries);
                         }
-                        Ok(answers)
+                        if reconnects > 0 {
+                            obs.counter("replay.reconnects").add(reconnects);
+                        }
+                        run
                     })
                 })
                 .collect();
@@ -430,32 +465,198 @@ fn protocol(why: impl Into<String>) -> ReplayError {
     ReplayError::Protocol(why.into())
 }
 
-/// Issue one bulk `POST /lookup` and parse the CSV answer back into
-/// normalized tuples.
-fn http_bulk_lookup(addr: SocketAddr, ips: &[IpKey]) -> Result<Vec<Answer>, ReplayError> {
-    use std::io::{Read, Write};
-    let mut body = String::with_capacity(ips.len() * 16);
-    for ip in ips {
-        body.push_str(&ip.to_string());
-        body.push('\n');
+/// One parsed HTTP response: status code, whether the server asked to
+/// close the connection, and the body.
+struct HttpResponse {
+    status: u16,
+    close: bool,
+    body: String,
+}
+
+/// Closed-loop HTTP worker: one keep-alive connection carrying bulk
+/// `POST /lookup` requests back-to-back, with the same
+/// reconnect-with-backoff + whole-frame retry semantics as
+/// [`FramedClient`]. Transport failures and 503 sheds are retryable
+/// (the daemon may be mid-restart or draining a connection at its
+/// request cap); any other non-200 is a fatal protocol error.
+struct HttpLoop {
+    addr: SocketAddr,
+    policy: ClientPolicy,
+    conn: Option<BufReader<TcpStream>>,
+    connected_once: bool,
+    retries: u64,
+    reconnects: u64,
+}
+
+impl HttpLoop {
+    fn new(addr: SocketAddr, policy: ClientPolicy) -> HttpLoop {
+        HttpLoop {
+            addr,
+            policy,
+            conn: None,
+            connected_once: false,
+            retries: 0,
+            reconnects: 0,
+        }
     }
-    let mut stream = TcpStream::connect(addr)?;
-    write!(
-        stream,
-        "POST /lookup HTTP/1.1\r\nHost: replay\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    )?;
-    stream.flush()?;
-    let mut response = String::new();
-    stream.read_to_string(&mut response)?;
-    let (head, payload) = response
-        .split_once("\r\n\r\n")
-        .ok_or_else(|| protocol("no header/body separator in HTTP response"))?;
-    let status_line = head.lines().next().unwrap_or("");
-    if !status_line.contains(" 200 ") {
-        return Err(protocol(format!("HTTP status: {status_line}")));
+
+    fn ensure_connected(&mut self) -> std::io::Result<()> {
+        if self.conn.is_some() {
+            return Ok(());
+        }
+        let stream = if self.policy.connect_timeout.is_zero() {
+            TcpStream::connect(self.addr)?
+        } else {
+            TcpStream::connect_timeout(&self.addr, self.policy.connect_timeout)?
+        };
+        stream.set_nodelay(true)?;
+        if !self.policy.io_timeout.is_zero() {
+            stream.set_read_timeout(Some(self.policy.io_timeout))?;
+            stream.set_write_timeout(Some(self.policy.io_timeout))?;
+        }
+        if self.connected_once {
+            self.reconnects += 1;
+        }
+        self.connected_once = true;
+        self.conn = Some(BufReader::new(stream));
+        Ok(())
     }
-    let mut answers = Vec::with_capacity(ips.len());
+
+    /// One request/response over the current (or a fresh) connection.
+    fn try_frame(&mut self, body: &str, expected: usize) -> Result<Vec<Answer>, FrameTry> {
+        self.ensure_connected().map_err(FrameTry::Transport)?;
+        let conn = self.conn.as_mut().expect("connected above");
+        write!(
+            conn.get_mut(),
+            "POST /lookup HTTP/1.1\r\nHost: replay\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .map_err(FrameTry::Transport)?;
+        let response = read_http_response(conn).map_err(FrameTry::Transport)?;
+        if response.close {
+            // The server said this was the connection's last response
+            // (request cap, drain): honor it before the next frame.
+            self.conn = None;
+        }
+        match response.status {
+            200 => {
+                let answers = parse_csv_answers(&response.body).map_err(FrameTry::Fatal)?;
+                if answers.len() != expected {
+                    return Err(FrameTry::Fatal(protocol(format!(
+                        "{} answers for {expected} queries",
+                        answers.len()
+                    ))));
+                }
+                Ok(answers)
+            }
+            // Shed or draining — the retryable server-side conditions.
+            503 => Err(FrameTry::Unavailable),
+            other => Err(FrameTry::Fatal(protocol(format!(
+                "HTTP status {other}"
+            )))),
+        }
+    }
+}
+
+/// One attempt's failure, split by what a retry could fix.
+enum FrameTry {
+    /// Socket-level failure: reconnect and retry.
+    Transport(std::io::Error),
+    /// The daemon answered 503: back off and retry.
+    Unavailable,
+    /// Malformed response: retrying will not help.
+    Fatal(ReplayError),
+}
+
+impl LoopClient for HttpLoop {
+    fn frame(&mut self, ips: &[IpKey]) -> Result<Vec<Answer>, ReplayError> {
+        let mut body = String::with_capacity(ips.len() * 16);
+        for ip in ips {
+            body.push_str(&ip.to_string());
+            body.push('\n');
+        }
+        let max_attempts = self.policy.max_attempts.max(1);
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let last = match self.try_frame(&body, ips.len()) {
+                Ok(answers) => return Ok(answers),
+                Err(FrameTry::Fatal(e)) => return Err(e),
+                Err(FrameTry::Transport(e)) => ServedError::Io(e),
+                Err(FrameTry::Unavailable) => ServedError::Overloaded,
+            };
+            self.conn = None;
+            if attempts >= max_attempts {
+                return Err(ReplayError::Served(ServedError::GaveUp {
+                    attempts,
+                    last: Box::new(last),
+                }));
+            }
+            self.retries += 1;
+            std::thread::sleep(self.policy.backoff(attempts));
+        }
+    }
+
+    fn resilience(&self) -> (u64, u64) {
+        (self.retries, self.reconnects)
+    }
+}
+
+/// Read one HTTP/1.1 response (status line, headers, `Content-Length`
+/// body) off a keep-alive connection, leaving the reader positioned at
+/// the next response.
+fn read_http_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<HttpResponse> {
+    let bad = |why: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, why.to_string());
+    let mut status_line = String::new();
+    if reader.read_line(&mut status_line)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed before the response status line",
+        ));
+    }
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("unparseable HTTP status line"))?;
+    let mut content_length: Option<usize> = None;
+    let mut close = false;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed inside response headers",
+            ));
+        }
+        let header = header.trim();
+        if header.is_empty() {
+            break;
+        }
+        let lower = header.to_ascii_lowercase();
+        if let Some(v) = lower.strip_prefix("content-length:") {
+            content_length = Some(
+                v.trim()
+                    .parse()
+                    .map_err(|_| bad("unparseable Content-Length"))?,
+            );
+        } else if let Some(v) = lower.strip_prefix("connection:") {
+            close = v.trim() == "close";
+        }
+    }
+    let len = content_length.ok_or_else(|| bad("response without Content-Length"))?;
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    Ok(HttpResponse {
+        status,
+        close,
+        body: String::from_utf8_lossy(&body).into_owned(),
+    })
+}
+
+/// Parse a bulk-lookup CSV body back into normalized tuples.
+fn parse_csv_answers(payload: &str) -> Result<Vec<Answer>, ReplayError> {
+    let mut answers = Vec::new();
     for line in payload.lines().skip(1) {
         // Rows are `ip,prefix,asn,class`, misses `ip,-,-,-`.
         let mut fields = line.splitn(4, ',');

@@ -84,6 +84,7 @@ fn single_artifact_presets_answer_identically_on_all_three_targets() {
         let cfg = ReplayConfig {
             clients: 3,
             frame: 128,
+            ..ReplayConfig::default()
         };
         let tcp = replay_framed(
             daemon.tcp_addr().expect("tcp endpoint"),
@@ -144,6 +145,7 @@ fn daemon_counters_are_monotone_across_replays() {
     let cfg = ReplayConfig {
         clients: 2,
         frame: 128,
+        ..ReplayConfig::default()
     };
 
     replay_framed(addr, &trace, &cfg, &obs, |_| Ok(())).expect("first replay");
@@ -224,6 +226,7 @@ fn churn_replay_across_delta_watch_hot_patch_matches_cold_engine_replay() {
         &ReplayConfig {
             clients: 3,
             frame: 96,
+            ..ReplayConfig::default()
         },
         &obs,
         |epoch| {

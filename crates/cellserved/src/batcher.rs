@@ -66,9 +66,32 @@ impl BatchQueue {
 
     /// Enqueue one query, blocking while the queue is at capacity.
     pub fn push(&self, p: Pending) -> Result<(), ServedError> {
+        self.push_wait(p, None)
+    }
+
+    /// Enqueue one query, waiting at most `wait` for capacity — the
+    /// admission-control variant. A queue still full past the deadline
+    /// means the daemon cannot keep up; the caller sheds the request
+    /// with [`ServedError::Overloaded`] (HTTP 503) instead of letting
+    /// slow consumers pile producers up behind the queue forever.
+    /// `None` waits indefinitely (the pre-hardening behavior).
+    pub fn push_wait(&self, p: Pending, wait: Option<Duration>) -> Result<(), ServedError> {
+        let deadline = wait.map(|w| Instant::now() + w);
         let mut state = self.state.lock().expect("batch queue poisoned");
         while state.pending.len() >= self.capacity && !state.shutdown {
-            state = self.not_full.wait(state).expect("batch queue poisoned");
+            state = match deadline {
+                None => self.not_full.wait(state).expect("batch queue poisoned"),
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(ServedError::Overloaded);
+                    }
+                    self.not_full
+                        .wait_timeout(state, deadline - now)
+                        .expect("batch queue poisoned")
+                        .0
+                }
+            };
         }
         if state.shutdown {
             return Err(ServedError::ShuttingDown);
@@ -178,6 +201,21 @@ mod tests {
         assert_eq!(q.next_batch(1024).expect("drain batch").len(), 2);
         // …and only then does the queue report exhaustion.
         assert!(q.next_batch(1024).is_none());
+    }
+
+    #[test]
+    fn bounded_push_sheds_when_the_queue_stays_full() {
+        let q = BatchQueue::new(1, Duration::from_millis(1));
+        let (tx, _rx) = mpsc::channel();
+        q.push(pending(1, 0, &tx)).expect("queue open");
+        assert!(matches!(
+            q.push_wait(pending(2, 1, &tx), Some(Duration::from_millis(10))),
+            Err(ServedError::Overloaded)
+        ));
+        // Freeing a slot lets the next bounded push through.
+        assert_eq!(q.next_batch(1).expect("drain").len(), 1);
+        q.push_wait(pending(3, 2, &tx), Some(Duration::from_millis(10)))
+            .expect("space freed");
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! The daemon itself: listeners, batch workers, reload watcher, and the
 //! shutdown choreography that drains them in order.
 
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
@@ -13,6 +14,7 @@ use cellobs::{ObsSnapshot, Observer};
 use cellserve::{Artifact, FrozenIndex, IpKey, LookupMatch, QueryEngine, QUERY_CHUNK};
 
 use crate::batcher::{BatchQueue, Pending};
+use crate::conns::{bind_reuseaddr, ConnTracker};
 use crate::error::ServedError;
 use crate::generation::GenerationStore;
 use crate::reload;
@@ -42,6 +44,26 @@ pub struct ServeConfig {
     pub delta_watch: Option<PathBuf>,
     /// Poll interval for the reload and delta watchers.
     pub reload_poll: Duration,
+    /// Admission budget: live connections across both listeners. A
+    /// connection beyond the budget is shed immediately (HTTP 503 /
+    /// framed close) and counted in `served.conns.rejected`. 0 means
+    /// unlimited (the pre-hardening behavior).
+    pub max_conns: usize,
+    /// Per-socket read/write timeout. A peer that stalls a read or
+    /// write past this — a slow-loris header dripper, a dead client
+    /// mid-body, a receiver that never drains its response — is shed
+    /// (`served.conns.rejected`). Also bounds how long an idle
+    /// keep-alive connection is held, and how long a handler waits for
+    /// batch-queue capacity before answering 503.
+    /// [`Duration::ZERO`] disables every per-socket deadline.
+    pub io_timeout: Duration,
+    /// Requests served on one connection before the daemon closes it
+    /// (HTTP keep-alive and framed TCP alike) — bounds how long a
+    /// single client can pin a handler thread. 0 means unlimited.
+    pub max_requests_per_conn: usize,
+    /// How long shutdown waits for in-flight handlers to finish after
+    /// half-closing their sockets, before force-closing the stragglers.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -55,6 +77,10 @@ impl Default for ServeConfig {
             reload_watch: false,
             delta_watch: None,
             reload_poll: Duration::from_millis(250),
+            max_conns: 1024,
+            io_timeout: Duration::from_secs(10),
+            max_requests_per_conn: 4096,
+            drain_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -64,6 +90,23 @@ pub(crate) struct Ctx {
     pub store: Arc<GenerationStore>,
     pub queue: Arc<BatchQueue>,
     pub obs: Observer,
+    pub conns: Arc<ConnTracker>,
+    /// See [`ServeConfig::io_timeout`]; `ZERO` = disabled.
+    pub io_timeout: Duration,
+    /// See [`ServeConfig::max_requests_per_conn`]; 0 = unlimited.
+    pub max_requests_per_conn: usize,
+}
+
+impl Ctx {
+    /// The batch-queue admission wait: the socket timeout, or unbounded
+    /// when timeouts are disabled.
+    pub fn queue_wait(&self) -> Option<Duration> {
+        if self.io_timeout.is_zero() {
+            None
+        } else {
+            Some(self.io_timeout)
+        }
+    }
 }
 
 /// Push `ips` through the shared batcher and reassemble the answers in
@@ -78,13 +121,21 @@ pub(crate) fn lookup_via_batcher(
         return Ok(Vec::new());
     }
     let (tx, rx) = mpsc::channel();
+    let wait = ctx.queue_wait();
     for (slot, ip) in ips.into_iter().enumerate() {
-        ctx.queue.push(Pending {
-            ip,
-            slot,
-            tx: tx.clone(),
-            enqueued: Instant::now(),
-        })?;
+        // Bounded admission: a queue full past the wait sheds this
+        // request (503) instead of parking the handler indefinitely.
+        // Queries already pushed are answered by the workers and the
+        // answers discarded with the dropped receiver.
+        ctx.queue.push_wait(
+            Pending {
+                ip,
+                slot,
+                tx: tx.clone(),
+                enqueued: Instant::now(),
+            },
+            wait,
+        )?;
     }
     drop(tx);
     let mut out: Vec<Option<LookupMatch>> = vec![None; n];
@@ -115,6 +166,8 @@ pub struct Daemon {
     http_addr: Option<SocketAddr>,
     tcp_addr: Option<SocketAddr>,
     artifact_path: Option<PathBuf>,
+    conns: Arc<ConnTracker>,
+    drain_timeout: Duration,
 }
 
 impl Daemon {
@@ -163,10 +216,14 @@ impl Daemon {
         }
         let store = Arc::new(store);
         let queue = Arc::new(BatchQueue::new(config.queue_depth, config.max_linger));
+        let conns = ConnTracker::new(config.max_conns, obs.clone());
         let ctx = Arc::new(Ctx {
             store: Arc::clone(&store),
             queue: Arc::clone(&queue),
             obs: obs.clone(),
+            conns: Arc::clone(&conns),
+            io_timeout: config.io_timeout,
+            max_requests_per_conn: config.max_requests_per_conn,
         });
         let shutdown = Arc::new(AtomicBool::new(false));
         let workers = config.workers.max(1);
@@ -246,6 +303,8 @@ impl Daemon {
             http_addr,
             tcp_addr,
             artifact_path,
+            conns,
+            drain_timeout: config.drain_timeout,
         })
     }
 
@@ -256,7 +315,7 @@ impl Daemon {
         shutdown: &Arc<AtomicBool>,
         threads: &mut Vec<JoinHandle<()>>,
     ) -> Result<SocketAddr, ServedError> {
-        let listener = TcpListener::bind(spec)?;
+        let listener = bind_reuseaddr(spec)?;
         let addr = listener.local_addr()?;
         let ctx = Arc::clone(ctx);
         let shutdown = Arc::clone(shutdown);
@@ -273,15 +332,34 @@ impl Daemon {
                             break;
                         }
                         let Ok(stream) = conn else { continue };
+                        // Per-socket deadlines before the first byte is
+                        // read: a stalled peer can pin its handler for
+                        // at most one timeout per read/write.
+                        if !ctx.io_timeout.is_zero() {
+                            let _ = stream.set_read_timeout(Some(ctx.io_timeout));
+                            let _ = stream.set_write_timeout(Some(ctx.io_timeout));
+                        }
+                        // Admission: over-budget connections are shed
+                        // here, on the accept thread, so no handler
+                        // thread is ever spawned for them.
+                        let Some(guard) = ctx.conns.try_admit(&stream) else {
+                            ctx.obs.counter("served.conns.rejected").inc();
+                            shed(endpoint, stream);
+                            continue;
+                        };
                         let ctx = Arc::clone(&ctx);
-                        // Handlers are detached: they finish their one
-                        // connection on their own; accepted queries are still
-                        // drained by the workers at shutdown.
+                        // Handlers run detached but tracked: the guard
+                        // registers the socket with the ConnTracker, so
+                        // shutdown can half-close it and wait for the
+                        // handler to finish before snapshotting.
                         let _ = std::thread::Builder::new()
                             .name("served-conn".into())
-                            .spawn(move || match endpoint {
-                                Endpoint::Http => crate::http::handle(stream, &ctx),
-                                Endpoint::Tcp => crate::tcp::handle(stream, &ctx),
+                            .spawn(move || {
+                                match endpoint {
+                                    Endpoint::Http => crate::http::handle(stream, &ctx),
+                                    Endpoint::Tcp => crate::tcp::handle(stream, &ctx),
+                                }
+                                drop(guard);
                             });
                     }
                 })?,
@@ -328,15 +406,31 @@ impl Daemon {
         self.store.try_apply_delta_bytes(delta_bytes)
     }
 
-    /// Graceful shutdown: stop accepting, drain every queued query,
-    /// join all threads, refresh the latency-quantile gauges, and hand
-    /// back the final metrics snapshot.
+    /// Graceful shutdown: stop accepting, drain in-flight connection
+    /// handlers, drain every queued query, join all threads, refresh
+    /// the latency-quantile gauges, and hand back the final metrics
+    /// snapshot. The final snapshot cannot race in-flight responses:
+    /// handlers are tracked and drained (bounded by
+    /// [`ServeConfig::drain_timeout`]) before it is taken.
     pub fn shutdown(mut self) -> ObsSnapshot {
         self.shutdown.store(true, Ordering::SeqCst);
         // Accept loops block in `accept`; a throwaway connection makes
         // each one re-check the flag and exit.
         for addr in [self.http_addr, self.tcp_addr].into_iter().flatten() {
             let _ = TcpStream::connect(addr);
+        }
+        // Half-close the read side of every live connection: blocked
+        // and idle reads wake with EOF, while in-flight responses still
+        // flow out the intact write side. Then wait (bounded) for the
+        // handlers to finish; any straggler past the window is
+        // force-closed rather than allowed to race the snapshot.
+        self.conns.close_reads();
+        if !self.conns.drain(self.drain_timeout) {
+            self.obs
+                .counter("served.conns.aborted")
+                .add(self.conns.active() as u64);
+            self.conns.close_all();
+            let _ = self.conns.drain(Duration::from_millis(250));
         }
         self.queue.shutdown();
         for t in self.threads.drain(..) {
@@ -345,6 +439,25 @@ impl Daemon {
         crate::refresh_latency_gauges(&self.obs);
         self.obs.snapshot()
     }
+}
+
+/// Turn away a connection that failed admission, without spawning a
+/// thread for it: HTTP peers get a best-effort `503` with
+/// `Connection: close` (small enough to fit the socket buffer, so this
+/// cannot block the accept loop past its write timeout), framed peers
+/// see an immediate close — the protocol has no error frame, and the
+/// resilient [`crate::FramedClient`] treats the close as retryable.
+fn shed(endpoint: Endpoint, stream: TcpStream) {
+    if let Endpoint::Http = endpoint {
+        let body = "daemon at connection capacity\n";
+        let mut stream = stream;
+        let _ = write!(
+            stream,
+            "HTTP/1.1 503 Service Unavailable\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nRetry-After: 1\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+    }
+    // Dropping the stream closes it for both endpoints.
 }
 
 fn worker_loop(ctx: &Ctx) {

@@ -21,6 +21,17 @@ pub enum ServedError {
     Protocol(String),
     /// The daemon is shutting down and no longer accepts new queries.
     ShuttingDown,
+    /// The daemon shed this request to protect itself: the connection
+    /// budget or the batch queue stayed full past the admission wait.
+    Overloaded,
+    /// A [`FramedClient`](crate::FramedClient) exhausted its retry
+    /// policy; `last` is the error from the final attempt.
+    GaveUp {
+        /// Lookup attempts made (including the first).
+        attempts: u32,
+        /// The failure that ended the final attempt.
+        last: Box<ServedError>,
+    },
     /// The daemon configuration is inconsistent (e.g. `reload_watch`
     /// without an artifact path to watch).
     Config(String),
@@ -34,6 +45,10 @@ impl fmt::Display for ServedError {
             ServedError::Delta(e) => write!(f, "delta: {e}"),
             ServedError::Protocol(why) => write!(f, "protocol: {why}"),
             ServedError::ShuttingDown => f.write_str("daemon is shutting down"),
+            ServedError::Overloaded => f.write_str("daemon is overloaded; request shed"),
+            ServedError::GaveUp { attempts, last } => {
+                write!(f, "gave up after {attempts} attempt(s): {last}")
+            }
             ServedError::Config(why) => write!(f, "config: {why}"),
         }
     }
@@ -45,6 +60,7 @@ impl std::error::Error for ServedError {
             ServedError::Io(e) => Some(e),
             ServedError::Artifact(e) => Some(e),
             ServedError::Delta(e) => Some(e),
+            ServedError::GaveUp { last, .. } => Some(last.as_ref()),
             _ => None,
         }
     }
@@ -90,5 +106,13 @@ mod tests {
         .to_string()
         .contains("stale"));
         assert!(ServedError::Config("x".into()).to_string().contains("x"));
+        assert!(ServedError::Overloaded.to_string().contains("overloaded"));
+        let gave_up = ServedError::GaveUp {
+            attempts: 3,
+            last: Box::new(ServedError::Protocol("reset".into())),
+        };
+        assert!(gave_up.to_string().contains('3'));
+        assert!(gave_up.to_string().contains("reset"));
+        assert!(std::error::Error::source(&gave_up).is_some());
     }
 }

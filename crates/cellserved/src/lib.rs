@@ -23,15 +23,28 @@
 //!    generation with sealed [`celldelta`] deltas that chain on it
 //!    (base content hash matches, epoch advances); wrong-base, stale,
 //!    or corrupt deltas are rejected with the old generation untouched.
-//! 4. **Shutdown.** [`Daemon::shutdown`] stops accepting, drains every
-//!    queued query, joins all threads, refreshes the latency-quantile
-//!    gauges, and returns the final metrics snapshot.
+//! 4. **Hardening.** Both listeners share one admission budget
+//!    ([`ServeConfig::max_conns`]) and per-socket deadlines
+//!    ([`ServeConfig::io_timeout`]), so scanners and slow-loris peers
+//!    are shed (`served.conns.rejected`, HTTP 503) instead of pinning
+//!    handler threads. HTTP speaks keep-alive; the framed protocol
+//!    pipelines; both cap requests per connection
+//!    ([`ServeConfig::max_requests_per_conn`]) and close idle peers.
+//!    On the client side, [`FramedClient`] carries a [`ClientPolicy`]
+//!    — timeouts, reconnect-with-backoff, idempotent whole-batch
+//!    retry — so a daemon restart heals transparently mid-replay.
+//! 5. **Shutdown.** [`Daemon::shutdown`] stops accepting, half-closes
+//!    and drains live connections (bounded by
+//!    [`ServeConfig::drain_timeout`]), drains every queued query, joins
+//!    all threads, refreshes the latency-quantile gauges, and returns
+//!    the final metrics snapshot.
 //!
 //! Everything is std-only: threads, `Mutex`/`Condvar` batching, and
 //! blocking sockets — no async runtime, in keeping with the workspace's
 //! dependency-light rule.
 
 mod batcher;
+mod conns;
 mod daemon;
 mod error;
 mod generation;
@@ -43,7 +56,7 @@ mod tcp;
 pub use daemon::{Daemon, ServeConfig};
 pub use error::ServedError;
 pub use generation::{Generation, GenerationStore};
-pub use proto::{FramedClient, WireAnswer, MAX_FRAME};
+pub use proto::{ClientPolicy, FramedClient, WireAnswer, MAX_FRAME};
 
 /// For every histogram the observer holds, set `<name>.p50`,
 /// `<name>.p99`, and `<name>.p999` gauges from its current

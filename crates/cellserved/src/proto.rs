@@ -26,7 +26,8 @@
 //! rejected before allocation on both sides.
 
 use std::io::{Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use cellserve::{AsClass, IpKey, LookupMatch, MatchedPrefix};
 
@@ -232,25 +233,188 @@ pub struct WireAnswer {
     pub class: AsClass,
 }
 
-/// Blocking client for the framed TCP protocol. One instance per
-/// connection; requests are serialized in call order.
+/// Retry/timeout policy for a [`FramedClient`].
+///
+/// The client treats transport failures — connect refused, socket
+/// timeout, the server closing the connection (restart, per-connection
+/// request cap, shed) — as retryable: it reconnects with exponential
+/// backoff and re-sends the *whole* lookup batch. Lookups are
+/// idempotent reads, so a retried batch returns byte-identical answers
+/// and replay digests are unaffected. Protocol violations (undecodable
+/// frames, wrong answer counts) are never retried: a server speaking
+/// garbage will speak garbage again.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientPolicy {
+    /// Deadline for establishing a connection; `ZERO` blocks
+    /// indefinitely (the OS default).
+    pub connect_timeout: Duration,
+    /// Per-socket read/write deadline once connected; `ZERO` disables.
+    pub io_timeout: Duration,
+    /// Total lookup attempts (first try included) before
+    /// [`ServedError::GaveUp`]. 0 behaves like 1.
+    pub max_attempts: u32,
+    /// Sleep before the first retry; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Cap on the doubled backoff sleep.
+    pub backoff_max: Duration,
+}
+
+impl Default for ClientPolicy {
+    fn default() -> Self {
+        ClientPolicy {
+            connect_timeout: Duration::from_secs(5),
+            io_timeout: Duration::from_secs(10),
+            max_attempts: 4,
+            backoff_base: Duration::from_millis(50),
+            backoff_max: Duration::from_secs(2),
+        }
+    }
+}
+
+impl ClientPolicy {
+    /// The sleep before retry number `attempt` (1-based):
+    /// `backoff_base × 2^(attempt-1)`, capped at `backoff_max`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.saturating_sub(1).min(16);
+        self.backoff_base
+            .saturating_mul(factor)
+            .min(self.backoff_max)
+    }
+}
+
+/// Blocking client for the framed TCP protocol, with a reconnect/retry
+/// policy (see [`ClientPolicy`]). One instance serializes its requests
+/// in call order; under the hood it may span several TCP connections as
+/// the server restarts, sheds, or rotates connections.
 pub struct FramedClient {
-    stream: TcpStream,
+    addr: SocketAddr,
+    policy: ClientPolicy,
+    stream: Option<TcpStream>,
+    connected_once: bool,
+    retries: u64,
+    reconnects: u64,
 }
 
 impl FramedClient {
-    /// Connect to a daemon's TCP listener.
+    /// Connect to a daemon's TCP listener with the default policy.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<FramedClient> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, ClientPolicy::default())
+    }
+
+    /// Connect eagerly with an explicit policy: the first connection is
+    /// established (or fails) here, so "daemon is down right now" is
+    /// reported early instead of burning the retry budget.
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        policy: ClientPolicy,
+    ) -> std::io::Result<FramedClient> {
+        let mut client = Self::lazy(addr, policy)?;
+        client.ensure_connected()?;
+        Ok(client)
+    }
+
+    /// Build a client without connecting; the first [`lookup`]
+    /// (FramedClient::lookup) connects (with the full retry budget).
+    /// Use this when the daemon may not be up yet — a replay driver
+    /// started alongside a daemon, a supervisor racing a restart.
+    pub fn lazy<A: ToSocketAddrs>(addr: A, policy: ClientPolicy) -> std::io::Result<FramedClient> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "address resolved to nothing")
+        })?;
+        Ok(FramedClient {
+            addr,
+            policy,
+            stream: None,
+            connected_once: false,
+            retries: 0,
+            reconnects: 0,
+        })
+    }
+
+    /// The client's policy.
+    pub fn policy(&self) -> ClientPolicy {
+        self.policy
+    }
+
+    /// Retried lookup attempts so far (each preceded by a backoff
+    /// sleep and a fresh connection).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Connections established after the first — how often the client
+    /// healed a broken transport.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    fn ensure_connected(&mut self) -> std::io::Result<()> {
+        if self.stream.is_some() {
+            return Ok(());
+        }
+        let stream = if self.policy.connect_timeout.is_zero() {
+            TcpStream::connect(self.addr)?
+        } else {
+            TcpStream::connect_timeout(&self.addr, self.policy.connect_timeout)?
+        };
         stream.set_nodelay(true)?;
-        Ok(FramedClient { stream })
+        if !self.policy.io_timeout.is_zero() {
+            stream.set_read_timeout(Some(self.policy.io_timeout))?;
+            stream.set_write_timeout(Some(self.policy.io_timeout))?;
+        }
+        if self.connected_once {
+            self.reconnects += 1;
+        }
+        self.connected_once = true;
+        self.stream = Some(stream);
+        Ok(())
     }
 
     /// Look up a batch of addresses; answers come back in query order.
+    ///
+    /// Transport failures are retried per the policy — reconnect,
+    /// re-send the whole batch — so a daemon restart mid-replay heals
+    /// transparently. When the budget is exhausted the typed
+    /// [`ServedError::GaveUp`] reports the attempt count and the final
+    /// failure; protocol violations fail immediately.
     pub fn lookup(&mut self, ips: &[IpKey]) -> Result<Vec<Option<WireAnswer>>, ServedError> {
-        write_frame(&mut self.stream, &encode_queries(ips))?;
-        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
-            ServedError::Protocol("server closed the connection before answering".into())
+        let max_attempts = self.policy.max_attempts.max(1);
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match self.try_lookup(ips) {
+                Ok(answers) => return Ok(answers),
+                Err(e) if !retryable(&e) => return Err(e),
+                Err(e) if attempts >= max_attempts => {
+                    return Err(ServedError::GaveUp {
+                        attempts,
+                        last: Box::new(e),
+                    })
+                }
+                Err(_) => {
+                    // Drop the (possibly poisoned) connection and try
+                    // again from a clean slate after the backoff.
+                    self.stream = None;
+                    self.retries += 1;
+                    std::thread::sleep(self.policy.backoff(attempts));
+                }
+            }
+        }
+    }
+
+    /// One attempt over the current (or a fresh) connection.
+    fn try_lookup(&mut self, ips: &[IpKey]) -> Result<Vec<Option<WireAnswer>>, ServedError> {
+        self.ensure_connected()?;
+        let stream = self.stream.as_mut().expect("connected above");
+        write_frame(stream, &encode_queries(ips))?;
+        let payload = read_frame(stream)?.ok_or_else(|| {
+            // A clean close before the answer: the server shut down,
+            // shed, or hit its per-connection cap mid-flight. The
+            // transport is gone, not the protocol — retryable.
+            ServedError::Io(std::io::Error::new(
+                std::io::ErrorKind::ConnectionAborted,
+                "server closed the connection before answering",
+            ))
         })?;
         let answers = decode_answers(&payload)?;
         if answers.len() != ips.len() {
@@ -262,6 +426,12 @@ impl FramedClient {
         }
         Ok(answers)
     }
+}
+
+/// Transport failures heal on a fresh connection; protocol violations
+/// do not.
+fn retryable(e: &ServedError) -> bool {
+    matches!(e, ServedError::Io(_))
 }
 
 #[cfg(test)]
@@ -325,6 +495,58 @@ mod tests {
         resp.push(1);
         resp.push(24);
         assert!(decode_answers(&resp).is_err());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = ClientPolicy {
+            backoff_base: Duration::from_millis(50),
+            backoff_max: Duration::from_millis(300),
+            ..ClientPolicy::default()
+        };
+        assert_eq!(policy.backoff(1), Duration::from_millis(50));
+        assert_eq!(policy.backoff(2), Duration::from_millis(100));
+        assert_eq!(policy.backoff(3), Duration::from_millis(200));
+        assert_eq!(policy.backoff(4), Duration::from_millis(300));
+        assert_eq!(policy.backoff(40), Duration::from_millis(300));
+    }
+
+    #[test]
+    fn dead_port_exhausts_the_budget_into_gave_up() {
+        // Bind-then-drop guarantees a port nobody is listening on.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr")
+        };
+        let policy = ClientPolicy {
+            connect_timeout: Duration::from_millis(200),
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(2),
+            ..ClientPolicy::default()
+        };
+        let mut client = FramedClient::lazy(addr, policy).expect("resolve");
+        match client.lookup(&[IpKey::V4(1)]) {
+            Err(ServedError::GaveUp { attempts, last }) => {
+                assert_eq!(attempts, 3);
+                assert!(matches!(*last, ServedError::Io(_)));
+            }
+            other => panic!("expected GaveUp, got {other:?}"),
+        }
+        assert_eq!(client.retries(), 2, "a sleep before each retry");
+    }
+
+    #[test]
+    fn eager_connect_reports_a_down_daemon_immediately() {
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr")
+        };
+        let policy = ClientPolicy {
+            connect_timeout: Duration::from_millis(200),
+            ..ClientPolicy::default()
+        };
+        assert!(FramedClient::connect_with(addr, policy).is_err());
     }
 
     #[test]

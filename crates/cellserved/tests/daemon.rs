@@ -55,6 +55,7 @@ fn config() -> ServeConfig {
         reload_watch: false,
         delta_watch: None,
         reload_poll: Duration::from_millis(10),
+        ..ServeConfig::default()
     }
 }
 

@@ -830,6 +830,14 @@ fn serve(args: &[String]) -> CmdResult {
             "--workers and --queue-depth must be at least 1".into(),
         ));
     }
+    let parse_count = |flag: &str, default: usize| -> Result<usize, CliError> {
+        flag_value(args, flag)
+            .map(|v| v.parse())
+            .transpose()
+            .map_err(|_| CliError::Usage(format!("bad {flag} (expected a count; 0 = unlimited)")))
+            .map(|v| v.unwrap_or(default))
+    };
+    let defaults = cellserved::ServeConfig::default();
     let config = cellserved::ServeConfig {
         http_listen: Some(flag_value(args, "--listen").unwrap_or_else(|| "127.0.0.1:7077".into())),
         tcp_listen: flag_value(args, "--tcp"),
@@ -845,6 +853,21 @@ fn serve(args: &[String]) -> CmdResult {
         reload_watch: args.iter().any(|a| a == "--reload-watch"),
         reload_poll: std::time::Duration::from_millis(parse_ms("--reload-poll-ms", 250)?),
         delta_watch: flag_value(args, "--delta-watch").map(PathBuf::from),
+        // Hardening knobs: connection budget, per-socket deadlines,
+        // keep-alive request cap. 0 disables each one.
+        max_conns: parse_count("--max-conns", defaults.max_conns)?,
+        io_timeout: std::time::Duration::from_millis(parse_ms(
+            "--io-timeout-ms",
+            defaults.io_timeout.as_millis() as u64,
+        )?),
+        max_requests_per_conn: parse_count(
+            "--max-requests-per-conn",
+            defaults.max_requests_per_conn,
+        )?,
+        drain_timeout: std::time::Duration::from_millis(parse_ms(
+            "--drain-timeout-ms",
+            defaults.drain_timeout.as_millis() as u64,
+        )?),
     };
     let shutdown_after = flag_value(args, "--shutdown-after-ms")
         .map(|v| v.parse::<u64>())
@@ -1104,7 +1127,11 @@ fn replay(args: &[String]) -> CmdResult {
                 })?;
                 Ok(())
             };
-            let cfg = cellload::ReplayConfig { clients, frame };
+            let cfg = cellload::ReplayConfig {
+                clients,
+                frame,
+                ..cellload::ReplayConfig::default()
+            };
             let result = match mode.as_str() {
                 "tcp" => {
                     let addr = daemon.tcp_addr().expect("tcp endpoint configured");
@@ -1186,6 +1213,8 @@ fn usage(err: &str) -> ! {
            serve       --index ARTIFACT [--listen ADDR] [--tcp ADDR] [--workers N]\n\
                        [--queue-depth N] [--max-linger-us N] [--reload-watch]\n\
                        [--reload-poll-ms N] [--delta-watch FILE] [--shutdown-after-ms N]\n\
+                       [--max-conns N] [--io-timeout-ms N] [--max-requests-per-conn N]\n\
+                       [--drain-timeout-ms N]   (0 disables the respective limit)\n\
            replay      --preset steady|diurnal|flashcrowd|scan|churn [--seed N]\n\
                        [--queries N] [--epochs E] [--scale mini|demo|paper]\n\
                        [--mode engine|tcp|http] [--clients N] [--frame N] [--workers N]\n\
